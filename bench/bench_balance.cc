@@ -1,0 +1,120 @@
+// Reproduces the paper's §6.2 closing claim: "In all of our experiments,
+// SP-Cube achieved a good balancing between reducers, with the reducers'
+// output data files being of similar sizes." Prints per-reducer input and
+// output distributions for SP-Cube against hash-partitioned naive on the
+// four workload families.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "baselines/naive.h"
+#include "bench_util.h"
+#include "core/sp_cube.h"
+#include "relation/generators.h"
+
+using namespace spcube;
+namespace bench = spcube::bench;
+
+namespace {
+
+struct BalanceStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  double imbalance = 1.0;  // max / mean over non-empty reducers
+};
+
+BalanceStats Stats(const std::vector<int64_t>& values, size_t skip_front) {
+  std::vector<int64_t> v(values.begin() + static_cast<ptrdiff_t>(skip_front),
+                         values.end());
+  BalanceStats stats;
+  if (v.empty()) return stats;
+  stats.min = *std::min_element(v.begin(), v.end());
+  stats.max = *std::max_element(v.begin(), v.end());
+  const double mean =
+      static_cast<double>(std::accumulate(v.begin(), v.end(), int64_t{0})) /
+      static_cast<double>(v.size());
+  stats.imbalance = mean > 0 ? static_cast<double>(stats.max) / mean : 1.0;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  const int k = 16;
+  const int64_t n = bench::Scaled(100000, scale);
+
+  std::printf("Reducer balance | k=%d, n=%lld\n", k,
+              static_cast<long long>(n));
+  std::printf(
+      "%-12s %-10s %14s %14s %12s %14s\n", "workload", "algo",
+      "min-out-rec", "max-out-rec", "imbalance", "max-in-rec");
+
+  struct Workload {
+    const char* name;
+    Relation rel;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"wiki", GenWikiLike(n, 1301)});
+  workloads.push_back({"usagov",
+                       ProjectDims(GenUsaGovLike(n, 1302), {0, 1, 2, 3})});
+  workloads.push_back({"binomial.5", GenBinomial(n, 4, 0.5, 1303)});
+  workloads.push_back({"zipf", GenZipfPaper(n, 1304)});
+
+  for (const Workload& workload : workloads) {
+    const EngineConfig config =
+        bench::MakeClusterConfig(n, workload.rel.num_dims(), k);
+    {
+      DistributedFileSystem dfs;
+      Engine engine(config, &dfs);
+      SpCubeAlgorithm sp;
+      CubeRunOptions options;
+      options.collect_output = false;
+      auto out = sp.Run(engine, workload.rel, options);
+      if (!out.ok()) {
+        std::printf("%-12s %-10s FAILED: %s\n", workload.name, "sp-cube",
+                    out.status().ToString().c_str());
+        continue;
+      }
+      const JobMetrics& round = out->metrics.rounds[1];
+      // Skip reducer 0 (the dedicated skew reducer, intentionally small).
+      const BalanceStats outputs =
+          Stats(round.reducer_output_records, 1);
+      const BalanceStats inputs = Stats(round.reducer_input_records, 1);
+      std::printf("%-12s %-10s %14lld %14lld %12.2f %14lld\n",
+                  workload.name, "sp-cube",
+                  static_cast<long long>(outputs.min),
+                  static_cast<long long>(outputs.max), outputs.imbalance,
+                  static_cast<long long>(inputs.max));
+    }
+    {
+      DistributedFileSystem dfs;
+      Engine engine(config, &dfs);
+      NaiveCubeAlgorithm naive;
+      CubeRunOptions options;
+      options.collect_output = false;
+      auto out = naive.Run(engine, workload.rel, options);
+      if (!out.ok()) {
+        std::printf("%-12s %-10s FAILED: %s\n", workload.name, "naive",
+                    out.status().ToString().c_str());
+        continue;
+      }
+      const JobMetrics& round = out->metrics.rounds[0];
+      const BalanceStats outputs = Stats(round.reducer_output_records, 0);
+      const BalanceStats inputs = Stats(round.reducer_input_records, 0);
+      std::printf("%-12s %-10s %14lld %14lld %12.2f %14lld\n",
+                  workload.name, "naive",
+                  static_cast<long long>(outputs.min),
+                  static_cast<long long>(outputs.max), outputs.imbalance,
+                  static_cast<long long>(inputs.max));
+    }
+  }
+
+  std::printf(
+      "\nShape to match: SP-Cube's range reducers have similar output "
+      "sizes (imbalance close to 1) on every distribution, while naive's "
+      "hash partitioning leaves stragglers on skewed inputs.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Empirical check of the SP-Sketch guarantees (paper §4, Props 4.4-4.7):
+//   * sample size concentrates at alpha * n = O(m)            (Prop 4.4)
+//   * all skewed c-groups are detected                        (Prop 4.5)
+//   * partitions, skew members excluded, have size O(m)       (Prop 4.6)
+//   * the serialized sketch fits in a machine's memory        (Prop 4.7)
+// Ground truth comes from the reference cube at each sweep point.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+#include "sketch/builder.h"
+
+using namespace spcube;
+namespace bench = spcube::bench;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  const int k = 16;
+  const std::vector<int64_t> sizes = {
+      bench::Scaled(25000, scale), bench::Scaled(50000, scale),
+      bench::Scaled(100000, scale)};
+
+  std::printf("SP-Sketch accuracy (Props 4.4-4.7) | wiki-like data, k=%d\n",
+              k);
+  std::printf("%-10s %10s %10s %8s %8s %8s %12s %12s %10s\n", "tuples",
+              "sample", "E[sample]", "true-sk", "found", "missed",
+              "max-part", "m", "sketch-B");
+
+  for (const int64_t n : sizes) {
+    Relation rel = GenWikiLike(n, 1401);
+    SketchBuildConfig config;
+    config.num_partitions = k;
+    const int64_t m = config.EffectiveM(n);
+    const double alpha = config.SampleAlpha(n);
+
+    // Build the sketch exactly as round 1 would.
+    auto sketch = BuildSketchLocal(rel, config);
+    if (!sketch.ok()) {
+      std::printf("sketch build failed: %s\n",
+                  sketch.status().ToString().c_str());
+      return 1;
+    }
+
+    // Ground truth: groups with |set(g)| > m, from the reference cube.
+    CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+    int64_t true_skews = 0;
+    int64_t found = 0;
+    for (const auto& [key, value] : reference.groups()) {
+      if (value > static_cast<double>(m)) {
+        ++true_skews;
+        if (sketch->IsSkewedKey(key)) ++found;
+      }
+    }
+
+    // Sample size (re-drawn with the builder's seed for reporting).
+    Rng rng(config.seed);
+    int64_t sample_size = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(alpha)) ++sample_size;
+    }
+
+    // Partition balance: largest non-skew partition over all cuboids.
+    int64_t max_partition = 0;
+    for (CuboidMask mask = 0; mask < 16; ++mask) {
+      std::vector<int64_t> sizes_by_partition(static_cast<size_t>(k), 0);
+      for (int64_t r = 0; r < n; ++r) {
+        if (sketch->IsSkewedTuple(mask, rel.row(r))) continue;
+        ++sizes_by_partition[static_cast<size_t>(
+            sketch->PartitionOfTuple(mask, rel.row(r)))];
+      }
+      max_partition = std::max(
+          max_partition, *std::max_element(sizes_by_partition.begin(),
+                                           sizes_by_partition.end()));
+    }
+
+    std::printf("%-10s %10lld %10.0f %8lld %8lld %8lld %12lld %12lld %10lld\n",
+                bench::FormatCount(n).c_str(),
+                static_cast<long long>(sample_size),
+                alpha * static_cast<double>(n),
+                static_cast<long long>(true_skews),
+                static_cast<long long>(found),
+                static_cast<long long>(true_skews - found),
+                static_cast<long long>(max_partition),
+                static_cast<long long>(m),
+                static_cast<long long>(sketch->SerializedByteSize()));
+  }
+
+  std::printf(
+      "\nShape to match: missed = 0 (all skews detected); max-part stays "
+      "O(m); sketch size stays in the kilobytes while inputs grow.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef SPCUBE_BENCH_BENCH_UTIL_H_
+#define SPCUBE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cube_algorithm.h"
+#include "mapreduce/engine.h"
+#include "relation/relation.h"
+
+namespace spcube {
+namespace bench {
+
+/// Simulated cluster shape shared by the figure benchmarks: k machines,
+/// each with memory m = n/k tuples (the paper's §2.3 setting), a modeled
+/// 100 MB/s per-node shuffle bandwidth and a 0.5 s per-round job overhead.
+EngineConfig MakeClusterConfig(int64_t num_rows, int num_dims, int k);
+
+/// Result of one algorithm run at one sweep point.
+struct AlgoResult {
+  std::string algorithm;
+  bool failed = false;        // e.g. Hive OOM under strict memory
+  std::string failure;        // status text when failed
+  double total_seconds = 0;
+  double map_max_seconds = 0;
+  double map_avg_seconds = 0;
+  double reduce_max_seconds = 0;
+  double reduce_avg_seconds = 0;
+  int64_t map_output_records = 0;
+  int64_t map_output_bytes = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t spill_bytes = 0;
+  int64_t output_records = 0;
+  double reducer_imbalance = 1.0;
+  int64_t sketch_bytes = 0;   // SP-Cube only
+  int64_t sketch_skews = 0;   // SP-Cube only
+};
+
+/// Runs one algorithm without collecting output and converts its metrics.
+AlgoResult RunOne(CubeAlgorithm& algorithm, Engine& engine,
+                  const Relation& input);
+
+/// The paper's competitor set: SP-Cube, MR-Cube (Pig) and Hive, plus the
+/// naive Algorithm 1 as an extra reference series. Each run uses a fresh
+/// engine over a fresh DFS with the standard cluster config.
+std::vector<AlgoResult> RunCompetitors(const Relation& input, int k);
+
+/// Pretty-printing helpers: one table per figure panel, one column per
+/// algorithm, one row per sweep point.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label,
+              std::vector<std::string> column_names);
+
+  void AddRow(const std::string& x, const std::vector<std::string>& cells);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+std::string FormatSeconds(double seconds);
+std::string FormatBytes(int64_t bytes);
+std::string FormatCount(int64_t count);
+
+/// Parses "--scale=<float>" from argv (default 1.0); benchmark sizes are
+/// multiplied by it so users can cheaply smoke-test or crank up fidelity.
+double ParseScale(int argc, char** argv);
+
+inline int64_t Scaled(int64_t base, double scale) {
+  return static_cast<int64_t>(static_cast<double>(base) * scale);
+}
+
+}  // namespace bench
+}  // namespace spcube
+
+#endif  // SPCUBE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,107 @@
+// Quickstart: load a tiny CSV relation, compute its full data cube with
+// SP-Cube on a simulated 4-machine MapReduce cluster, and print every
+// cuboid with human-readable attribute values.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/sp_cube.h"
+#include "relation/csv.h"
+
+using namespace spcube;
+
+namespace {
+
+// The running example of the paper's §2: products sold in European cities
+// over the years; the measure is the number of sales.
+constexpr char kSalesCsv[] = R"(name,city,year,sales
+laptop,Rome,2012,2000
+laptop,Paris,2012,1500
+laptop,Rome,2013,1800
+printer,Rome,2012,700
+printer,Paris,2013,450
+keyboard,Paris,2012,3100
+keyboard,Rome,2013,2600
+television,Paris,2013,900
+)";
+
+std::string GroupToString(const GroupKey& key,
+                          const EncodedRelation& encoded) {
+  std::string out = "(";
+  size_t vi = 0;
+  const int d = encoded.relation.num_dims();
+  for (int dim = 0; dim < d; ++dim) {
+    if (dim > 0) out += ", ";
+    if ((key.mask >> dim) & 1) {
+      auto decoded = encoded.dictionaries[static_cast<size_t>(dim)].Decode(
+          key.values[vi++]);
+      out += decoded.ok() ? decoded.value() : "?";
+    } else {
+      out += "*";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Parse the relation. Dimension values are dictionary-encoded.
+  auto loaded = LoadCsv(kSalesCsv);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "CSV error: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Relation& relation = loaded->relation;
+  std::printf("Loaded %s with %lld rows\n",
+              relation.schema().ToString().c_str(),
+              static_cast<long long>(relation.num_rows()));
+
+  // 2. Set up a simulated cluster: 4 machines sharing a DFS.
+  DistributedFileSystem dfs;
+  EngineConfig cluster;
+  cluster.num_workers = 4;
+  cluster.memory_budget_bytes = 1 << 20;
+  Engine engine(cluster, &dfs);
+
+  // 3. Run SP-Cube with the sum aggregate.
+  SpCubeAlgorithm sp_cube;
+  CubeRunOptions options;
+  options.aggregate = AggregateKind::kSum;
+  auto output = sp_cube.Run(engine, relation, options);
+  if (!output.ok()) {
+    std::fprintf(stderr, "SP-Cube failed: %s\n",
+                 output.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Print the cube, cuboid by cuboid in lattice (BFS) order.
+  std::vector<std::pair<GroupKey, double>> groups(
+      output->cube->groups().begin(), output->cube->groups().end());
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  CuboidMask last_mask = ~CuboidMask{0};
+  for (const auto& [key, value] : groups) {
+    if (key.mask != last_mask) {
+      std::printf("\nCuboid %s:\n",
+                  MaskToString(key.mask, relation.num_dims()).c_str());
+      last_mask = key.mask;
+    }
+    std::printf("  sum(sales) %-28s = %.0f\n",
+                GroupToString(key, *loaded).c_str(), value);
+  }
+
+  std::printf("\n%lld cube groups total; cluster ran %zu MapReduce rounds "
+              "in %.3f simulated seconds.\n",
+              static_cast<long long>(output->cube->num_groups()),
+              output->metrics.rounds.size(),
+              output->metrics.TotalSeconds());
+  return 0;
+}

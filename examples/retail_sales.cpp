@@ -1,0 +1,142 @@
+// The paper's motivating scenario (§1): an analyst explores a large sales
+// relation (product x city x year) looking for trends and anomalies. This
+// example generates a realistic skewed sales history, computes the cube
+// with SP-Cube, and then answers analyst questions straight from the cube:
+// best-selling products, strongest markets, year-over-year totals, and the
+// single hottest (product, city) pair.
+//
+// Run: ./build/examples/retail_sales [rows]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/sp_cube.h"
+#include "relation/dictionary.h"
+#include "relation/relation.h"
+
+using namespace spcube;
+
+namespace {
+
+const char* const kProducts[] = {"laptop",  "printer", "keyboard",
+                                 "mouse",   "monitor", "tablet",
+                                 "webcam",  "headset", "router",
+                                 "speaker"};
+const char* const kCities[] = {"Rome",   "Paris",  "Berlin", "Madrid",
+                               "London", "Vienna", "Prague", "Dublin"};
+
+struct SalesData {
+  Relation relation;
+  Dictionary products;
+  Dictionary cities;
+  Dictionary years;
+};
+
+/// Laptops in Paris boom after 2012 (a planted trend); everything else is
+/// a zipf-ish mix — the "skews plus long tail" the paper calls typical.
+SalesData GenerateSales(int64_t rows) {
+  SalesData data{Relation(Schema({"product", "city", "year"}, "sales")),
+                 {}, {}, {}};
+  for (const char* p : kProducts) data.products.Intern(p);
+  for (const char* c : kCities) data.cities.Intern(c);
+  for (int y = 2010; y <= 2015; ++y) data.years.Intern(std::to_string(y));
+
+  Rng rng(2024);
+  ZipfDistribution product_dist(10, 1.2);
+  ZipfDistribution city_dist(8, 0.8);
+  data.relation.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t product;
+    int64_t city;
+    int64_t year;
+    if (rng.NextBernoulli(0.25)) {
+      product = 0;                                        // laptop
+      city = 1;                                           // Paris
+      year = 2 + static_cast<int64_t>(rng.NextBounded(4));  // 2012..2015
+    } else {
+      product = product_dist.Sample(rng);
+      city = city_dist.Sample(rng);
+      year = static_cast<int64_t>(rng.NextBounded(6));
+    }
+    const int64_t amount = 1 + static_cast<int64_t>(rng.NextBounded(20));
+    data.relation.AppendRow(std::vector<int64_t>{product, city, year},
+                            amount);
+  }
+  return data;
+}
+
+void PrintTop(const char* title, const CubeResult& cube, CuboidMask mask,
+              const SalesData& data, size_t top_n) {
+  std::vector<std::pair<GroupKey, double>> groups;
+  for (const auto& [key, value] : cube.groups()) {
+    if (key.mask == mask) groups.emplace_back(key, value);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("\n%s\n", title);
+  for (size_t i = 0; i < std::min(top_n, groups.size()); ++i) {
+    const GroupKey& key = groups[i].first;
+    std::string label;
+    size_t vi = 0;
+    if (key.mask & 1) {
+      label += data.products.Decode(key.values[vi++]).value();
+    }
+    if (key.mask & 2) {
+      if (!label.empty()) label += " / ";
+      label += data.cities.Decode(key.values[vi++]).value();
+    }
+    if (key.mask & 4) {
+      if (!label.empty()) label += " / ";
+      label += data.years.Decode(key.values[vi++]).value();
+    }
+    std::printf("  %-28s %12.0f\n", label.c_str(), groups[i].second);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 200000;
+  SalesData data = GenerateSales(rows);
+  std::printf("Generated %lld sales records over %d products, %d cities, "
+              "6 years\n",
+              static_cast<long long>(rows), 10, 8);
+
+  DistributedFileSystem dfs;
+  EngineConfig cluster;
+  cluster.num_workers = 8;
+  cluster.memory_budget_bytes =
+      std::max<int64_t>(1 << 16, rows / 8 * 32);
+  Engine engine(cluster, &dfs);
+
+  SpCubeAlgorithm sp_cube;
+  CubeRunOptions options;
+  options.aggregate = AggregateKind::kSum;
+  auto output = sp_cube.Run(engine, data.relation, options);
+  if (!output.ok()) {
+    std::fprintf(stderr, "SP-Cube failed: %s\n",
+                 output.status().ToString().c_str());
+    return 1;
+  }
+  const CubeResult& cube = *output->cube;
+  std::printf("Cube has %lld groups; computed in %.3f simulated seconds "
+              "(sketch: %lld bytes, %lld skewed groups detected)\n",
+              static_cast<long long>(cube.num_groups()),
+              output->metrics.TotalSeconds(),
+              static_cast<long long>(sp_cube.last_sketch_bytes()),
+              static_cast<long long>(sp_cube.last_sketch_skews()));
+
+  PrintTop("Top products (sum of sales):", cube, 0b001, data, 5);
+  PrintTop("Top cities:", cube, 0b010, data, 5);
+  PrintTop("Sales by year:", cube, 0b100, data, 6);
+  PrintTop("Hottest product/city pairs:", cube, 0b011, data, 5);
+  PrintTop("Hottest product/city/year cells:", cube, 0b111, data, 5);
+
+  const double total = cube.Lookup(GroupKey(0, {})).value();
+  std::printf("\nGrand total (the apex group (*,*,*)): %.0f units\n", total);
+  return 0;
+}

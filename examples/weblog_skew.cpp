@@ -1,0 +1,85 @@
+// Skew resilience in action: a web-click log where a handful of viral pages
+// dominate the traffic. Runs all four cube algorithms on the same simulated
+// cluster and prints a side-by-side comparison of time, intermediate data
+// and reducer balance — a miniature of the paper's evaluation (§6) you can
+// point at your own parameters.
+//
+// Run: ./build/examples/weblog_skew [rows] [viral-fraction]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/hive.h"
+#include "baselines/mrcube.h"
+#include "baselines/naive.h"
+#include "core/sp_cube.h"
+#include "relation/generators.h"
+
+using namespace spcube;
+
+int main(int argc, char** argv) {
+  const int64_t rows = argc > 1 ? std::atoll(argv[1]) : 100000;
+  const double viral = argc > 2 ? std::atof(argv[2]) : 0.35;
+  const int k = 12;
+
+  // 4 dims: page (heavy tail + viral pages), country, browser, hour.
+  Relation log = GenPlantedSkew(
+      rows, 4, {viral * 0.6, viral * 0.3, viral * 0.1},
+      {/*page=*/rows / 8, /*country=*/120, /*browser=*/12, /*hour=*/24},
+      /*seed=*/777);
+  std::printf("Web log: %lld clicks, %d dims, ~%.0f%% of traffic on 3 "
+              "viral pages | %d simulated machines\n\n",
+              static_cast<long long>(rows), 4, viral * 100, k);
+
+  EngineConfig cluster;
+  cluster.num_workers = k;
+  cluster.memory_budget_bytes =
+      std::max<int64_t>(1 << 16, rows / k * 40);
+  cluster.network_bandwidth_bytes_per_sec = 100e6;
+  cluster.round_overhead_seconds = 0.02;
+
+  std::printf("%-14s %10s %10s %12s %14s %12s %10s\n", "algorithm",
+              "rounds", "total-s", "map-out-rec", "shuffle", "spill",
+              "imbalance");
+
+  SpCubeAlgorithm sp;
+  MrCubeAlgorithm pig;
+  HiveCubeAlgorithm hive;
+  NaiveCubeAlgorithm naive;
+  for (CubeAlgorithm* algorithm :
+       std::initializer_list<CubeAlgorithm*>{&sp, &pig, &hive, &naive}) {
+    DistributedFileSystem dfs;
+    Engine engine(cluster, &dfs);
+    CubeRunOptions options;
+    options.collect_output = false;
+    auto output = algorithm->Run(engine, log, options);
+    if (!output.ok()) {
+      std::printf("%-14s FAILED: %s\n", algorithm->name().c_str(),
+                  output.status().ToString().c_str());
+      continue;
+    }
+    int64_t map_out = 0;
+    double imbalance = 1.0;
+    for (const JobMetrics& round : output->metrics.rounds) {
+      map_out += round.map_output_records;
+      imbalance = std::max(imbalance, round.ReducerImbalance());
+    }
+    std::printf("%-14s %10zu %10.3f %12lld %11.2fMB %9.2fMB %10.2f\n",
+                algorithm->name().c_str(), output->metrics.rounds.size(),
+                output->metrics.TotalSeconds(),
+                static_cast<long long>(map_out),
+                static_cast<double>(output->metrics.ShuffleBytes()) /
+                    (1 << 20),
+                static_cast<double>(output->metrics.SpillBytes()) /
+                    (1 << 20),
+                imbalance);
+  }
+
+  std::printf(
+      "\nWhat to look for: SP-Cube detects the viral pages' c-groups in "
+      "its sketch, pre-aggregates them in the mappers and range-partitions "
+      "the rest — lowest traffic and time regardless of the viral "
+      "fraction. Try: ./weblog_skew %lld 0.7\n",
+      static_cast<long long>(rows));
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "baselines/combiners.h"
+
+#include "common/bytes.h"
+
+namespace spcube {
+
+Status AggStateCombiner::Combine(const std::string& /*key*/,
+                                 const std::vector<std::string>& values,
+                                 std::vector<std::string>* combined) const {
+  const Aggregator& agg = GetAggregator(kind_);
+  AggState total = agg.Empty();
+  for (const std::string& value : values) {
+    ByteReader reader(value);
+    AggState partial;
+    SPCUBE_RETURN_IF_ERROR(AggState::DecodeFrom(reader, &partial));
+    agg.Merge(total, partial);
+  }
+  ByteWriter writer;
+  total.EncodeTo(writer);
+  combined->clear();
+  combined->push_back(writer.TakeData());
+  return Status::OK();
+}
+
+Status MergeStatesReducer::Reduce(const std::string& key,
+                                  ValueStream& values,
+                                  ReduceContext& context) {
+  const Aggregator& agg = GetAggregator(kind_);
+  AggState total = agg.Empty();
+  std::string value;
+  for (;;) {
+    SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+    if (!more) break;
+    ByteReader reader(value);
+    AggState partial;
+    SPCUBE_RETURN_IF_ERROR(AggState::DecodeFrom(reader, &partial));
+    agg.Merge(total, partial);
+  }
+  if (min_count_ > 1 && kind_ == AggregateKind::kCount &&
+      total.v0 < min_count_) {
+    return Status::OK();
+  }
+  ByteWriter writer;
+  writer.PutDouble(agg.Finalize(total));
+  return context.Output(key, writer.data());
+}
+
+}  // namespace spcube

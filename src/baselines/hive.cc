@@ -1,0 +1,127 @@
+#include "baselines/hive.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/combiners.h"
+#include "core/cube_output.h"
+#include "common/bytes.h"
+#include "cube/group_key.h"
+
+namespace spcube {
+namespace {
+
+/// Approximate heap cost of one hash-aggregation entry (key vector + state
+/// + table overhead), used against the configured hash budget.
+int64_t EntryBytes(const GroupKey& key) {
+  return static_cast<int64_t>(key.values.size() * sizeof(int64_t)) + 64;
+}
+
+/// Hive's map side: expand each row into its 2^d grouping-set projections
+/// and aggregate them into a bounded hash; when the hash exceeds its budget,
+/// flush every entry as a partial state and start over (Hive's flush-on-full
+/// GroupByOperator behaviour).
+class HiveMapper : public Mapper {
+ public:
+  HiveMapper(AggregateKind kind, double hash_fraction)
+      : kind_(kind), hash_fraction_(hash_fraction) {}
+
+  Status Setup(const TaskContext& task) override {
+    hash_budget_bytes_ = static_cast<int64_t>(
+        static_cast<double>(task.memory_budget_bytes) * hash_fraction_);
+    return Status::OK();
+  }
+
+  Status Map(const Relation& input, int64_t row,
+             MapContext& context) override {
+    const Aggregator& agg = GetAggregator(kind_);
+    const auto tuple = input.row(row);
+    const int64_t measure = input.measure(row);
+    const CuboidMask num_masks =
+        static_cast<CuboidMask>(NumCuboids(input.num_dims()));
+    for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+      GroupKey key = GroupKey::Project(mask, tuple);
+      auto [it, inserted] = hash_.try_emplace(std::move(key), agg.Empty());
+      if (inserted) hash_bytes_ += EntryBytes(it->first);
+      agg.Add(it->second, measure);
+      if (hash_bytes_ > hash_budget_bytes_) {
+        SPCUBE_RETURN_IF_ERROR(Flush(context));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Finish(MapContext& context) override { return Flush(context); }
+
+ private:
+  Status Flush(MapContext& context) {
+    ByteWriter key_writer;
+    ByteWriter value_writer;
+    for (const auto& [key, state] : hash_) {
+      key_writer.Clear();
+      key.EncodeTo(key_writer);
+      value_writer.Clear();
+      state.EncodeTo(value_writer);
+      SPCUBE_RETURN_IF_ERROR(
+          context.Emit(key_writer.data(), value_writer.data()));
+    }
+    hash_.clear();
+    hash_bytes_ = 0;
+    return Status::OK();
+  }
+
+  AggregateKind kind_;
+  double hash_fraction_;
+  int64_t hash_budget_bytes_ = 0;
+  int64_t hash_bytes_ = 0;
+  std::unordered_map<GroupKey, AggState, GroupKeyHash> hash_;
+};
+
+}  // namespace
+
+Result<CubeRunOutput> HiveCubeAlgorithm::Run(Engine& engine,
+                                             const Relation& input,
+                                             const CubeRunOptions& options) {
+  SPCUBE_RETURN_IF_ERROR(ValidateCubeRunOptions(options));
+  JobSpec spec;
+  spec.name = "hive-cube";
+  spec.mapper_factory = [kind = options.aggregate,
+                         fraction = options_.map_hash_memory_fraction]() {
+    return std::make_unique<HiveMapper>(kind, fraction);
+  };
+  spec.reducer_factory = [kind = options.aggregate,
+                          min_count = options.iceberg_min_count]() {
+    return std::make_unique<MergeStatesReducer>(kind, min_count);
+  };
+  spec.memory_policy = options_.strict_reducer_memory
+                           ? MemoryPolicy::kStrict
+                           : MemoryPolicy::kSpill;
+
+  CubeRunOutput out;
+  out.metrics.algorithm = name();
+  VectorOutputCollector cube_collector;
+  NullOutputCollector null_collector;
+  OutputCollector* sink =
+      options.collect_output
+          ? static_cast<OutputCollector*>(&cube_collector)
+          : static_cast<OutputCollector*>(&null_collector);
+  std::unique_ptr<DfsCubeWriter> dfs_writer;
+  std::unique_ptr<TeeOutputCollector> tee;
+  if (!options.dfs_output_root.empty()) {
+    dfs_writer = std::make_unique<DfsCubeWriter>(engine.dfs(),
+                                                 options.dfs_output_root);
+    tee = std::make_unique<TeeOutputCollector>(sink, dfs_writer.get());
+    sink = tee.get();
+  }
+  SPCUBE_ASSIGN_OR_RETURN(JobMetrics round, engine.Run(spec, input, sink));
+  out.metrics.Add(std::move(round));
+
+  if (options.collect_output) {
+    SPCUBE_ASSIGN_OR_RETURN(CubeResult cube,
+                            CollectCube(cube_collector, input.num_dims()));
+    out.cube = std::make_unique<CubeResult>(std::move(cube));
+  }
+  return out;
+}
+
+}  // namespace spcube

@@ -1,0 +1,48 @@
+#ifndef SPCUBE_BASELINES_HIVE_H_
+#define SPCUBE_BASELINES_HIVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/cube_algorithm.h"
+
+namespace spcube {
+
+/// Knobs mirroring Hive's group-by configuration.
+struct HiveCubeOptions {
+  /// Fraction of the machine memory the map-side aggregation hash may use
+  /// (hive.map.aggr.hash.percentmemory). When the hash fills, all entries
+  /// are flushed as partial states, so heavily-distinct inputs churn the
+  /// hash and gain little from map-side aggregation — the long map times
+  /// the paper observes for Hive (Fig. 5b).
+  double map_hash_memory_fraction = 0.3;
+
+  /// When true, the reduce side runs under MemoryPolicy::kStrict: a reduce
+  /// task whose input exceeds the machine memory fails the job with
+  /// ResourceExhausted, modeling the reducer OOMs the paper reports for
+  /// Hive under heavy skew (gen-binomial p >= 0.4).
+  bool strict_reducer_memory = false;
+};
+
+/// Hive-style cube baseline: the query plan Hive compiles for
+/// `GROUP BY ... WITH CUBE` — grouping-set expansion of every row into its
+/// 2^d projections inside the mapper, bounded map-side hash aggregation,
+/// hash-partitioned shuffle, and merge aggregation in the reducers. One
+/// MapReduce round.
+class HiveCubeAlgorithm : public CubeAlgorithm {
+ public:
+  explicit HiveCubeAlgorithm(HiveCubeOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "hive"; }
+
+  Result<CubeRunOutput> Run(Engine& engine, const Relation& input,
+                            const CubeRunOptions& options) override;
+
+ private:
+  HiveCubeOptions options_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_BASELINES_HIVE_H_

@@ -1,0 +1,410 @@
+#include "baselines/mrcube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/combiners.h"
+#include "core/cube_output.h"
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "cube/buc.h"
+#include "cube/group_key.h"
+#include "relation/tuple_codec.h"
+
+namespace spcube {
+namespace {
+
+/// Round-2 shuffle key: encoded GroupKey followed by a varint sub-partition
+/// id (always present; 0 in friendly cuboids).
+std::string EncodeMrKey(const GroupKey& key, uint64_t subpartition) {
+  ByteWriter writer;
+  key.EncodeTo(writer);
+  writer.PutVarint(subpartition);
+  return writer.TakeData();
+}
+
+Status DecodeMrKey(std::string_view bytes, GroupKey* key,
+                   uint64_t* subpartition) {
+  ByteReader reader(bytes);
+  SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, key));
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(subpartition));
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in MR key");
+  return Status::OK();
+}
+
+/// Round-1 reduce task: rebuilds the sample, finds each cuboid's largest
+/// group, and derives the per-cuboid value-partition factor.
+class AnnotateReducer : public Reducer {
+ public:
+  AnnotateReducer(int num_dims, int64_t total_rows, SketchBuildConfig config,
+                  std::string dfs_path)
+      : num_dims_(num_dims),
+        total_rows_(total_rows),
+        config_(config),
+        dfs_path_(std::move(dfs_path)),
+        sample_(MakeAnonymousSchema(num_dims)) {}
+
+  Status Setup(const TaskContext& task) override {
+    dfs_ = task.dfs;
+    return Status::OK();
+  }
+
+  Status Reduce(const std::string& /*key*/, ValueStream& values,
+                ReduceContext& /*context*/) override {
+    std::string value;
+    std::vector<int64_t> dims;
+    int64_t measure = 0;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      SPCUBE_RETURN_IF_ERROR(DecodeTuple(value, &dims, &measure));
+      sample_.AppendRow(dims, measure);
+    }
+    return Status::OK();
+  }
+
+  Status Finish(ReduceContext& context) override {
+    const double alpha = config_.SampleAlpha(total_rows_);
+    const double beta = config_.SkewBeta(total_rows_);
+    const int64_t m = config_.EffectiveM(total_rows_);
+
+    // Largest estimated group per cuboid, via an iceberg BUC over the
+    // sample (groups below the skew threshold never force partitioning).
+    std::vector<int64_t> largest(
+        static_cast<size_t>(NumCuboids(num_dims_)), 0);
+    BucOptions options;
+    options.min_support = static_cast<int64_t>(std::floor(beta)) + 1;
+    BucComputeFull(sample_, GetAggregator(AggregateKind::kCount), options,
+                   [&](const GroupKey& key, const AggState& state) {
+                     const int64_t estimate = static_cast<int64_t>(
+                         static_cast<double>(state.v0) / alpha);
+                     largest[key.mask] = std::max(largest[key.mask],
+                                                  estimate);
+                   });
+
+    MrCubeAnnotations annotations;
+    annotations.num_dims = num_dims_;
+    annotations.partition_factor.resize(largest.size(), 1);
+    for (size_t mask = 0; mask < largest.size(); ++mask) {
+      if (largest[mask] > m) {
+        annotations.partition_factor[mask] = static_cast<int32_t>(
+            std::min<int64_t>(1 + (largest[mask] - 1) / m, 1 << 16));
+      }
+    }
+    if (dfs_ == nullptr) {
+      return Status::FailedPrecondition("annotate reducer has no DFS");
+    }
+    SPCUBE_RETURN_IF_ERROR(
+        dfs_->Overwrite(dfs_path_, annotations.Serialize()));
+    return context.Output("annotations", std::to_string(largest.size()));
+  }
+
+ private:
+  int num_dims_;
+  int64_t total_rows_;
+  SketchBuildConfig config_;
+  std::string dfs_path_;
+  Relation sample_;
+  DistributedFileSystem* dfs_ = nullptr;
+};
+
+/// Round-2 map task: one (cuboid projection [+ sub-partition], singleton
+/// state) pair per lattice node of every tuple — n * 2^d pre-combine pairs,
+/// the behaviour whose cost the paper's Figures 4c/6b/7c expose.
+class MrCubeMapper : public Mapper {
+ public:
+  MrCubeMapper(std::string annotations_path, AggregateKind kind)
+      : annotations_path_(std::move(annotations_path)), kind_(kind) {}
+
+  Status Setup(const TaskContext& task) override {
+    if (task.dfs == nullptr) {
+      return Status::FailedPrecondition("mapper has no DFS");
+    }
+    SPCUBE_ASSIGN_OR_RETURN(std::string bytes,
+                            task.dfs->Read(annotations_path_));
+    SPCUBE_ASSIGN_OR_RETURN(annotations_,
+                            MrCubeAnnotations::Deserialize(bytes));
+    worker_id_ = task.worker_id;
+    return Status::OK();
+  }
+
+  Status Map(const Relation& input, int64_t row,
+             MapContext& context) override {
+    const Aggregator& agg = GetAggregator(kind_);
+    const auto tuple = input.row(row);
+    AggState single = agg.Empty();
+    agg.Add(single, input.measure(row));
+    ByteWriter value_writer;
+    single.EncodeTo(value_writer);
+
+    const CuboidMask num_masks =
+        static_cast<CuboidMask>(NumCuboids(input.num_dims()));
+    ++local_row_;
+    for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+      const int32_t factor = annotations_.partition_factor[mask];
+      // Value partitioning: identical tuples must scatter, so the
+      // sub-partition comes from the mapper-local row counter, never from
+      // the tuple's content.
+      const uint64_t sub =
+          factor <= 1
+              ? 0
+              : Mix64((static_cast<uint64_t>(worker_id_) << 40) ^
+                      static_cast<uint64_t>(local_row_)) %
+                    static_cast<uint64_t>(factor);
+      SPCUBE_RETURN_IF_ERROR(context.Emit(
+          EncodeMrKey(GroupKey::Project(mask, tuple), sub),
+          value_writer.data()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string annotations_path_;
+  AggregateKind kind_;
+  MrCubeAnnotations annotations_;
+  int worker_id_ = 0;
+  int64_t local_row_ = 0;
+};
+
+/// Round-2 reduce task: merge the (combined) partial states per key. For a
+/// friendly cuboid the result is final; for a partitioned cuboid it is a
+/// partial state the post-aggregation round recombines.
+class MrCubeReducer : public Reducer {
+ public:
+  MrCubeReducer(std::string annotations_path, AggregateKind kind,
+                int64_t min_count)
+      : annotations_path_(std::move(annotations_path)),
+        kind_(kind),
+        min_count_(min_count) {}
+
+  Status Setup(const TaskContext& task) override {
+    if (task.dfs == nullptr) {
+      return Status::FailedPrecondition("reducer has no DFS");
+    }
+    SPCUBE_ASSIGN_OR_RETURN(std::string bytes,
+                            task.dfs->Read(annotations_path_));
+    SPCUBE_ASSIGN_OR_RETURN(annotations_,
+                            MrCubeAnnotations::Deserialize(bytes));
+    return Status::OK();
+  }
+
+  Status Reduce(const std::string& key, ValueStream& values,
+                ReduceContext& context) override {
+    GroupKey group;
+    uint64_t sub = 0;
+    SPCUBE_RETURN_IF_ERROR(DecodeMrKey(key, &group, &sub));
+    const Aggregator& agg = GetAggregator(kind_);
+    AggState total = agg.Empty();
+    std::string value;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      ByteReader reader(value);
+      AggState partial;
+      SPCUBE_RETURN_IF_ERROR(AggState::DecodeFrom(reader, &partial));
+      agg.Merge(total, partial);
+    }
+    ByteWriter key_writer;
+    group.EncodeTo(key_writer);
+    if (annotations_.partition_factor[group.mask] <= 1) {
+      // Final value for a friendly cuboid; apply the iceberg filter here.
+      // Partitioned cuboids carry partial states onward unfiltered — the
+      // post-aggregation round filters after the full merge.
+      if (min_count_ > 1 && kind_ == AggregateKind::kCount &&
+          total.v0 < min_count_) {
+        return Status::OK();
+      }
+      ByteWriter value_writer;
+      value_writer.PutDouble(agg.Finalize(total));
+      return context.Output(key_writer.data(), value_writer.data());
+    }
+    ByteWriter value_writer;
+    total.EncodeTo(value_writer);
+    return context.Output(key_writer.data(), value_writer.data());
+  }
+
+ private:
+  std::string annotations_path_;
+  AggregateKind kind_;
+  int64_t min_count_;
+  MrCubeAnnotations annotations_;
+};
+
+/// Round-3 map task: identity over the partial records of partitioned
+/// cuboids.
+class IdentityRecordMapper : public Mapper {
+ public:
+  Status MapRecord(const Record& record, MapContext& context) override {
+    return context.Emit(record.key, record.value);
+  }
+};
+
+}  // namespace
+
+std::string MrCubeAnnotations::Serialize() const {
+  ByteWriter writer;
+  writer.PutVarint(static_cast<uint64_t>(num_dims));
+  writer.PutVarint(partition_factor.size());
+  for (int32_t f : partition_factor) writer.PutVarint(static_cast<uint64_t>(f));
+  return writer.TakeData();
+}
+
+Result<MrCubeAnnotations> MrCubeAnnotations::Deserialize(
+    std::string_view bytes) {
+  ByteReader reader(bytes);
+  MrCubeAnnotations out;
+  uint64_t num_dims = 0;
+  uint64_t count = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_dims));
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&count));
+  out.num_dims = static_cast<int>(num_dims);
+  if (count != static_cast<uint64_t>(NumCuboids(out.num_dims))) {
+    return Status::Corruption("annotation count does not match 2^d");
+  }
+  out.partition_factor.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t f = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&f));
+    out.partition_factor.push_back(static_cast<int32_t>(f));
+  }
+  return out;
+}
+
+Result<CubeRunOutput> MrCubeAlgorithm::Run(Engine& engine,
+                                           const Relation& input,
+                                           const CubeRunOptions& options) {
+  SPCUBE_RETURN_IF_ERROR(ValidateCubeRunOptions(options));
+  const int k = engine.config().num_workers;
+  const int64_t n = input.num_rows();
+
+  SketchBuildConfig sampling = options_.sampling;
+  if (sampling.num_partitions <= 0) sampling.num_partitions = k;
+  if (sampling.memory_tuples_m <= 0) {
+    sampling.memory_tuples_m = std::max<int64_t>(1, n / k);
+  }
+
+  const std::string annotations_path =
+      "mrcube/annotations/run_" + std::to_string(run_counter_++);
+
+  CubeRunOutput out;
+  out.metrics.algorithm = name();
+
+  // ---- Round 1: sample & annotate the lattice -----------------------------
+  {
+    const double alpha = sampling.SampleAlpha(n);
+    JobSpec spec;
+    spec.name = "mrcube-sample";
+    spec.num_reducers = 1;
+    spec.mapper_factory = [alpha, seed = sampling.seed]() {
+      return std::make_unique<SketchSampleMapper>(alpha, seed);
+    };
+    spec.reducer_factory = [&]() {
+      return std::make_unique<AnnotateReducer>(input.num_dims(), n, sampling,
+                                               annotations_path);
+    };
+    NullOutputCollector sink;
+    SPCUBE_ASSIGN_OR_RETURN(JobMetrics round, engine.Run(spec, input, &sink));
+    out.metrics.Add(std::move(round));
+  }
+
+  SPCUBE_ASSIGN_OR_RETURN(std::string annotation_bytes,
+                          engine.dfs()->Read(annotations_path));
+  SPCUBE_ASSIGN_OR_RETURN(MrCubeAnnotations annotations,
+                          MrCubeAnnotations::Deserialize(annotation_bytes));
+  last_unfriendly_ = 0;
+  for (int32_t f : annotations.partition_factor) {
+    if (f > 1) ++last_unfriendly_;
+  }
+
+  // ---- Round 2: materialize the cube --------------------------------------
+  VectorOutputCollector round2_output;
+  {
+    JobSpec spec;
+    spec.name = "mrcube-materialize";
+    spec.mapper_factory = [annotations_path, kind = options.aggregate]() {
+      return std::make_unique<MrCubeMapper>(annotations_path, kind);
+    };
+    spec.reducer_factory = [annotations_path, kind = options.aggregate,
+                            min_count = options.iceberg_min_count]() {
+      return std::make_unique<MrCubeReducer>(annotations_path, kind,
+                                             min_count);
+    };
+    spec.combiner = std::make_shared<AggStateCombiner>(options.aggregate);
+    SPCUBE_ASSIGN_OR_RETURN(JobMetrics round,
+                            engine.Run(spec, input, &round2_output));
+    out.metrics.Add(std::move(round));
+  }
+
+  // Split round-2 output into final values (friendly cuboids) and partial
+  // states that still need the post-aggregation round.
+  std::vector<Record> partials;
+  std::vector<VectorOutputCollector::Entry> finals;
+  for (const VectorOutputCollector::Entry& entry : round2_output.entries()) {
+    ByteReader reader(entry.key);
+    GroupKey group;
+    SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &group));
+    if (annotations.partition_factor[group.mask] <= 1) {
+      finals.push_back(entry);
+    } else {
+      partials.push_back(Record{entry.key, entry.value});
+    }
+  }
+
+  // ---- Round 3: post-aggregate value-partitioned groups -------------------
+  VectorOutputCollector round3_output;
+  if (!partials.empty()) {
+    JobSpec spec;
+    spec.name = "mrcube-postagg";
+    spec.mapper_factory = []() {
+      return std::make_unique<IdentityRecordMapper>();
+    };
+    spec.reducer_factory = [kind = options.aggregate,
+                            min_count = options.iceberg_min_count]() {
+      return std::make_unique<MergeStatesReducer>(kind, min_count);
+    };
+    spec.combiner = std::make_shared<AggStateCombiner>(options.aggregate);
+    SPCUBE_ASSIGN_OR_RETURN(
+        JobMetrics round, engine.RunRecords(spec, partials, &round3_output));
+    out.metrics.Add(std::move(round));
+  }
+
+  std::unique_ptr<DfsCubeWriter> dfs_writer;
+  if (!options.dfs_output_root.empty()) {
+    dfs_writer = std::make_unique<DfsCubeWriter>(engine.dfs(),
+                                                 options.dfs_output_root);
+    for (const VectorOutputCollector::Entry& entry : finals) {
+      SPCUBE_RETURN_IF_ERROR(
+          dfs_writer->Collect(entry.reducer_id, entry.key, entry.value));
+    }
+    for (const VectorOutputCollector::Entry& entry :
+         round3_output.entries()) {
+      SPCUBE_RETURN_IF_ERROR(
+          dfs_writer->Collect(entry.reducer_id, entry.key, entry.value));
+    }
+  }
+
+  if (options.collect_output) {
+    CubeResult cube(input.num_dims());
+    auto add_entries =
+        [&cube](const std::vector<VectorOutputCollector::Entry>& entries)
+        -> Status {
+      for (const VectorOutputCollector::Entry& entry : entries) {
+        ByteReader reader(entry.key);
+        GroupKey group;
+        SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &group));
+        SPCUBE_ASSIGN_OR_RETURN(double value, DecodeCubeValue(entry.value));
+        SPCUBE_RETURN_IF_ERROR(cube.AddGroup(std::move(group), value));
+      }
+      return Status::OK();
+    };
+    SPCUBE_RETURN_IF_ERROR(add_entries(finals));
+    SPCUBE_RETURN_IF_ERROR(add_entries(round3_output.entries()));
+    out.cube = std::make_unique<CubeResult>(std::move(cube));
+  }
+  return out;
+}
+
+}  // namespace spcube

@@ -1,0 +1,93 @@
+#include "baselines/naive.h"
+
+#include <memory>
+
+#include "baselines/combiners.h"
+#include "core/cube_output.h"
+#include "common/bytes.h"
+#include "cube/group_key.h"
+
+namespace spcube {
+namespace {
+
+/// Map side of Algorithm 1: emit (projection, singleton AggState) for every
+/// lattice node of the tuple. Shipping a partial state rather than the raw
+/// measure keeps one wire format for the combiner-on and combiner-off
+/// variants; its size is equivalent (O(1) per pair).
+class NaiveMapper : public Mapper {
+ public:
+  explicit NaiveMapper(AggregateKind kind) : kind_(kind) {}
+
+  Status Map(const Relation& input, int64_t row,
+             MapContext& context) override {
+    const Aggregator& agg = GetAggregator(kind_);
+    const auto tuple = input.row(row);
+    const int64_t measure = input.measure(row);
+    const CuboidMask num_masks =
+        static_cast<CuboidMask>(NumCuboids(input.num_dims()));
+    ByteWriter key_writer;
+    ByteWriter value_writer;
+    for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+      key_writer.Clear();
+      GroupKey::Project(mask, tuple).EncodeTo(key_writer);
+      value_writer.Clear();
+      AggState single = agg.Empty();
+      agg.Add(single, measure);
+      single.EncodeTo(value_writer);
+      SPCUBE_RETURN_IF_ERROR(
+          context.Emit(key_writer.data(), value_writer.data()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  AggregateKind kind_;
+};
+
+}  // namespace
+
+Result<CubeRunOutput> NaiveCubeAlgorithm::Run(Engine& engine,
+                                              const Relation& input,
+                                              const CubeRunOptions& options) {
+  SPCUBE_RETURN_IF_ERROR(ValidateCubeRunOptions(options));
+  JobSpec spec;
+  spec.name = name();
+  spec.mapper_factory = [kind = options.aggregate]() {
+    return std::make_unique<NaiveMapper>(kind);
+  };
+  spec.reducer_factory = [kind = options.aggregate,
+                          min_count = options.iceberg_min_count]() {
+    return std::make_unique<MergeStatesReducer>(kind, min_count);
+  };
+  if (options_.use_combiner) {
+    spec.combiner = std::make_shared<AggStateCombiner>(options.aggregate);
+  }
+
+  CubeRunOutput out;
+  out.metrics.algorithm = name();
+  VectorOutputCollector cube_collector;
+  NullOutputCollector null_collector;
+  OutputCollector* sink =
+      options.collect_output
+          ? static_cast<OutputCollector*>(&cube_collector)
+          : static_cast<OutputCollector*>(&null_collector);
+  std::unique_ptr<DfsCubeWriter> dfs_writer;
+  std::unique_ptr<TeeOutputCollector> tee;
+  if (!options.dfs_output_root.empty()) {
+    dfs_writer = std::make_unique<DfsCubeWriter>(engine.dfs(),
+                                                 options.dfs_output_root);
+    tee = std::make_unique<TeeOutputCollector>(sink, dfs_writer.get());
+    sink = tee.get();
+  }
+  SPCUBE_ASSIGN_OR_RETURN(JobMetrics round, engine.Run(spec, input, sink));
+  out.metrics.Add(std::move(round));
+
+  if (options.collect_output) {
+    SPCUBE_ASSIGN_OR_RETURN(CubeResult cube,
+                            CollectCube(cube_collector, input.num_dims()));
+    out.cube = std::make_unique<CubeResult>(std::move(cube));
+  }
+  return out;
+}
+
+}  // namespace spcube

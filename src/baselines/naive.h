@@ -1,0 +1,42 @@
+#ifndef SPCUBE_BASELINES_NAIVE_H_
+#define SPCUBE_BASELINES_NAIVE_H_
+
+#include <string>
+
+#include "core/cube_algorithm.h"
+#include "cube/cuboid.h"
+
+namespace spcube {
+
+/// The paper's naive MapReduce cube (§3, Algorithm 1): every tuple is
+/// projected onto all 2^d nodes of its lattice and each projection is sent
+/// to a hash-partitioned reducer with the measure as payload; reducers
+/// aggregate per group. No skew handling, no factorization — the paper uses
+/// it to expose the challenges (skews, load balance, 2^d·n network traffic);
+/// we use it additionally as the correctness oracle under MapReduce and as
+/// the traffic upper bound in the §5.2 experiments.
+struct NaiveCubeOptions {
+  /// When true, a combiner merges map-side duplicates (a common first-aid
+  /// fix; still distribution-sensitive). Off by default per Algorithm 1.
+  bool use_combiner = false;
+};
+
+class NaiveCubeAlgorithm : public CubeAlgorithm {
+ public:
+  explicit NaiveCubeAlgorithm(NaiveCubeOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override {
+    return options_.use_combiner ? "naive+combiner" : "naive";
+  }
+
+  Result<CubeRunOutput> Run(Engine& engine, const Relation& input,
+                            const CubeRunOptions& options) override;
+
+ private:
+  NaiveCubeOptions options_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_BASELINES_NAIVE_H_

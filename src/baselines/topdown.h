@@ -1,0 +1,41 @@
+#ifndef SPCUBE_BASELINES_TOPDOWN_H_
+#define SPCUBE_BASELINES_TOPDOWN_H_
+
+#include <string>
+
+#include "core/cube_algorithm.h"
+#include "cube/cuboid.h"
+
+namespace spcube {
+
+/// Top-down multi-round MapReduce cube in the style of Lee et al.
+/// (DaWaK'12, the paper's reference [25]), which parallelizes PipeSort:
+/// the base cuboid is computed first, then each level-(l-1) cuboid is
+/// derived from one designated level-l parent, one MapReduce round per
+/// lattice level — d+1 rounds in total.
+///
+/// Parent assignment: cuboid C is computed from C | lowest-missing-bit,
+/// which covers every cuboid exactly once (each parent feeds the children
+/// whose missing low bit it supplies).
+///
+/// The paper discusses (§7) why this loses to bottom-up two-round designs:
+/// every extra round pays job latency and RAM-to-disk round trips, and a
+/// skewed group at any level lands un-split on a single reducer. This
+/// implementation exists to demonstrate those effects measurably
+/// (bench_topdown); it supports distributive and algebraic aggregates
+/// (partial states flow between rounds).
+class TopDownCubeAlgorithm : public CubeAlgorithm {
+ public:
+  std::string name() const override { return "top-down(lee)"; }
+
+  Result<CubeRunOutput> Run(Engine& engine, const Relation& input,
+                            const CubeRunOptions& options) override;
+};
+
+/// The parent cuboid that computes `mask` in the top-down plan (adds the
+/// lowest dimension missing from `mask`). Exposed for tests.
+CuboidMask TopDownParent(CuboidMask mask, int num_dims);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_BASELINES_TOPDOWN_H_

@@ -1,0 +1,98 @@
+#include "common/bytes.h"
+
+namespace spcube {
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutVarintSigned(int64_t v) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint(zigzag);
+}
+
+void ByteWriter::PutBytes(std::string_view bytes) {
+  PutVarint(bytes.size());
+  PutRaw(bytes.data(), bytes.size());
+}
+
+void ByteWriter::PutI64Vector(const std::vector<int64_t>& values) {
+  PutVarint(values.size());
+  for (int64_t v : values) PutVarintSigned(v);
+}
+
+Status ByteReader::GetRaw(void* dst, size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("byte reader truncated");
+  }
+  std::memcpy(dst, data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::GetU8(uint8_t* out) { return GetRaw(out, sizeof(*out)); }
+Status ByteReader::GetU32(uint32_t* out) { return GetRaw(out, sizeof(*out)); }
+Status ByteReader::GetU64(uint64_t* out) { return GetRaw(out, sizeof(*out)); }
+
+Status ByteReader::GetI64(int64_t* out) {
+  uint64_t raw = 0;
+  SPCUBE_RETURN_IF_ERROR(GetU64(&raw));
+  *out = static_cast<int64_t>(raw);
+  return Status::OK();
+}
+
+Status ByteReader::GetDouble(double* out) { return GetRaw(out, sizeof(*out)); }
+
+Status ByteReader::GetVarint(uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t byte = 0;
+    SPCUBE_RETURN_IF_ERROR(GetU8(&byte));
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("varint too long");
+}
+
+Status ByteReader::GetVarintSigned(int64_t* out) {
+  uint64_t zigzag = 0;
+  SPCUBE_RETURN_IF_ERROR(GetVarint(&zigzag));
+  *out = static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+  return Status::OK();
+}
+
+Status ByteReader::GetBytes(std::string_view* out) {
+  uint64_t len = 0;
+  SPCUBE_RETURN_IF_ERROR(GetVarint(&len));
+  if (pos_ + len > data_.size()) {
+    return Status::Corruption("byte string truncated");
+  }
+  *out = data_.substr(pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::GetI64Vector(std::vector<int64_t>* out) {
+  uint64_t count = 0;
+  SPCUBE_RETURN_IF_ERROR(GetVarint(&count));
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t v = 0;
+    SPCUBE_RETURN_IF_ERROR(GetVarintSigned(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace spcube

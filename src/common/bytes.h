@@ -1,0 +1,89 @@
+#ifndef SPCUBE_COMMON_BYTES_H_
+#define SPCUBE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Append-only binary encoder used for shuffle records, spill files and
+/// SP-Sketch serialization. All integers are encoded little-endian; varints
+/// use LEB128. The writer owns its buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// LEB128 unsigned varint (1-10 bytes).
+  void PutVarint(uint64_t v);
+
+  /// Zig-zag + varint for signed values.
+  void PutVarintSigned(int64_t v);
+
+  /// Length-prefixed byte string.
+  void PutBytes(std::string_view bytes);
+
+  /// Length-prefixed vector of signed varints.
+  void PutI64Vector(const std::vector<int64_t>& values);
+
+  const std::string& data() const { return buffer_; }
+  std::string TakeData() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  void PutRaw(const void* src, size_t n) {
+    const size_t old = buffer_.size();
+    buffer_.resize(old + n);
+    std::memcpy(buffer_.data() + old, src, n);
+  }
+
+  std::string buffer_;
+};
+
+/// Sequential decoder over a borrowed byte span. Every accessor reports
+/// truncation/corruption through Status rather than crashing, so readers can
+/// be driven by untrusted spill-file contents.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetVarint(uint64_t* out);
+  Status GetVarintSigned(int64_t* out);
+  /// Returns a view into the underlying buffer (no copy).
+  Status GetBytes(std::string_view* out);
+  Status GetI64Vector(std::vector<int64_t>* out);
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status GetRaw(void* dst, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_BYTES_H_

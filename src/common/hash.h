@@ -1,0 +1,48 @@
+#ifndef SPCUBE_COMMON_HASH_H_
+#define SPCUBE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace spcube {
+
+/// Mixes a 64-bit value (Murmur3 finalizer). Good avalanche behaviour for
+/// hash-partitioning keys across reducers.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash state with another value, order-sensitively.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hashes a byte string (FNV-1a 64, then mixed). Used for raw shuffle keys.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+/// Hashes a span of 64-bit values.
+inline uint64_t HashSpan(const int64_t* data, size_t count) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (size_t i = 0; i < count; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(data[i]));
+  }
+  return h;
+}
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_HASH_H_

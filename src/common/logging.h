@@ -1,0 +1,79 @@
+#ifndef SPCUBE_COMMON_LOGGING_H_
+#define SPCUBE_COMMON_LOGGING_H_
+
+#include <sstream>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Log severities, lowest to highest. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum severity that is actually emitted. Defaults to
+/// kWarning so library internals stay quiet in tests and benchmarks.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line collector; emits to stderr on destruction and
+/// aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace spcube
+
+/// Usage: SPCUBE_LOG(Info) << "n=" << n;  Emits only if the global level
+/// admits the severity; Fatal messages abort after emitting.
+#define SPCUBE_LOG(level)                                                   \
+  if (static_cast<int>(::spcube::LogLevel::k##level) <                      \
+      static_cast<int>(::spcube::GetLogLevel())) {                          \
+  } else                                                                    \
+    ::spcube::internal::LogMessage(::spcube::LogLevel::k##level, __FILE__,  \
+                                   __LINE__)
+
+/// Checks an invariant in both debug and release builds; aborts on failure.
+#define SPCUBE_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else                                                              \
+    ::spcube::internal::LogMessage(::spcube::LogLevel::kFatal,        \
+                                   __FILE__, __LINE__)                \
+        << "Check failed: " #condition " "
+
+/// Checks that a Status-returning expression succeeded; aborts otherwise.
+#define SPCUBE_CHECK_OK(expr)                                         \
+  if (::spcube::Status _spcube_check_status = (expr);                 \
+      _spcube_check_status.ok()) {                                    \
+  } else                                                              \
+    ::spcube::internal::LogMessage(::spcube::LogLevel::kFatal,        \
+                                   __FILE__, __LINE__)                \
+        << "Status not OK: " << _spcube_check_status.ToString() << " "
+
+#define SPCUBE_DCHECK(condition) SPCUBE_CHECK(condition)
+
+#endif  // SPCUBE_COMMON_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef SPCUBE_COMMON_RANDOM_H_
+#define SPCUBE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spcube {
+
+/// A small, fast, deterministic PRNG (xoshiro256**). All randomness in the
+/// library flows through explicitly-seeded instances of this class so that
+/// tests and benchmarks are reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Derives an independent child generator; used to hand each simulated
+  /// worker its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, 1, ..., num_elements-1},
+/// where element i has probability proportional to 1/(i+1)^s. Uses a
+/// precomputed CDF with binary search: O(num_elements) setup, O(log n) per
+/// sample. This matches the generator used for the paper's gen-zipf dataset
+/// (1000 elements, exponent 1.1).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t num_elements, double exponent);
+
+  /// Draws one element index in [0, num_elements).
+  int64_t Sample(Rng& rng) const;
+
+  int64_t num_elements() const { return static_cast<int64_t>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_RANDOM_H_

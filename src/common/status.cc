@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spcube {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result<T>::value() called on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace spcube

@@ -1,0 +1,47 @@
+#include "core/cube_algorithm.h"
+
+#include "common/bytes.h"
+#include "cube/group_key.h"
+
+namespace spcube {
+
+Status ValidateCubeRunOptions(const CubeRunOptions& options) {
+  if (options.iceberg_min_count < 1) {
+    return Status::InvalidArgument("iceberg_min_count must be >= 1");
+  }
+  if (options.iceberg_min_count > 1 &&
+      options.aggregate != AggregateKind::kCount) {
+    return Status::InvalidArgument(
+        "iceberg cubes are defined on group cardinality; use the count "
+        "aggregate");
+  }
+  return Status::OK();
+}
+
+std::string EncodeCubeValue(double value) {
+  ByteWriter writer;
+  writer.PutDouble(value);
+  return writer.TakeData();
+}
+
+Result<double> DecodeCubeValue(std::string_view bytes) {
+  ByteReader reader(bytes);
+  double value = 0.0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetDouble(&value));
+  return value;
+}
+
+Result<CubeResult> CollectCube(const VectorOutputCollector& collector,
+                               int num_dims) {
+  CubeResult cube(num_dims);
+  for (const VectorOutputCollector::Entry& entry : collector.entries()) {
+    ByteReader reader(entry.key);
+    GroupKey key;
+    SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &key));
+    SPCUBE_ASSIGN_OR_RETURN(double value, DecodeCubeValue(entry.value));
+    SPCUBE_RETURN_IF_ERROR(cube.AddGroup(std::move(key), value));
+  }
+  return cube;
+}
+
+}  // namespace spcube

@@ -1,0 +1,67 @@
+#ifndef SPCUBE_CORE_CUBE_ALGORITHM_H_
+#define SPCUBE_CORE_CUBE_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "cube/cube_result.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/metrics.h"
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// Output of one cube computation: the metrics of every MapReduce round and,
+/// when collection was requested, the materialized cube.
+struct CubeRunOutput {
+  RunMetrics metrics;
+  /// Present iff CubeRunOptions::collect_output; benchmark runs skip
+  /// materialization to keep host memory flat while counters still flow.
+  std::unique_ptr<CubeResult> cube;
+};
+
+struct CubeRunOptions {
+  AggregateKind aggregate = AggregateKind::kCount;
+  bool collect_output = true;
+
+  /// Iceberg-cube extension: when > 1, only c-groups whose tuple-set
+  /// cardinality reaches this threshold are output (Beyer & Ramakrishnan's
+  /// iceberg setting; the paper computes full cubes but builds on BUC,
+  /// which exists for exactly this pruning). Requires the count aggregate:
+  /// the threshold is defined on group cardinality.
+  int64_t iceberg_min_count = 1;
+
+  /// When non-empty, the final cube is also written to the engine's DFS
+  /// under this root in the paper's layout (one directory per cuboid, one
+  /// part file per reducer); read it back with ReadCubeFromDfs.
+  std::string dfs_output_root;
+};
+
+/// Validates an options combination (e.g. iceberg requires count).
+Status ValidateCubeRunOptions(const CubeRunOptions& options);
+
+/// Common driver interface of the four algorithms under study: SP-Cube
+/// (core/), and the Naive / MR-Cube (Pig) / Hive baselines (baselines/).
+class CubeAlgorithm {
+ public:
+  virtual ~CubeAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the algorithm's MapReduce round(s) on `engine` over `input`.
+  virtual Result<CubeRunOutput> Run(Engine& engine, const Relation& input,
+                                    const CubeRunOptions& options) = 0;
+};
+
+/// The wire format shared by all algorithms' reduce outputs: key is an
+/// encoded GroupKey, value a little-endian double. These helpers parse a
+/// collector's contents back into a CubeResult.
+std::string EncodeCubeValue(double value);
+Result<double> DecodeCubeValue(std::string_view bytes);
+Result<CubeResult> CollectCube(const VectorOutputCollector& collector,
+                               int num_dims);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_CORE_CUBE_ALGORITHM_H_

@@ -1,0 +1,66 @@
+#include "core/cube_output.h"
+
+#include "common/bytes.h"
+#include "cube/group_key.h"
+
+namespace spcube {
+namespace {
+
+std::string PartPath(const std::string& root, CuboidMask mask,
+                     int reducer_id) {
+  return root + "/cuboid_" + std::to_string(mask) + "/part-" +
+         std::to_string(reducer_id);
+}
+
+}  // namespace
+
+DfsCubeWriter::DfsCubeWriter(DistributedFileSystem* dfs, std::string root)
+    : dfs_(dfs), root_(std::move(root)) {}
+
+Status DfsCubeWriter::Collect(int reducer_id, std::string_view key,
+                              std::string_view value) {
+  // Peek the cuboid mask to pick the directory; re-encode the whole record
+  // (key + value, both length-prefixed) into the part file.
+  ByteReader reader(key);
+  GroupKey group;
+  SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &group));
+
+  ByteWriter record;
+  record.PutBytes(key);
+  record.PutBytes(value);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  return dfs_->Append(PartPath(root_, group.mask, reducer_id),
+                      record.data());
+}
+
+Result<CubeResult> ReadCubeFromDfs(const DistributedFileSystem& dfs,
+                                   const std::string& root, int num_dims) {
+  CubeResult cube(num_dims);
+  for (const std::string& path : dfs.List(root + "/")) {
+    SPCUBE_ASSIGN_OR_RETURN(std::string contents, dfs.Read(path));
+    ByteReader reader(contents);
+    while (!reader.AtEnd()) {
+      std::string_view key_bytes;
+      std::string_view value_bytes;
+      SPCUBE_RETURN_IF_ERROR(reader.GetBytes(&key_bytes));
+      SPCUBE_RETURN_IF_ERROR(reader.GetBytes(&value_bytes));
+      ByteReader key_reader(key_bytes);
+      GroupKey key;
+      SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(key_reader, &key));
+      ByteReader value_reader(value_bytes);
+      double value = 0.0;
+      SPCUBE_RETURN_IF_ERROR(value_reader.GetDouble(&value));
+      SPCUBE_RETURN_IF_ERROR(cube.AddGroup(std::move(key), value));
+    }
+  }
+  return cube;
+}
+
+int64_t CuboidPartCount(const DistributedFileSystem& dfs,
+                        const std::string& root, CuboidMask mask) {
+  return static_cast<int64_t>(
+      dfs.List(root + "/cuboid_" + std::to_string(mask) + "/").size());
+}
+
+}  // namespace spcube

@@ -1,0 +1,159 @@
+#include "core/sp_cube.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/cube_output.h"
+
+namespace spcube {
+namespace {
+
+SketchBuildConfig ResolveSketchConfig(const SpCubeOptions& options,
+                                      const Engine& engine, int64_t n) {
+  SketchBuildConfig config = options.sketch;
+  if (config.num_partitions <= 0) {
+    config.num_partitions = engine.config().num_workers;
+  }
+  if (config.memory_tuples_m <= 0) {
+    config.memory_tuples_m =
+        std::max<int64_t>(1, n / engine.config().num_workers);
+  }
+  return config;
+}
+
+}  // namespace
+
+Result<JobMetrics> SpCubeAlgorithm::RunSketchRound(
+    Engine& engine, const Relation& input, const SketchBuildConfig& config,
+    const std::string& sketch_path) {
+  const double alpha = config.SampleAlpha(input.num_rows());
+  JobSpec spec;
+  spec.name = "spcube-sketch";
+  spec.num_reducers = 1;
+  spec.mapper_factory = [alpha, seed = config.seed]() {
+    return std::make_unique<SketchSampleMapper>(alpha, seed);
+  };
+  spec.reducer_factory = [&input, n = input.num_rows(), config,
+                          sketch_path]() {
+    return std::make_unique<SketchBuildReducer>(input.num_dims(), n, config,
+                                                sketch_path);
+  };
+  NullOutputCollector stats_sink;
+  SPCUBE_ASSIGN_OR_RETURN(JobMetrics round,
+                          engine.Run(spec, input, &stats_sink));
+
+  SPCUBE_ASSIGN_OR_RETURN(auto sketch, LoadSketch(engine.dfs(), sketch_path));
+  last_sketch_bytes_ = sketch->SerializedByteSize();
+  last_sketch_skews_ = sketch->TotalSkewedGroups();
+  return round;
+}
+
+Result<CubeRunOutput> SpCubeAlgorithm::RunCubeRound(
+    Engine& engine, const Relation& input, const CubeRunOptions& options,
+    const std::string& sketch_path) {
+  const int k = engine.config().num_workers;
+
+  // The driver needs the sketch too, for the partitioner.
+  SPCUBE_ASSIGN_OR_RETURN(auto sketch_owned,
+                          LoadSketch(engine.dfs(), sketch_path));
+  std::shared_ptr<const SpSketch> sketch(std::move(sketch_owned));
+
+  CubeRunOutput out;
+  out.metrics.algorithm = name();
+
+  VectorOutputCollector cube_collector;
+  NullOutputCollector null_collector;
+  std::unique_ptr<DfsCubeWriter> dfs_writer;
+  std::unique_ptr<TeeOutputCollector> tee;
+  {
+    JobSpec spec;
+    spec.name = "spcube-cube";
+    spec.num_reducers = k + 1;  // reducer 0 handles skewed groups
+    if (options_.use_range_partitioner) {
+      spec.partitioner = std::make_shared<SketchRangePartitioner>(sketch);
+    } else {
+      spec.partitioner = std::make_shared<SkewAwareHashPartitioner>(sketch);
+    }
+    spec.mapper_factory = [this, sketch_path, &options]() {
+      return std::make_unique<SpCubeMapper>(sketch_path, options.aggregate,
+                                            options_.tuning);
+    };
+    spec.reducer_factory = [this, sketch_path, &options, &input]() {
+      return std::make_unique<SpCubeReducer>(sketch_path, input.num_dims(),
+                                             options.aggregate,
+                                             options_.tuning,
+                                             options.iceberg_min_count);
+    };
+    OutputCollector* sink =
+        options.collect_output
+            ? static_cast<OutputCollector*>(&cube_collector)
+            : static_cast<OutputCollector*>(&null_collector);
+    if (!options.dfs_output_root.empty()) {
+      dfs_writer = std::make_unique<DfsCubeWriter>(engine.dfs(),
+                                                   options.dfs_output_root);
+      tee = std::make_unique<TeeOutputCollector>(sink, dfs_writer.get());
+      sink = tee.get();
+    }
+    SPCUBE_ASSIGN_OR_RETURN(JobMetrics round, engine.Run(spec, input, sink));
+    out.metrics.Add(std::move(round));
+  }
+
+  if (options.collect_output) {
+    SPCUBE_ASSIGN_OR_RETURN(CubeResult cube,
+                            CollectCube(cube_collector, input.num_dims()));
+    out.cube = std::make_unique<CubeResult>(std::move(cube));
+  }
+  return out;
+}
+
+Result<CubeRunOutput> SpCubeAlgorithm::Run(Engine& engine,
+                                           const Relation& input,
+                                           const CubeRunOptions& options) {
+  SPCUBE_RETURN_IF_ERROR(ValidateCubeRunOptions(options));
+  const SketchBuildConfig sketch_config =
+      ResolveSketchConfig(options_, engine, input.num_rows());
+  const std::string sketch_path =
+      "spcube/sketch/run_" + std::to_string(run_counter_++);
+
+  SPCUBE_ASSIGN_OR_RETURN(
+      JobMetrics sketch_round,
+      RunSketchRound(engine, input, sketch_config, sketch_path));
+  SPCUBE_ASSIGN_OR_RETURN(
+      CubeRunOutput out, RunCubeRound(engine, input, options, sketch_path));
+  out.metrics.rounds.insert(out.metrics.rounds.begin(),
+                            std::move(sketch_round));
+  return out;
+}
+
+Result<std::vector<CubeRunOutput>> SpCubeAlgorithm::RunManyAggregates(
+    Engine& engine, const Relation& input,
+    const std::vector<CubeRunOptions>& options) {
+  if (options.empty()) {
+    return Status::InvalidArgument("need at least one aggregate to run");
+  }
+  for (const CubeRunOptions& entry : options) {
+    SPCUBE_RETURN_IF_ERROR(ValidateCubeRunOptions(entry));
+  }
+  const SketchBuildConfig sketch_config =
+      ResolveSketchConfig(options_, engine, input.num_rows());
+  const std::string sketch_path =
+      "spcube/sketch/run_" + std::to_string(run_counter_++);
+
+  SPCUBE_ASSIGN_OR_RETURN(
+      JobMetrics sketch_round,
+      RunSketchRound(engine, input, sketch_config, sketch_path));
+
+  std::vector<CubeRunOutput> outputs;
+  outputs.reserve(options.size());
+  for (const CubeRunOptions& entry : options) {
+    SPCUBE_ASSIGN_OR_RETURN(
+        CubeRunOutput out, RunCubeRound(engine, input, entry, sketch_path));
+    outputs.push_back(std::move(out));
+  }
+  outputs.front().metrics.rounds.insert(
+      outputs.front().metrics.rounds.begin(), std::move(sketch_round));
+  return outputs;
+}
+
+}  // namespace spcube

@@ -1,0 +1,255 @@
+#include "core/sp_cube_tasks.h"
+
+#include <numeric>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/cube_algorithm.h"
+#include "cube/buc.h"
+#include "relation/tuple_codec.h"
+
+namespace spcube {
+namespace {
+
+Result<GroupKey> DecodeGroupKey(std::string_view bytes) {
+  ByteReader reader(bytes);
+  GroupKey key;
+  SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &key));
+  return key;
+}
+
+std::string EncodeGroupKey(const GroupKey& key) {
+  ByteWriter writer;
+  key.EncodeTo(writer);
+  return writer.TakeData();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<const SpSketch>> LoadSketch(
+    DistributedFileSystem* dfs, const std::string& path) {
+  if (dfs == nullptr) {
+    return Status::FailedPrecondition("task has no DFS to load sketch from");
+  }
+  SPCUBE_ASSIGN_OR_RETURN(std::string bytes, dfs->Read(path));
+  SPCUBE_ASSIGN_OR_RETURN(SpSketch sketch, SpSketch::Deserialize(bytes));
+  return {std::make_unique<const SpSketch>(std::move(sketch))};
+}
+
+int SketchRangePartitioner::Partition(std::string_view key,
+                                      int num_reducers) const {
+  auto decoded = DecodeGroupKey(key);
+  if (!decoded.ok()) return 0;  // Corrupt keys cannot occur within the job.
+  if (sketch_->IsSkewedKey(*decoded)) return 0;
+  const int partition = sketch_->PartitionOfKey(*decoded);
+  // Partitions are 0..k-1; reducers 1..k (0 is the skew reducer).
+  return 1 + (partition % (num_reducers - 1));
+}
+
+int SkewAwareHashPartitioner::Partition(std::string_view key,
+                                        int num_reducers) const {
+  auto decoded = DecodeGroupKey(key);
+  if (!decoded.ok()) return 0;
+  if (sketch_->IsSkewedKey(*decoded)) return 0;
+  return 1 + static_cast<int>(decoded->Hash() %
+                              static_cast<uint64_t>(num_reducers - 1));
+}
+
+Status SpCubeMapper::Setup(const TaskContext& task) {
+  SPCUBE_ASSIGN_OR_RETURN(sketch_, LoadSketch(task.dfs, sketch_path_));
+  return Status::OK();
+}
+
+Status SpCubeMapper::Map(const Relation& input, int64_t row,
+                         MapContext& context) {
+  const std::span<const int64_t> tuple = input.row(row);
+  const int64_t measure = input.measure(row);
+  const Aggregator& agg = GetAggregator(aggregate_);
+
+  emitted_masks_.clear();
+  for (const CuboidMask mask : sketch_->MasksBfs()) {
+    // Marking rule (Algorithm 3 lines 5/12): skip any group with an
+    // already-emitted descendant — its reducer will derive it locally.
+    bool marked = false;
+    for (const CuboidMask emitted : emitted_masks_) {
+      if (IsSubsetMask(emitted, mask)) {
+        marked = true;
+        break;
+      }
+    }
+    if (marked) {
+      ++nodes_marked_;
+      continue;
+    }
+    ++nodes_visited_;
+
+    if (sketch_->IsSkewedTuple(mask, tuple)) {
+      // Skewed c-group: aggregate locally (lines 6-8). Skews are closed
+      // downward, so no emitted descendant can exist and none is marked.
+      GroupKey key = GroupKey::Project(mask, tuple);
+      ++skew_adds_;
+      if (tuning_.aggregate_skews_in_mapper) {
+        agg.Add(skew_partials_[std::move(key)], measure);
+      } else {
+        // Ablation: ship one singleton partial per occurrence.
+        AggState single = agg.Empty();
+        agg.Add(single, measure);
+        ByteWriter writer;
+        single.EncodeTo(writer);
+        SPCUBE_RETURN_IF_ERROR(
+            context.Emit(EncodeGroupKey(key), writer.data()));
+      }
+      continue;
+    }
+
+    // Minimal non-skewed group: ship the tuple to its range reducer
+    // (lines 9-12) and mark all ancestors.
+    const GroupKey key = GroupKey::Project(mask, tuple);
+    ++minimal_emits_;
+    SPCUBE_RETURN_IF_ERROR(context.Emit(
+        EncodeGroupKey(key), EncodeTuple(tuple, measure)));
+    if (tuning_.emit_minimal_groups_only) {
+      emitted_masks_.push_back(mask);
+    }
+    // else: ablation — no marking, every non-skewed group is emitted.
+  }
+  return Status::OK();
+}
+
+Status SpCubeMapper::Finish(MapContext& context) {
+  // Ship the per-mapper partial aggregates of skewed groups (lines 16-20);
+  // the partitioner routes them to the skew reducer.
+  ByteWriter writer;
+  for (const auto& [key, state] : skew_partials_) {
+    writer.Clear();
+    state.EncodeTo(writer);
+    SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(key), writer.data()));
+  }
+  skew_partials_.clear();
+  context.IncrementCounter("spcube.lattice_nodes_visited", nodes_visited_);
+  context.IncrementCounter("spcube.lattice_nodes_marked", nodes_marked_);
+  context.IncrementCounter("spcube.skew_tuple_aggregations", skew_adds_);
+  context.IncrementCounter("spcube.minimal_group_emits", minimal_emits_);
+  nodes_visited_ = nodes_marked_ = skew_adds_ = minimal_emits_ = 0;
+  return Status::OK();
+}
+
+Status SpCubeReducer::Setup(const TaskContext& task) {
+  SPCUBE_ASSIGN_OR_RETURN(sketch_, LoadSketch(task.dfs, sketch_path_));
+  is_skew_reducer_ = task.reduce_partition == 0;
+  return Status::OK();
+}
+
+Status SpCubeReducer::Reduce(const std::string& key, ValueStream& values,
+                             ReduceContext& context) {
+  SPCUBE_ASSIGN_OR_RETURN(GroupKey group, DecodeGroupKey(key));
+  if (is_skew_reducer_) {
+    return ReduceSkewedGroup(group, values, context);
+  }
+  return ReduceRangeGroup(group, values, context);
+}
+
+Status SpCubeReducer::ReduceSkewedGroup(const GroupKey& group,
+                                        ValueStream& values,
+                                        ReduceContext& context) {
+  // Merge at most k partial states (one per mapper; more under the
+  // no-mapper-aggregation ablation).
+  const Aggregator& agg = GetAggregator(aggregate_);
+  AggState total = agg.Empty();
+  std::string value;
+  for (;;) {
+    SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+    if (!more) break;
+    ByteReader reader(value);
+    AggState partial;
+    SPCUBE_RETURN_IF_ERROR(AggState::DecodeFrom(reader, &partial));
+    agg.Merge(total, partial);
+  }
+  if (min_count_ > 1 && aggregate_ == AggregateKind::kCount &&
+      total.v0 < min_count_) {
+    return Status::OK();
+  }
+  return context.Output(EncodeGroupKey(group),
+                        EncodeCubeValue(agg.Finalize(total)));
+}
+
+Status SpCubeReducer::ReduceRangeGroup(const GroupKey& group,
+                                       ValueStream& values,
+                                       ReduceContext& context) {
+  const Aggregator& agg = GetAggregator(aggregate_);
+
+  if (!tuning_.emit_minimal_groups_only) {
+    // Ablation mode: every non-skewed group was shipped explicitly, so just
+    // aggregate this group's tuples, streaming.
+    AggState state = agg.Empty();
+    std::string value;
+    std::vector<int64_t> dims;
+    int64_t measure = 0;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      SPCUBE_RETURN_IF_ERROR(DecodeTuple(value, &dims, &measure));
+      agg.Add(state, measure);
+    }
+    if (min_count_ > 1 && aggregate_ == AggregateKind::kCount &&
+        state.v0 < min_count_) {
+      return Status::OK();
+    }
+    return context.Output(EncodeGroupKey(group),
+                          EncodeCubeValue(agg.Finalize(state)));
+  }
+
+  // Materialize set(group) — O(m) w.h.p. by Prop. 4.6 — then compute the
+  // group and every ancestor it owns with local BUC (Observation 2.6).
+  Relation local(MakeAnonymousSchema(num_dims_));
+  std::string value;
+  std::vector<int64_t> dims;
+  int64_t measure = 0;
+  for (;;) {
+    SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+    if (!more) break;
+    SPCUBE_RETURN_IF_ERROR(DecodeTuple(value, &dims, &measure));
+    if (static_cast<int>(dims.size()) != num_dims_) {
+      return Status::Corruption("tuple arity mismatch in range reducer");
+    }
+    local.AppendRow(dims, measure);
+  }
+
+  std::vector<int64_t> rows(static_cast<size_t>(local.num_rows()));
+  std::iota(rows.begin(), rows.end(), int64_t{0});
+
+  int64_t owned = 0;
+  int64_t rejected = 0;
+  Status status = Status::OK();
+  BucOptions buc_options;
+  // Iceberg pruning composes with BUC natively: partitions below the
+  // threshold are neither reported nor expanded.
+  if (min_count_ > 1 && aggregate_ == AggregateKind::kCount) {
+    buc_options.min_support = min_count_;
+  }
+  BucCompute(local, std::move(rows), group.mask, agg, buc_options,
+             [&](const GroupKey& ancestor, const AggState& state) {
+               if (!status.ok()) return;
+               if (min_count_ > 1 &&
+                   aggregate_ == AggregateKind::kCount &&
+                   state.v0 < min_count_) {
+                 return;
+               }
+               // Ownership rule (§5.1): compute an ancestor here only if
+               // this group is its BFS-smallest non-skewed descendant;
+               // otherwise another reducer (or the skew path) produces it.
+               if (sketch_->OwnerMask(ancestor) != group.mask) {
+                 ++rejected;
+                 return;
+               }
+               ++owned;
+               status = context.Output(EncodeGroupKey(ancestor),
+                                       EncodeCubeValue(agg.Finalize(state)));
+             });
+  context.IncrementCounter("spcube.owned_groups_output", owned);
+  context.IncrementCounter("spcube.ownership_rejections", rejected);
+  return status;
+}
+
+}  // namespace spcube

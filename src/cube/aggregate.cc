@@ -1,0 +1,123 @@
+#include "cube/aggregate.h"
+
+#include <algorithm>
+
+namespace spcube {
+namespace {
+
+class CountAggregator : public Aggregator {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kCount; }
+  const char* name() const override { return "count"; }
+  void Add(AggState& state, int64_t) const override { ++state.v0; }
+  void Merge(AggState& into, const AggState& from) const override {
+    into.v0 += from.v0;
+  }
+  double Finalize(const AggState& state) const override {
+    return static_cast<double>(state.v0);
+  }
+};
+
+class SumAggregator : public Aggregator {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kSum; }
+  const char* name() const override { return "sum"; }
+  void Add(AggState& state, int64_t measure) const override {
+    state.v0 += measure;
+  }
+  void Merge(AggState& into, const AggState& from) const override {
+    into.v0 += from.v0;
+  }
+  double Finalize(const AggState& state) const override {
+    return static_cast<double>(state.v0);
+  }
+};
+
+class MinAggregator : public Aggregator {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kMin; }
+  const char* name() const override { return "min"; }
+  void Add(AggState& state, int64_t measure) const override {
+    if (state.v1 == 0 || measure < state.v0) state.v0 = measure;
+    state.v1 = 1;
+  }
+  void Merge(AggState& into, const AggState& from) const override {
+    if (from.v1 == 0) return;
+    if (into.v1 == 0 || from.v0 < into.v0) into.v0 = from.v0;
+    into.v1 = 1;
+  }
+  double Finalize(const AggState& state) const override {
+    return static_cast<double>(state.v0);
+  }
+};
+
+class MaxAggregator : public Aggregator {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kMax; }
+  const char* name() const override { return "max"; }
+  void Add(AggState& state, int64_t measure) const override {
+    if (state.v1 == 0 || measure > state.v0) state.v0 = measure;
+    state.v1 = 1;
+  }
+  void Merge(AggState& into, const AggState& from) const override {
+    if (from.v1 == 0) return;
+    if (into.v1 == 0 || from.v0 > into.v0) into.v0 = from.v0;
+    into.v1 = 1;
+  }
+  double Finalize(const AggState& state) const override {
+    return static_cast<double>(state.v0);
+  }
+};
+
+class AvgAggregator : public Aggregator {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kAvg; }
+  const char* name() const override { return "avg"; }
+  void Add(AggState& state, int64_t measure) const override {
+    state.v0 += measure;
+    ++state.v1;
+  }
+  void Merge(AggState& into, const AggState& from) const override {
+    into.v0 += from.v0;
+    into.v1 += from.v1;
+  }
+  double Finalize(const AggState& state) const override {
+    if (state.v1 == 0) return 0.0;
+    return static_cast<double>(state.v0) / static_cast<double>(state.v1);
+  }
+  bool is_algebraic() const override { return true; }
+};
+
+}  // namespace
+
+const Aggregator& GetAggregator(AggregateKind kind) {
+  static const CountAggregator count;
+  static const SumAggregator sum;
+  static const MinAggregator min;
+  static const MaxAggregator max;
+  static const AvgAggregator avg;
+  switch (kind) {
+    case AggregateKind::kCount:
+      return count;
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kMin:
+      return min;
+    case AggregateKind::kMax:
+      return max;
+    case AggregateKind::kAvg:
+      return avg;
+  }
+  return count;
+}
+
+Result<AggregateKind> AggregateKindFromName(const std::string& name) {
+  if (name == "count") return AggregateKind::kCount;
+  if (name == "sum") return AggregateKind::kSum;
+  if (name == "min") return AggregateKind::kMin;
+  if (name == "max") return AggregateKind::kMax;
+  if (name == "avg") return AggregateKind::kAvg;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+}  // namespace spcube

@@ -1,0 +1,81 @@
+#ifndef SPCUBE_CUBE_AGGREGATE_H_
+#define SPCUBE_CUBE_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace spcube {
+
+/// Aggregate functions supported by every cube algorithm in this library.
+/// Per the paper's classification (§7 / Gray et al.): count, sum, min, max
+/// are distributive; avg is algebraic (partial sums + counts are combined).
+/// All of them admit mapper-side partial aggregation with reducer-side
+/// merging, which is exactly what SP-Cube requires for skewed c-groups.
+enum class AggregateKind : int8_t {
+  kCount = 0,
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+};
+
+/// A mergeable partial-aggregate state. The meaning of the two lanes depends
+/// on the aggregate kind: count uses v0; sum uses v0; min/max use v0 with v1
+/// as a has-value flag; avg uses (v0 = sum, v1 = count).
+struct AggState {
+  int64_t v0 = 0;
+  int64_t v1 = 0;
+
+  friend bool operator==(const AggState& a, const AggState& b) {
+    return a.v0 == b.v0 && a.v1 == b.v1;
+  }
+
+  void EncodeTo(ByteWriter& writer) const {
+    writer.PutVarintSigned(v0);
+    writer.PutVarintSigned(v1);
+  }
+  static Status DecodeFrom(ByteReader& reader, AggState* out) {
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarintSigned(&out->v0));
+    return reader.GetVarintSigned(&out->v1);
+  }
+};
+
+/// Stateless strategy for one aggregate function. Implementations are
+/// singletons returned by GetAggregator(); they hold no mutable state and
+/// are safe to share across workers.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  virtual AggregateKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// The identity state (aggregate of an empty set).
+  virtual AggState Empty() const { return AggState{}; }
+
+  /// Folds one tuple's measure value into a partial state.
+  virtual void Add(AggState& state, int64_t measure) const = 0;
+
+  /// Merges two partial states (used to combine mapper-side partial
+  /// aggregates of skewed c-groups at the skew reducer, paper §5.1).
+  virtual void Merge(AggState& into, const AggState& from) const = 0;
+
+  /// Produces the final aggregate value.
+  virtual double Finalize(const AggState& state) const = 0;
+
+  /// True for algebraic (vs distributive) functions.
+  virtual bool is_algebraic() const { return false; }
+};
+
+/// Returns the shared singleton for a kind.
+const Aggregator& GetAggregator(AggregateKind kind);
+
+/// Parses "count" / "sum" / "min" / "max" / "avg".
+Result<AggregateKind> AggregateKindFromName(const std::string& name);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_CUBE_AGGREGATE_H_

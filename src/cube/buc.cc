@@ -1,0 +1,102 @@
+#include "cube/buc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace spcube {
+namespace {
+
+/// Shared recursion state: the relation, the mutable row-index array, the
+/// dimension processing order and the user callback.
+struct BucContext {
+  const Relation& rel;
+  const Aggregator& agg;
+  const BucOptions& options;
+  const GroupCallback& callback;
+  std::vector<int64_t>& rows;
+  std::vector<int> dim_order;  // dims not in base_mask, in processing order
+};
+
+AggState AggregateRange(const BucContext& ctx, size_t begin, size_t end) {
+  AggState state = ctx.agg.Empty();
+  for (size_t i = begin; i < end; ++i) {
+    ctx.agg.Add(state, ctx.rel.measure(ctx.rows[i]));
+  }
+  return state;
+}
+
+/// Reports the group covering rows [begin, end) for `mask`, then partitions
+/// on each remaining dimension and recurses (classic BUC, paper [15]).
+void BucRecurse(BucContext& ctx, size_t begin, size_t end, CuboidMask mask,
+                size_t next_order_pos) {
+  const AggState state = AggregateRange(ctx, begin, end);
+  ctx.callback(GroupKey::Project(mask, ctx.rel.row(ctx.rows[begin])), state);
+
+  for (size_t pos = next_order_pos; pos < ctx.dim_order.size(); ++pos) {
+    const int dim = ctx.dim_order[pos];
+    std::sort(ctx.rows.begin() + static_cast<ptrdiff_t>(begin),
+              ctx.rows.begin() + static_cast<ptrdiff_t>(end),
+              [&ctx, dim](int64_t a, int64_t b) {
+                return ctx.rel.dim(a, dim) < ctx.rel.dim(b, dim);
+              });
+    size_t run_begin = begin;
+    while (run_begin < end) {
+      const int64_t value = ctx.rel.dim(ctx.rows[run_begin], dim);
+      size_t run_end = run_begin + 1;
+      while (run_end < end && ctx.rel.dim(ctx.rows[run_end], dim) == value) {
+        ++run_end;
+      }
+      if (static_cast<int64_t>(run_end - run_begin) >=
+          ctx.options.min_support) {
+        BucRecurse(ctx, run_begin, run_end,
+                   mask | (CuboidMask{1} << dim), pos + 1);
+      }
+      run_begin = run_end;
+    }
+  }
+}
+
+}  // namespace
+
+void BucCompute(const Relation& rel, std::vector<int64_t> rows,
+                CuboidMask base_mask, const Aggregator& agg,
+                const BucOptions& options, const GroupCallback& callback) {
+  if (rows.empty()) return;
+  SPCUBE_DCHECK(rel.num_dims() <= kMaxDims);
+
+  std::vector<int> dim_order;
+  for (int d = 0; d < rel.num_dims(); ++d) {
+    if (((base_mask >> d) & 1) == 0) dim_order.push_back(d);
+  }
+  if (options.order_dims_by_cardinality && dim_order.size() > 1) {
+    // Estimate cardinalities from the actual rows so the heuristic adapts to
+    // the reducer's local partition, not the global relation.
+    std::vector<int64_t> cardinality(static_cast<size_t>(rel.num_dims()), 0);
+    for (int d : dim_order) {
+      std::unordered_set<int64_t> distinct;
+      for (int64_t row : rows) distinct.insert(rel.dim(row, d));
+      cardinality[static_cast<size_t>(d)] =
+          static_cast<int64_t>(distinct.size());
+    }
+    std::stable_sort(dim_order.begin(), dim_order.end(),
+                     [&cardinality](int a, int b) {
+                       return cardinality[static_cast<size_t>(a)] >
+                              cardinality[static_cast<size_t>(b)];
+                     });
+  }
+
+  BucContext ctx{rel, agg, options, callback, rows, std::move(dim_order)};
+  BucRecurse(ctx, 0, rows.size(), base_mask, 0);
+}
+
+void BucComputeFull(const Relation& rel, const Aggregator& agg,
+                    const BucOptions& options, const GroupCallback& callback) {
+  std::vector<int64_t> rows(static_cast<size_t>(rel.num_rows()));
+  std::iota(rows.begin(), rows.end(), int64_t{0});
+  BucCompute(rel, std::move(rows), /*base_mask=*/0, agg, options, callback);
+}
+
+}  // namespace spcube

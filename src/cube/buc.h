@@ -1,0 +1,52 @@
+#ifndef SPCUBE_CUBE_BUC_H_
+#define SPCUBE_CUBE_BUC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cube/aggregate.h"
+#include "cube/group_key.h"
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// Options for the Bottom-Up Cube algorithm (Beyer & Ramakrishnan).
+struct BucOptions {
+  /// Iceberg threshold: groups whose tuple sets are smaller are neither
+  /// reported nor expanded. 1 computes the full cube.
+  int64_t min_support = 1;
+
+  /// Classic BUC heuristic: process dimensions in decreasing-cardinality
+  /// order so partitions shrink fastest. Output is order-independent.
+  bool order_dims_by_cardinality = true;
+};
+
+/// Receives one aggregated c-group. `key.mask` always contains `base_mask`.
+using GroupCallback =
+    std::function<void(const GroupKey& key, const AggState& state)>;
+
+/// Runs BUC over `rows` (indices into `rel`), extending `base_mask` with
+/// every subset of the remaining dimensions, and reports one aggregated
+/// c-group per (extension, value-combination) — including the base group
+/// itself (the projection of the rows onto `base_mask`).
+///
+/// Preconditions: every row agrees with the others on the dimensions in
+/// `base_mask` (vacuous for base_mask == 0). This is exactly the situation
+/// of an SP-Cube reducer, which receives set(g) for a c-group g and must
+/// compute g and its ancestors locally (paper §5.1, Observation 2.6); with
+/// base_mask == 0 and all rows it is the classic full-cube BUC used as a
+/// single-machine reference and inside sketch building.
+///
+/// `rows` is consumed (reordered in place).
+void BucCompute(const Relation& rel, std::vector<int64_t> rows,
+                CuboidMask base_mask, const Aggregator& agg,
+                const BucOptions& options, const GroupCallback& callback);
+
+/// Convenience overload over all rows of `rel` with base_mask 0.
+void BucComputeFull(const Relation& rel, const Aggregator& agg,
+                    const BucOptions& options, const GroupCallback& callback);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_CUBE_BUC_H_

@@ -1,0 +1,89 @@
+#include "cube/cube_result.h"
+
+#include <cmath>
+
+namespace spcube {
+
+Status CubeResult::AddGroup(GroupKey key, double value) {
+  auto [it, inserted] = groups_.emplace(std::move(key), value);
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate cube group: " +
+                                 it->first.ToString(num_dims_));
+  }
+  return Status::OK();
+}
+
+void CubeResult::UpsertGroup(GroupKey key, double value) {
+  groups_[std::move(key)] = value;
+}
+
+Result<double> CubeResult::Lookup(const GroupKey& key) const {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    return Status::NotFound("group not in cube: " + key.ToString(num_dims_));
+  }
+  return it->second;
+}
+
+int64_t CubeResult::CuboidGroupCount(CuboidMask mask) const {
+  int64_t count = 0;
+  for (const auto& [key, value] : groups_) {
+    (void)value;
+    if (key.mask == mask) ++count;
+  }
+  return count;
+}
+
+bool CubeResult::ApproxEqual(const CubeResult& a, const CubeResult& b,
+                             double tolerance, std::string* diff) {
+  bool equal = true;
+  int reported = 0;
+  auto report = [&](const std::string& line) {
+    equal = false;
+    if (diff != nullptr && reported < 10) {
+      *diff += line + "\n";
+      ++reported;
+    }
+  };
+  if (a.num_groups() != b.num_groups()) {
+    report("group counts differ: " + std::to_string(a.num_groups()) +
+           " vs " + std::to_string(b.num_groups()));
+  }
+  for (const auto& [key, value] : a.groups_) {
+    auto it = b.groups_.find(key);
+    if (it == b.groups_.end()) {
+      report("missing in b: " + key.ToString(a.num_dims_));
+    } else if (std::fabs(it->second - value) > tolerance) {
+      report("value mismatch at " + key.ToString(a.num_dims_) + ": " +
+             std::to_string(value) + " vs " + std::to_string(it->second));
+    }
+  }
+  for (const auto& [key, value] : b.groups_) {
+    (void)value;
+    if (a.groups_.find(key) == a.groups_.end()) {
+      report("missing in a: " + key.ToString(b.num_dims_));
+    }
+  }
+  return equal;
+}
+
+CubeResult ComputeCubeReference(const Relation& rel, AggregateKind kind) {
+  const Aggregator& agg = GetAggregator(kind);
+  std::unordered_map<GroupKey, AggState, GroupKeyHash> states;
+  const CuboidMask num_masks =
+      static_cast<CuboidMask>(NumCuboids(rel.num_dims()));
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    const auto tuple = rel.row(r);
+    const int64_t measure = rel.measure(r);
+    for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+      agg.Add(states[GroupKey::Project(mask, tuple)], measure);
+    }
+  }
+  CubeResult out(rel.num_dims());
+  for (const auto& [key, state] : states) {
+    out.UpsertGroup(key, agg.Finalize(state));
+  }
+  return out;
+}
+
+}  // namespace spcube

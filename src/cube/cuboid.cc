@@ -1,0 +1,49 @@
+#include "cube/cuboid.h"
+
+#include <algorithm>
+
+namespace spcube {
+
+std::vector<CuboidMask> ImmediateDescendants(CuboidMask mask) {
+  std::vector<CuboidMask> out;
+  out.reserve(static_cast<size_t>(MaskPopCount(mask)));
+  CuboidMask remaining = mask;
+  while (remaining != 0) {
+    const CuboidMask low_bit = remaining & (~remaining + 1);
+    out.push_back(mask ^ low_bit);
+    remaining ^= low_bit;
+  }
+  return out;
+}
+
+std::vector<CuboidMask> ImmediateAncestors(CuboidMask mask, int num_dims) {
+  std::vector<CuboidMask> out;
+  for (int d = 0; d < num_dims; ++d) {
+    const CuboidMask bit = CuboidMask{1} << d;
+    if ((mask & bit) == 0) out.push_back(mask | bit);
+  }
+  return out;
+}
+
+std::vector<CuboidMask> MasksInBfsOrder(int num_dims) {
+  std::vector<CuboidMask> out;
+  out.reserve(static_cast<size_t>(NumCuboids(num_dims)));
+  for (CuboidMask mask = 0;
+       mask < (CuboidMask{1} << num_dims); ++mask) {
+    out.push_back(mask);
+  }
+  std::sort(out.begin(), out.end(), BfsLess);
+  return out;
+}
+
+std::string MaskToString(CuboidMask mask, int num_dims) {
+  std::string out = "(";
+  for (int d = 0; d < num_dims; ++d) {
+    if (d > 0) out += ", ";
+    out += ((mask >> d) & 1) ? ("A" + std::to_string(d)) : "*";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace spcube

@@ -1,0 +1,60 @@
+#ifndef SPCUBE_CUBE_CUBOID_H_
+#define SPCUBE_CUBE_CUBOID_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spcube {
+
+/// A cuboid is identified by the set of dimensions it groups by, encoded as
+/// a bitmask: bit i set means dimension Ai is a group-by attribute (paper
+/// §2.1 overloads cuboid = attribute subset). Mask 0 is the apex cuboid
+/// (*, ..., *); the full mask is the base cuboid (A1, ..., Ad).
+using CuboidMask = uint32_t;
+
+/// The maximum number of dimensions supported by the mask representation.
+inline constexpr int kMaxDims = 20;
+
+/// Number of group-by attributes of a cuboid.
+inline int MaskPopCount(CuboidMask mask) { return std::popcount(mask); }
+
+/// Number of cuboids in a d-dimensional cube (2^d).
+inline int64_t NumCuboids(int num_dims) { return int64_t{1} << num_dims; }
+
+/// True iff `descendant` is a (non-strict) descendant of `ancestor` in the
+/// cube lattice, i.e. its attribute set is a subset (paper Def. 2.3 calls
+/// one-attribute-removed cuboids "descendants"; we use subset closure).
+inline bool IsSubsetMask(CuboidMask descendant, CuboidMask ancestor) {
+  return (descendant & ancestor) == descendant;
+}
+
+/// The immediate descendants of a cuboid: each obtained by removing one
+/// group-by attribute (paper Def. 2.3).
+std::vector<CuboidMask> ImmediateDescendants(CuboidMask mask);
+
+/// The immediate ancestors of a cuboid within a d-dim cube: each obtained by
+/// adding one attribute.
+std::vector<CuboidMask> ImmediateAncestors(CuboidMask mask, int num_dims);
+
+/// All 2^d cuboid masks in canonical BFS order: ascending attribute count,
+/// ties broken by ascending mask value. This is the bottom-up BFS order in
+/// which the SP-Cube mapper walks a tuple's lattice (paper §5.1); mappers
+/// and reducers must agree on it for the ownership rule to be consistent.
+std::vector<CuboidMask> MasksInBfsOrder(int num_dims);
+
+/// Comparator defining the canonical BFS order on masks.
+inline bool BfsLess(CuboidMask a, CuboidMask b) {
+  const int pa = MaskPopCount(a);
+  const int pb = MaskPopCount(b);
+  if (pa != pb) return pa < pb;
+  return a < b;
+}
+
+/// Renders a mask against dimension names, e.g. "(name, *, year)".
+std::string MaskToString(CuboidMask mask, int num_dims);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_CUBE_CUBOID_H_

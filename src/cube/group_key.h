@@ -1,0 +1,73 @@
+#ifndef SPCUBE_CUBE_GROUP_KEY_H_
+#define SPCUBE_CUBE_GROUP_KEY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "cube/cuboid.h"
+
+namespace spcube {
+
+/// Identifies one cube group (c-group, paper §2.1): the cuboid it lives in
+/// plus the values of that cuboid's group-by attributes, in dimension order.
+/// `values.size() == MaskPopCount(mask)`; dimensions outside the mask are
+/// conceptually '*'.
+struct GroupKey {
+  CuboidMask mask = 0;
+  std::vector<int64_t> values;
+
+  GroupKey() = default;
+  GroupKey(CuboidMask m, std::vector<int64_t> v)
+      : mask(m), values(std::move(v)) {}
+
+  /// Projects a full tuple onto a cuboid, e.g. the node of the tuple's
+  /// lattice for that cuboid (paper Def. 2.4).
+  static GroupKey Project(CuboidMask mask, std::span<const int64_t> tuple);
+
+  friend bool operator==(const GroupKey& a, const GroupKey& b) {
+    return a.mask == b.mask && a.values == b.values;
+  }
+
+  /// Total order: by cuboid (BFS order), then lexicographic on values.
+  friend bool operator<(const GroupKey& a, const GroupKey& b) {
+    if (a.mask != b.mask) return BfsLess(a.mask, b.mask);
+    return a.values < b.values;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = Mix64(mask);
+    return HashCombine(h, HashSpan(values.data(), values.size()));
+  }
+
+  /// Binary encoding (mask varint + value vector); appended to `writer`.
+  void EncodeTo(ByteWriter& writer) const;
+  static Status DecodeFrom(ByteReader& reader, GroupKey* out);
+
+  /// "(laptop, *, 2012)"-style rendering with raw codes.
+  std::string ToString(int num_dims) const;
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& key) const {
+    return static_cast<size_t>(key.Hash());
+  }
+};
+
+/// Compares two full tuples restricted to a cuboid's dimensions,
+/// lexicographically in dimension order — the <_C order of paper §4.1 that
+/// partition elements are defined over. Returns <0, 0, >0.
+int CompareOnCuboid(CuboidMask mask, std::span<const int64_t> a,
+                    std::span<const int64_t> b);
+
+/// Compares a full tuple against a projected key of the same cuboid.
+int CompareTupleToKey(CuboidMask mask, std::span<const int64_t> tuple,
+                      const GroupKey& key);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_CUBE_GROUP_KEY_H_

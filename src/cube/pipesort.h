@@ -1,0 +1,41 @@
+#ifndef SPCUBE_CUBE_PIPESORT_H_
+#define SPCUBE_CUBE_PIPESORT_H_
+
+#include <vector>
+
+#include "cube/buc.h"
+
+namespace spcube {
+
+/// A PipeSort pipeline: one attribute ordering whose prefixes are the
+/// cuboids this pipeline produces. Sorting the relation once in this order
+/// lets a single scan aggregate every listed cuboid simultaneously.
+struct Pipeline {
+  /// Attribute order to sort by (a permutation of a subset of dims, padded
+  /// to full length; only the first `covered.size() - 1` positions matter).
+  std::vector<int> order;
+  /// The cuboid masks this pipeline produces: covered[i] is the mask of the
+  /// first i attributes of `order` (covered[0] == 0, the apex) — but only
+  /// the masks this pipeline is responsible for are listed.
+  std::vector<CuboidMask> covered;
+};
+
+/// Plans a prefix-closed chain cover of the cube lattice: every one of the
+/// 2^d cuboids appears in exactly one pipeline, and within a pipeline each
+/// cuboid is a prefix of the pipeline's attribute order. Greedy variant of
+/// Agarwal et al.'s PipeSort plan (which minimizes sort cost via matching);
+/// the pipeline count stays within a small factor of the optimal
+/// C(d, d/2).
+std::vector<Pipeline> PlanPipelines(int num_dims);
+
+/// Computes the full cube with PipeSort: one sort + one scan per pipeline,
+/// reporting each c-group exactly once through `callback` (same contract
+/// as BucComputeFull). The paper's related work (§7) contrasts this
+/// top-down style with the bottom-up BUC SP-Cube builds on; having both
+/// locally lets bench_micro quantify the difference.
+void PipeSortComputeFull(const Relation& rel, const Aggregator& agg,
+                         const GroupCallback& callback);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_CUBE_PIPESORT_H_

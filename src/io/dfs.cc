@@ -1,0 +1,92 @@
+#include "io/dfs.h"
+
+namespace spcube {
+
+Status DistributedFileSystem::Write(const std::string& path,
+                                    std::string contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = files_.try_emplace(path, std::move(contents));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("dfs file exists: " + path);
+  return Status::OK();
+}
+
+Status DistributedFileSystem::Overwrite(const std::string& path,
+                                        std::string contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::move(contents);
+  return Status::OK();
+}
+
+Status DistributedFileSystem::Append(const std::string& path,
+                                     std::string_view contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].append(contents);
+  return Status::OK();
+}
+
+Result<std::string> DistributedFileSystem::Read(const std::string& path)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return it->second;
+}
+
+bool DistributedFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status DistributedFileSystem::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return Status::OK();
+}
+
+int64_t DistributedFileSystem::DeletePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.lower_bound(prefix);
+  int64_t removed = 0;
+  while (it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = files_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::vector<std::string> DistributedFileSystem::List(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+int64_t DistributedFileSystem::TotalBytes(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    total += static_cast<int64_t>(it->second.size());
+  }
+  return total;
+}
+
+int64_t DistributedFileSystem::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(files_.size());
+}
+
+}  // namespace spcube

@@ -1,0 +1,64 @@
+#ifndef SPCUBE_IO_DFS_H_
+#define SPCUBE_IO_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// A process-local stand-in for the distributed file system the paper's
+/// cluster shares (HDFS). It stores named immutable byte blobs and is safe
+/// for concurrent access by the simulated workers. The MapReduce engine uses
+/// it for job inputs/outputs; the SP-Cube driver uses it to broadcast the
+/// serialized SP-Sketch to every worker, exactly as the paper describes
+/// ("the sketch is stored in the distributed file system to be later cached
+/// by all machines").
+class DistributedFileSystem {
+ public:
+  DistributedFileSystem() = default;
+
+  DistributedFileSystem(const DistributedFileSystem&) = delete;
+  DistributedFileSystem& operator=(const DistributedFileSystem&) = delete;
+
+  /// Creates a file. Fails with AlreadyExists if the path is taken.
+  Status Write(const std::string& path, std::string contents);
+
+  /// Replaces a file, creating it if absent.
+  Status Overwrite(const std::string& path, std::string contents);
+
+  /// Appends to a file, creating it if absent.
+  Status Append(const std::string& path, std::string_view contents);
+
+  /// Reads a whole file.
+  Result<std::string> Read(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+
+  /// Removes every file whose path starts with `prefix`; returns the number
+  /// of files removed.
+  int64_t DeletePrefix(const std::string& prefix);
+
+  /// Lists paths with the given prefix, in lexicographic order.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  /// Sum of file sizes under a prefix (pass "" for the whole FS).
+  int64_t TotalBytes(const std::string& prefix) const;
+
+  int64_t file_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_IO_DFS_H_

@@ -1,0 +1,122 @@
+#include "io/spill.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.h"
+
+namespace spcube {
+namespace {
+
+std::atomic<int64_t> g_temp_dir_counter{0};
+
+}  // namespace
+
+TempFileManager::TempFileManager(const std::string& tag) {
+  const int64_t id = g_temp_dir_counter.fetch_add(1);
+  std::error_code ec;
+  std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) base = ".";
+  dir_ = (base / ("spcube_" + tag + "_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(id)))
+             .string();
+  std::filesystem::create_directories(dir_, ec);
+  SPCUBE_CHECK(!ec) << "failed to create temp dir " << dir_;
+}
+
+TempFileManager::~TempFileManager() {
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);
+}
+
+std::string TempFileManager::NextPath() {
+  const int64_t id = counter_.fetch_add(1);
+  return dir_ + "/spill_" + std::to_string(id) + ".bin";
+}
+
+SpillWriter::SpillWriter(std::string path) : path_(std::move(path)) {}
+
+SpillWriter::~SpillWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open spill file for write: " + path_);
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::Append(std::string_view record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("spill writer not open");
+  }
+  const uint64_t len = record.size();
+  if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      (len > 0 && std::fwrite(record.data(), 1, len, file_) != len)) {
+    return Status::IoError("short write to spill file: " + path_);
+  }
+  bytes_written_ += static_cast<int64_t>(sizeof(len) + len);
+  ++record_count_;
+  return Status::OK();
+}
+
+Status SpillWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("spill writer not open");
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed for " + path_);
+  return Status::OK();
+}
+
+SpillReader::SpillReader(std::string path) : path_(std::move(path)) {}
+
+SpillReader::~SpillReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillReader::Open() {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open spill file for read: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<bool> SpillReader::Next(std::string* record) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("spill reader not open");
+  }
+  uint64_t len = 0;
+  const size_t got = std::fread(&len, sizeof(len), 1, file_);
+  if (got != 1) {
+    if (std::feof(file_)) return false;
+    return Status::IoError("read failed for " + path_);
+  }
+  record->resize(len);
+  if (len > 0 && std::fread(record->data(), 1, len, file_) != len) {
+    return Status::Corruption("truncated spill record in " + path_);
+  }
+  return true;
+}
+
+Status SpillReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed for " + path_);
+  return Status::OK();
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace spcube

@@ -1,0 +1,90 @@
+#ifndef SPCUBE_IO_SPILL_H_
+#define SPCUBE_IO_SPILL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Creates uniquely-named files under a private temporary directory and
+/// removes the directory on destruction. Each simulated worker gets one for
+/// its shuffle spills, mirroring a Hadoop task's local scratch space.
+class TempFileManager {
+ public:
+  /// `tag` appears in the directory name for debuggability.
+  explicit TempFileManager(const std::string& tag);
+  ~TempFileManager();
+
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+
+  /// Returns a fresh path inside the managed directory (file not created).
+  std::string NextPath();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::atomic<int64_t> counter_{0};
+};
+
+/// Writes length-prefixed records to a local file. Used for shuffle spills
+/// when a worker's in-memory buffer exceeds its memory budget.
+class SpillWriter {
+ public:
+  explicit SpillWriter(std::string path);
+  ~SpillWriter();
+
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  Status Open();
+  Status Append(std::string_view record);
+  /// Flushes and closes; further Appends are invalid.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t record_count() const { return record_count_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  int64_t bytes_written_ = 0;
+  int64_t record_count_ = 0;
+};
+
+/// Streams the records of a spill file back in write order.
+class SpillReader {
+ public:
+  explicit SpillReader(std::string path);
+  ~SpillReader();
+
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  Status Open();
+
+  /// Reads the next record into `*record`. Returns true and OK status on
+  /// success; false with OK status at end of file; false with error status
+  /// on I/O failure or corruption.
+  Result<bool> Next(std::string* record);
+
+  Status Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Deletes a file from the local filesystem, ignoring missing files.
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_IO_SPILL_H_

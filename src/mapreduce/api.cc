@@ -1,0 +1,20 @@
+#include "mapreduce/api.h"
+
+#include "common/hash.h"
+
+namespace spcube {
+
+int HashPartitioner::Partition(std::string_view key,
+                               int num_reducers) const {
+  return static_cast<int>(HashBytes(key) %
+                          static_cast<uint64_t>(num_reducers));
+}
+
+Status VectorOutputCollector::Collect(int reducer_id, std::string_view key,
+                                      std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(Entry{reducer_id, std::string(key), std::string(value)});
+  return Status::OK();
+}
+
+}  // namespace spcube

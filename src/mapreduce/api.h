@@ -1,0 +1,250 @@
+#ifndef SPCUBE_MAPREDUCE_API_H_
+#define SPCUBE_MAPREDUCE_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/dfs.h"
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// Per-task environment handed to Mapper/Reducer Setup(): which simulated
+/// machine the task runs on, the cluster shape, and the shared DFS (used
+/// e.g. to fetch the broadcast SP-Sketch, paper §4.2).
+struct TaskContext {
+  int worker_id = 0;     // machine index, 0-based
+  int num_workers = 1;   // k
+  int num_reducers = 1;  // reduce partitions (may be k+1 for SP-Cube)
+  /// The reduce partition this task serves; -1 for map tasks.
+  int reduce_partition = -1;
+  int64_t memory_budget_bytes = 0;
+  DistributedFileSystem* dfs = nullptr;
+};
+
+/// One intermediate or input (key, value) pair.
+struct Record {
+  std::string key;
+  std::string value;
+};
+
+/// Bytes a record contributes to buffers/network accounting.
+inline int64_t RecordBytes(std::string_view key, std::string_view value) {
+  return static_cast<int64_t>(key.size() + value.size());
+}
+
+/// Sink for map-side emits. Emit() routes the pair through the job's
+/// partitioner into the target reducer's shuffle buffer and accounts its
+/// bytes as intermediate data.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+
+  /// Adds to a job-level named counter (Hadoop user counters); totals
+  /// appear in JobMetrics::custom_counters. Failed task attempts do not
+  /// contribute.
+  virtual void IncrementCounter(const std::string& /*name*/,
+                                int64_t /*delta*/) {}
+
+  /// Emits an intermediate (key, value) pair. May spill to local disk when
+  /// the worker's buffer exceeds its memory budget.
+  virtual Status Emit(std::string_view key, std::string_view value) = 0;
+
+  /// Emits directly to an explicit reduce partition, bypassing the
+  /// partitioner. SP-Cube uses this to route partial aggregates of skewed
+  /// c-groups to the dedicated skew reducer (partition 0, paper §5).
+  virtual Status EmitToPartition(int partition, std::string_view key,
+                                 std::string_view value) = 0;
+};
+
+/// A map task. The engine constructs one instance per input split via the
+/// job's factory, then calls Setup, Map for every row of the split, and
+/// Finish (where mappers flush state accumulated across rows, e.g. SP-Cube's
+/// skew partial aggregates).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual Status Setup(const TaskContext& /*task*/) { return Status::OK(); }
+
+  /// Row-of-a-relation input (Engine::Run). Default fails, so record-only
+  /// mappers need not implement it.
+  virtual Status Map(const Relation& /*input*/, int64_t /*row*/,
+                     MapContext& /*context*/) {
+    return Status::Internal("mapper does not accept relation input");
+  }
+
+  /// Record input (Engine::RunRecords) — used by follow-up rounds whose
+  /// input is a previous round's output rather than the base relation.
+  virtual Status MapRecord(const Record& /*record*/,
+                           MapContext& /*context*/) {
+    return Status::Internal("mapper does not accept record input");
+  }
+
+  virtual Status Finish(MapContext& /*context*/) { return Status::OK(); }
+};
+
+/// Streams the values of one reduce group. Large (skewed) groups are
+/// streamed from merged spill runs rather than materialized, matching how a
+/// real MapReduce runtime feeds reducers from sorted runs.
+class ValueStream {
+ public:
+  virtual ~ValueStream() = default;
+
+  /// Fetches the next value; false at end of group.
+  virtual Result<bool> Next(std::string* value) = 0;
+};
+
+/// Sink for reduce-side output. Output() appends to the job's output
+/// collector (the simulated DFS write of final cube tuples).
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+
+  virtual Status Output(std::string_view key, std::string_view value) = 0;
+
+  /// Adds to a job-level named counter; committed only if the task attempt
+  /// succeeds (like reduce output).
+  virtual void IncrementCounter(const std::string& /*name*/,
+                                int64_t /*delta*/) {}
+};
+
+/// A reduce task. One instance per reduce partition; Reduce() is called
+/// once per distinct key, in ascending byte order of keys.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual Status Setup(const TaskContext& /*task*/) { return Status::OK(); }
+  virtual Status Reduce(const std::string& key, ValueStream& values,
+                        ReduceContext& context) = 0;
+  virtual Status Finish(ReduceContext& /*context*/) { return Status::OK(); }
+};
+
+/// Routes an intermediate key to a reduce partition. Implementations must be
+/// stateless/thread-safe; the engine shares one instance across map tasks.
+/// The default hash partitioner mirrors Hadoop; SP-Cube plugs a range
+/// partitioner driven by the SP-Sketch's partition elements (paper §3.3).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual int Partition(std::string_view key, int num_reducers) const = 0;
+};
+
+/// Hadoop-style default: hash of the key bytes modulo the reducer count.
+class HashPartitioner : public Partitioner {
+ public:
+  int Partition(std::string_view key, int num_reducers) const override;
+};
+
+/// Optional map-side pre-aggregation (Hadoop combiner). Called with all
+/// currently buffered values of one key; replaces them with the returned
+/// values (typically a single merged value). Must be stateless.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  virtual Status Combine(const std::string& key,
+                         const std::vector<std::string>& values,
+                         std::vector<std::string>* combined) const = 0;
+};
+
+/// Receives the final output of every reduce task.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+
+  virtual Status Collect(int reducer_id, std::string_view key,
+                         std::string_view value) = 0;
+};
+
+/// Thread-safe in-memory collector.
+class VectorOutputCollector : public OutputCollector {
+ public:
+  struct Entry {
+    int reducer_id;
+    std::string key;
+    std::string value;
+  };
+
+  Status Collect(int reducer_id, std::string_view key,
+                 std::string_view value) override;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+/// Forwards every record to two collectors (e.g. in-memory assembly plus a
+/// DFS writer). Either side may be null.
+class TeeOutputCollector : public OutputCollector {
+ public:
+  TeeOutputCollector(OutputCollector* first, OutputCollector* second)
+      : first_(first), second_(second) {}
+
+  Status Collect(int reducer_id, std::string_view key,
+                 std::string_view value) override {
+    if (first_ != nullptr) {
+      SPCUBE_RETURN_IF_ERROR(first_->Collect(reducer_id, key, value));
+    }
+    if (second_ != nullptr) {
+      SPCUBE_RETURN_IF_ERROR(second_->Collect(reducer_id, key, value));
+    }
+    return Status::OK();
+  }
+
+ private:
+  OutputCollector* first_;
+  OutputCollector* second_;
+};
+
+/// Discards all output (used when only metrics matter).
+class NullOutputCollector : public OutputCollector {
+ public:
+  Status Collect(int, std::string_view, std::string_view) override {
+    return Status::OK();
+  }
+};
+
+/// Behaviour when a reduce task's input exceeds the machine's memory budget.
+enum class MemoryPolicy : int8_t {
+  /// Sort-and-spill to local disk, then stream merged runs (Hadoop).
+  kSpill = 0,
+  /// Fail the job with ResourceExhausted (models Hive's in-memory hash
+  /// aggregation OOMing on heavy skew, as the paper observed for p >= 0.4).
+  kStrict = 1,
+};
+
+/// Everything the engine needs to run one MapReduce round.
+struct JobSpec {
+  std::string name = "job";
+  std::function<std::unique_ptr<Mapper>()> mapper_factory;
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  /// Defaults to HashPartitioner when null.
+  std::shared_ptr<const Partitioner> partitioner;
+  /// Optional; null disables map-side combining.
+  std::shared_ptr<const Combiner> combiner;
+  /// Reduce partitions; 0 means "same as the worker count".
+  int num_reducers = 0;
+  MemoryPolicy memory_policy = MemoryPolicy::kSpill;
+
+  /// Fault tolerance, Hadoop-style: a failed task is re-executed from
+  /// scratch (fresh Mapper/Reducer instance, discarded partial output) up
+  /// to this many times before the job fails. Tasks must therefore be
+  /// idempotent — true for every task in this library. kStrict memory
+  /// failures are not retried (re-running cannot shrink the input).
+  int max_task_attempts = 1;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_MAPREDUCE_API_H_

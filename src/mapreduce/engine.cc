@@ -1,0 +1,468 @@
+#include "mapreduce/engine.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "mapreduce/shuffle.h"
+
+namespace spcube {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// CPU time consumed by the calling thread — the busy-time measure used in
+/// threaded mode, immune to preemption by the other simulated machines
+/// sharing the host's cores.
+double ThreadCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// MapContext wired to a ShuffleBuffer and the job's partitioner.
+class EngineMapContext : public MapContext {
+ public:
+  EngineMapContext(ShuffleBuffer* buffer, const Partitioner* partitioner,
+                   int num_reducers)
+      : buffer_(buffer),
+        partitioner_(partitioner),
+        num_reducers_(num_reducers) {}
+
+  void IncrementCounter(const std::string& name, int64_t delta) override {
+    counters_[name] += delta;
+  }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  Status Emit(std::string_view key, std::string_view value) override {
+    const int partition = partitioner_->Partition(key, num_reducers_);
+    if (partition < 0 || partition >= num_reducers_) {
+      return Status::Internal("partitioner returned out-of-range partition " +
+                              std::to_string(partition));
+    }
+    return buffer_->Add(partition, key, value);
+  }
+
+  Status EmitToPartition(int partition, std::string_view key,
+                         std::string_view value) override {
+    if (partition < 0 || partition >= num_reducers_) {
+      return Status::InvalidArgument("bad explicit partition " +
+                                     std::to_string(partition));
+    }
+    return buffer_->Add(partition, key, value);
+  }
+
+ private:
+  ShuffleBuffer* buffer_;
+  const Partitioner* partitioner_;
+  int num_reducers_;
+  std::map<std::string, int64_t> counters_;
+};
+
+/// Adapts a GroupedRecordStream's current group to the Reducer-facing
+/// ValueStream.
+class GroupValueStream : public ValueStream {
+ public:
+  explicit GroupValueStream(GroupedRecordStream* stream) : stream_(stream) {}
+
+  Result<bool> Next(std::string* value) override {
+    return stream_->NextValue(value);
+  }
+
+ private:
+  GroupedRecordStream* stream_;
+};
+
+/// Buffers a reduce attempt's output and publishes it only on success, so
+/// failed attempts (which are retried from scratch) leave no trace in the
+/// job output — the commit protocol of a real MapReduce runtime.
+class EngineReduceContext : public ReduceContext {
+ public:
+  Status Output(std::string_view key, std::string_view value) override {
+    pending_.push_back(Record{std::string(key), std::string(value)});
+    return Status::OK();
+  }
+
+  void IncrementCounter(const std::string& name, int64_t delta) override {
+    counters_[name] += delta;
+  }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  Status Commit(OutputCollector* collector, int reducer_id,
+                int64_t* output_records) {
+    *output_records += static_cast<int64_t>(pending_.size());
+    if (collector != nullptr) {
+      for (const Record& record : pending_) {
+        SPCUBE_RETURN_IF_ERROR(
+            collector->Collect(reducer_id, record.key, record.value));
+      }
+    }
+    pending_.clear();
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Record> pending_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace
+
+Engine::Engine(EngineConfig config, DistributedFileSystem* dfs)
+    : config_(config), dfs_(dfs), temp_files_("engine") {
+  SPCUBE_CHECK(config_.num_workers >= 1);
+  SPCUBE_CHECK(config_.memory_budget_bytes > 0);
+}
+
+Result<JobMetrics> Engine::Run(const JobSpec& spec, const Relation& input,
+                               OutputCollector* collector) {
+  return RunImpl(
+      spec, input.num_rows(),
+      [&input](Mapper* mapper, int64_t row, MapContext& context) {
+        return mapper->Map(input, row, context);
+      },
+      collector);
+}
+
+Result<JobMetrics> Engine::RunRecords(const JobSpec& spec,
+                                      const std::vector<Record>& input,
+                                      OutputCollector* collector) {
+  return RunImpl(
+      spec, static_cast<int64_t>(input.size()),
+      [&input](Mapper* mapper, int64_t row, MapContext& context) {
+        return mapper->MapRecord(input[static_cast<size_t>(row)], context);
+      },
+      collector);
+}
+
+Result<JobMetrics> Engine::RunImpl(
+    const JobSpec& spec, int64_t num_input_rows,
+    const std::function<Status(Mapper*, int64_t, MapContext&)>& map_row,
+    OutputCollector* collector) {
+  if (!spec.mapper_factory || !spec.reducer_factory) {
+    return Status::InvalidArgument("job needs mapper and reducer factories");
+  }
+  const int num_workers = config_.num_workers;
+  const int num_reducers =
+      spec.num_reducers > 0 ? spec.num_reducers : num_workers;
+
+  static const HashPartitioner kDefaultPartitioner;
+  const Partitioner* partitioner =
+      spec.partitioner != nullptr ? spec.partitioner.get()
+                                  : &kDefaultPartitioner;
+
+  JobMetrics metrics;
+  metrics.job_name = spec.name;
+  metrics.map_phase.EnsureWorkers(num_workers);
+  metrics.reduce_phase.EnsureWorkers(num_workers);
+  metrics.reducer_input_records.assign(static_cast<size_t>(num_reducers), 0);
+  metrics.reducer_input_bytes.assign(static_cast<size_t>(num_reducers), 0);
+  metrics.reducer_output_records.assign(static_cast<size_t>(num_reducers), 0);
+  metrics.round_overhead_seconds = config_.round_overhead_seconds;
+  metrics.map_input_records = num_input_rows;
+
+  // Custom-counter totals may be merged from several task threads.
+  std::mutex counters_mutex;
+  auto merge_counters = [&](const std::map<std::string, int64_t>& deltas) {
+    if (deltas.empty()) return;
+    std::lock_guard<std::mutex> lock(counters_mutex);
+    for (const auto& [name, delta] : deltas) {
+      metrics.custom_counters[name] += delta;
+    }
+  };
+
+  // ---- Map phase ----------------------------------------------------------
+  const int64_t n = num_input_rows;
+  std::vector<std::unique_ptr<ShuffleBuffer>> buffers;
+  std::vector<ShuffleCounters> counters(static_cast<size_t>(num_workers));
+  buffers.reserve(static_cast<size_t>(num_workers));
+
+  const int max_attempts = std::max(1, spec.max_task_attempts);
+  buffers.resize(static_cast<size_t>(num_workers));
+  std::vector<Status> map_status(static_cast<size_t>(num_workers));
+  auto run_map_task = [&](int w) {
+    const int64_t begin = n * w / num_workers;
+    const int64_t end = n * (w + 1) / num_workers;
+
+    const auto start = std::chrono::steady_clock::now();
+    const double cpu_start = ThreadCpuSeconds();
+    Status last_error = Status::OK();
+    bool succeeded = false;
+    for (int attempt = 0; attempt < max_attempts && !succeeded; ++attempt) {
+      // Fresh task state per attempt; a failed attempt's partial shuffle
+      // output and counters are discarded wholesale.
+      ShuffleCounters attempt_counters;
+      auto buffer = std::make_unique<ShuffleBuffer>(
+          num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
+          &temp_files_, &attempt_counters);
+      EngineMapContext map_context(buffer.get(), partitioner, num_reducers);
+
+      std::unique_ptr<Mapper> mapper = spec.mapper_factory();
+      if (mapper == nullptr) {
+        map_status[static_cast<size_t>(w)] =
+            Status::Internal("mapper factory failed");
+        return;
+      }
+      TaskContext task{w, num_workers, num_reducers, /*reduce_partition=*/-1,
+                       config_.memory_budget_bytes, dfs_};
+      auto run_attempt = [&]() -> Status {
+        SPCUBE_RETURN_IF_ERROR(mapper->Setup(task));
+        for (int64_t row = begin; row < end; ++row) {
+          SPCUBE_RETURN_IF_ERROR(map_row(mapper.get(), row, map_context));
+        }
+        SPCUBE_RETURN_IF_ERROR(mapper->Finish(map_context));
+        return buffer->FinalizeMapOutput();
+      };
+      last_error = run_attempt();
+      if (last_error.ok()) {
+        succeeded = true;
+        ShuffleCounters& c = counters[static_cast<size_t>(w)];
+        c.map_output_records += attempt_counters.map_output_records;
+        c.map_output_bytes += attempt_counters.map_output_bytes;
+        c.combine_input_records += attempt_counters.combine_input_records;
+        c.combine_output_records += attempt_counters.combine_output_records;
+        c.spill_bytes += attempt_counters.spill_bytes;
+        merge_counters(map_context.counters());
+        buffers[static_cast<size_t>(w)] = std::move(buffer);
+      }
+    }
+    if (!succeeded) {
+      map_status[static_cast<size_t>(w)] =
+          Status(last_error.code(),
+                 "map task " + std::to_string(w) + " of job '" + spec.name +
+                     "' failed after " + std::to_string(max_attempts) +
+                     " attempt(s): " + last_error.message());
+      return;
+    }
+    metrics.map_phase.per_worker_seconds[static_cast<size_t>(w)] =
+        config_.use_threads ? ThreadCpuSeconds() - cpu_start
+                            : SecondsSince(start);
+  };
+  if (config_.use_threads) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      threads.emplace_back(run_map_task, w);
+    }
+    for (std::thread& thread : threads) thread.join();
+  } else {
+    for (int w = 0; w < num_workers; ++w) run_map_task(w);
+  }
+  for (const Status& status : map_status) {
+    SPCUBE_RETURN_IF_ERROR(status);
+  }
+  // Drop slots of (impossible here) unfinished tasks defensively.
+  for (auto& buffer : buffers) {
+    if (buffer == nullptr) {
+      buffer = std::make_unique<ShuffleBuffer>(
+          num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
+          &temp_files_, &counters[0]);
+    }
+  }
+
+  for (const ShuffleCounters& c : counters) {
+    metrics.map_output_records += c.map_output_records;
+    metrics.map_output_bytes += c.map_output_bytes;
+    metrics.combine_input_records += c.combine_input_records;
+    metrics.combine_output_records += c.combine_output_records;
+    metrics.spill_bytes += c.spill_bytes;
+  }
+
+  // ---- Shuffle: assemble per-reducer inputs -------------------------------
+  std::vector<ReduceInput> reduce_inputs(static_cast<size_t>(num_reducers));
+  for (int p = 0; p < num_reducers; ++p) {
+    ReduceInput& in = reduce_inputs[static_cast<size_t>(p)];
+    for (int w = 0; w < num_workers; ++w) {
+      std::vector<Record> records =
+          buffers[static_cast<size_t>(w)]->TakeMemoryRecords(p);
+      for (const Record& record : records) {
+        in.total_bytes += RecordBytes(record.key, record.value);
+      }
+      in.total_records += static_cast<int64_t>(records.size());
+      if (in.memory_records.empty()) {
+        in.memory_records = std::move(records);
+      } else {
+        in.memory_records.insert(in.memory_records.end(),
+                                 std::make_move_iterator(records.begin()),
+                                 std::make_move_iterator(records.end()));
+      }
+      std::vector<RunInfo> runs =
+          buffers[static_cast<size_t>(w)]->TakeSpillRuns(p);
+      for (RunInfo& run : runs) {
+        in.total_bytes += run.payload_bytes;
+        in.total_records += run.records;
+        in.spill_runs.push_back(std::move(run));
+      }
+    }
+    metrics.reducer_input_records[static_cast<size_t>(p)] = in.total_records;
+    metrics.reducer_input_bytes[static_cast<size_t>(p)] = in.total_bytes;
+    metrics.shuffle_records += in.total_records;
+    metrics.shuffle_bytes += in.total_bytes;
+  }
+  buffers.clear();
+
+  metrics.shuffle_seconds =
+      config_.network_bandwidth_bytes_per_sec > 0
+          ? static_cast<double>(metrics.MaxReducerInputBytes()) /
+                config_.network_bandwidth_bytes_per_sec
+          : 0.0;
+
+  // ---- Reduce phase --------------------------------------------------------
+  // Assign reduce tasks to machines with a longest-processing-time greedy
+  // over their (known) input sizes, as a locality-free scheduler would:
+  // largest partitions first, each to the currently least-loaded machine.
+  std::vector<int> machine_of(static_cast<size_t>(num_reducers), 0);
+  {
+    std::vector<int> by_size(static_cast<size_t>(num_reducers));
+    for (int p = 0; p < num_reducers; ++p) by_size[static_cast<size_t>(p)] = p;
+    std::sort(by_size.begin(), by_size.end(), [&metrics](int a, int b) {
+      return metrics.reducer_input_bytes[static_cast<size_t>(a)] >
+             metrics.reducer_input_bytes[static_cast<size_t>(b)];
+    });
+    std::vector<int64_t> machine_load(static_cast<size_t>(num_workers), 0);
+    for (int p : by_size) {
+      int best = 0;
+      for (int w = 1; w < num_workers; ++w) {
+        if (machine_load[static_cast<size_t>(w)] <
+            machine_load[static_cast<size_t>(best)]) {
+          best = w;
+        }
+      }
+      machine_of[static_cast<size_t>(p)] = best;
+      machine_load[static_cast<size_t>(best)] +=
+          metrics.reducer_input_bytes[static_cast<size_t>(p)];
+    }
+  }
+
+  auto run_reduce_partition = [&](int p) -> Status {
+    const int machine = machine_of[static_cast<size_t>(p)];
+    const auto start = std::chrono::steady_clock::now();
+    const double cpu_start = ThreadCpuSeconds();
+
+    // Keep run paths for cleanup: MakeGroupedStream consumes the input.
+    std::vector<std::string> run_paths;
+    for (const RunInfo& run :
+         reduce_inputs[static_cast<size_t>(p)].spill_runs) {
+      run_paths.push_back(run.path);
+    }
+
+    Status last_error = Status::OK();
+    bool succeeded = false;
+    for (int attempt = 0; attempt < max_attempts && !succeeded; ++attempt) {
+      // With retries enabled, later attempts need the input again, so the
+      // in-memory part is copied; spill-run files survive attempts.
+      ReduceInput attempt_input;
+      if (attempt + 1 < max_attempts) {
+        attempt_input = reduce_inputs[static_cast<size_t>(p)];
+      } else {
+        attempt_input = std::move(reduce_inputs[static_cast<size_t>(p)]);
+      }
+
+      auto run_attempt = [&]() -> Status {
+        auto stream_result = MakeGroupedStream(
+            std::move(attempt_input), config_.memory_budget_bytes,
+            spec.memory_policy, &temp_files_,
+            &counters[static_cast<size_t>(machine)]);
+        if (!stream_result.ok()) return stream_result.status();
+        std::unique_ptr<GroupedRecordStream> stream =
+            std::move(stream_result).value();
+
+        std::unique_ptr<Reducer> reducer = spec.reducer_factory();
+        if (reducer == nullptr) {
+          return Status::Internal("reducer factory failed");
+        }
+        TaskContext task{machine, num_workers, num_reducers,
+                         /*reduce_partition=*/p, config_.memory_budget_bytes,
+                         dfs_};
+        SPCUBE_RETURN_IF_ERROR(reducer->Setup(task));
+
+        EngineReduceContext reduce_context;
+        std::string key;
+        for (;;) {
+          SPCUBE_ASSIGN_OR_RETURN(bool more, stream->NextGroup(&key));
+          if (!more) break;
+          GroupValueStream values(stream.get());
+          SPCUBE_RETURN_IF_ERROR(
+              reducer->Reduce(key, values, reduce_context));
+        }
+        SPCUBE_RETURN_IF_ERROR(reducer->Finish(reduce_context));
+        SPCUBE_RETURN_IF_ERROR(reduce_context.Commit(
+            collector, p,
+            &metrics.reducer_output_records[static_cast<size_t>(p)]));
+        merge_counters(reduce_context.counters());
+        return Status::OK();
+      };
+      last_error = run_attempt();
+      if (last_error.ok()) {
+        succeeded = true;
+      } else if (last_error.IsResourceExhausted()) {
+        break;  // kStrict OOM: re-running cannot shrink the input.
+      }
+    }
+    if (!succeeded) {
+      return Status(last_error.code(),
+                    "reduce task " + std::to_string(p) + " of job '" +
+                        spec.name + "': " + last_error.message());
+    }
+    for (const std::string& path : run_paths) RemoveFileIfExists(path);
+
+    metrics.reduce_phase.Accumulate(
+        machine, config_.use_threads ? ThreadCpuSeconds() - cpu_start
+                                     : SecondsSince(start));
+    return Status::OK();
+  };
+
+  if (config_.use_threads) {
+    // One thread per machine; each runs its assigned partitions in order.
+    std::vector<Status> machine_status(static_cast<size_t>(num_workers));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_workers));
+    for (int machine = 0; machine < num_workers; ++machine) {
+      threads.emplace_back([&, machine]() {
+        for (int p = 0; p < num_reducers; ++p) {
+          if (machine_of[static_cast<size_t>(p)] != machine) continue;
+          Status status = run_reduce_partition(p);
+          if (!status.ok()) {
+            machine_status[static_cast<size_t>(machine)] = status;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (const Status& status : machine_status) {
+      SPCUBE_RETURN_IF_ERROR(status);
+    }
+  } else {
+    for (int p = 0; p < num_reducers; ++p) {
+      SPCUBE_RETURN_IF_ERROR(run_reduce_partition(p));
+    }
+  }
+
+  // Spill bytes from reduce-side external sorting were accumulated into the
+  // per-machine counters during MakeGroupedStream; fold in the delta.
+  int64_t total_spill = 0;
+  for (const ShuffleCounters& c : counters) total_spill += c.spill_bytes;
+  metrics.spill_bytes = total_spill;
+
+  for (int64_t out : metrics.reducer_output_records) {
+    metrics.output_records += out;
+  }
+  return metrics;
+}
+
+}  // namespace spcube

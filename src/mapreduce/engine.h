@@ -1,0 +1,85 @@
+#ifndef SPCUBE_MAPREDUCE_ENGINE_H_
+#define SPCUBE_MAPREDUCE_ENGINE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "io/dfs.h"
+#include "io/spill.h"
+#include "mapreduce/api.h"
+#include "mapreduce/metrics.h"
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// Shape and cost model of the simulated cluster (paper §2.3: k machines,
+/// each with memory O(m), m = n/k, sharing a distributed file system).
+struct EngineConfig {
+  /// Number of machines, k. Each runs one map task and (round-robin) the
+  /// reduce tasks assigned to it.
+  int num_workers = 8;
+
+  /// Per-machine memory budget in bytes, the paper's m (times the tuple
+  /// width). Map-side shuffle buffers and reduce-side inputs beyond this
+  /// spill to local disk (or fail under MemoryPolicy::kStrict).
+  int64_t memory_budget_bytes = 64 << 20;
+
+  /// Models shuffle transfer time: the bottleneck reducer's inbound payload
+  /// divided by this bandwidth is added to each round's total time.
+  double network_bandwidth_bytes_per_sec = 100e6;
+
+  /// Fixed per-round job startup/teardown cost (Hadoop job latency). Makes
+  /// multi-round algorithms (MR-Cube) pay for their extra rounds.
+  double round_overhead_seconds = 0.0;
+
+  /// Execute the simulated machines' tasks on real threads (one per
+  /// machine). Results are identical to sequential execution; per-machine
+  /// busy time is then measured with per-thread CPU clocks so that host
+  /// core contention does not distort the critical-path model. Default off:
+  /// sequential execution is deterministic in wall-clock accounting too.
+  bool use_threads = false;
+};
+
+/// Executes MapReduce rounds over the simulated cluster. Tasks run
+/// sequentially on the host, but each simulated machine's busy time is
+/// measured separately and a round's cluster time is computed as the
+/// critical path (max map + modeled shuffle + max reduce + overhead), so
+/// reported times reflect a k-machine cluster regardless of host cores.
+class Engine {
+ public:
+  /// `dfs` must outlive the engine; it is shared with tasks via TaskContext.
+  Engine(EngineConfig config, DistributedFileSystem* dfs);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs one round: splits `input` into num_workers equal row ranges, maps,
+  /// shuffles (with combining/spilling), reduces, and delivers reduce output
+  /// to `collector`. Returns the round's metrics, or the first task error.
+  Result<JobMetrics> Run(const JobSpec& spec, const Relation& input,
+                         OutputCollector* collector);
+
+  /// Same, but the input is a list of records (a previous round's output),
+  /// dispatched to Mapper::MapRecord. Used by multi-round algorithms such as
+  /// MR-Cube's post-aggregation round.
+  Result<JobMetrics> RunRecords(const JobSpec& spec,
+                                const std::vector<Record>& input,
+                                OutputCollector* collector);
+
+  const EngineConfig& config() const { return config_; }
+  DistributedFileSystem* dfs() { return dfs_; }
+
+ private:
+  Result<JobMetrics> RunImpl(
+      const JobSpec& spec, int64_t num_input_rows,
+      const std::function<Status(Mapper*, int64_t, MapContext&)>& map_row,
+      OutputCollector* collector);
+
+  EngineConfig config_;
+  DistributedFileSystem* dfs_;
+  TempFileManager temp_files_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,106 @@
+#ifndef SPCUBE_MAPREDUCE_METRICS_H_
+#define SPCUBE_MAPREDUCE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spcube {
+
+/// Wall-clock accounting for one phase across the simulated machines. The
+/// host may have fewer cores than the simulated cluster, so tasks run
+/// (possibly) sequentially and each machine's busy time is measured
+/// separately; the phase's cluster time is the critical path (max).
+struct PhaseMetrics {
+  std::vector<double> per_worker_seconds;
+
+  double MaxSeconds() const;
+  double AvgSeconds() const;
+  double SumSeconds() const;
+
+  void Accumulate(int worker, double seconds);
+  void EnsureWorkers(int num_workers);
+};
+
+/// Counters and times for one MapReduce round, mirroring the measures the
+/// paper reports: total running time, average map/reduce time, and
+/// intermediate data size (§6, "the size of traffic in the cluster that is
+/// delivered between mappers and reducers").
+struct JobMetrics {
+  std::string job_name;
+
+  PhaseMetrics map_phase;
+  PhaseMetrics reduce_phase;
+
+  int64_t map_input_records = 0;
+  /// Pairs emitted by mappers, before any combining (Hadoop's
+  /// "Map output records/bytes").
+  int64_t map_output_records = 0;
+  int64_t map_output_bytes = 0;
+  /// Pairs actually delivered to reducers, after combining — the paper's
+  /// "intermediate data size".
+  int64_t shuffle_records = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t combine_input_records = 0;
+  int64_t combine_output_records = 0;
+  /// Bytes written to local disk because a buffer exceeded its budget.
+  int64_t spill_bytes = 0;
+
+  std::vector<int64_t> reducer_input_records;
+  std::vector<int64_t> reducer_input_bytes;
+  std::vector<int64_t> reducer_output_records;
+
+  int64_t output_records = 0;
+
+  /// User counters incremented by tasks via the contexts (only successful
+  /// attempts contribute), keyed by name.
+  std::map<std::string, int64_t> custom_counters;
+
+  /// Modeled network transfer time (bottleneck reducer's inbound bytes over
+  /// the per-node bandwidth) — see EngineConfig.
+  double shuffle_seconds = 0.0;
+  /// Fixed per-round startup/teardown cost from EngineConfig.
+  double round_overhead_seconds = 0.0;
+
+  /// Cluster (simulated) end-to-end time for this round:
+  /// max map + shuffle + max reduce + round overhead.
+  double TotalSeconds() const;
+
+  int64_t MaxReducerInputRecords() const;
+  int64_t MaxReducerInputBytes() const;
+
+  /// Ratio of the most-loaded to the average-loaded reducer input (1.0 is
+  /// perfectly balanced). The paper's balance claim in §6.2 is about this.
+  double ReducerImbalance() const;
+
+  std::string ToString() const;
+};
+
+/// Sum of several rounds (e.g. SP-Cube's sketch round + cube round, or
+/// MR-Cube's three rounds).
+struct RunMetrics {
+  std::string algorithm;
+  std::vector<JobMetrics> rounds;
+
+  void Add(JobMetrics round) { rounds.push_back(std::move(round)); }
+
+  double TotalSeconds() const;
+  double MapSeconds() const;     // sum over rounds of max map time
+  double ReduceSeconds() const;  // sum over rounds of max reduce time
+  double AvgMapSeconds() const;
+  double AvgReduceSeconds() const;
+  int64_t MapOutputBytes() const;
+  int64_t ShuffleBytes() const;
+  int64_t SpillBytes() const;
+  int64_t OutputRecords() const;
+
+  /// Sum of one named user counter over all rounds.
+  int64_t CustomCounter(const std::string& name) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_MAPREDUCE_METRICS_H_

@@ -1,0 +1,334 @@
+#include "mapreduce/shuffle.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace spcube {
+namespace {
+
+void SortRecords(std::vector<Record>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.key < b.key;
+                   });
+}
+
+std::string EncodeSpillRecord(const Record& record) {
+  ByteWriter writer;
+  writer.PutBytes(record.key);
+  writer.PutBytes(record.value);
+  return writer.TakeData();
+}
+
+Status DecodeSpillRecord(const std::string& raw, Record* out) {
+  ByteReader reader(raw);
+  std::string_view key;
+  std::string_view value;
+  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(&key));
+  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(&value));
+  out->key.assign(key);
+  out->value.assign(value);
+  return Status::OK();
+}
+
+/// Writes sorted records as one spill run.
+Result<RunInfo> WriteRun(const std::vector<Record>& sorted_records,
+                         TempFileManager* temp_files,
+                         ShuffleCounters* counters) {
+  SpillWriter writer(temp_files->NextPath());
+  SPCUBE_RETURN_IF_ERROR(writer.Open());
+  RunInfo info;
+  for (const Record& record : sorted_records) {
+    SPCUBE_RETURN_IF_ERROR(writer.Append(EncodeSpillRecord(record)));
+    info.payload_bytes += RecordBytes(record.key, record.value);
+  }
+  SPCUBE_RETURN_IF_ERROR(writer.Close());
+  if (counters != nullptr) counters->spill_bytes += writer.bytes_written();
+  info.path = writer.path();
+  info.file_bytes = writer.bytes_written();
+  info.records = writer.record_count();
+  return info;
+}
+
+}  // namespace
+
+ShuffleBuffer::ShuffleBuffer(int num_partitions,
+                             int64_t memory_budget_bytes,
+                             const Combiner* combiner,
+                             TempFileManager* temp_files,
+                             ShuffleCounters* counters)
+    : num_partitions_(num_partitions),
+      memory_budget_bytes_(memory_budget_bytes),
+      combiner_(combiner),
+      temp_files_(temp_files),
+      counters_(counters),
+      memory_(static_cast<size_t>(num_partitions)),
+      spill_runs_(static_cast<size_t>(num_partitions)) {}
+
+Status ShuffleBuffer::Add(int partition, std::string_view key,
+                          std::string_view value) {
+  SPCUBE_DCHECK(partition >= 0 && partition < num_partitions_)
+      << "bad partition " << partition;
+  counters_->map_output_records += 1;
+  counters_->map_output_bytes += RecordBytes(key, value);
+  buffered_bytes_ += RecordBytes(key, value);
+  memory_[static_cast<size_t>(partition)].push_back(
+      Record{std::string(key), std::string(value)});
+  if (buffered_bytes_ > memory_budget_bytes_) {
+    SPCUBE_RETURN_IF_ERROR(Overflow());
+  }
+  return Status::OK();
+}
+
+Status ShuffleBuffer::FinalizeMapOutput() { return CombineInMemory(); }
+
+std::vector<Record> ShuffleBuffer::TakeMemoryRecords(int partition) {
+  return std::move(memory_[static_cast<size_t>(partition)]);
+}
+
+std::vector<RunInfo> ShuffleBuffer::TakeSpillRuns(int partition) {
+  return std::move(spill_runs_[static_cast<size_t>(partition)]);
+}
+
+Status ShuffleBuffer::Overflow() {
+  if (combiner_ != nullptr) {
+    SPCUBE_RETURN_IF_ERROR(CombineInMemory());
+    // Keep the buffer only if combining freed real headroom; a buffer that
+    // hovers near the budget would otherwise re-combine after every few
+    // records (quadratic). Hadoop applies the same spill-anyway rule.
+    if (buffered_bytes_ <= memory_budget_bytes_ * 3 / 4) {
+      return Status::OK();
+    }
+  }
+  return SpillAll();
+}
+
+Status ShuffleBuffer::CombineInMemory() {
+  if (combiner_ == nullptr) return Status::OK();
+  for (std::vector<Record>& partition : memory_) {
+    if (partition.empty()) continue;
+    std::unordered_map<std::string, std::vector<std::string>> by_key;
+    for (Record& record : partition) {
+      by_key[std::move(record.key)].push_back(std::move(record.value));
+    }
+    std::vector<Record> combined;
+    for (auto& [key, values] : by_key) {
+      counters_->combine_input_records +=
+          static_cast<int64_t>(values.size());
+      std::vector<std::string> merged;
+      SPCUBE_RETURN_IF_ERROR(combiner_->Combine(key, values, &merged));
+      counters_->combine_output_records +=
+          static_cast<int64_t>(merged.size());
+      for (std::string& value : merged) {
+        combined.push_back(Record{key, std::move(value)});
+      }
+    }
+    partition = std::move(combined);
+  }
+  buffered_bytes_ = 0;
+  for (const std::vector<Record>& partition : memory_) {
+    for (const Record& record : partition) {
+      buffered_bytes_ += RecordBytes(record.key, record.value);
+    }
+  }
+  return Status::OK();
+}
+
+Status ShuffleBuffer::SpillAll() {
+  for (int p = 0; p < num_partitions_; ++p) {
+    std::vector<Record>& partition = memory_[static_cast<size_t>(p)];
+    if (partition.empty()) continue;
+    SortRecords(partition);
+    SPCUBE_ASSIGN_OR_RETURN(RunInfo run,
+                            WriteRun(partition, temp_files_, counters_));
+    spill_runs_[static_cast<size_t>(p)].push_back(std::move(run));
+    partition.clear();
+    partition.shrink_to_fit();
+  }
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+namespace {
+
+/// Fully in-memory grouped stream over records sorted by key.
+class InMemoryGroupedStream : public GroupedRecordStream {
+ public:
+  explicit InMemoryGroupedStream(std::vector<Record> records)
+      : records_(std::move(records)) {
+    SortRecords(records_);
+  }
+
+  Result<bool> NextGroup(std::string* key) override {
+    pos_ = group_end_;
+    if (pos_ >= records_.size()) return false;
+    *key = records_[pos_].key;
+    group_end_ = pos_;
+    while (group_end_ < records_.size() &&
+           records_[group_end_].key == *key) {
+      ++group_end_;
+    }
+    value_pos_ = pos_;
+    return true;
+  }
+
+  Result<bool> NextValue(std::string* value) override {
+    if (value_pos_ >= group_end_) return false;
+    *value = std::move(records_[value_pos_].value);
+    ++value_pos_;
+    return true;
+  }
+
+ private:
+  std::vector<Record> records_;
+  size_t pos_ = 0;
+  size_t group_end_ = 0;
+  size_t value_pos_ = 0;
+};
+
+/// K-way merge over sorted run files; streams groups without materializing
+/// them. Heads are ordered by (key, run index) for determinism.
+class MergingGroupedStream : public GroupedRecordStream {
+ public:
+  explicit MergingGroupedStream(std::vector<std::string> run_paths)
+      : run_paths_(std::move(run_paths)) {}
+
+  Status Init() {
+    readers_.reserve(run_paths_.size());
+    for (const std::string& path : run_paths_) {
+      auto reader = std::make_unique<SpillReader>(path);
+      SPCUBE_RETURN_IF_ERROR(reader->Open());
+      readers_.push_back(std::move(reader));
+    }
+    heads_.resize(readers_.size());
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      SPCUBE_RETURN_IF_ERROR(Advance(i));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> NextGroup(std::string* key) override {
+    // Drain any unread values of the previous group.
+    if (in_group_) {
+      std::string scratch;
+      for (;;) {
+        SPCUBE_ASSIGN_OR_RETURN(bool more, NextValue(&scratch));
+        if (!more) break;
+      }
+    }
+    const int run = MinRun();
+    if (run < 0) return false;
+    current_key_ = heads_[static_cast<size_t>(run)].record.key;
+    *key = current_key_;
+    in_group_ = true;
+    return true;
+  }
+
+  Result<bool> NextValue(std::string* value) override {
+    if (!in_group_) return false;
+    const int run = MinRun();
+    if (run < 0 ||
+        heads_[static_cast<size_t>(run)].record.key != current_key_) {
+      in_group_ = false;
+      return false;
+    }
+    *value = std::move(heads_[static_cast<size_t>(run)].record.value);
+    SPCUBE_RETURN_IF_ERROR(Advance(static_cast<size_t>(run)));
+    return true;
+  }
+
+ private:
+  struct Head {
+    Record record;
+    bool valid = false;
+  };
+
+  Status Advance(size_t run) {
+    std::string raw;
+    SPCUBE_ASSIGN_OR_RETURN(bool more, readers_[run]->Next(&raw));
+    if (!more) {
+      heads_[run].valid = false;
+      return Status::OK();
+    }
+    SPCUBE_RETURN_IF_ERROR(DecodeSpillRecord(raw, &heads_[run].record));
+    heads_[run].valid = true;
+    return Status::OK();
+  }
+
+  /// Index of the run whose head has the smallest key, or -1. Linear scan —
+  /// run counts are small (one per spill); switch to a heap if they grow.
+  int MinRun() const {
+    int best = -1;
+    for (size_t i = 0; i < heads_.size(); ++i) {
+      if (!heads_[i].valid) continue;
+      if (best < 0 ||
+          heads_[i].record.key < heads_[static_cast<size_t>(best)].record.key) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  std::vector<std::string> run_paths_;
+  std::vector<std::unique_ptr<SpillReader>> readers_;
+  std::vector<Head> heads_;
+  std::string current_key_;
+  bool in_group_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
+    ReduceInput input, int64_t memory_budget_bytes, MemoryPolicy policy,
+    TempFileManager* temp_files, ShuffleCounters* counters) {
+  const bool fits = input.total_bytes <= memory_budget_bytes;
+  if (!fits && policy == MemoryPolicy::kStrict) {
+    return Status::ResourceExhausted(
+        "reduce input of " + std::to_string(input.total_bytes) +
+        " bytes exceeds the machine memory budget of " +
+        std::to_string(memory_budget_bytes) + " bytes");
+  }
+  if (fits && input.spill_runs.empty()) {
+    return {std::make_unique<InMemoryGroupedStream>(
+        std::move(input.memory_records))};
+  }
+  if (fits) {
+    // Small enough to absorb the runs into memory: read them back and sort
+    // everything together.
+    std::vector<Record> all = std::move(input.memory_records);
+    for (const RunInfo& run : input.spill_runs) {
+      SpillReader reader(run.path);
+      SPCUBE_RETURN_IF_ERROR(reader.Open());
+      std::string raw;
+      for (;;) {
+        SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
+        if (!more) break;
+        Record record;
+        SPCUBE_RETURN_IF_ERROR(DecodeSpillRecord(raw, &record));
+        all.push_back(std::move(record));
+      }
+    }
+    return {std::make_unique<InMemoryGroupedStream>(std::move(all))};
+  }
+
+  // External path: sort the in-memory part into one more run, then merge.
+  std::vector<std::string> run_paths;
+  run_paths.reserve(input.spill_runs.size() + 1);
+  for (const RunInfo& run : input.spill_runs) run_paths.push_back(run.path);
+  if (!input.memory_records.empty()) {
+    SortRecords(input.memory_records);
+    SPCUBE_ASSIGN_OR_RETURN(
+        RunInfo run, WriteRun(input.memory_records, temp_files, counters));
+    run_paths.push_back(std::move(run.path));
+  }
+  auto merging =
+      std::make_unique<MergingGroupedStream>(std::move(run_paths));
+  SPCUBE_RETURN_IF_ERROR(merging->Init());
+  return {std::unique_ptr<GroupedRecordStream>(std::move(merging))};
+}
+
+}  // namespace spcube

@@ -1,0 +1,112 @@
+#ifndef SPCUBE_MAPREDUCE_SHUFFLE_H_
+#define SPCUBE_MAPREDUCE_SHUFFLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/spill.h"
+#include "mapreduce/api.h"
+
+namespace spcube {
+
+/// A sorted run file spilled to local disk, with both its on-disk size and
+/// the payload (key+value) bytes it carries for traffic accounting.
+struct RunInfo {
+  std::string path;
+  int64_t file_bytes = 0;
+  int64_t payload_bytes = 0;
+  int64_t records = 0;
+};
+
+/// Counters updated by the shuffle path of a single map task; the engine
+/// aggregates them into JobMetrics.
+struct ShuffleCounters {
+  int64_t map_output_records = 0;
+  int64_t map_output_bytes = 0;
+  int64_t combine_input_records = 0;
+  int64_t combine_output_records = 0;
+  int64_t spill_bytes = 0;
+};
+
+/// Map-side output buffer of one map task: one in-memory record vector per
+/// reduce partition, combined and/or spilled to sorted local run files when
+/// the memory budget is exceeded — the Hadoop sort-and-spill pipeline in
+/// miniature.
+class ShuffleBuffer {
+ public:
+  /// `combiner` may be null. `temp_files` outlives the buffer.
+  ShuffleBuffer(int num_partitions, int64_t memory_budget_bytes,
+                const Combiner* combiner, TempFileManager* temp_files,
+                ShuffleCounters* counters);
+
+  Status Add(int partition, std::string_view key, std::string_view value);
+
+  /// Runs the final combine pass; call once after the map task finishes.
+  Status FinalizeMapOutput();
+
+  /// Moves out the surviving in-memory records of a partition.
+  std::vector<Record> TakeMemoryRecords(int partition);
+
+  /// Sorted run files spilled for a partition.
+  std::vector<RunInfo> TakeSpillRuns(int partition);
+
+ private:
+  /// Combines in-memory records per key; if memory still exceeds the budget
+  /// afterwards (or there is no combiner), sorts and spills each partition.
+  Status Overflow();
+  Status CombineInMemory();
+  Status SpillAll();
+
+  int num_partitions_;
+  int64_t memory_budget_bytes_;
+  const Combiner* combiner_;
+  TempFileManager* temp_files_;
+  ShuffleCounters* counters_;
+
+  int64_t buffered_bytes_ = 0;
+  std::vector<std::vector<Record>> memory_;        // per partition
+  std::vector<std::vector<RunInfo>> spill_runs_;   // per partition
+};
+
+/// Iterates the reduce input of one partition as (group, values) in
+/// ascending key order, streaming values so that a skewed group never has
+/// to be materialized. Feed it unsorted in-memory records plus the sorted
+/// run files spilled by mappers; it sorts what fits and external-merges the
+/// rest.
+class GroupedRecordStream {
+ public:
+  virtual ~GroupedRecordStream() = default;
+
+  /// Advances to the next group; false at end of input. Any unread values of
+  /// the previous group are skipped.
+  virtual Result<bool> NextGroup(std::string* key) = 0;
+
+  /// Next value of the current group; false at end of group.
+  virtual Result<bool> NextValue(std::string* value) = 0;
+};
+
+/// Inputs for building a reduce-side stream.
+struct ReduceInput {
+  std::vector<Record> memory_records;  // unsorted
+  std::vector<RunInfo> spill_runs;     // each sorted by key
+  int64_t total_bytes = 0;             // payload bytes across both sources
+  int64_t total_records = 0;
+};
+
+/// Builds a stream over `input`. If everything fits in
+/// `memory_budget_bytes`, runs fully in memory; otherwise (policy kSpill)
+/// sorts the in-memory part into additional run files under `temp_files`
+/// and k-way merges all runs, adding the extra runs' bytes to
+/// `counters->spill_bytes`. Policy kStrict fails with ResourceExhausted
+/// when over budget.
+Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
+    ReduceInput input, int64_t memory_budget_bytes, MemoryPolicy policy,
+    TempFileManager* temp_files, ShuffleCounters* counters);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_MAPREDUCE_SHUFFLE_H_

@@ -1,0 +1,46 @@
+#include "query/incremental.h"
+
+#include <algorithm>
+
+namespace spcube {
+
+Result<CubeResult> MergeCubes(const CubeResult& base, const CubeResult& delta,
+                              AggregateKind kind) {
+  if (base.num_dims() != delta.num_dims()) {
+    return Status::InvalidArgument(
+        "cannot merge cubes of different dimensionality");
+  }
+  double (*merge)(double, double) = nullptr;
+  switch (kind) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+      merge = [](double a, double b) { return a + b; };
+      break;
+    case AggregateKind::kMin:
+      merge = [](double a, double b) { return std::min(a, b); };
+      break;
+    case AggregateKind::kMax:
+      merge = [](double a, double b) { return std::max(a, b); };
+      break;
+    case AggregateKind::kAvg:
+      return Status::InvalidArgument(
+          "avg is algebraic: finalized values cannot be merged — keep "
+          "partial states or recompute");
+  }
+
+  CubeResult merged(base.num_dims());
+  for (const auto& [key, value] : base.groups()) {
+    merged.UpsertGroup(key, value);
+  }
+  for (const auto& [key, value] : delta.groups()) {
+    auto existing = merged.Lookup(key);
+    if (existing.ok()) {
+      merged.UpsertGroup(key, merge(existing.value(), value));
+    } else {
+      merged.UpsertGroup(key, value);
+    }
+  }
+  return merged;
+}
+
+}  // namespace spcube

@@ -1,0 +1,24 @@
+#ifndef SPCUBE_QUERY_INCREMENTAL_H_
+#define SPCUBE_QUERY_INCREMENTAL_H_
+
+#include "common/status.h"
+#include "cube/cube_result.h"
+
+namespace spcube {
+
+/// Incremental cube maintenance for append-only relations: given the
+/// materialized cube of R and the cube of a batch of new tuples ΔR, returns
+/// the cube of R ∪ ΔR without recomputing over R.
+///
+/// Valid exactly for the distributive aggregates (Gray et al.'s
+/// classification, discussed in the paper's §7): count and sum merge by
+/// addition, min/max by min/max. Algebraic functions (avg) cannot be merged
+/// from finalized values — recompute, or keep partial states — so avg is
+/// rejected with InvalidArgument. Deletions are likewise out of scope
+/// (min/max are not subtractable).
+Result<CubeResult> MergeCubes(const CubeResult& base, const CubeResult& delta,
+                              AggregateKind kind);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_QUERY_INCREMENTAL_H_

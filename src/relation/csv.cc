@@ -1,0 +1,119 @@
+#include "relation/csv.h"
+
+#include <charconv>
+#include <string_view>
+
+namespace spcube {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> SplitLine(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(Trim(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<EncodedRelation> LoadCsv(const std::string& csv_text) {
+  std::vector<std::string_view> lines;
+  {
+    std::string_view text = csv_text;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == '\n') {
+        std::string_view line = text.substr(start, i - start);
+        if (!Trim(line).empty()) lines.push_back(line);
+        start = i + 1;
+      }
+    }
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  const std::vector<std::string_view> header = SplitLine(lines[0]);
+  if (header.size() < 2) {
+    return Status::InvalidArgument(
+        "CSV needs at least one dimension and a measure column");
+  }
+  std::vector<std::string> dim_names;
+  for (size_t i = 0; i + 1 < header.size(); ++i) {
+    dim_names.emplace_back(header[i]);
+  }
+  SPCUBE_ASSIGN_OR_RETURN(
+      Schema schema, Schema::Make(std::move(dim_names),
+                                  std::string(header.back())));
+
+  const int d = schema.num_dims();
+  EncodedRelation out{Relation(schema), std::vector<Dictionary>(
+                                            static_cast<size_t>(d))};
+  out.relation.Reserve(static_cast<int64_t>(lines.size()) - 1);
+
+  std::vector<int64_t> row(static_cast<size_t>(d));
+  for (size_t li = 1; li < lines.size(); ++li) {
+    const std::vector<std::string_view> fields = SplitLine(lines[li]);
+    if (static_cast<int>(fields.size()) != d + 1) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(li) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(d + 1));
+    }
+    for (int c = 0; c < d; ++c) {
+      row[static_cast<size_t>(c)] =
+          out.dictionaries[static_cast<size_t>(c)].Intern(
+              std::string(fields[static_cast<size_t>(c)]));
+    }
+    int64_t measure = 0;
+    const std::string_view mf = fields.back();
+    auto [ptr, ec] =
+        std::from_chars(mf.data(), mf.data() + mf.size(), measure);
+    if (ec != std::errc() || ptr != mf.data() + mf.size()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(li) +
+                                     ": bad measure value '" +
+                                     std::string(mf) + "'");
+    }
+    out.relation.AppendRow(row, measure);
+  }
+  return out;
+}
+
+std::string ToCsv(const EncodedRelation& encoded) {
+  const Schema& schema = encoded.relation.schema();
+  std::string out;
+  for (int c = 0; c < schema.num_dims(); ++c) {
+    out += schema.dimension_name(c);
+    out += ',';
+  }
+  out += schema.measure_name();
+  out += '\n';
+  for (int64_t r = 0; r < encoded.relation.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_dims(); ++c) {
+      auto decoded = encoded.dictionaries[static_cast<size_t>(c)].Decode(
+          encoded.relation.dim(r, c));
+      out += decoded.ok() ? decoded.value()
+                          : std::to_string(encoded.relation.dim(r, c));
+      out += ',';
+    }
+    out += std::to_string(encoded.relation.measure(r));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace spcube

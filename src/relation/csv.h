@@ -1,0 +1,31 @@
+#ifndef SPCUBE_RELATION_CSV_H_
+#define SPCUBE_RELATION_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/dictionary.h"
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// A relation plus the per-dimension dictionaries needed to decode it back
+/// to strings. Produced by CSV loading; consumed by pretty-printers.
+struct EncodedRelation {
+  Relation relation;
+  std::vector<Dictionary> dictionaries;  // one per dimension
+};
+
+/// Parses CSV text with a header row into a dictionary-encoded relation.
+/// The last column is the measure and must parse as an integer; all other
+/// columns become dimensions. Quoting is not supported (values must not
+/// contain commas or newlines); leading/trailing whitespace is trimmed.
+Result<EncodedRelation> LoadCsv(const std::string& csv_text);
+
+/// Serializes an encoded relation back to CSV text (header + rows).
+std::string ToCsv(const EncodedRelation& encoded);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_CSV_H_

@@ -1,0 +1,30 @@
+#include "relation/dictionary.h"
+
+namespace spcube {
+
+int64_t Dictionary::Intern(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const int64_t code = static_cast<int64_t>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+Result<int64_t> Dictionary::Lookup(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("value not in dictionary: " + value);
+  }
+  return it->second;
+}
+
+Result<std::string> Dictionary::Decode(int64_t code) const {
+  if (code < 0 || code >= size()) {
+    return Status::InvalidArgument("dictionary code out of range: " +
+                                   std::to_string(code));
+  }
+  return values_[static_cast<size_t>(code)];
+}
+
+}  // namespace spcube

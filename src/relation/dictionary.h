@@ -1,0 +1,40 @@
+#ifndef SPCUBE_RELATION_DICTIONARY_H_
+#define SPCUBE_RELATION_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Bidirectional string <-> int64 code mapping used to dictionary-encode
+/// categorical dimension values (product names, cities, ...). Codes are
+/// dense, starting at 0, in first-seen order, so lexicographic order of
+/// codes is NOT string order; cube semantics only need equality plus a total
+/// order, which codes provide.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `value`, inserting it if new.
+  int64_t Intern(const std::string& value);
+
+  /// Returns the code for `value`, or NotFound.
+  Result<int64_t> Lookup(const std::string& value) const;
+
+  /// Returns the string for `code`, or InvalidArgument if out of range.
+  Result<std::string> Decode(int64_t code) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  std::unordered_map<std::string, int64_t> index_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_DICTIONARY_H_

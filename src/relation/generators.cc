@@ -1,0 +1,227 @@
+#include "relation/generators.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace spcube {
+namespace {
+
+int64_t RandomMeasure(Rng& rng) {
+  return static_cast<int64_t>(rng.NextBounded(100));
+}
+
+}  // namespace
+
+Relation GenUniform(int64_t num_rows, int num_dims, int64_t domain,
+                    uint64_t seed) {
+  SPCUBE_CHECK(num_dims >= 1 && domain >= 1);
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    for (int d = 0; d < num_dims; ++d) {
+      row[static_cast<size_t>(d)] =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(domain)));
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
+}
+
+Relation GenBinomial(int64_t num_rows, int num_dims, double p,
+                     uint64_t seed) {
+  SPCUBE_CHECK(num_dims >= 1 && p >= 0.0 && p <= 1.0);
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    if (rng.NextBernoulli(p)) {
+      const int64_t i = 1 + static_cast<int64_t>(rng.NextBounded(20));
+      for (int d = 0; d < num_dims; ++d) row[static_cast<size_t>(d)] = i;
+    } else {
+      for (int d = 0; d < num_dims; ++d) {
+        row[static_cast<size_t>(d)] =
+            static_cast<int64_t>(rng.NextBounded(uint64_t{1} << 32));
+      }
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
+}
+
+Relation GenZipf(int64_t num_rows, int num_zipf_dims, int num_uniform_dims,
+                 int64_t domain, double exponent, uint64_t seed) {
+  const int num_dims = num_zipf_dims + num_uniform_dims;
+  SPCUBE_CHECK(num_dims >= 1 && domain >= 1);
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  Rng rng(seed);
+  const ZipfDistribution zipf(domain, exponent);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    int d = 0;
+    for (int z = 0; z < num_zipf_dims; ++z, ++d) {
+      row[static_cast<size_t>(d)] = zipf.Sample(rng);
+    }
+    for (int u = 0; u < num_uniform_dims; ++u, ++d) {
+      row[static_cast<size_t>(d)] =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(domain)));
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
+}
+
+Relation GenZipfPaper(int64_t num_rows, uint64_t seed) {
+  return GenZipf(num_rows, /*num_zipf_dims=*/2, /*num_uniform_dims=*/2,
+                 /*domain=*/1000, /*exponent=*/1.1, seed);
+}
+
+Relation GenPlantedSkew(int64_t num_rows, int num_dims,
+                        const std::vector<double>& pattern_fracs,
+                        const std::vector<int64_t>& background_domains,
+                        uint64_t seed) {
+  SPCUBE_CHECK(static_cast<int>(background_domains.size()) == num_dims)
+      << "one background domain per dimension required";
+  double total_frac = 0.0;
+  for (double f : pattern_fracs) {
+    SPCUBE_CHECK(f > 0.0);
+    total_frac += f;
+  }
+  SPCUBE_CHECK(total_frac < 1.0) << "pattern fractions must sum below 1";
+
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    int pattern = -1;
+    for (size_t i = 0; i < pattern_fracs.size(); ++i) {
+      acc += pattern_fracs[i];
+      if (u < acc) {
+        pattern = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pattern >= 0) {
+      // Planted heavy tuple: reserved values below 0 never collide with the
+      // background, so planted group sizes are exact.
+      for (int d = 0; d < num_dims; ++d) {
+        row[static_cast<size_t>(d)] = -(pattern + 1);
+      }
+    } else {
+      for (int d = 0; d < num_dims; ++d) {
+        row[static_cast<size_t>(d)] = static_cast<int64_t>(rng.NextBounded(
+            static_cast<uint64_t>(background_domains[static_cast<size_t>(d)])));
+      }
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
+}
+
+Relation GenWikiLike(int64_t num_rows, uint64_t seed) {
+  // 4 dims: project (small domain), page (large domain -> many c-groups),
+  // hour, agent. Three heavy patterns at 30%/10%/5% of the rows.
+  const int64_t pages = std::max<int64_t>(16, num_rows / 4);
+  Relation out = GenPlantedSkew(num_rows, /*num_dims=*/4,
+                                {0.30, 0.10, 0.05},
+                                {/*project=*/1000, /*page=*/pages,
+                                 /*hour=*/24, /*agent=*/100},
+                                seed);
+  return out;
+}
+
+Relation GenUsaGovLike(int64_t num_rows, uint64_t seed) {
+  // 15 dims; heavy patterns at 25% and 8%. The first four dimensions carry
+  // the interesting distribution (country, browser, os, tz-like); the
+  // remaining eleven are narrow categorical attributes.
+  std::vector<int64_t> domains = {500, std::max<int64_t>(16, num_rows / 8),
+                                  40, 300};
+  for (int i = 4; i < 15; ++i) domains.push_back(8 + i);
+  return GenPlantedSkew(num_rows, /*num_dims=*/15, {0.25, 0.08}, domains,
+                        seed);
+}
+
+Relation ProjectDims(const Relation& input, const std::vector<int>& dims) {
+  std::vector<std::string> names;
+  names.reserve(dims.size());
+  for (int d : dims) {
+    SPCUBE_CHECK(d >= 0 && d < input.num_dims()) << "bad projection index";
+    names.push_back(input.schema().dimension_name(d));
+  }
+  Relation out(Schema(std::move(names), input.schema().measure_name()));
+  out.Reserve(input.num_rows());
+  std::vector<int64_t> row(dims.size());
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t i = 0; i < dims.size(); ++i) {
+      row[i] = input.dim(r, dims[i]);
+    }
+    out.AppendRow(row, input.measure(r));
+  }
+  return out;
+}
+
+Relation GenWorstCaseTraffic(int num_dims, int64_t group_size) {
+  SPCUBE_CHECK(num_dims >= 2 && num_dims % 2 == 0 && group_size >= 1);
+  Relation out(MakeAnonymousSchema(num_dims));
+  const int half = num_dims / 2;
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  // Enumerate all bitmasks with exactly d/2 bits set.
+  for (uint32_t mask = 0; mask < (uint32_t{1} << num_dims); ++mask) {
+    if (__builtin_popcount(mask) != half) continue;
+    for (int d = 0; d < num_dims; ++d) {
+      row[static_cast<size_t>(d)] = (mask >> d) & 1;
+    }
+    for (int64_t i = 0; i < group_size; ++i) out.AppendRow(row, 1);
+  }
+  return out;
+}
+
+Relation GenMonotonicSkew(int64_t num_rows, int num_dims, double q,
+                          int64_t domain, uint64_t seed) {
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    if (rng.NextBernoulli(q)) {
+      for (int d = 0; d < num_dims; ++d) row[static_cast<size_t>(d)] = 0;
+    } else {
+      for (int d = 0; d < num_dims; ++d) {
+        row[static_cast<size_t>(d)] = 1 + static_cast<int64_t>(rng.NextBounded(
+                                              static_cast<uint64_t>(domain)));
+      }
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
+}
+
+Relation GenIndependentSkew(int64_t num_rows, int num_dims, double q,
+                            int64_t domain, uint64_t seed) {
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  Rng rng(seed);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    for (int d = 0; d < num_dims; ++d) {
+      row[static_cast<size_t>(d)] =
+          rng.NextBernoulli(q)
+              ? 0
+              : 1 + static_cast<int64_t>(
+                        rng.NextBounded(static_cast<uint64_t>(domain)));
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
+}
+
+}  // namespace spcube

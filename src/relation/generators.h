@@ -1,0 +1,87 @@
+#ifndef SPCUBE_RELATION_GENERATORS_H_
+#define SPCUBE_RELATION_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// Workload generators for the paper's experimental study (§6). All are
+/// deterministic given the seed. Measures are uniform in [0, 99] unless
+/// noted; the paper's default aggregate is count, for which measures are
+/// irrelevant.
+
+/// Every dimension independently uniform over [0, domain). Skew-free
+/// baseline workload.
+Relation GenUniform(int64_t num_rows, int num_dims, int64_t domain,
+                    uint64_t seed);
+
+/// The paper's gen-binomial dataset (§6.2): with probability p, draw
+/// i ∈ {1..20} uniformly and emit the tuple (i, i, ..., i); otherwise each
+/// attribute is an independent uniform 32-bit integer. A fraction p of the
+/// tuples therefore contributes to skewed groups in every cuboid.
+Relation GenBinomial(int64_t num_rows, int num_dims, double p, uint64_t seed);
+
+/// The paper's gen-zipf dataset (§6.2): `num_zipf_dims` attributes drawn
+/// from Zipf(domain, exponent) and `num_uniform_dims` attributes drawn
+/// uniformly from [0, domain). The paper uses 2+2 dims, domain 1000,
+/// exponent 1.1.
+Relation GenZipf(int64_t num_rows, int num_zipf_dims, int num_uniform_dims,
+                 int64_t domain, double exponent, uint64_t seed);
+
+/// Convenience: the exact gen-zipf configuration of the paper.
+Relation GenZipfPaper(int64_t num_rows, uint64_t seed);
+
+/// A planted-skew mixture: `pattern_fracs[i]` of the rows repeat the i-th
+/// fixed "heavy" tuple (distinct reserved values per pattern); the remaining
+/// rows draw each dimension uniformly from its background domain. Every
+/// projection of a planted tuple whose fraction exceeds the skew threshold
+/// becomes a skewed c-group, so a d-dim relation with h patterns yields
+/// about h * 2^d skewed c-groups of known sizes — the knob we use to match
+/// the fingerprints reported for the real datasets.
+Relation GenPlantedSkew(int64_t num_rows, int num_dims,
+                        const std::vector<double>& pattern_fracs,
+                        const std::vector<int64_t>& background_domains,
+                        uint64_t seed);
+
+/// Stand-in for the Wikipedia Traffic Statistics dataset (§6.1): 4 dims
+/// (project, page, hour, agent), ~3 heavy patterns at 30%/10%/5% of the rows
+/// (≈ 50 skewed c-groups across the 16 cuboids, cardinalities 5%-30% of n,
+/// matching the paper's fingerprint), and a page dimension with a large
+/// domain so the total number of c-groups is a constant fraction of n.
+Relation GenWikiLike(int64_t num_rows, uint64_t seed);
+
+/// Stand-in for the USAGOV click-log dataset (§6.1): 15 dimensions; the
+/// cube benchmarks project to the first 4 (matching the paper's setup).
+/// Two heavy patterns at 25%/8% give ≈ 30 skewed c-groups at 6%-25% of n.
+Relation GenUsaGovLike(int64_t num_rows, uint64_t seed);
+
+/// Projects a relation onto a subset of its dimensions (used to cube over 4
+/// of USAGOV's 15 attributes, as the paper does).
+Relation ProjectDims(const Relation& input, const std::vector<int>& dims);
+
+/// The adversarial relation of Theorem 5.3: for every size-(d/2) subset S of
+/// the dimensions, `group_size` identical tuples with value 1 on S and 0
+/// elsewhere. With group_size = m+1, every level-(d/2) cuboid holds a skewed
+/// group but no level-(d/2+1) cuboid does, forcing SP-Cube to ship
+/// Θ(2^d · n) intermediate data.
+Relation GenWorstCaseTraffic(int num_dims, int64_t group_size);
+
+/// A skewness-monotonic relation (Def. 5.4): with probability q the tuple is
+/// the all-zero pattern (its projections skew together); otherwise uniform
+/// over a large domain. Traffic for such relations is O(d^2 n) (Prop. 5.5).
+Relation GenMonotonicSkew(int64_t num_rows, int num_dims, double q,
+                          int64_t domain, uint64_t seed);
+
+/// Independently-skewed attributes (the Prop. 5.6 regime): each attribute is
+/// 0 with probability q, otherwise uniform over [1, domain). Produces
+/// non-monotonic skew: one-attribute groups skew at rate q while
+/// l-attribute groups skew at rate q^l.
+Relation GenIndependentSkew(int64_t num_rows, int num_dims, double q,
+                            int64_t domain, uint64_t seed);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_GENERATORS_H_

@@ -1,0 +1,70 @@
+#ifndef SPCUBE_RELATION_RELATION_H_
+#define SPCUBE_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/schema.h"
+
+namespace spcube {
+
+/// A row-major, dictionary-encodable fact table. Dimension values are stored
+/// as int64 codes (use Dictionary to map strings); the measure is an int64.
+/// Rows are append-only; the MapReduce engine splits a relation into
+/// contiguous row ranges, one per mapper, mirroring equal HDFS input splits
+/// (paper §2.3).
+class Relation {
+ public:
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_dims() const { return schema_.num_dims(); }
+  int64_t num_rows() const {
+    return static_cast<int64_t>(measures_.size());
+  }
+
+  void Reserve(int64_t rows) {
+    dims_.reserve(static_cast<size_t>(rows) *
+                  static_cast<size_t>(num_dims()));
+    measures_.reserve(static_cast<size_t>(rows));
+  }
+
+  /// Appends a row; `dims.size()` must equal num_dims().
+  void AppendRow(std::span<const int64_t> dims, int64_t measure);
+
+  /// Dimension values of a row as a borrowed span of length num_dims().
+  std::span<const int64_t> row(int64_t r) const {
+    return {dims_.data() + static_cast<size_t>(r) *
+                               static_cast<size_t>(num_dims()),
+            static_cast<size_t>(num_dims())};
+  }
+
+  int64_t dim(int64_t r, int d) const {
+    return dims_[static_cast<size_t>(r) * static_cast<size_t>(num_dims()) +
+                 static_cast<size_t>(d)];
+  }
+
+  int64_t measure(int64_t r) const {
+    return measures_[static_cast<size_t>(r)];
+  }
+
+  /// Approximate in-memory footprint in bytes (used for the memory model).
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(dims_.size() * sizeof(int64_t) +
+                                measures_.size() * sizeof(int64_t));
+  }
+
+  /// Copies rows [begin, end) into a new relation with the same schema.
+  Relation Slice(int64_t begin, int64_t end) const;
+
+ private:
+  Schema schema_;
+  std::vector<int64_t> dims_;      // row-major, num_dims per row
+  std::vector<int64_t> measures_;  // one per row
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_RELATION_H_

@@ -1,0 +1,56 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+
+namespace spcube {
+
+Schema::Schema(std::vector<std::string> dimension_names,
+               std::string measure_name)
+    : dimension_names_(std::move(dimension_names)),
+      measure_name_(std::move(measure_name)) {}
+
+Result<Schema> Schema::Make(std::vector<std::string> dimension_names,
+                            std::string measure_name) {
+  if (dimension_names.empty()) {
+    return Status::InvalidArgument("schema needs at least one dimension");
+  }
+  if (measure_name.empty()) {
+    return Status::InvalidArgument("measure name must be non-empty");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : dimension_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("dimension name must be non-empty");
+    }
+    if (!seen.insert(name).second || name == measure_name) {
+      return Status::InvalidArgument("duplicate attribute name: " + name);
+    }
+  }
+  return Schema(std::move(dimension_names), std::move(measure_name));
+}
+
+int Schema::DimensionIndex(const std::string& name) const {
+  for (int i = 0; i < num_dims(); ++i) {
+    if (dimension_names_[static_cast<size_t>(i)] == name) return i;
+  }
+  return -1;
+}
+
+Schema MakeAnonymousSchema(int num_dims) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(num_dims));
+  for (int i = 0; i < num_dims; ++i) names.push_back("a" + std::to_string(i));
+  return Schema(std::move(names), "m");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "R(";
+  for (size_t i = 0; i < dimension_names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dimension_names_[i];
+  }
+  out += "; " + measure_name_ + ")";
+  return out;
+}
+
+}  // namespace spcube

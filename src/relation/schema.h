@@ -1,0 +1,54 @@
+#ifndef SPCUBE_RELATION_SCHEMA_H_
+#define SPCUBE_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Describes a cube input relation R(A1, ..., Ad, B): an ordered list of
+/// dimension attribute names plus one numeric measure attribute (paper §2.1).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<std::string> dimension_names, std::string measure_name);
+
+  /// Validates that names are non-empty and unique.
+  static Result<Schema> Make(std::vector<std::string> dimension_names,
+                             std::string measure_name);
+
+  int num_dims() const { return static_cast<int>(dimension_names_.size()); }
+  const std::vector<std::string>& dimension_names() const {
+    return dimension_names_;
+  }
+  const std::string& dimension_name(int i) const {
+    return dimension_names_[static_cast<size_t>(i)];
+  }
+  const std::string& measure_name() const { return measure_name_; }
+
+  /// Index of a dimension by name, or -1.
+  int DimensionIndex(const std::string& name) const;
+
+  /// "R(name, city, year; sales)"
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.dimension_names_ == b.dimension_names_ &&
+           a.measure_name_ == b.measure_name_;
+  }
+
+ private:
+  std::vector<std::string> dimension_names_;
+  std::string measure_name_;
+};
+
+/// A throwaway schema ("a0", ..., "a<d-1>"; measure "m") for relations whose
+/// attribute names do not matter (deserialized reducer inputs, generated
+/// workloads).
+Schema MakeAnonymousSchema(int num_dims);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_SCHEMA_H_

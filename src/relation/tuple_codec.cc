@@ -1,0 +1,37 @@
+#include "relation/tuple_codec.h"
+
+namespace spcube {
+
+void EncodeTupleTo(ByteWriter& writer, std::span<const int64_t> dims,
+                   int64_t measure) {
+  writer.PutVarint(dims.size());
+  for (int64_t v : dims) writer.PutVarintSigned(v);
+  writer.PutVarintSigned(measure);
+}
+
+std::string EncodeTuple(std::span<const int64_t> dims, int64_t measure) {
+  ByteWriter writer;
+  EncodeTupleTo(writer, dims, measure);
+  return writer.TakeData();
+}
+
+Status DecodeTuple(std::string_view bytes, std::vector<int64_t>* dims,
+                   int64_t* measure) {
+  ByteReader reader(bytes);
+  uint64_t count = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&count));
+  dims->clear();
+  dims->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t v = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarintSigned(&v));
+    dims->push_back(v);
+  }
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarintSigned(measure));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after tuple");
+  }
+  return Status::OK();
+}
+
+}  // namespace spcube

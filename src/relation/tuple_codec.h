@@ -1,0 +1,30 @@
+#ifndef SPCUBE_RELATION_TUPLE_CODEC_H_
+#define SPCUBE_RELATION_TUPLE_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace spcube {
+
+/// Wire format for a full relation tuple (all dimension values plus the
+/// measure), used as the shuffle value when a tuple travels to a reducer and
+/// inside the sketch-sampling round. Varint-encoded, so a tuple costs O(d)
+/// bytes — the unit of the paper's intermediate-data analysis (§5.2).
+std::string EncodeTuple(std::span<const int64_t> dims, int64_t measure);
+
+/// Appends the encoding to an existing writer.
+void EncodeTupleTo(ByteWriter& writer, std::span<const int64_t> dims,
+                   int64_t measure);
+
+/// Decodes a tuple previously encoded with EncodeTuple.
+Status DecodeTuple(std::string_view bytes, std::vector<int64_t>* dims,
+                   int64_t* measure);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_TUPLE_CODEC_H_

@@ -1,0 +1,71 @@
+#include "sketch/cardinality.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "cube/group_key.h"
+
+namespace spcube {
+
+int64_t CubeCardinalityEstimate::TotalGroups() const {
+  int64_t total = 0;
+  for (int64_t count : per_cuboid) total += count;
+  return total;
+}
+
+namespace {
+
+/// Per-cuboid multiplicity histogram of the sample: for each cuboid, how
+/// many sample groups occur exactly once (f1) and how many occur more.
+struct Frequencies {
+  int64_t singletons = 0;  // f1
+  int64_t repeated = 0;    // sum_{j >= 2} fj
+};
+
+std::vector<Frequencies> SampleFrequencies(const Relation& sample) {
+  const int d = sample.num_dims();
+  std::vector<Frequencies> out(static_cast<size_t>(NumCuboids(d)));
+  for (CuboidMask mask = 0;
+       mask < static_cast<CuboidMask>(NumCuboids(d)); ++mask) {
+    std::unordered_map<GroupKey, int64_t, GroupKeyHash> counts;
+    for (int64_t r = 0; r < sample.num_rows(); ++r) {
+      ++counts[GroupKey::Project(mask, sample.row(r))];
+    }
+    for (const auto& [key, count] : counts) {
+      (void)key;
+      if (count == 1) {
+        ++out[mask].singletons;
+      } else {
+        ++out[mask].repeated;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CubeCardinalityEstimate> EstimateCubeCardinality(
+    const Relation& sample, double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  CubeCardinalityEstimate estimate;
+  const double scale = std::sqrt(1.0 / alpha);
+  for (const Frequencies& f : SampleFrequencies(sample)) {
+    estimate.per_cuboid.push_back(static_cast<int64_t>(
+        std::llround(scale * static_cast<double>(f.singletons)) +
+        f.repeated));
+  }
+  return estimate;
+}
+
+CubeCardinalityEstimate ExactCubeCardinality(const Relation& rel) {
+  CubeCardinalityEstimate exact;
+  for (const Frequencies& f : SampleFrequencies(rel)) {
+    exact.per_cuboid.push_back(f.singletons + f.repeated);
+  }
+  return exact;
+}
+
+}  // namespace spcube

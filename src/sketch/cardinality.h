@@ -1,0 +1,43 @@
+#ifndef SPCUBE_SKETCH_CARDINALITY_H_
+#define SPCUBE_SKETCH_CARDINALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cuboid.h"
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// Per-cuboid distinct-group-count estimates derived from a uniform
+/// Bernoulli sample — the quantity behind the paper's dataset fingerprints
+/// ("approximately 180 million c-groups in the data") and a planning input
+/// for engines that size reducers by expected output.
+struct CubeCardinalityEstimate {
+  /// Estimated distinct c-groups per cuboid, indexed by mask.
+  std::vector<int64_t> per_cuboid;
+
+  /// Sum over all cuboids: the estimated number of tuples in the whole
+  /// cube.
+  int64_t TotalGroups() const;
+};
+
+/// Estimates distinct c-group counts per cuboid with the Guaranteed-Error
+/// Estimator (GEE, Charikar et al.): with sampling rate alpha and fj = the
+/// number of sample groups seen exactly j times,
+///
+///   Ê = sqrt(1/alpha) * f1 + sum_{j >= 2} fj.
+///
+/// Groups missed entirely by the sample are covered by the f1 upscaling;
+/// with alpha = 1 the estimate is exact. `sample` must be a Bernoulli
+/// sample drawn with rate `alpha` from the full relation.
+Result<CubeCardinalityEstimate> EstimateCubeCardinality(
+    const Relation& sample, double alpha);
+
+/// Exact distinct-group counts per cuboid (reference / small relations).
+CubeCardinalityEstimate ExactCubeCardinality(const Relation& rel);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_SKETCH_CARDINALITY_H_

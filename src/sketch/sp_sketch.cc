@@ -1,0 +1,236 @@
+#include "sketch/sp_sketch.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace spcube {
+
+SpSketch::SpSketch(int num_dims, int num_partitions)
+    : num_dims_(num_dims),
+      num_partitions_(num_partitions),
+      masks_bfs_(MasksInBfsOrder(num_dims)),
+      partition_elements_(static_cast<size_t>(NumCuboids(num_dims))) {
+  SPCUBE_CHECK(num_dims >= 1 && num_dims <= kMaxDims);
+  SPCUBE_CHECK(num_partitions >= 1);
+}
+
+uint64_t SpSketch::ProjectedHash(CuboidMask mask,
+                                 std::span<const int64_t> tuple) {
+  // Must match GroupKey::Hash() on the projected key.
+  uint64_t values_hash = 0x9ae16a3b2f90404fULL;
+  for (size_t d = 0; d < tuple.size(); ++d) {
+    if ((mask >> d) & 1) {
+      values_hash = HashCombine(values_hash, static_cast<uint64_t>(tuple[d]));
+    }
+  }
+  return HashCombine(Mix64(mask), values_hash);
+}
+
+void SpSketch::AddSkew(const GroupKey& key, int64_t estimated_count) {
+  SPCUBE_DCHECK(static_cast<int>(key.values.size()) ==
+                MaskPopCount(key.mask));
+  std::vector<SkewEntry>& bucket = skew_index_[key.Hash()];
+  for (SkewEntry& entry : bucket) {
+    if (entry.key == key) {
+      entry.estimated_count = std::max(entry.estimated_count,
+                                       estimated_count);
+      return;
+    }
+  }
+  bucket.push_back(SkewEntry{key, estimated_count});
+}
+
+Status SpSketch::SetPartitionElements(CuboidMask mask,
+                                      std::vector<GroupKey> elements) {
+  if (mask >= static_cast<CuboidMask>(NumCuboids(num_dims_))) {
+    return Status::InvalidArgument("mask out of range");
+  }
+  if (static_cast<int>(elements.size()) > num_partitions_ - 1) {
+    return Status::InvalidArgument(
+        "too many partition elements for k partitions");
+  }
+  for (const GroupKey& e : elements) {
+    if (e.mask != mask) {
+      return Status::InvalidArgument(
+          "partition element cuboid does not match");
+    }
+  }
+  if (!std::is_sorted(elements.begin(), elements.end(),
+                      [](const GroupKey& a, const GroupKey& b) {
+                        return a.values < b.values;
+                      })) {
+    return Status::InvalidArgument("partition elements must be sorted");
+  }
+  partition_elements_[mask] = std::move(elements);
+  return Status::OK();
+}
+
+bool SpSketch::IsSkewedTuple(CuboidMask mask,
+                             std::span<const int64_t> tuple) const {
+  const auto it = skew_index_.find(ProjectedHash(mask, tuple));
+  if (it == skew_index_.end()) return false;
+  for (const SkewEntry& entry : it->second) {
+    if (entry.key.mask == mask &&
+        CompareTupleToKey(mask, tuple, entry.key) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SpSketch::IsSkewedKey(const GroupKey& key) const {
+  const auto it = skew_index_.find(key.Hash());
+  if (it == skew_index_.end()) return false;
+  for (const SkewEntry& entry : it->second) {
+    if (entry.key == key) return true;
+  }
+  return false;
+}
+
+int SpSketch::PartitionOfTuple(CuboidMask mask,
+                               std::span<const int64_t> tuple) const {
+  const std::vector<GroupKey>& elements = partition_elements_[mask];
+  // Number of elements strictly smaller than the tuple's projection.
+  int lo = 0;
+  int hi = static_cast<int>(elements.size());
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    // element < tuple  <=>  tuple > element
+    if (CompareTupleToKey(mask, tuple,
+                          elements[static_cast<size_t>(mid)]) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int SpSketch::PartitionOfKey(const GroupKey& key) const {
+  const std::vector<GroupKey>& elements = partition_elements_[key.mask];
+  const auto it = std::lower_bound(
+      elements.begin(), elements.end(), key,
+      [](const GroupKey& element, const GroupKey& probe) {
+        return element.values < probe.values;
+      });
+  return static_cast<int>(it - elements.begin());
+}
+
+CuboidMask SpSketch::OwnerMask(const GroupKey& key) const {
+  // Expand the projected values back onto dimension positions so subset
+  // projections can be tested in place.
+  std::array<int64_t, kMaxDims> expanded{};
+  size_t vi = 0;
+  for (int d = 0; d < num_dims_; ++d) {
+    if ((key.mask >> d) & 1) expanded[static_cast<size_t>(d)] = key.values[vi++];
+  }
+  const std::span<const int64_t> span(expanded.data(),
+                                      static_cast<size_t>(num_dims_));
+  for (const CuboidMask mask : masks_bfs_) {
+    if (!IsSubsetMask(mask, key.mask)) continue;
+    if (!IsSkewedTuple(mask, span)) return mask;
+  }
+  return kNoOwner;
+}
+
+int64_t SpSketch::TotalSkewedGroups() const {
+  int64_t total = 0;
+  for (const auto& [hash, bucket] : skew_index_) {
+    (void)hash;
+    total += static_cast<int64_t>(bucket.size());
+  }
+  return total;
+}
+
+int64_t SpSketch::SkewedGroupsInCuboid(CuboidMask mask) const {
+  int64_t total = 0;
+  for (const auto& [hash, bucket] : skew_index_) {
+    (void)hash;
+    for (const SkewEntry& entry : bucket) {
+      if (entry.key.mask == mask) ++total;
+    }
+  }
+  return total;
+}
+
+const std::vector<GroupKey>& SpSketch::PartitionElements(
+    CuboidMask mask) const {
+  return partition_elements_[mask];
+}
+
+std::vector<GroupKey> SpSketch::AllSkewedGroups() const {
+  std::vector<GroupKey> out;
+  for (const auto& [hash, bucket] : skew_index_) {
+    (void)hash;
+    for (const SkewEntry& entry : bucket) out.push_back(entry.key);
+  }
+  return out;
+}
+
+std::string SpSketch::Serialize() const {
+  ByteWriter writer;
+  writer.PutVarint(static_cast<uint64_t>(num_dims_));
+  writer.PutVarint(static_cast<uint64_t>(num_partitions_));
+  writer.PutVarint(static_cast<uint64_t>(TotalSkewedGroups()));
+  for (const auto& [hash, bucket] : skew_index_) {
+    (void)hash;
+    for (const SkewEntry& entry : bucket) {
+      entry.key.EncodeTo(writer);
+      writer.PutVarintSigned(entry.estimated_count);
+    }
+  }
+  for (const std::vector<GroupKey>& elements : partition_elements_) {
+    writer.PutVarint(elements.size());
+    for (const GroupKey& e : elements) e.EncodeTo(writer);
+  }
+  return writer.TakeData();
+}
+
+Result<SpSketch> SpSketch::Deserialize(std::string_view bytes) {
+  ByteReader reader(bytes);
+  uint64_t num_dims = 0;
+  uint64_t num_partitions = 0;
+  uint64_t num_skews = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_dims));
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_partitions));
+  if (num_dims < 1 || num_dims > static_cast<uint64_t>(kMaxDims)) {
+    return Status::Corruption("sketch has invalid dimension count");
+  }
+  SpSketch sketch(static_cast<int>(num_dims), static_cast<int>(num_partitions));
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_skews));
+  for (uint64_t i = 0; i < num_skews; ++i) {
+    GroupKey key;
+    SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &key));
+    int64_t count = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarintSigned(&count));
+    sketch.AddSkew(key, count);
+  }
+  const int64_t num_cuboids = NumCuboids(static_cast<int>(num_dims));
+  for (int64_t mask = 0; mask < num_cuboids; ++mask) {
+    uint64_t count = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&count));
+    std::vector<GroupKey> elements;
+    elements.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      GroupKey key;
+      SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &key));
+      elements.push_back(std::move(key));
+    }
+    SPCUBE_RETURN_IF_ERROR(sketch.SetPartitionElements(
+        static_cast<CuboidMask>(mask), std::move(elements)));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after sketch");
+  }
+  return sketch;
+}
+
+int64_t SpSketch::SerializedByteSize() const {
+  return static_cast<int64_t>(Serialize().size());
+}
+
+}  // namespace spcube

@@ -1,0 +1,117 @@
+#ifndef SPCUBE_SKETCH_SP_SKETCH_H_
+#define SPCUBE_SKETCH_SP_SKETCH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cuboid.h"
+#include "cube/group_key.h"
+
+namespace spcube {
+
+/// Sentinel returned by OwnerMask when every subset cuboid holds a skewed
+/// group for the tuple (the group is handled by the skew path instead).
+inline constexpr CuboidMask kNoOwner = ~CuboidMask{0};
+
+/// The Skews-and-Partitions Sketch (paper §4): for every cuboid C it records
+///   * skews(C)              — the skewed c-groups of C (groups whose tuple
+///                             set exceeds a machine's memory m), and
+///   * partition-elements(C) — k-1 tuples that split sorted(R, C) into k
+///                             balanced ranges.
+/// The sketch is small (O(2^d k) entries = O(m), Prop. 4.7), serializable,
+/// and independent of the aggregate function, so one sketch serves any
+/// number of cube computations over the same relation.
+///
+/// Lookups never allocate: skewed-group membership tests hash the projection
+/// of a tuple in place, which keeps the mapper's per-tuple lattice walk
+/// cheap.
+class SpSketch {
+ public:
+  /// `num_partitions` is k, the number of range partitions per cuboid.
+  SpSketch(int num_dims, int num_partitions);
+
+  int num_dims() const { return num_dims_; }
+  int num_partitions() const { return num_partitions_; }
+
+  // -- Construction ---------------------------------------------------------
+
+  /// Registers a skewed c-group with its estimated tuple count. Idempotent
+  /// per key (keeps the larger estimate).
+  void AddSkew(const GroupKey& key, int64_t estimated_count);
+
+  /// Installs the sorted partition-element keys of one cuboid (at most k-1;
+  /// all keys must have `mask` as their cuboid).
+  Status SetPartitionElements(CuboidMask mask, std::vector<GroupKey> elements);
+
+  // -- Queries --------------------------------------------------------------
+
+  /// True iff the projection of `tuple` onto `mask` is a recorded skewed
+  /// c-group. `tuple` holds all num_dims dimension values.
+  bool IsSkewedTuple(CuboidMask mask, std::span<const int64_t> tuple) const;
+
+  /// True iff `key` (a projected group) is recorded as skewed.
+  bool IsSkewedKey(const GroupKey& key) const;
+
+  /// Range-partition index in [0, k) of `tuple` within cuboid `mask`
+  /// (Def. 4.1: the number of partition elements lexicographically smaller
+  /// than the tuple's projection).
+  int PartitionOfTuple(CuboidMask mask, std::span<const int64_t> tuple) const;
+
+  /// Same, for an already-projected key of cuboid `key.mask`.
+  int PartitionOfKey(const GroupKey& key) const;
+
+  /// The owner of the c-group `key`: the BFS-first mask M ⊆ key.mask whose
+  /// induced sub-group is non-skewed (paper §5.1's "smallest non-skewed
+  /// descendant" assignment rule). Returns kNoOwner when the group and all
+  /// its sub-groups are skewed. Both the round-2 mapper and reducers derive
+  /// routing/ownership from this, so they agree without communication.
+  CuboidMask OwnerMask(const GroupKey& key) const;
+
+  // -- Introspection --------------------------------------------------------
+
+  int64_t TotalSkewedGroups() const;
+  int64_t SkewedGroupsInCuboid(CuboidMask mask) const;
+  const std::vector<GroupKey>& PartitionElements(CuboidMask mask) const;
+
+  /// All recorded skewed groups (unordered).
+  std::vector<GroupKey> AllSkewedGroups() const;
+
+  /// Masks in canonical BFS order, cached (shared with mapper walks).
+  const std::vector<CuboidMask>& MasksBfs() const { return masks_bfs_; }
+
+  // -- Serialization --------------------------------------------------------
+
+  std::string Serialize() const;
+  static Result<SpSketch> Deserialize(std::string_view bytes);
+
+  /// Size of the serialized form, the quantity Figures 5c/6c report.
+  int64_t SerializedByteSize() const;
+
+ private:
+  /// Hash of the projection of `tuple` onto `mask`; must equal
+  /// GroupKey::Project(mask, tuple).Hash().
+  static uint64_t ProjectedHash(CuboidMask mask,
+                                std::span<const int64_t> tuple);
+
+  struct SkewEntry {
+    GroupKey key;
+    int64_t estimated_count;
+  };
+
+  int num_dims_;
+  int num_partitions_;
+  std::vector<CuboidMask> masks_bfs_;
+  /// Skew table: projection hash -> colliding entries. Values compared
+  /// in place against tuples, so lookups are allocation-free.
+  std::unordered_map<uint64_t, std::vector<SkewEntry>> skew_index_;
+  /// Per-cuboid sorted partition elements, indexed by mask.
+  std::vector<std::vector<GroupKey>> partition_elements_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_SKETCH_SP_SKETCH_H_

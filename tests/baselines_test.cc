@@ -1,0 +1,259 @@
+// Tests for the baseline algorithms: naive (Algorithm 1), MR-Cube (Pig)
+// and the Hive surrogate. All must agree exactly with the reference cube;
+// their characteristic behaviours (2^d blowup, cuboid-granularity skew
+// detection, strict-memory failures) are asserted on top.
+
+#include <gtest/gtest.h>
+
+#include "baselines/hive.h"
+#include "baselines/mrcube.h"
+#include "baselines/naive.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+EngineConfig TestConfig(int workers = 5) {
+  EngineConfig config;
+  config.num_workers = workers;
+  config.memory_budget_bytes = 4 << 20;
+  config.network_bandwidth_bytes_per_sec = 0;
+  return config;
+}
+
+void ExpectMatchesReference(CubeAlgorithm& algorithm, const Relation& rel,
+                            AggregateKind kind) {
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  CubeRunOptions options;
+  options.aggregate = kind;
+  auto output = algorithm.Run(engine, rel, options);
+  ASSERT_TRUE(output.ok()) << algorithm.name() << ": " << output.status();
+  ASSERT_NE(output->cube, nullptr);
+  CubeResult reference = ComputeCubeReference(rel, kind);
+  std::string diff;
+  EXPECT_TRUE(
+      CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+      << algorithm.name() << ":\n"
+      << diff;
+}
+
+TEST(NaiveTest, MatchesReferenceOnUniform) {
+  NaiveCubeAlgorithm naive;
+  ExpectMatchesReference(naive, GenUniform(2000, 3, 20, 1),
+                         AggregateKind::kCount);
+}
+
+TEST(NaiveTest, MatchesReferenceOnSkewed) {
+  NaiveCubeAlgorithm naive;
+  ExpectMatchesReference(naive, GenBinomial(2000, 4, 0.6, 3),
+                         AggregateKind::kCount);
+}
+
+TEST(NaiveTest, MatchesReferenceForAllAggregates) {
+  Relation rel = GenZipfPaper(1200, 5);
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg}) {
+    NaiveCubeAlgorithm naive;
+    ExpectMatchesReference(naive, rel, kind);
+  }
+}
+
+TEST(NaiveTest, EmitsExactly2ToTheDPairsPerTuple) {
+  Relation rel = GenUniform(1000, 4, 100, 7);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  NaiveCubeAlgorithm naive;
+  auto output = naive.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->metrics.rounds[0].map_output_records, 1000 * 16);
+  EXPECT_EQ(output->metrics.rounds[0].shuffle_records, 1000 * 16);
+}
+
+TEST(NaiveTest, CombinerVariantMatchesAndShrinksTraffic) {
+  Relation rel = GenBinomial(2000, 3, 0.7, 9);
+  NaiveCubeAlgorithm with_combiner(NaiveCubeOptions{true});
+  ExpectMatchesReference(with_combiner, rel, AggregateKind::kCount);
+
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  NaiveCubeAlgorithm plain;
+  auto plain_out = plain.Run(engine, rel, {});
+  auto combined_out = with_combiner.Run(engine, rel, {});
+  ASSERT_TRUE(plain_out.ok());
+  ASSERT_TRUE(combined_out.ok());
+  EXPECT_LT(combined_out->metrics.ShuffleBytes(),
+            plain_out->metrics.ShuffleBytes());
+}
+
+TEST(MrCubeTest, MatchesReferenceOnUniform) {
+  MrCubeAlgorithm mrcube;
+  ExpectMatchesReference(mrcube, GenUniform(2000, 3, 20, 11),
+                         AggregateKind::kCount);
+}
+
+TEST(MrCubeTest, MatchesReferenceOnHeavySkew) {
+  MrCubeAlgorithm mrcube;
+  ExpectMatchesReference(mrcube, GenBinomial(3000, 4, 0.7, 13),
+                         AggregateKind::kCount);
+}
+
+TEST(MrCubeTest, MatchesReferenceOnPlantedSkew) {
+  MrCubeAlgorithm mrcube;
+  ExpectMatchesReference(mrcube,
+                         GenPlantedSkew(3000, 3, {0.5}, {15, 15, 15}, 15),
+                         AggregateKind::kSum);
+}
+
+TEST(MrCubeTest, MatchesReferenceForAvg) {
+  MrCubeAlgorithm mrcube;
+  ExpectMatchesReference(mrcube, GenZipfPaper(1500, 17),
+                         AggregateKind::kAvg);
+}
+
+TEST(MrCubeTest, FriendlyDataNeedsNoThirdRound) {
+  Relation rel = GenUniform(2000, 3, 5000, 19);  // no big groups
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  MrCubeAlgorithm mrcube;
+  auto output = mrcube.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  // Only apex-ish cuboids can be unfriendly; with uniform data the apex
+  // still is (n > m), so allow 2 or 3 rounds but verify the detection
+  // count matches the rounds run.
+  if (mrcube.last_unfriendly_cuboids() == 0) {
+    EXPECT_EQ(output->metrics.rounds.size(), 2u);
+  } else {
+    EXPECT_EQ(output->metrics.rounds.size(), 3u);
+  }
+}
+
+TEST(MrCubeTest, SkewTriggersValuePartitioningAndPostAggregation) {
+  Relation rel = GenPlantedSkew(4000, 3, {0.6}, {20, 20, 20}, 21);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(4), &dfs);
+  MrCubeAlgorithm mrcube;
+  auto output = mrcube.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  EXPECT_GT(mrcube.last_unfriendly_cuboids(), 0);
+  ASSERT_EQ(output->metrics.rounds.size(), 3u);
+  EXPECT_EQ(output->metrics.rounds[2].job_name, "mrcube-postagg");
+}
+
+TEST(MrCubeTest, CuboidGranularityIsCoarserThanGroupGranularity) {
+  // One planted heavy group makes its whole cuboid unfriendly, so MR-Cube
+  // value-partitions *all* groups of that cuboid — the inefficiency the
+  // paper contrasts SP-Cube against (§1).
+  Relation rel = GenPlantedSkew(4000, 2, {0.5}, {50, 50}, 23);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(4), &dfs);
+  MrCubeAlgorithm mrcube;
+  auto output = mrcube.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  // All four cuboids contain the planted group's projection with 50% mass,
+  // so every cuboid is unfriendly.
+  EXPECT_EQ(mrcube.last_unfriendly_cuboids(), 4);
+}
+
+TEST(MrCubeTest, AnnotationsSerializationRoundTrip) {
+  MrCubeAnnotations annotations;
+  annotations.num_dims = 3;
+  annotations.partition_factor = {1, 2, 1, 4, 1, 1, 8, 1};
+  auto decoded = MrCubeAnnotations::Deserialize(annotations.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_dims, 3);
+  EXPECT_EQ(decoded->partition_factor, annotations.partition_factor);
+  EXPECT_FALSE(MrCubeAnnotations::Deserialize("junk").ok());
+}
+
+TEST(HiveTest, MatchesReferenceOnUniform) {
+  HiveCubeAlgorithm hive;
+  ExpectMatchesReference(hive, GenUniform(2000, 3, 20, 25),
+                         AggregateKind::kCount);
+}
+
+TEST(HiveTest, MatchesReferenceOnSkewed) {
+  HiveCubeAlgorithm hive;
+  ExpectMatchesReference(hive, GenBinomial(2500, 4, 0.5, 27),
+                         AggregateKind::kCount);
+}
+
+TEST(HiveTest, MatchesReferenceForSumAndAvg) {
+  Relation rel = GenZipfPaper(1500, 29);
+  for (AggregateKind kind : {AggregateKind::kSum, AggregateKind::kAvg}) {
+    HiveCubeAlgorithm hive;
+    ExpectMatchesReference(hive, rel, kind);
+  }
+}
+
+TEST(HiveTest, MapHashCollapsesDuplicateHeavyRows) {
+  // All rows identical: the map hash should collapse nearly everything.
+  Relation rel(MakeAnonymousSchema(3));
+  for (int i = 0; i < 4000; ++i) {
+    rel.AppendRow(std::vector<int64_t>{1, 2, 3}, 1);
+  }
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(4), &dfs);
+  HiveCubeAlgorithm hive;
+  auto output = hive.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  // 4 mappers x 8 groups (plus a few flush boundaries) — far below n*2^d.
+  EXPECT_LT(output->metrics.rounds[0].shuffle_records, 200);
+}
+
+TEST(HiveTest, UniformDataChurnsTheMapHash) {
+  // Distinct-heavy input defeats map-side aggregation: emitted records are
+  // a large fraction of n * 2^d (the paper's "Hive map output largest").
+  Relation rel = GenUniform(3000, 4, 1 << 30, 31);
+  EngineConfig config = TestConfig(4);
+  config.memory_budget_bytes = 64 << 10;  // small hash -> heavy churn
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  HiveCubeAlgorithm hive;
+  auto output = hive.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  EXPECT_GT(output->metrics.rounds[0].shuffle_records, 3000 * 16 / 2);
+}
+
+TEST(HiveTest, StrictMemoryFailsUnderHeavySkewAndSmallMemory) {
+  // The configuration the paper reports for gen-binomial p >= 0.4: with
+  // strict reducer memory and budgets sized to the skew, the job dies with
+  // ResourceExhausted instead of finishing.
+  Relation rel = GenUniform(4000, 4, 1 << 30, 33);
+  EngineConfig config = TestConfig(4);
+  config.memory_budget_bytes = 32 << 10;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  HiveCubeOptions options;
+  options.strict_reducer_memory = true;
+  HiveCubeAlgorithm hive(options);
+  auto output = hive.Run(engine, rel, {});
+  ASSERT_FALSE(output.ok());
+  EXPECT_EQ(output.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AllBaselinesTest, AgreeWithEachOtherOnMixedWorkload) {
+  Relation rel = GenIndependentSkew(2500, 4, 0.3, 50, 35);
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+
+  NaiveCubeAlgorithm naive;
+  MrCubeAlgorithm mrcube;
+  HiveCubeAlgorithm hive;
+  for (CubeAlgorithm* algorithm :
+       std::initializer_list<CubeAlgorithm*>{&naive, &mrcube, &hive}) {
+    DistributedFileSystem dfs;
+    Engine engine(TestConfig(), &dfs);
+    auto output = algorithm->Run(engine, rel, {});
+    ASSERT_TRUE(output.ok()) << algorithm->name();
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+        << algorithm->name() << ":\n"
+        << diff;
+  }
+}
+
+}  // namespace
+}  // namespace spcube

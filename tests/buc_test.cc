@@ -1,0 +1,185 @@
+// Tests for the sequential BUC algorithm against the reference cube.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_map>
+
+#include "cube/buc.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+CubeResult RunBucFull(const Relation& rel, AggregateKind kind,
+                      const BucOptions& options = {}) {
+  CubeResult cube(rel.num_dims());
+  BucComputeFull(rel, GetAggregator(kind), options,
+                 [&](const GroupKey& key, const AggState& state) {
+                   EXPECT_TRUE(
+                       cube.AddGroup(key, GetAggregator(kind).Finalize(state))
+                           .ok())
+                       << "BUC produced a duplicate group";
+                 });
+  return cube;
+}
+
+TEST(BucTest, EmptyRelationProducesNothing) {
+  Relation rel(MakeAnonymousSchema(2));
+  int calls = 0;
+  BucComputeFull(rel, GetAggregator(AggregateKind::kCount), {},
+                 [&](const GroupKey&, const AggState&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BucTest, SingleTupleProducesFullLattice) {
+  Relation rel(MakeAnonymousSchema(3));
+  rel.AppendRow(std::vector<int64_t>{1, 2, 3}, 9);
+  CubeResult cube = RunBucFull(rel, AggregateKind::kSum);
+  EXPECT_EQ(cube.num_groups(), 8);
+  for (const auto& [key, value] : cube.groups()) {
+    EXPECT_EQ(value, 9.0) << key.ToString(3);
+  }
+}
+
+class BucVsReferenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(BucVsReferenceTest, MatchesReferenceOnRandomData) {
+  const auto [num_dims, domain, seed] = GetParam();
+  Relation rel = GenUniform(300, num_dims, domain, seed);
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kAvg}) {
+    CubeResult reference = ComputeCubeReference(rel, kind);
+    CubeResult buc = RunBucFull(rel, kind);
+    std::string diff;
+    EXPECT_TRUE(CubeResult::ApproxEqual(reference, buc, 1e-9, &diff))
+        << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsDomainsSeeds, BucVsReferenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2, 7),
+                       ::testing::Values(1u, 99u)));
+
+TEST(BucTest, SkewedDataMatchesReference) {
+  Relation rel = GenBinomial(400, 4, 0.5, 5);
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  CubeResult buc = RunBucFull(rel, AggregateKind::kCount);
+  std::string diff;
+  EXPECT_TRUE(CubeResult::ApproxEqual(reference, buc, 1e-9, &diff)) << diff;
+}
+
+TEST(BucTest, DimOrderingHeuristicDoesNotChangeOutput) {
+  Relation rel = GenZipfPaper(400, 77);
+  BucOptions natural;
+  natural.order_dims_by_cardinality = false;
+  BucOptions heuristic;
+  heuristic.order_dims_by_cardinality = true;
+  CubeResult a = RunBucFull(rel, AggregateKind::kCount, natural);
+  CubeResult b = RunBucFull(rel, AggregateKind::kCount, heuristic);
+  std::string diff;
+  EXPECT_TRUE(CubeResult::ApproxEqual(a, b, 1e-9, &diff)) << diff;
+}
+
+TEST(BucTest, MinSupportPrunesSmallGroups) {
+  // 5 copies of (1,1), 2 copies of (2,2).
+  Relation rel(MakeAnonymousSchema(2));
+  for (int i = 0; i < 5; ++i) rel.AppendRow(std::vector<int64_t>{1, 1}, 1);
+  for (int i = 0; i < 2; ++i) rel.AppendRow(std::vector<int64_t>{2, 2}, 1);
+
+  BucOptions options;
+  options.min_support = 3;
+  CubeResult cube = RunBucFull(rel, AggregateKind::kCount, options);
+  // Reported groups: apex (count 7) and the three projections of the
+  // (1,1) group (count 5 each). Everything from (2,2) is pruned.
+  EXPECT_EQ(cube.num_groups(), 4);
+  EXPECT_EQ(cube.Lookup(GroupKey(0, {})).value(), 7.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b11, {1, 1})).value(), 5.0);
+  EXPECT_FALSE(cube.Lookup(GroupKey(0b11, {2, 2})).ok());
+}
+
+TEST(BucTest, MinSupportIcebergIsExact) {
+  // Iceberg BUC must report exactly the groups whose count >= threshold.
+  Relation rel = GenBinomial(500, 3, 0.3, 11);
+  const int64_t threshold = 20;
+  BucOptions options;
+  options.min_support = threshold;
+  CubeResult iceberg = RunBucFull(rel, AggregateKind::kCount, options);
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  int64_t expected = 0;
+  for (const auto& [key, value] : reference.groups()) {
+    if (value >= static_cast<double>(threshold)) {
+      ++expected;
+      auto found = iceberg.Lookup(key);
+      ASSERT_TRUE(found.ok()) << key.ToString(3);
+      EXPECT_EQ(found.value(), value);
+    }
+  }
+  EXPECT_EQ(iceberg.num_groups(), expected);
+}
+
+TEST(BucTest, BaseMaskRestrictsToAncestors) {
+  // Rows share the value 5 on dim 0; base_mask fixes dim 0 so BUC must
+  // produce exactly the groups extending (5, *, *).
+  Relation rel(MakeAnonymousSchema(3));
+  rel.AppendRow(std::vector<int64_t>{5, 1, 1}, 1);
+  rel.AppendRow(std::vector<int64_t>{5, 1, 2}, 1);
+  rel.AppendRow(std::vector<int64_t>{5, 2, 1}, 1);
+
+  std::vector<int64_t> rows(3);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::unordered_map<GroupKey, double, GroupKeyHash> produced;
+  BucCompute(rel, rows, /*base_mask=*/0b001,
+             GetAggregator(AggregateKind::kCount), {},
+             [&](const GroupKey& key, const AggState& state) {
+               EXPECT_TRUE(IsSubsetMask(0b001, key.mask));
+               EXPECT_EQ(key.values.front(), 5);
+               produced[key] = static_cast<double>(state.v0);
+             });
+  // Groups: (5,*,*)=3, (5,1,*)=2, (5,2,*)=1, (5,*,1)=2, (5,*,2)=1,
+  // (5,1,1)=1, (5,1,2)=1, (5,2,1)=1.
+  EXPECT_EQ(produced.size(), 8u);
+  EXPECT_EQ(produced[GroupKey(0b001, {5})], 3.0);
+  EXPECT_EQ(produced[GroupKey(0b011, {5, 1})], 2.0);
+  EXPECT_EQ(produced[GroupKey(0b111, {5, 1, 2})], 1.0);
+}
+
+TEST(BucTest, FullBaseMaskReportsOnlyTheGroup) {
+  Relation rel(MakeAnonymousSchema(2));
+  rel.AppendRow(std::vector<int64_t>{1, 2}, 10);
+  rel.AppendRow(std::vector<int64_t>{1, 2}, 20);
+  std::vector<int64_t> rows = {0, 1};
+  int calls = 0;
+  BucCompute(rel, rows, /*base_mask=*/0b11,
+             GetAggregator(AggregateKind::kSum), {},
+             [&](const GroupKey& key, const AggState& state) {
+               ++calls;
+               EXPECT_EQ(key.mask, 0b11u);
+               EXPECT_EQ(state.v0, 30);
+             });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BucTest, SubsetOfRowsOnly) {
+  Relation rel(MakeAnonymousSchema(1));
+  for (int64_t i = 0; i < 10; ++i) {
+    rel.AppendRow(std::vector<int64_t>{i % 2}, 1);
+  }
+  // Only even rows (value 0).
+  std::vector<int64_t> rows = {0, 2, 4, 6, 8};
+  std::unordered_map<GroupKey, double, GroupKeyHash> produced;
+  BucCompute(rel, rows, 0, GetAggregator(AggregateKind::kCount), {},
+             [&](const GroupKey& key, const AggState& state) {
+               produced[key] = static_cast<double>(state.v0);
+             });
+  EXPECT_EQ(produced.size(), 2u);  // apex + the single value-0 group
+  EXPECT_EQ(produced[GroupKey(0, {})], 5.0);
+  EXPECT_EQ(produced[GroupKey(0b1, {0})], 5.0);
+}
+
+}  // namespace
+}  // namespace spcube

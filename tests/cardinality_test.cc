@@ -1,0 +1,98 @@
+// Tests for the GEE cube-cardinality estimator.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+#include "sketch/cardinality.h"
+
+namespace spcube {
+namespace {
+
+Relation Sample(const Relation& rel, double alpha, uint64_t seed) {
+  Relation out(MakeAnonymousSchema(rel.num_dims()));
+  Rng rng(seed);
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    if (rng.NextBernoulli(alpha)) out.AppendRow(rel.row(r), rel.measure(r));
+  }
+  return out;
+}
+
+TEST(CardinalityTest, ExactMatchesReferenceCube) {
+  Relation rel = GenZipfPaper(2000, 131);
+  CubeCardinalityEstimate exact = ExactCubeCardinality(rel);
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  for (CuboidMask mask = 0; mask < 16; ++mask) {
+    EXPECT_EQ(exact.per_cuboid[mask], reference.CuboidGroupCount(mask))
+        << mask;
+  }
+  EXPECT_EQ(exact.TotalGroups(), reference.num_groups());
+}
+
+TEST(CardinalityTest, AlphaOneIsExact) {
+  Relation rel = GenUniform(1000, 3, 7, 133);
+  auto estimate = EstimateCubeCardinality(rel, 1.0);
+  ASSERT_TRUE(estimate.ok());
+  CubeCardinalityEstimate exact = ExactCubeCardinality(rel);
+  EXPECT_EQ(estimate->per_cuboid, exact.per_cuboid);
+}
+
+TEST(CardinalityTest, RejectsBadAlpha) {
+  Relation rel = GenUniform(10, 2, 5, 135);
+  EXPECT_FALSE(EstimateCubeCardinality(rel, 0.0).ok());
+  EXPECT_FALSE(EstimateCubeCardinality(rel, 1.5).ok());
+  EXPECT_FALSE(EstimateCubeCardinality(rel, -0.1).ok());
+}
+
+TEST(CardinalityTest, LowCardinalityCuboidsEstimatedTightly) {
+  // Small domains: the sample sees every group several times, so repeated
+  // counts dominate and the estimate is near-exact.
+  Relation rel = GenUniform(50000, 3, 8, 137);  // <= 8^3 = 512 base groups
+  const double alpha = 0.05;
+  Relation sample = Sample(rel, alpha, 139);
+  auto estimate = EstimateCubeCardinality(sample, alpha);
+  ASSERT_TRUE(estimate.ok());
+  CubeCardinalityEstimate exact = ExactCubeCardinality(rel);
+  for (CuboidMask mask = 0; mask < 8; ++mask) {
+    EXPECT_NEAR(static_cast<double>(estimate->per_cuboid[mask]),
+                static_cast<double>(exact.per_cuboid[mask]),
+                0.15 * static_cast<double>(exact.per_cuboid[mask]) + 2)
+        << mask;
+  }
+}
+
+TEST(CardinalityTest, GeeUpscalesSingletonHeavySamples) {
+  // Huge domain: nearly every sampled tuple is a singleton group, so the
+  // estimate must exceed the raw sample-distinct count by ~sqrt(1/alpha).
+  Relation rel = GenUniform(20000, 2, 1 << 30, 141);
+  const double alpha = 0.04;
+  Relation sample = Sample(rel, alpha, 143);
+  auto estimate = EstimateCubeCardinality(sample, alpha);
+  ASSERT_TRUE(estimate.ok());
+  const CuboidMask base = 0b11;
+  CubeCardinalityEstimate sample_exact = ExactCubeCardinality(sample);
+  EXPECT_GT(estimate->per_cuboid[base],
+            3 * sample_exact.per_cuboid[base]);
+  // GEE guarantees the estimate is within sqrt(1/alpha) of the truth in
+  // ratio; check the order of magnitude here.
+  CubeCardinalityEstimate exact = ExactCubeCardinality(rel);
+  const double ratio =
+      static_cast<double>(estimate->per_cuboid[base]) /
+      static_cast<double>(exact.per_cuboid[base]);
+  EXPECT_GT(ratio, 1.0 / 6.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(CardinalityTest, ApexAlwaysOne) {
+  Relation rel = GenZipfPaper(5000, 145);
+  Relation sample = Sample(rel, 0.1, 147);
+  auto estimate = EstimateCubeCardinality(sample, 0.1);
+  ASSERT_TRUE(estimate.ok());
+  // The apex cuboid has exactly one group; with >= 2 samples it is seen
+  // repeatedly, so GEE reports exactly 1.
+  EXPECT_EQ(estimate->per_cuboid[0], 1);
+}
+
+}  // namespace
+}  // namespace spcube

@@ -1,0 +1,235 @@
+// Tests for cuboid masks, lattices, group keys and the cube-result
+// container.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cube/cube_result.h"
+#include "cube/cuboid.h"
+#include "cube/group_key.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+TEST(CuboidTest, PopCountAndCuboidCount) {
+  EXPECT_EQ(MaskPopCount(0b0000), 0);
+  EXPECT_EQ(MaskPopCount(0b1011), 3);
+  EXPECT_EQ(NumCuboids(0), 1);
+  EXPECT_EQ(NumCuboids(4), 16);
+  EXPECT_EQ(NumCuboids(10), 1024);
+}
+
+TEST(CuboidTest, SubsetMask) {
+  EXPECT_TRUE(IsSubsetMask(0b001, 0b011));
+  EXPECT_TRUE(IsSubsetMask(0b011, 0b011));
+  EXPECT_TRUE(IsSubsetMask(0, 0b111));
+  EXPECT_FALSE(IsSubsetMask(0b100, 0b011));
+}
+
+TEST(CuboidTest, ImmediateDescendants) {
+  // Descendants of (A0, A2) are (A0) and (A2) — one attribute removed
+  // (paper Def. 2.3).
+  std::vector<CuboidMask> descendants = ImmediateDescendants(0b101);
+  std::sort(descendants.begin(), descendants.end());
+  EXPECT_EQ(descendants, (std::vector<CuboidMask>{0b001, 0b100}));
+  EXPECT_TRUE(ImmediateDescendants(0).empty());
+}
+
+TEST(CuboidTest, ImmediateAncestors) {
+  std::vector<CuboidMask> ancestors = ImmediateAncestors(0b001, 3);
+  std::sort(ancestors.begin(), ancestors.end());
+  EXPECT_EQ(ancestors, (std::vector<CuboidMask>{0b011, 0b101}));
+  EXPECT_TRUE(ImmediateAncestors(0b111, 3).empty());
+}
+
+TEST(CuboidTest, AncestorsAndDescendantsAreInverse) {
+  const int d = 5;
+  for (CuboidMask mask = 0; mask < (CuboidMask{1} << d); ++mask) {
+    for (CuboidMask ancestor : ImmediateAncestors(mask, d)) {
+      const auto descendants = ImmediateDescendants(ancestor);
+      EXPECT_NE(std::find(descendants.begin(), descendants.end(), mask),
+                descendants.end());
+    }
+  }
+}
+
+TEST(CuboidTest, BfsOrderIsLevelByLevel) {
+  const std::vector<CuboidMask> order = MasksInBfsOrder(4);
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), 0b1111u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_TRUE(BfsLess(order[i - 1], order[i]));
+  }
+  // Every strict descendant precedes its ancestor — the property the
+  // mapper's marking rule and the reducer's ownership rule both rely on.
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      EXPECT_FALSE(IsSubsetMask(order[j], order[i]) && order[i] != order[j]);
+    }
+  }
+}
+
+TEST(CuboidTest, MaskToString) {
+  EXPECT_EQ(MaskToString(0b101, 3), "(A0, *, A2)");
+  EXPECT_EQ(MaskToString(0, 2), "(*, *)");
+}
+
+TEST(GroupKeyTest, ProjectSelectsMaskedDims) {
+  const std::vector<int64_t> tuple = {7, 8, 9};
+  GroupKey key = GroupKey::Project(0b101, tuple);
+  EXPECT_EQ(key.mask, 0b101u);
+  EXPECT_EQ(key.values, (std::vector<int64_t>{7, 9}));
+  EXPECT_EQ(key.ToString(3), "(7, *, 9)");
+  GroupKey apex = GroupKey::Project(0, tuple);
+  EXPECT_TRUE(apex.values.empty());
+  EXPECT_EQ(apex.ToString(3), "(*, *, *)");
+}
+
+TEST(GroupKeyTest, EqualityAndOrder) {
+  const std::vector<int64_t> t1 = {1, 2};
+  const std::vector<int64_t> t2 = {1, 3};
+  EXPECT_EQ(GroupKey::Project(0b01, t1), GroupKey::Project(0b01, t2));
+  EXPECT_FALSE(GroupKey::Project(0b11, t1) == GroupKey::Project(0b11, t2));
+  EXPECT_LT(GroupKey::Project(0b01, t1), GroupKey::Project(0b11, t1));
+  EXPECT_LT(GroupKey::Project(0b11, t1), GroupKey::Project(0b11, t2));
+}
+
+TEST(GroupKeyTest, HashConsistentWithEquality) {
+  const std::vector<int64_t> tuple = {4, 5, 6};
+  GroupKey a = GroupKey::Project(0b110, tuple);
+  GroupKey b = GroupKey::Project(0b110, tuple);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  GroupKey c = GroupKey::Project(0b011, tuple);
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(GroupKeyTest, EncodeDecodeRoundTrip) {
+  GroupKey key(0b1010, {42, -7});
+  ByteWriter writer;
+  key.EncodeTo(writer);
+  ByteReader reader(writer.data());
+  GroupKey decoded;
+  ASSERT_TRUE(GroupKey::DecodeFrom(reader, &decoded).ok());
+  EXPECT_EQ(decoded, key);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(GroupKeyTest, DecodeRejectsArityMismatch) {
+  ByteWriter writer;
+  writer.PutVarint(0b11);             // mask with two attributes
+  writer.PutI64Vector({1});           // but only one value
+  ByteReader reader(writer.data());
+  GroupKey decoded;
+  EXPECT_EQ(GroupKey::DecodeFrom(reader, &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GroupKeyTest, CompareOnCuboid) {
+  const std::vector<int64_t> a = {1, 5, 9};
+  const std::vector<int64_t> b = {1, 7, 3};
+  EXPECT_EQ(CompareOnCuboid(0b001, a, b), 0);
+  EXPECT_LT(CompareOnCuboid(0b010, a, b), 0);
+  EXPECT_GT(CompareOnCuboid(0b100, a, b), 0);
+  EXPECT_LT(CompareOnCuboid(0b110, a, b), 0);  // dim1 decides first
+  EXPECT_EQ(CompareOnCuboid(0, a, b), 0);
+}
+
+TEST(GroupKeyTest, CompareTupleToKey) {
+  const std::vector<int64_t> tuple = {5, 6, 7};
+  GroupKey key(0b101, {5, 7});
+  EXPECT_EQ(CompareTupleToKey(0b101, tuple, key), 0);
+  GroupKey smaller(0b101, {5, 6});
+  EXPECT_GT(CompareTupleToKey(0b101, tuple, smaller), 0);
+  GroupKey larger(0b101, {6, 0});
+  EXPECT_LT(CompareTupleToKey(0b101, tuple, larger), 0);
+}
+
+TEST(CubeResultTest, AddAndLookup) {
+  CubeResult cube(2);
+  ASSERT_TRUE(cube.AddGroup(GroupKey(0b01, {5}), 2.0).ok());
+  EXPECT_EQ(cube.num_groups(), 1);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b01, {5})).value(), 2.0);
+  EXPECT_FALSE(cube.Lookup(GroupKey(0b01, {6})).ok());
+}
+
+TEST(CubeResultTest, DuplicateGroupRejected) {
+  CubeResult cube(2);
+  ASSERT_TRUE(cube.AddGroup(GroupKey(0, {}), 1.0).ok());
+  EXPECT_EQ(cube.AddGroup(GroupKey(0, {}), 2.0).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CubeResultTest, ApproxEqualDetectsDifferences) {
+  CubeResult a(1);
+  CubeResult b(1);
+  ASSERT_TRUE(a.AddGroup(GroupKey(0b1, {1}), 1.0).ok());
+  ASSERT_TRUE(b.AddGroup(GroupKey(0b1, {1}), 1.0).ok());
+  EXPECT_TRUE(CubeResult::ApproxEqual(a, b, 1e-9, nullptr));
+
+  ASSERT_TRUE(a.AddGroup(GroupKey(0b1, {2}), 5.0).ok());
+  std::string diff;
+  EXPECT_FALSE(CubeResult::ApproxEqual(a, b, 1e-9, &diff));
+  EXPECT_FALSE(diff.empty());
+
+  ASSERT_TRUE(b.AddGroup(GroupKey(0b1, {2}), 5.5).ok());
+  EXPECT_FALSE(CubeResult::ApproxEqual(a, b, 1e-9, nullptr));
+  EXPECT_TRUE(CubeResult::ApproxEqual(a, b, 1.0, nullptr));
+}
+
+TEST(ReferenceCubeTest, TinyRelationByHand) {
+  // R = {(laptop=0, rome=0), (laptop=0, paris=1), (printer=1, rome=0)},
+  // count aggregate.
+  Relation rel(MakeAnonymousSchema(2));
+  rel.AppendRow(std::vector<int64_t>{0, 0}, 1);
+  rel.AppendRow(std::vector<int64_t>{0, 1}, 1);
+  rel.AppendRow(std::vector<int64_t>{1, 0}, 1);
+  CubeResult cube = ComputeCubeReference(rel, AggregateKind::kCount);
+
+  // Cuboid (*,*): 1 group; (A0,*): 2; (*,A1): 2; (A0,A1): 3.
+  EXPECT_EQ(cube.num_groups(), 1 + 2 + 2 + 3);
+  EXPECT_EQ(cube.Lookup(GroupKey(0, {})).value(), 3.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b01, {0})).value(), 2.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b01, {1})).value(), 1.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b10, {0})).value(), 2.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b11, {0, 0})).value(), 1.0);
+  EXPECT_EQ(cube.CuboidGroupCount(0b11), 3);
+}
+
+TEST(ReferenceCubeTest, SumAggregate) {
+  Relation rel(MakeAnonymousSchema(1));
+  rel.AppendRow(std::vector<int64_t>{7}, 10);
+  rel.AppendRow(std::vector<int64_t>{7}, 5);
+  rel.AppendRow(std::vector<int64_t>{8}, 1);
+  CubeResult cube = ComputeCubeReference(rel, AggregateKind::kSum);
+  EXPECT_EQ(cube.Lookup(GroupKey(0, {})).value(), 16.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b1, {7})).value(), 15.0);
+  EXPECT_EQ(cube.Lookup(GroupKey(0b1, {8})).value(), 1.0);
+}
+
+// Observation 2.6: for every c-group g and descendant g',
+// set(g) ⊆ set(g'). With count, the descendant's value is >= the group's.
+TEST(LatticeInvariantTest, DescendantCountsDominate) {
+  Relation rel = GenUniform(500, 3, 4, 41);
+  CubeResult cube = ComputeCubeReference(rel, AggregateKind::kCount);
+  for (const auto& [key, value] : cube.groups()) {
+    for (CuboidMask descendant_mask : ImmediateDescendants(key.mask)) {
+      // Build the descendant's key by dropping the removed attribute.
+      std::vector<int64_t> expanded(3, 0);
+      size_t vi = 0;
+      for (int d = 0; d < 3; ++d) {
+        if ((key.mask >> d) & 1) expanded[static_cast<size_t>(d)] = key.values[vi++];
+      }
+      GroupKey descendant = GroupKey::Project(descendant_mask, expanded);
+      auto descendant_value = cube.Lookup(descendant);
+      ASSERT_TRUE(descendant_value.ok());
+      EXPECT_GE(descendant_value.value(), value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spcube

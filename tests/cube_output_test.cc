@@ -1,0 +1,137 @@
+// Tests for the DFS cube output format (paper §3.1's "one file per cuboid,
+// concatenating the reducers' part files").
+
+#include <gtest/gtest.h>
+
+#include "baselines/hive.h"
+#include "baselines/mrcube.h"
+#include "baselines/naive.h"
+#include "baselines/topdown.h"
+#include "core/cube_output.h"
+#include "core/sp_cube.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.num_workers = 4;
+  config.memory_budget_bytes = 4 << 20;
+  config.network_bandwidth_bytes_per_sec = 0;
+  return config;
+}
+
+TEST(DfsCubeWriterTest, WriteAndReadBack) {
+  DistributedFileSystem dfs;
+  DfsCubeWriter writer(&dfs, "out");
+  ByteWriter key_writer;
+  GroupKey(0b01, {7}).EncodeTo(key_writer);
+  ByteWriter value_writer;
+  value_writer.PutDouble(3.5);
+  ASSERT_TRUE(writer.Collect(2, key_writer.data(), value_writer.data()).ok());
+
+  key_writer.Clear();
+  GroupKey(0b11, {7, 8}).EncodeTo(key_writer);
+  value_writer.Clear();
+  value_writer.PutDouble(1.0);
+  ASSERT_TRUE(writer.Collect(0, key_writer.data(), value_writer.data()).ok());
+
+  // Layout: one directory per cuboid, part per reducer.
+  EXPECT_TRUE(dfs.Exists("out/cuboid_1/part-2"));
+  EXPECT_TRUE(dfs.Exists("out/cuboid_3/part-0"));
+  EXPECT_EQ(CuboidPartCount(dfs, "out", 0b01), 1);
+  EXPECT_EQ(CuboidPartCount(dfs, "out", 0b10), 0);
+
+  auto cube = ReadCubeFromDfs(dfs, "out", 2);
+  ASSERT_TRUE(cube.ok()) << cube.status();
+  EXPECT_EQ(cube->num_groups(), 2);
+  EXPECT_EQ(cube->Lookup(GroupKey(0b01, {7})).value(), 3.5);
+  EXPECT_EQ(cube->Lookup(GroupKey(0b11, {7, 8})).value(), 1.0);
+}
+
+TEST(DfsCubeWriterTest, RejectsGarbageKeys) {
+  DistributedFileSystem dfs;
+  DfsCubeWriter writer(&dfs, "out");
+  EXPECT_FALSE(writer.Collect(0, "", "x").ok());
+}
+
+TEST(DfsCubeWriterTest, ReadRejectsCorruptPart) {
+  DistributedFileSystem dfs;
+  ASSERT_TRUE(dfs.Write("out/cuboid_0/part-0", "garbage!").ok());
+  EXPECT_FALSE(ReadCubeFromDfs(dfs, "out", 2).ok());
+}
+
+class DfsOutputAlgorithmTest : public ::testing::Test {
+ protected:
+  void ExpectDfsMatchesCollected(CubeAlgorithm& algorithm) {
+    Relation rel = GenBinomial(1500, 3, 0.4, 121);
+    DistributedFileSystem dfs;
+    Engine engine(TestConfig(), &dfs);
+    CubeRunOptions options;
+    options.dfs_output_root = "cube/out";
+    auto output = algorithm.Run(engine, rel, options);
+    ASSERT_TRUE(output.ok()) << algorithm.name() << ": " << output.status();
+    auto from_dfs = ReadCubeFromDfs(dfs, "cube/out", 3);
+    ASSERT_TRUE(from_dfs.ok()) << algorithm.name() << ": "
+                               << from_dfs.status();
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(*output->cube, *from_dfs, 1e-9, &diff))
+        << algorithm.name() << ":\n"
+        << diff;
+    // Every cuboid directory exists.
+    for (CuboidMask mask = 0; mask < 8; ++mask) {
+      EXPECT_GT(CuboidPartCount(dfs, "cube/out", mask), 0)
+          << algorithm.name() << " cuboid " << mask;
+    }
+  }
+};
+
+TEST_F(DfsOutputAlgorithmTest, SpCube) {
+  SpCubeAlgorithm algorithm;
+  ExpectDfsMatchesCollected(algorithm);
+}
+
+TEST_F(DfsOutputAlgorithmTest, Naive) {
+  NaiveCubeAlgorithm algorithm;
+  ExpectDfsMatchesCollected(algorithm);
+}
+
+TEST_F(DfsOutputAlgorithmTest, Hive) {
+  HiveCubeAlgorithm algorithm;
+  ExpectDfsMatchesCollected(algorithm);
+}
+
+TEST_F(DfsOutputAlgorithmTest, MrCube) {
+  MrCubeAlgorithm algorithm;
+  ExpectDfsMatchesCollected(algorithm);
+}
+
+TEST_F(DfsOutputAlgorithmTest, TopDown) {
+  TopDownCubeAlgorithm algorithm;
+  ExpectDfsMatchesCollected(algorithm);
+}
+
+TEST(DfsOutputTest, WorksWithoutInMemoryCollection) {
+  Relation rel = GenUniform(800, 2, 10, 123);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  SpCubeAlgorithm sp;
+  CubeRunOptions options;
+  options.collect_output = false;
+  options.dfs_output_root = "only/dfs";
+  auto output = sp.Run(engine, rel, options);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->cube, nullptr);
+  auto from_dfs = ReadCubeFromDfs(dfs, "only/dfs", 2);
+  ASSERT_TRUE(from_dfs.ok());
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  std::string diff;
+  EXPECT_TRUE(CubeResult::ApproxEqual(reference, *from_dfs, 1e-9, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace spcube

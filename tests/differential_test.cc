@@ -1,0 +1,128 @@
+// Randomized differential testing: for a swept grid of (distribution,
+// dimensions, cluster size, memory budget, aggregate, seed) configurations,
+// every distributed algorithm must reproduce the in-memory reference cube
+// bit-for-bit (within fp tolerance for avg). This is the harness that keeps
+// the whole stack honest as it evolves.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/hive.h"
+#include "baselines/mrcube.h"
+#include "baselines/naive.h"
+#include "baselines/topdown.h"
+#include "common/random.h"
+#include "core/sp_cube.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+struct Config {
+  int distribution;   // 0..5
+  int num_dims;       // 1..5
+  int workers;        // 1..8
+  int budget_shift;   // memory budget = 1 << (10 + 2*shift)
+  int aggregate;      // AggregateKind
+  uint64_t seed;
+
+  std::string Name() const {
+    static const char* kDistributions[] = {"uniform", "binomial", "zipf",
+                                           "planted", "monotonic",
+                                           "independent"};
+    static const char* kAggregates[] = {"count", "sum", "min", "max", "avg"};
+    return std::string(kDistributions[distribution]) + "_d" +
+           std::to_string(num_dims) + "_k" + std::to_string(workers) +
+           "_b" + std::to_string(budget_shift) + "_" +
+           kAggregates[aggregate] + "_s" + std::to_string(seed);
+  }
+};
+
+Relation MakeRelation(const Config& config) {
+  const int64_t n = 1200;
+  switch (config.distribution) {
+    case 0:
+      return GenUniform(n, config.num_dims, 12, config.seed);
+    case 1:
+      return GenBinomial(n, config.num_dims, 0.45, config.seed);
+    case 2:
+      return GenZipf(n, std::min(2, config.num_dims),
+                     config.num_dims - std::min(2, config.num_dims) == 0
+                         ? 0
+                         : config.num_dims - 2,
+                     50, 1.1, config.seed);
+    case 3:
+      return GenPlantedSkew(
+          n, config.num_dims, {0.35, 0.2},
+          std::vector<int64_t>(static_cast<size_t>(config.num_dims), 9),
+          config.seed);
+    case 4:
+      return GenMonotonicSkew(n, config.num_dims, 0.5, 40, config.seed);
+    default:
+      return GenIndependentSkew(n, config.num_dims, 0.35, 15, config.seed);
+  }
+}
+
+/// Deterministically derives a pseudo-random configuration grid.
+std::vector<Config> MakeGrid() {
+  std::vector<Config> grid;
+  Rng rng(0xD1FFEE);
+  for (int i = 0; i < 36; ++i) {
+    Config config;
+    config.distribution = static_cast<int>(rng.NextBounded(6));
+    config.num_dims = 1 + static_cast<int>(rng.NextBounded(5));
+    config.workers = 1 + static_cast<int>(rng.NextBounded(8));
+    config.budget_shift = static_cast<int>(rng.NextBounded(4));
+    config.aggregate = static_cast<int>(rng.NextBounded(5));
+    config.seed = 1000 + i;
+    grid.push_back(config);
+  }
+  return grid;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(DifferentialTest, AllAlgorithmsMatchReference) {
+  const Config& config = GetParam();
+  const Relation rel = MakeRelation(config);
+  const AggregateKind kind = static_cast<AggregateKind>(config.aggregate);
+  const CubeResult reference = ComputeCubeReference(rel, kind);
+
+  EngineConfig cluster;
+  cluster.num_workers = config.workers;
+  cluster.memory_budget_bytes = int64_t{1} << (10 + 2 * config.budget_shift);
+  cluster.network_bandwidth_bytes_per_sec = 0;
+
+  SpCubeAlgorithm sp;
+  NaiveCubeAlgorithm naive;
+  MrCubeAlgorithm mrcube;
+  HiveCubeAlgorithm hive;
+  TopDownCubeAlgorithm topdown;
+  for (CubeAlgorithm* algorithm : std::initializer_list<CubeAlgorithm*>{
+           &sp, &naive, &mrcube, &hive, &topdown}) {
+    DistributedFileSystem dfs;
+    Engine engine(cluster, &dfs);
+    CubeRunOptions options;
+    options.aggregate = kind;
+    auto output = algorithm->Run(engine, rel, options);
+    ASSERT_TRUE(output.ok())
+        << config.Name() << " / " << algorithm->name() << ": "
+        << output.status();
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+        << config.Name() << " / " << algorithm->name() << ":\n"
+        << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrid, DifferentialTest,
+                         ::testing::ValuesIn(MakeGrid()),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           return info.param.Name();
+                         });
+
+}  // namespace
+}  // namespace spcube

@@ -1,0 +1,255 @@
+// Failure-injection tests for the engine's task-retry machinery: flaky map
+// and reduce tasks must be retried from scratch with no duplicated or lost
+// output, and permanent failures must surface with context.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "io/dfs.h"
+#include "mapreduce/engine.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.num_workers = 4;
+  config.memory_budget_bytes = 1 << 20;
+  config.network_bandwidth_bytes_per_sec = 0;
+  return config;
+}
+
+/// Emits (dim0, "1") per row; fails mid-split (after emitting part of its
+/// output!) on the first `failures_per_task` attempts of every task.
+class FlakyMapper : public Mapper {
+ public:
+  FlakyMapper(std::shared_ptr<std::atomic<int>> attempts, int failures)
+      : attempts_(std::move(attempts)), failures_(failures) {}
+
+  Status Setup(const TaskContext&) override {
+    attempt_index_ = attempts_->fetch_add(1);
+    return Status::OK();
+  }
+
+  Status Map(const Relation& input, int64_t row,
+             MapContext& context) override {
+    SPCUBE_RETURN_IF_ERROR(
+        context.Emit(std::to_string(input.dim(row, 0)), "1"));
+    ++rows_seen_;
+    // Fail after half the split was already emitted, on "early" attempts.
+    if (rows_seen_ == 3 && (attempt_index_ % 2) < failures_) {
+      return Status::IoError("injected mapper failure");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> attempts_;
+  int failures_;
+  int attempt_index_ = 0;
+  int64_t rows_seen_ = 0;
+};
+
+class CountReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key, ValueStream& values,
+                ReduceContext& context) override {
+    int64_t count = 0;
+    std::string value;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      count += std::stoll(value);
+    }
+    return context.Output(key, std::to_string(count));
+  }
+};
+
+/// Reducer that fails after outputting some pairs on its first attempt.
+class FlakyReducer : public Reducer {
+ public:
+  explicit FlakyReducer(std::shared_ptr<std::atomic<int>> attempts)
+      : attempts_(std::move(attempts)) {}
+
+  Status Setup(const TaskContext&) override {
+    // Tasks run sequentially and each failing task is retried immediately,
+    // so even construction indices are first attempts.
+    first_attempt_ = attempts_->fetch_add(1) % 2 == 0;
+    return Status::OK();
+  }
+
+  Status Reduce(const std::string& key, ValueStream& values,
+                ReduceContext& context) override {
+    int64_t count = 0;
+    std::string value;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      count += std::stoll(value);
+    }
+    SPCUBE_RETURN_IF_ERROR(context.Output(key, std::to_string(count)));
+    if (first_attempt_ && ++groups_ == 2) {
+      return Status::IoError("injected reducer failure");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> attempts_;
+  bool first_attempt_ = false;
+  int groups_ = 0;
+};
+
+std::map<std::string, int64_t> DirectCounts(const Relation& rel) {
+  std::map<std::string, int64_t> counts;
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    ++counts[std::to_string(rel.dim(r, 0))];
+  }
+  return counts;
+}
+
+std::map<std::string, int64_t> CollectorCounts(
+    const VectorOutputCollector& collector) {
+  std::map<std::string, int64_t> counts;
+  for (const auto& entry : collector.entries()) {
+    counts[entry.key] += std::stoll(entry.value);
+  }
+  return counts;
+}
+
+TEST(FaultToleranceTest, FlakyMapperSucceedsWithRetries) {
+  Relation rel = GenUniform(100, 1, 9, 71);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  JobSpec spec;
+  spec.max_task_attempts = 2;
+  spec.mapper_factory = [attempts] {
+    return std::make_unique<FlakyMapper>(attempts, /*failures=*/1);
+  };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  // Retried attempts' partial emissions were discarded: counts are exact.
+  EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
+  // Each of the 4 map tasks ran twice (fail, then succeed).
+  EXPECT_EQ(attempts->load(), 8);
+}
+
+TEST(FaultToleranceTest, MapperFailsWithoutRetries) {
+  Relation rel = GenUniform(100, 1, 9, 71);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  JobSpec spec;
+  spec.max_task_attempts = 1;
+  spec.mapper_factory = [attempts] {
+    return std::make_unique<FlakyMapper>(attempts, /*failures=*/1);
+  };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kIoError);
+  EXPECT_NE(metrics.status().message().find("map task"), std::string::npos);
+}
+
+TEST(FaultToleranceTest, PermanentMapperFailureExhaustsAttempts) {
+  Relation rel = GenUniform(100, 1, 9, 71);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+
+  JobSpec spec;
+  spec.max_task_attempts = 3;
+  spec.mapper_factory = [] {
+    class AlwaysFails : public Mapper {
+      Status Map(const Relation&, int64_t, MapContext&) override {
+        return Status::IoError("permanently broken");
+      }
+    };
+    return std::make_unique<AlwaysFails>();
+  };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_NE(metrics.status().message().find("3 attempt(s)"),
+            std::string::npos);
+}
+
+TEST(FaultToleranceTest, FlakyReducerOutputNotDuplicated) {
+  // The reducer outputs pairs and then fails; on retry it outputs them
+  // again. The commit protocol must deliver each group exactly once.
+  Relation rel = GenUniform(400, 1, 40, 73);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  JobSpec spec;
+  spec.max_task_attempts = 2;
+  spec.mapper_factory = [] {
+    class TokenMapper : public Mapper {
+      Status Map(const Relation& input, int64_t row,
+                 MapContext& context) override {
+        return context.Emit(std::to_string(input.dim(row, 0)), "1");
+      }
+    };
+    return std::make_unique<TokenMapper>();
+  };
+  spec.reducer_factory = [attempts] {
+    return std::make_unique<FlakyReducer>(attempts);
+  };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
+  // No key appears twice in the raw entries either.
+  std::map<std::string, int> seen;
+  for (const auto& entry : collector.entries()) ++seen[entry.key];
+  for (const auto& [key, times] : seen) {
+    EXPECT_EQ(times, 1) << key;
+  }
+}
+
+TEST(FaultToleranceTest, StrictMemoryFailureIsNotRetried) {
+  Relation rel = GenUniform(3000, 1, 50, 75);
+  EngineConfig config = TestConfig();
+  config.memory_budget_bytes = 256;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+
+  auto reducer_constructions = std::make_shared<std::atomic<int>>(0);
+  JobSpec spec;
+  spec.max_task_attempts = 5;
+  spec.memory_policy = MemoryPolicy::kStrict;
+  spec.mapper_factory = [] {
+    class TokenMapper : public Mapper {
+      Status Map(const Relation& input, int64_t row,
+                 MapContext& context) override {
+        return context.Emit(std::to_string(input.dim(row, 0)), "1");
+      }
+    };
+    return std::make_unique<TokenMapper>();
+  };
+  spec.reducer_factory = [reducer_constructions] {
+    reducer_constructions->fetch_add(1);
+    return std::make_unique<CountReducer>();
+  };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_TRUE(metrics.status().IsResourceExhausted());
+  // The OOM happens before the reducer is even constructed, and it is not
+  // retried — so no reducer was built for the failing partition.
+  EXPECT_LE(reducer_constructions->load(), 1);
+}
+
+}  // namespace
+}  // namespace spcube

@@ -1,0 +1,233 @@
+// Tests for the workload generators: determinism and the distributional
+// properties the paper's experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+int64_t CountRowsEqualTo(const Relation& rel, int64_t value) {
+  int64_t count = 0;
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    bool all = true;
+    for (int d = 0; d < rel.num_dims(); ++d) {
+      if (rel.dim(r, d) != value) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+bool RelationsEqual(const Relation& a, const Relation& b) {
+  if (a.num_rows() != b.num_rows() || a.num_dims() != b.num_dims()) {
+    return false;
+  }
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    if (a.measure(r) != b.measure(r)) return false;
+    for (int d = 0; d < a.num_dims(); ++d) {
+      if (a.dim(r, d) != b.dim(r, d)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(GenUniformTest, ShapeAndDomain) {
+  Relation rel = GenUniform(1000, 3, 50, 1);
+  EXPECT_EQ(rel.num_rows(), 1000);
+  EXPECT_EQ(rel.num_dims(), 3);
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(rel.dim(r, d), 0);
+      EXPECT_LT(rel.dim(r, d), 50);
+    }
+    EXPECT_GE(rel.measure(r), 0);
+    EXPECT_LT(rel.measure(r), 100);
+  }
+}
+
+TEST(GenUniformTest, Deterministic) {
+  EXPECT_TRUE(RelationsEqual(GenUniform(500, 2, 10, 7),
+                             GenUniform(500, 2, 10, 7)));
+  EXPECT_FALSE(RelationsEqual(GenUniform(500, 2, 10, 7),
+                              GenUniform(500, 2, 10, 8)));
+}
+
+TEST(GenBinomialTest, SkewFractionMatchesP) {
+  const int64_t n = 20000;
+  Relation rel = GenBinomial(n, 4, 0.4, 3);
+  // Heavy tuples have all attributes equal to some i in 1..20.
+  int64_t heavy = 0;
+  for (int64_t v = 1; v <= 20; ++v) heavy += CountRowsEqualTo(rel, v);
+  EXPECT_NEAR(static_cast<double>(heavy) / static_cast<double>(n), 0.4,
+              0.02);
+}
+
+TEST(GenBinomialTest, ZeroAndFullP) {
+  Relation none = GenBinomial(5000, 3, 0.0, 5);
+  int64_t heavy = 0;
+  for (int64_t v = 1; v <= 20; ++v) heavy += CountRowsEqualTo(none, v);
+  // Uniform 32-bit collisions into the heavy pattern are essentially
+  // impossible.
+  EXPECT_EQ(heavy, 0);
+
+  Relation all = GenBinomial(5000, 3, 1.0, 5);
+  heavy = 0;
+  for (int64_t v = 1; v <= 20; ++v) heavy += CountRowsEqualTo(all, v);
+  EXPECT_EQ(heavy, 5000);
+}
+
+TEST(GenBinomialTest, HeavyValuesWithinRange) {
+  Relation rel = GenBinomial(2000, 2, 1.0, 9);
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    EXPECT_GE(rel.dim(r, 0), 1);
+    EXPECT_LE(rel.dim(r, 0), 20);
+    EXPECT_EQ(rel.dim(r, 0), rel.dim(r, 1));
+  }
+}
+
+TEST(GenZipfTest, PaperConfiguration) {
+  Relation rel = GenZipfPaper(10000, 11);
+  EXPECT_EQ(rel.num_dims(), 4);
+  // First two dims are zipfian: value 0 should dominate.
+  std::unordered_map<int64_t, int64_t> histogram;
+  for (int64_t r = 0; r < rel.num_rows(); ++r) ++histogram[rel.dim(r, 0)];
+  int64_t max_count = 0;
+  for (const auto& [value, count] : histogram) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(histogram.count(0), 1u);
+  EXPECT_EQ(max_count, histogram[0]);
+  EXPECT_GT(histogram[0], rel.num_rows() / 20);  // heavy head
+
+  // Last two dims are uniform over 1000 values: the mode should be small.
+  std::unordered_map<int64_t, int64_t> uniform_histogram;
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    ++uniform_histogram[rel.dim(r, 3)];
+  }
+  int64_t uniform_max = 0;
+  for (const auto& [value, count] : uniform_histogram) {
+    uniform_max = std::max(uniform_max, count);
+  }
+  EXPECT_LT(uniform_max, histogram[0] / 3);
+}
+
+TEST(GenPlantedSkewTest, ExactPatternValues) {
+  Relation rel = GenPlantedSkew(10000, 3, {0.2, 0.1}, {100, 100, 100}, 13);
+  const int64_t first = CountRowsEqualTo(rel, -1);
+  const int64_t second = CountRowsEqualTo(rel, -2);
+  EXPECT_NEAR(static_cast<double>(first) / 10000.0, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(second) / 10000.0, 0.1, 0.02);
+  // Background values never collide with the planted (negative) values.
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    const int64_t v = rel.dim(r, 0);
+    if (v >= 0) {
+      EXPECT_LT(v, 100);
+    } else {
+      EXPECT_TRUE(v == -1 || v == -2);
+    }
+  }
+}
+
+TEST(GenWikiLikeTest, Fingerprint) {
+  const int64_t n = 20000;
+  Relation rel = GenWikiLike(n, 17);
+  EXPECT_EQ(rel.num_dims(), 4);
+  EXPECT_EQ(rel.num_rows(), n);
+  // Three planted patterns at ~30%/10%/5%.
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, -1)) / n, 0.30, 0.02);
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, -2)) / n, 0.10, 0.02);
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, -3)) / n, 0.05, 0.02);
+}
+
+TEST(GenUsaGovLikeTest, Fingerprint) {
+  const int64_t n = 10000;
+  Relation rel = GenUsaGovLike(n, 19);
+  EXPECT_EQ(rel.num_dims(), 15);
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, -1)) / n, 0.25, 0.03);
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, -2)) / n, 0.08, 0.02);
+}
+
+TEST(ProjectDimsTest, KeepsValuesAndMeasure) {
+  Relation rel = GenUsaGovLike(100, 23);
+  Relation projected = ProjectDims(rel, {0, 1, 2, 3});
+  EXPECT_EQ(projected.num_dims(), 4);
+  EXPECT_EQ(projected.num_rows(), 100);
+  for (int64_t r = 0; r < 100; ++r) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_EQ(projected.dim(r, d), rel.dim(r, d));
+    }
+    EXPECT_EQ(projected.measure(r), rel.measure(r));
+  }
+  EXPECT_EQ(projected.schema().dimension_name(2),
+            rel.schema().dimension_name(2));
+}
+
+TEST(ProjectDimsTest, Reorders) {
+  Relation rel = GenUniform(50, 3, 10, 29);
+  Relation projected = ProjectDims(rel, {2, 0});
+  for (int64_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(projected.dim(r, 0), rel.dim(r, 2));
+    EXPECT_EQ(projected.dim(r, 1), rel.dim(r, 0));
+  }
+}
+
+TEST(GenWorstCaseTrafficTest, Theorem53Construction) {
+  const int d = 4;
+  const int64_t w = 5;
+  Relation rel = GenWorstCaseTraffic(d, w);
+  // C(4,2) = 6 subsets, each with w identical tuples.
+  EXPECT_EQ(rel.num_rows(), 6 * w);
+  // Every tuple has exactly d/2 ones and d/2 zeros.
+  std::map<std::vector<int64_t>, int64_t> groups;
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    int ones = 0;
+    std::vector<int64_t> row;
+    for (int dd = 0; dd < d; ++dd) {
+      ones += rel.dim(r, dd) == 1;
+      row.push_back(rel.dim(r, dd));
+    }
+    EXPECT_EQ(ones, d / 2);
+    ++groups[row];
+  }
+  EXPECT_EQ(groups.size(), 6u);
+  for (const auto& [row, count] : groups) EXPECT_EQ(count, w);
+}
+
+TEST(GenMonotonicSkewTest, AllZeroFraction) {
+  const int64_t n = 10000;
+  Relation rel = GenMonotonicSkew(n, 3, 0.3, 1000, 31);
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, 0)) / n, 0.3, 0.02);
+  // Background values are strictly positive, so they never extend the
+  // all-zero group.
+  for (int64_t r = 0; r < n; ++r) {
+    const bool zero_row = rel.dim(r, 0) == 0;
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(rel.dim(r, d) == 0, zero_row);
+    }
+  }
+}
+
+TEST(GenIndependentSkewTest, PerAttributeRate) {
+  const int64_t n = 20000;
+  Relation rel = GenIndependentSkew(n, 4, 0.2, 1000, 37);
+  for (int d = 0; d < 4; ++d) {
+    int64_t zeros = 0;
+    for (int64_t r = 0; r < n; ++r) zeros += rel.dim(r, d) == 0;
+    EXPECT_NEAR(static_cast<double>(zeros) / n, 0.2, 0.02);
+  }
+  // Attribute skews are independent: the all-zero row rate is ~ q^4.
+  EXPECT_NEAR(static_cast<double>(CountRowsEqualTo(rel, 0)) / n, 0.0016,
+              0.002);
+}
+
+}  // namespace
+}  // namespace spcube

@@ -1,0 +1,111 @@
+// Tests for the MapReduce metrics arithmetic (phase times, totals,
+// imbalance, run aggregation).
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/metrics.h"
+
+namespace spcube {
+namespace {
+
+TEST(PhaseMetricsTest, EmptyPhase) {
+  PhaseMetrics phase;
+  EXPECT_EQ(phase.MaxSeconds(), 0.0);
+  EXPECT_EQ(phase.AvgSeconds(), 0.0);
+  EXPECT_EQ(phase.SumSeconds(), 0.0);
+}
+
+TEST(PhaseMetricsTest, AccumulateGrowsAndAdds) {
+  PhaseMetrics phase;
+  phase.Accumulate(2, 1.5);
+  ASSERT_EQ(phase.per_worker_seconds.size(), 3u);
+  EXPECT_EQ(phase.per_worker_seconds[2], 1.5);
+  phase.Accumulate(2, 0.5);
+  EXPECT_EQ(phase.per_worker_seconds[2], 2.0);
+  phase.Accumulate(0, 4.0);
+  EXPECT_EQ(phase.MaxSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(phase.AvgSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(phase.SumSeconds(), 6.0);
+}
+
+TEST(PhaseMetricsTest, EnsureWorkersNeverShrinks) {
+  PhaseMetrics phase;
+  phase.EnsureWorkers(4);
+  EXPECT_EQ(phase.per_worker_seconds.size(), 4u);
+  phase.EnsureWorkers(2);
+  EXPECT_EQ(phase.per_worker_seconds.size(), 4u);
+}
+
+JobMetrics MakeRound(double map_max, double reduce_max, double shuffle,
+                     double overhead) {
+  JobMetrics round;
+  round.map_phase.Accumulate(0, map_max);
+  round.reduce_phase.Accumulate(0, reduce_max);
+  round.shuffle_seconds = shuffle;
+  round.round_overhead_seconds = overhead;
+  return round;
+}
+
+TEST(JobMetricsTest, TotalIsCriticalPath) {
+  JobMetrics round = MakeRound(1.0, 2.0, 0.25, 0.05);
+  round.map_phase.Accumulate(1, 0.5);  // not the max
+  EXPECT_DOUBLE_EQ(round.TotalSeconds(), 1.0 + 2.0 + 0.25 + 0.05);
+}
+
+TEST(JobMetricsTest, ReducerStats) {
+  JobMetrics round;
+  round.reducer_input_records = {10, 30, 20, 0};
+  round.reducer_input_bytes = {100, 900, 200, 0};
+  EXPECT_EQ(round.MaxReducerInputRecords(), 30);
+  EXPECT_EQ(round.MaxReducerInputBytes(), 900);
+  // Mean input = 15; max = 30 -> imbalance 2.
+  EXPECT_DOUBLE_EQ(round.ReducerImbalance(), 2.0);
+}
+
+TEST(JobMetricsTest, ImbalanceOfEmptyOrZero) {
+  JobMetrics round;
+  EXPECT_EQ(round.ReducerImbalance(), 1.0);
+  round.reducer_input_records = {0, 0};
+  EXPECT_EQ(round.ReducerImbalance(), 1.0);
+}
+
+TEST(JobMetricsTest, ToStringMentionsNameAndCounts) {
+  JobMetrics round = MakeRound(0.1, 0.2, 0.0, 0.0);
+  round.job_name = "myjob";
+  round.map_output_records = 42;
+  const std::string text = round.ToString();
+  EXPECT_NE(text.find("myjob"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(RunMetricsTest, SumsAcrossRounds) {
+  RunMetrics run;
+  run.algorithm = "test";
+  JobMetrics r1 = MakeRound(1.0, 2.0, 0.5, 0.1);
+  r1.map_output_bytes = 100;
+  r1.shuffle_bytes = 80;
+  r1.spill_bytes = 7;
+  r1.output_records = 5;
+  r1.custom_counters["c"] = 3;
+  JobMetrics r2 = MakeRound(0.5, 0.5, 0.0, 0.1);
+  r2.map_output_bytes = 50;
+  r2.shuffle_bytes = 40;
+  r2.output_records = 2;
+  r2.custom_counters["c"] = 4;
+  run.Add(r1);
+  run.Add(r2);
+
+  EXPECT_DOUBLE_EQ(run.TotalSeconds(), 3.6 + 1.1);
+  EXPECT_DOUBLE_EQ(run.MapSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(run.ReduceSeconds(), 2.5);
+  EXPECT_EQ(run.MapOutputBytes(), 150);
+  EXPECT_EQ(run.ShuffleBytes(), 120);
+  EXPECT_EQ(run.SpillBytes(), 7);
+  EXPECT_EQ(run.OutputRecords(), 7);
+  EXPECT_EQ(run.CustomCounter("c"), 7);
+  EXPECT_EQ(run.CustomCounter("missing"), 0);
+  EXPECT_NE(run.ToString().find("test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spcube

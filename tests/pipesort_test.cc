@@ -1,0 +1,113 @@
+// Tests for the PipeSort sequential cube algorithm and its pipeline plan.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cube/cube_result.h"
+#include "cube/pipesort.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+TEST(PipelinePlanTest, CoversEveryCuboidExactlyOnce) {
+  for (int d = 1; d <= 8; ++d) {
+    std::multiset<CuboidMask> claimed;
+    for (const Pipeline& pipeline : PlanPipelines(d)) {
+      // Order is a permutation of all dims.
+      std::set<int> dims(pipeline.order.begin(), pipeline.order.end());
+      EXPECT_EQ(static_cast<int>(dims.size()), d);
+      // Every claimed mask is a prefix of the order.
+      CuboidMask prefix = 0;
+      std::set<CuboidMask> prefixes = {prefix};
+      for (int dim : pipeline.order) {
+        prefix |= CuboidMask{1} << dim;
+        prefixes.insert(prefix);
+      }
+      for (CuboidMask mask : pipeline.covered) {
+        EXPECT_TRUE(prefixes.count(mask)) << "d=" << d;
+        claimed.insert(mask);
+      }
+    }
+    for (CuboidMask mask = 0;
+         mask < static_cast<CuboidMask>(NumCuboids(d)); ++mask) {
+      EXPECT_EQ(claimed.count(mask), 1u) << "d=" << d << " mask=" << mask;
+    }
+  }
+}
+
+TEST(PipelinePlanTest, PipelineCountStaysNearOptimal) {
+  // Optimal chain cover size is C(d, floor(d/2)); the greedy plan should
+  // stay within a small factor.
+  const int optimal[] = {1, 1, 2, 3, 6, 10, 20, 35, 70};
+  for (int d = 1; d <= 8; ++d) {
+    const auto plan = PlanPipelines(d);
+    EXPECT_GE(static_cast<int>(plan.size()), optimal[d]);
+    EXPECT_LE(static_cast<int>(plan.size()), 2 * optimal[d]) << "d=" << d;
+  }
+}
+
+class PipeSortVsReferenceTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PipeSortVsReferenceTest, MatchesReference) {
+  const auto [d, seed] = GetParam();
+  Relation rel = GenUniform(400, d, 5, seed);
+  for (AggregateKind kind :
+       {AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kAvg}) {
+    const Aggregator& agg = GetAggregator(kind);
+    CubeResult cube(d);
+    PipeSortComputeFull(rel, agg,
+                        [&](const GroupKey& key, const AggState& state) {
+                          EXPECT_TRUE(
+                              cube.AddGroup(key, agg.Finalize(state)).ok())
+                              << "duplicate " << key.ToString(d);
+                        });
+    CubeResult reference = ComputeCubeReference(rel, kind);
+    std::string diff;
+    EXPECT_TRUE(CubeResult::ApproxEqual(reference, cube, 1e-9, &diff))
+        << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, PipeSortVsReferenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(7u, 77u)));
+
+TEST(PipeSortTest, SkewedDataMatchesReference) {
+  Relation rel = GenBinomial(500, 4, 0.6, 11);
+  const Aggregator& agg = GetAggregator(AggregateKind::kCount);
+  CubeResult cube(4);
+  PipeSortComputeFull(rel, agg,
+                      [&](const GroupKey& key, const AggState& state) {
+                        cube.UpsertGroup(key, agg.Finalize(state));
+                      });
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  std::string diff;
+  EXPECT_TRUE(CubeResult::ApproxEqual(reference, cube, 1e-9, &diff))
+      << diff;
+}
+
+TEST(PipeSortTest, EmptyAndSingleRow) {
+  Relation empty(MakeAnonymousSchema(3));
+  int calls = 0;
+  PipeSortComputeFull(empty, GetAggregator(AggregateKind::kCount),
+                      [&](const GroupKey&, const AggState&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  Relation one(MakeAnonymousSchema(3));
+  one.AppendRow(std::vector<int64_t>{1, 2, 3}, 5);
+  CubeResult cube(3);
+  const Aggregator& agg = GetAggregator(AggregateKind::kSum);
+  PipeSortComputeFull(one, agg,
+                      [&](const GroupKey& key, const AggState& state) {
+                        cube.UpsertGroup(key, agg.Finalize(state));
+                      });
+  EXPECT_EQ(cube.num_groups(), 8);
+  EXPECT_EQ(cube.Lookup(GroupKey(0, {})).value(), 5.0);
+}
+
+}  // namespace
+}  // namespace spcube

@@ -1,0 +1,296 @@
+// Direct unit tests for the shuffle machinery: map-side buffers (combine /
+// spill behaviour) and reduce-side grouped streams (in-memory, absorbed
+// runs, external merge).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "mapreduce/shuffle.h"
+
+namespace spcube {
+namespace {
+
+/// Sums decimal-string values.
+class SumCombiner : public Combiner {
+ public:
+  Status Combine(const std::string& /*key*/,
+                 const std::vector<std::string>& values,
+                 std::vector<std::string>* combined) const override {
+    int64_t total = 0;
+    for (const std::string& value : values) total += std::stoll(value);
+    combined->assign(1, std::to_string(total));
+    return Status::OK();
+  }
+};
+
+std::map<std::string, std::vector<std::string>> DrainStream(
+    GroupedRecordStream& stream) {
+  std::map<std::string, std::vector<std::string>> groups;
+  std::string key;
+  std::string value;
+  for (;;) {
+    auto more = stream.NextGroup(&key);
+    EXPECT_TRUE(more.ok());
+    if (!more.ok() || !more.value()) break;
+    auto& values = groups[key];
+    for (;;) {
+      auto has_value = stream.NextValue(&value);
+      EXPECT_TRUE(has_value.ok());
+      if (!has_value.ok() || !has_value.value()) break;
+      values.push_back(value);
+    }
+  }
+  return groups;
+}
+
+TEST(ShuffleBufferTest, RoutesToPartitionsAndCounts) {
+  TempFileManager temp("shuffle");
+  ShuffleCounters counters;
+  ShuffleBuffer buffer(3, 1 << 20, nullptr, &temp, &counters);
+  ASSERT_TRUE(buffer.Add(0, "a", "1").ok());
+  ASSERT_TRUE(buffer.Add(2, "b", "22").ok());
+  ASSERT_TRUE(buffer.Add(0, "c", "333").ok());
+  ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+
+  EXPECT_EQ(counters.map_output_records, 3);
+  EXPECT_EQ(counters.map_output_bytes, 2 + 3 + 4);
+  EXPECT_EQ(counters.spill_bytes, 0);
+
+  EXPECT_EQ(buffer.TakeMemoryRecords(0).size(), 2u);
+  EXPECT_EQ(buffer.TakeMemoryRecords(1).size(), 0u);
+  EXPECT_EQ(buffer.TakeMemoryRecords(2).size(), 1u);
+}
+
+TEST(ShuffleBufferTest, CombinerCollapsesDuplicates) {
+  TempFileManager temp("shuffle");
+  ShuffleCounters counters;
+  SumCombiner combiner;
+  ShuffleBuffer buffer(1, 1 << 20, &combiner, &temp, &counters);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(buffer.Add(0, "k" + std::to_string(i % 4), "1").ok());
+  }
+  ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+  std::vector<Record> records = buffer.TakeMemoryRecords(0);
+  ASSERT_EQ(records.size(), 4u);
+  int64_t total = 0;
+  for (const Record& record : records) total += std::stoll(record.value);
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(counters.combine_input_records, 100);
+  EXPECT_EQ(counters.combine_output_records, 4);
+}
+
+TEST(ShuffleBufferTest, OverflowSpillsSortedRuns) {
+  TempFileManager temp("shuffle");
+  ShuffleCounters counters;
+  ShuffleBuffer buffer(2, /*memory_budget_bytes=*/64, nullptr, &temp,
+                       &counters);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(buffer
+                    .Add(i % 2, "key" + std::to_string(99 - i),
+                         "v" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+  EXPECT_GT(counters.spill_bytes, 0);
+
+  int64_t spilled_records = 0;
+  for (int p = 0; p < 2; ++p) {
+    for (const RunInfo& run : buffer.TakeSpillRuns(p)) {
+      EXPECT_GT(run.records, 0);
+      EXPECT_GT(run.file_bytes, 0);
+      spilled_records += run.records;
+      // Each run is sorted by key.
+      SpillReader reader(run.path);
+      ASSERT_TRUE(reader.Open().ok());
+      std::string raw;
+      std::string last_key;
+      for (;;) {
+        auto more = reader.Next(&raw);
+        ASSERT_TRUE(more.ok());
+        if (!more.value()) break;
+        ByteReader record_reader(raw);
+        std::string_view key;
+        std::string_view value;
+        ASSERT_TRUE(record_reader.GetBytes(&key).ok());
+        ASSERT_TRUE(record_reader.GetBytes(&value).ok());
+        EXPECT_GE(std::string(key), last_key);
+        last_key = std::string(key);
+      }
+    }
+  }
+  int64_t memory_records =
+      static_cast<int64_t>(buffer.TakeMemoryRecords(0).size()) +
+      static_cast<int64_t>(buffer.TakeMemoryRecords(1).size());
+  EXPECT_EQ(spilled_records + memory_records, 50);
+}
+
+TEST(ShuffleBufferTest, CombineThenSpillWhenStillOverBudget) {
+  TempFileManager temp("shuffle");
+  ShuffleCounters counters;
+  SumCombiner combiner;
+  // Distinct keys: combining frees nothing, so the buffer must spill.
+  ShuffleBuffer buffer(1, 128, &combiner, &temp, &counters);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        buffer.Add(0, "unique_key_" + std::to_string(i), "1").ok());
+  }
+  ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+  EXPECT_GT(counters.spill_bytes, 0);
+  EXPECT_GT(counters.combine_input_records, 0);
+}
+
+ReduceInput MakeInput(std::vector<Record> records) {
+  ReduceInput input;
+  for (const Record& record : records) {
+    input.total_bytes += RecordBytes(record.key, record.value);
+    ++input.total_records;
+  }
+  input.memory_records = std::move(records);
+  return input;
+}
+
+TEST(GroupedStreamTest, InMemoryGroupsSortedKeysOrderedValues) {
+  TempFileManager temp("stream");
+  ShuffleCounters counters;
+  auto stream = MakeGroupedStream(
+      MakeInput({{"b", "1"}, {"a", "x"}, {"b", "2"}, {"a", "y"}}),
+      1 << 20, MemoryPolicy::kSpill, &temp, &counters);
+  ASSERT_TRUE(stream.ok());
+  // Keys must arrive sorted.
+  std::string key;
+  ASSERT_TRUE((*stream)->NextGroup(&key).value());
+  EXPECT_EQ(key, "a");
+  std::string value;
+  ASSERT_TRUE((*stream)->NextValue(&value).value());
+  EXPECT_EQ(value, "x");  // stable: first-emitted first
+  ASSERT_TRUE((*stream)->NextValue(&value).value());
+  EXPECT_EQ(value, "y");
+  EXPECT_FALSE((*stream)->NextValue(&value).value());
+  ASSERT_TRUE((*stream)->NextGroup(&key).value());
+  EXPECT_EQ(key, "b");
+}
+
+TEST(GroupedStreamTest, NextGroupSkipsUnreadValues) {
+  TempFileManager temp("stream");
+  ShuffleCounters counters;
+  auto stream = MakeGroupedStream(
+      MakeInput({{"a", "1"}, {"a", "2"}, {"a", "3"}, {"b", "9"}}),
+      1 << 20, MemoryPolicy::kSpill, &temp, &counters);
+  ASSERT_TRUE(stream.ok());
+  std::string key;
+  ASSERT_TRUE((*stream)->NextGroup(&key).value());
+  // Read nothing from group "a"; jump straight to the next group.
+  ASSERT_TRUE((*stream)->NextGroup(&key).value());
+  EXPECT_EQ(key, "b");
+  std::string value;
+  ASSERT_TRUE((*stream)->NextValue(&value).value());
+  EXPECT_EQ(value, "9");
+  EXPECT_FALSE((*stream)->NextGroup(&key).value());
+}
+
+TEST(GroupedStreamTest, ExternalMergeEqualsInMemory) {
+  // Build the same logical input twice: once within budget, once with a
+  // tiny budget forcing mapper spills + external merge; results must agree.
+  auto build_records = []() {
+    std::vector<Record> records;
+    for (int i = 0; i < 200; ++i) {
+      records.push_back(Record{"key" + std::to_string(i % 17),
+                               "v" + std::to_string(i)});
+    }
+    return records;
+  };
+
+  TempFileManager temp("stream");
+  ShuffleCounters counters;
+
+  auto in_memory =
+      MakeGroupedStream(MakeInput(build_records()), 1 << 20,
+                        MemoryPolicy::kSpill, &temp, &counters);
+  ASSERT_TRUE(in_memory.ok());
+  auto expected = DrainStream(**in_memory);
+
+  // External: pre-spill half the records as two sorted runs.
+  ShuffleBuffer buffer(1, 64, nullptr, &temp, &counters);
+  for (const Record& record : build_records()) {
+    ASSERT_TRUE(buffer.Add(0, record.key, record.value).ok());
+  }
+  ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+  ReduceInput external_input;
+  external_input.memory_records = buffer.TakeMemoryRecords(0);
+  for (const Record& record : external_input.memory_records) {
+    external_input.total_bytes += RecordBytes(record.key, record.value);
+    ++external_input.total_records;
+  }
+  for (RunInfo& run : buffer.TakeSpillRuns(0)) {
+    external_input.total_bytes += run.payload_bytes;
+    external_input.total_records += run.records;
+    external_input.spill_runs.push_back(std::move(run));
+  }
+  auto merged =
+      MakeGroupedStream(std::move(external_input), /*budget=*/256,
+                        MemoryPolicy::kSpill, &temp, &counters);
+  ASSERT_TRUE(merged.ok());
+  auto actual = DrainStream(**merged);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (auto& [key, values] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << key;
+    // Multisets of values must match (merge order may differ).
+    std::multiset<std::string> a(values.begin(), values.end());
+    std::multiset<std::string> b(it->second.begin(), it->second.end());
+    EXPECT_EQ(a, b) << key;
+  }
+}
+
+TEST(GroupedStreamTest, AbsorbsRunsWhenTheyFit) {
+  TempFileManager temp("stream");
+  ShuffleCounters counters;
+  ShuffleBuffer buffer(1, 64, nullptr, &temp, &counters);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(buffer.Add(0, "k" + std::to_string(i % 5), "1").ok());
+  }
+  ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+  ReduceInput input;
+  input.memory_records = buffer.TakeMemoryRecords(0);
+  for (RunInfo& run : buffer.TakeSpillRuns(0)) {
+    input.spill_runs.push_back(std::move(run));
+  }
+  input.total_bytes = 0;  // definitely fits in a 1MB budget
+  auto stream = MakeGroupedStream(std::move(input), 1 << 20,
+                                  MemoryPolicy::kSpill, &temp, &counters);
+  ASSERT_TRUE(stream.ok());
+  auto groups = DrainStream(**stream);
+  EXPECT_EQ(groups.size(), 5u);
+  int64_t total = 0;
+  for (auto& [key, values] : groups) {
+    total += static_cast<int64_t>(values.size());
+  }
+  EXPECT_EQ(total, 40);
+}
+
+TEST(GroupedStreamTest, StrictPolicyRejectsOverBudget) {
+  TempFileManager temp("stream");
+  ShuffleCounters counters;
+  auto stream = MakeGroupedStream(MakeInput({{"a", std::string(1000, 'x')}}),
+                                  /*budget=*/16, MemoryPolicy::kStrict,
+                                  &temp, &counters);
+  ASSERT_FALSE(stream.ok());
+  EXPECT_TRUE(stream.status().IsResourceExhausted());
+}
+
+TEST(GroupedStreamTest, EmptyInput) {
+  TempFileManager temp("stream");
+  ShuffleCounters counters;
+  auto stream = MakeGroupedStream(MakeInput({}), 1 << 20,
+                                  MemoryPolicy::kSpill, &temp, &counters);
+  ASSERT_TRUE(stream.ok());
+  std::string key;
+  EXPECT_FALSE((*stream)->NextGroup(&key).value());
+}
+
+}  // namespace
+}  // namespace spcube

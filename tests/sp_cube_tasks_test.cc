@@ -1,0 +1,378 @@
+// White-box tests of the SP-Cube round-2 tasks (paper Algorithm 3), driven
+// directly with hand-crafted sketches: the mapper's minimal-group emission
+// and skew-aggregation rules, the partitioner's routing, and the reducer's
+// ownership-based ancestor computation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "core/cube_algorithm.h"
+#include "core/sp_cube_tasks.h"
+#include "io/dfs.h"
+#include "relation/relation.h"
+#include "relation/tuple_codec.h"
+#include "sketch/sp_sketch.h"
+
+namespace spcube {
+namespace {
+
+constexpr char kSketchPath[] = "test/sketch";
+
+/// Captures emissions instead of shuffling them.
+class CapturingMapContext : public MapContext {
+ public:
+  struct Emission {
+    int explicit_partition;  // -1 when routed via the partitioner
+    GroupKey key;
+    std::string value;
+  };
+
+  Status Emit(std::string_view key, std::string_view value) override {
+    return Record(-1, key, value);
+  }
+
+  Status EmitToPartition(int partition, std::string_view key,
+                         std::string_view value) override {
+    return Record(partition, key, value);
+  }
+
+  std::vector<Emission> emissions;
+
+ private:
+  Status Record(int partition, std::string_view key,
+                std::string_view value) {
+    ByteReader reader(key);
+    GroupKey decoded;
+    SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &decoded));
+    emissions.push_back(
+        Emission{partition, std::move(decoded), std::string(value)});
+    return Status::OK();
+  }
+};
+
+/// Captures reducer outputs.
+class CapturingReduceContext : public ReduceContext {
+ public:
+  Status Output(std::string_view key, std::string_view value) override {
+    ByteReader reader(key);
+    GroupKey decoded;
+    SPCUBE_RETURN_IF_ERROR(GroupKey::DecodeFrom(reader, &decoded));
+    SPCUBE_ASSIGN_OR_RETURN(double v, DecodeCubeValue(value));
+    outputs[decoded] = v;
+    return Status::OK();
+  }
+
+  std::map<GroupKey, double> outputs;
+};
+
+/// Feeds a fixed vector of values.
+class VectorValueStream : public ValueStream {
+ public:
+  explicit VectorValueStream(std::vector<std::string> values)
+      : values_(std::move(values)) {}
+
+  Result<bool> Next(std::string* value) override {
+    if (pos_ >= values_.size()) return false;
+    *value = values_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<std::string> values_;
+  size_t pos_ = 0;
+};
+
+/// Publishes `sketch` to a fresh DFS and returns a mapper-ready context.
+TaskContext MakeTask(DistributedFileSystem* dfs, const SpSketch& sketch,
+                     int reduce_partition = -1) {
+  SPCUBE_CHECK_OK(dfs->Overwrite(kSketchPath, sketch.Serialize()));
+  TaskContext task;
+  task.worker_id = 0;
+  task.num_workers = 4;
+  task.num_reducers = 5;
+  task.reduce_partition = reduce_partition;
+  task.memory_budget_bytes = 1 << 20;
+  task.dfs = dfs;
+  return task;
+}
+
+Relation OneRow(std::vector<int64_t> dims, int64_t measure) {
+  Relation rel(MakeAnonymousSchema(static_cast<int>(dims.size())));
+  rel.AppendRow(dims, measure);
+  return rel;
+}
+
+TEST(SpCubeMapperTest, NoSkewsEmitsApexOnly) {
+  // Empty sketch: the apex group is non-skewed and minimal, so the whole
+  // tuple lattice is covered by a single emission.
+  SpSketch sketch(3, 4);
+  DistributedFileSystem dfs;
+  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
+
+  Relation rel = OneRow({1, 2, 3}, 7);
+  CapturingMapContext context;
+  ASSERT_TRUE(mapper.Map(rel, 0, context).ok());
+  ASSERT_TRUE(mapper.Finish(context).ok());
+  ASSERT_EQ(context.emissions.size(), 1u);
+  EXPECT_EQ(context.emissions[0].key.mask, 0u);
+  std::vector<int64_t> dims;
+  int64_t measure = 0;
+  ASSERT_TRUE(
+      DecodeTuple(context.emissions[0].value, &dims, &measure).ok());
+  EXPECT_EQ(dims, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(measure, 7);
+}
+
+TEST(SpCubeMapperTest, ApexSkewedEmitsSingletons) {
+  // Only the apex is skewed: every singleton cuboid is minimal non-skewed,
+  // so the tuple ships d times plus one partial state for the apex.
+  SpSketch sketch(3, 4);
+  sketch.AddSkew(GroupKey(0, {}), 1000);
+  DistributedFileSystem dfs;
+  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
+
+  Relation rel = OneRow({1, 2, 3}, 7);
+  CapturingMapContext context;
+  ASSERT_TRUE(mapper.Map(rel, 0, context).ok());
+  ASSERT_EQ(context.emissions.size(), 3u);
+  std::set<CuboidMask> masks;
+  for (const auto& emission : context.emissions) {
+    masks.insert(emission.key.mask);
+  }
+  EXPECT_EQ(masks, (std::set<CuboidMask>{0b001, 0b010, 0b100}));
+
+  // Finish ships the apex partial (count 1 for the single tuple).
+  ASSERT_TRUE(mapper.Finish(context).ok());
+  ASSERT_EQ(context.emissions.size(), 4u);
+  EXPECT_EQ(context.emissions[3].key.mask, 0u);
+  ByteReader reader(context.emissions[3].value);
+  AggState state;
+  ASSERT_TRUE(AggState::DecodeFrom(reader, &state).ok());
+  EXPECT_EQ(state.v0, 1);
+}
+
+TEST(SpCubeMapperTest, SkewPartialsAccumulateAcrossRows) {
+  SpSketch sketch(2, 4);
+  sketch.AddSkew(GroupKey(0, {}), 1000);
+  sketch.AddSkew(GroupKey(0b01, {5}), 500);
+  DistributedFileSystem dfs;
+  SpCubeMapper mapper(kSketchPath, AggregateKind::kSum, {});
+  ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
+
+  Relation rel(MakeAnonymousSchema(2));
+  rel.AppendRow(std::vector<int64_t>{5, 1}, 10);
+  rel.AppendRow(std::vector<int64_t>{5, 2}, 20);
+  rel.AppendRow(std::vector<int64_t>{6, 1}, 40);
+
+  CapturingMapContext context;
+  for (int64_t r = 0; r < 3; ++r) {
+    ASSERT_TRUE(mapper.Map(rel, r, context).ok());
+  }
+  const size_t tuples_shipped = context.emissions.size();
+  ASSERT_TRUE(mapper.Finish(context).ok());
+
+  // Partials: apex sum=70, (5,*) sum=30.
+  std::map<GroupKey, int64_t> partials;
+  for (size_t i = tuples_shipped; i < context.emissions.size(); ++i) {
+    ByteReader reader(context.emissions[i].value);
+    AggState state;
+    ASSERT_TRUE(AggState::DecodeFrom(reader, &state).ok());
+    partials[context.emissions[i].key] = state.v0;
+  }
+  ASSERT_EQ(partials.size(), 2u);
+  EXPECT_EQ(partials[GroupKey(0, {})], 70);
+  EXPECT_EQ(partials[GroupKey(0b01, {5})], 30);
+
+  // Tuple routing: rows 1-2 ship to ({a1}) minimal groups etc.; crucially
+  // rows with a0 = 5 never ship for cuboids whose projection is skewed.
+  for (size_t i = 0; i < tuples_shipped; ++i) {
+    EXPECT_FALSE(sketch.IsSkewedKey(context.emissions[i].key));
+  }
+}
+
+TEST(SpCubeMapperTest, MarkingSkipsCoveredAncestors) {
+  // Sketch: apex + both singletons of dims 0,1 skewed; dim 2 not. For a
+  // tuple, minimal non-skewed groups are {a2} (covers all its ancestors)
+  // and {a0,a1} (both of whose immediate descendants are skewed).
+  SpSketch sketch(3, 4);
+  const std::vector<int64_t> tuple = {1, 2, 3};
+  sketch.AddSkew(GroupKey(0, {}), 1000);
+  sketch.AddSkew(GroupKey::Project(0b001, tuple), 900);
+  sketch.AddSkew(GroupKey::Project(0b010, tuple), 800);
+  DistributedFileSystem dfs;
+  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
+
+  Relation rel = OneRow(tuple, 1);
+  CapturingMapContext context;
+  ASSERT_TRUE(mapper.Map(rel, 0, context).ok());
+  std::set<CuboidMask> masks;
+  for (const auto& emission : context.emissions) {
+    masks.insert(emission.key.mask);
+  }
+  EXPECT_EQ(masks, (std::set<CuboidMask>{0b100, 0b011}));
+}
+
+TEST(SketchRangePartitionerTest, RoutesSkewsToZeroAndRangesByElements) {
+  auto sketch = std::make_shared<SpSketch>(1, 4);
+  sketch->AddSkew(GroupKey(0b1, {99}), 1000);
+  ASSERT_TRUE(sketch
+                  ->SetPartitionElements(0b1, {GroupKey(0b1, {10}),
+                                               GroupKey(0b1, {20}),
+                                               GroupKey(0b1, {30})})
+                  .ok());
+  SketchRangePartitioner partitioner(sketch);
+
+  auto encode = [](const GroupKey& key) {
+    ByteWriter writer;
+    key.EncodeTo(writer);
+    return writer.TakeData();
+  };
+  const int num_reducers = 5;  // k=4 ranges + skew reducer
+  EXPECT_EQ(partitioner.Partition(encode(GroupKey(0b1, {99})),
+                                  num_reducers),
+            0);
+  EXPECT_EQ(partitioner.Partition(encode(GroupKey(0b1, {5})), num_reducers),
+            1);
+  EXPECT_EQ(partitioner.Partition(encode(GroupKey(0b1, {15})),
+                                  num_reducers),
+            2);
+  EXPECT_EQ(partitioner.Partition(encode(GroupKey(0b1, {25})),
+                                  num_reducers),
+            3);
+  EXPECT_EQ(partitioner.Partition(encode(GroupKey(0b1, {35})),
+                                  num_reducers),
+            4);
+}
+
+TEST(SkewAwareHashPartitionerTest, SkewsToZeroOthersInRange) {
+  auto sketch = std::make_shared<SpSketch>(1, 4);
+  sketch->AddSkew(GroupKey(0b1, {99}), 1000);
+  SkewAwareHashPartitioner partitioner(sketch);
+  auto encode = [](const GroupKey& key) {
+    ByteWriter writer;
+    key.EncodeTo(writer);
+    return writer.TakeData();
+  };
+  EXPECT_EQ(partitioner.Partition(encode(GroupKey(0b1, {99})), 5), 0);
+  for (int64_t v = 0; v < 50; ++v) {
+    const int p = partitioner.Partition(encode(GroupKey(0b1, {v})), 5);
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, 4);
+  }
+}
+
+TEST(SpCubeReducerTest, SkewReducerMergesPartials) {
+  SpSketch sketch(2, 4);
+  sketch.AddSkew(GroupKey(0b01, {7}), 100);
+  DistributedFileSystem dfs;
+  SpCubeReducer reducer(kSketchPath, 2, AggregateKind::kSum, {});
+  ASSERT_TRUE(
+      reducer.Setup(MakeTask(&dfs, sketch, /*reduce_partition=*/0)).ok());
+
+  auto encode_state = [](int64_t v0, int64_t v1) {
+    ByteWriter writer;
+    AggState{v0, v1}.EncodeTo(writer);
+    return writer.TakeData();
+  };
+  ByteWriter key_writer;
+  GroupKey(0b01, {7}).EncodeTo(key_writer);
+  VectorValueStream values(
+      {encode_state(10, 0), encode_state(20, 0), encode_state(12, 0)});
+  CapturingReduceContext context;
+  ASSERT_TRUE(reducer.Reduce(key_writer.data(), values, context).ok());
+  ASSERT_EQ(context.outputs.size(), 1u);
+  EXPECT_EQ(context.outputs[GroupKey(0b01, {7})], 42.0);
+}
+
+TEST(SpCubeReducerTest, RangeReducerComputesOwnedAncestorsOnly) {
+  // Sketch: apex skewed, nothing else. For received group g = (5,*) every
+  // ancestor's owner is the BFS-first non-skewed subset: for (5,x) masks,
+  // subsets are {} (skewed), {a0} -> owner {a0} = g. But for (*,x) groups
+  // the owner would be {a1}, handled by a different key; g must not
+  // produce them.
+  SpSketch sketch(2, 4);
+  sketch.AddSkew(GroupKey(0, {}), 1000);
+  DistributedFileSystem dfs;
+  SpCubeReducer reducer(kSketchPath, 2, AggregateKind::kCount, {});
+  ASSERT_TRUE(
+      reducer.Setup(MakeTask(&dfs, sketch, /*reduce_partition=*/1)).ok());
+
+  ByteWriter key_writer;
+  GroupKey(0b01, {5}).EncodeTo(key_writer);
+  VectorValueStream values({EncodeTuple(std::vector<int64_t>{5, 1}, 1),
+                            EncodeTuple(std::vector<int64_t>{5, 1}, 1),
+                            EncodeTuple(std::vector<int64_t>{5, 2}, 1)});
+  CapturingReduceContext context;
+  ASSERT_TRUE(reducer.Reduce(key_writer.data(), values, context).ok());
+
+  // Owned outputs: (5,*) = 3, (5,1) = 2, (5,2) = 1. Not (*,1), (*,2), apex.
+  ASSERT_EQ(context.outputs.size(), 3u);
+  EXPECT_EQ(context.outputs[GroupKey(0b01, {5})], 3.0);
+  EXPECT_EQ(context.outputs[(GroupKey(0b11, {5, 1}))], 2.0);
+  EXPECT_EQ(context.outputs[(GroupKey(0b11, {5, 2}))], 1.0);
+}
+
+TEST(SpCubeReducerTest, ClosureViolatingSketchStillCoversExactlyOnce) {
+  // Sketches built from real samples are downward-closed (a skewed group's
+  // descendants are skewed), and then skewed groups have no owner and flow
+  // through the skew path. This sketch VIOLATES closure: (5,1) is marked
+  // skewed while its descendant (5,*) is not. The mapper then never
+  // aggregates (5,1) locally (its lattice walk marks it via the emitted
+  // (5,*)), and the ownership rule assigns it to (5,*)'s reducer — the
+  // group is still produced exactly once, just by the range path. This
+  // agreement between marking and ownership is what makes correctness
+  // independent of sketch quality.
+  SpSketch sketch(2, 4);
+  sketch.AddSkew(GroupKey(0, {}), 1000);
+  sketch.AddSkew(GroupKey(0b11, {5, 1}), 100);
+  EXPECT_EQ(sketch.OwnerMask(GroupKey(0b11, {5, 1})), 0b01u);
+
+  DistributedFileSystem dfs;
+
+  // Mapper side: (5,1) rows are NOT aggregated locally.
+  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
+  Relation rel = OneRow({5, 1}, 1);
+  CapturingMapContext map_context;
+  ASSERT_TRUE(mapper.Map(rel, 0, map_context).ok());
+  ASSERT_TRUE(mapper.Finish(map_context).ok());
+  // Emissions: tuples for (5,*) and (*,1), then the apex partial from
+  // Finish — never a record keyed by the "skewed" (5,1).
+  ASSERT_EQ(map_context.emissions.size(), 3u);
+  EXPECT_EQ(map_context.emissions[0].key, GroupKey(0b01, {5}));
+  EXPECT_EQ(map_context.emissions[1].key, GroupKey(0b10, {1}));
+  EXPECT_EQ(map_context.emissions[2].key, GroupKey(0, {}));
+
+  // Reducer side: (5,*)'s reducer outputs (5,1) because it owns it.
+  SpCubeReducer reducer(kSketchPath, 2, AggregateKind::kCount, {});
+  ASSERT_TRUE(
+      reducer.Setup(MakeTask(&dfs, sketch, /*reduce_partition=*/2)).ok());
+  ByteWriter key_writer;
+  GroupKey(0b01, {5}).EncodeTo(key_writer);
+  VectorValueStream values({EncodeTuple(std::vector<int64_t>{5, 1}, 1),
+                            EncodeTuple(std::vector<int64_t>{5, 2}, 1)});
+  CapturingReduceContext context;
+  ASSERT_TRUE(reducer.Reduce(key_writer.data(), values, context).ok());
+  EXPECT_EQ(context.outputs.count(GroupKey(0b11, {5, 1})), 1u);
+  EXPECT_EQ(context.outputs.count(GroupKey(0b11, {5, 2})), 1u);
+  EXPECT_EQ(context.outputs[GroupKey(0b01, {5})], 2.0);
+}
+
+TEST(LoadSketchTest, MissingAndCorruptPaths) {
+  DistributedFileSystem dfs;
+  EXPECT_EQ(LoadSketch(&dfs, "nope").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(dfs.Overwrite("bad", "garbage").ok());
+  EXPECT_FALSE(LoadSketch(&dfs, "bad").ok());
+  EXPECT_EQ(LoadSketch(nullptr, "x").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace spcube

@@ -1,0 +1,161 @@
+// Tests for the top-down multi-round baseline (Lee et al., the paper's
+// reference [25]): exactness, round count = d+1, parent-plan coverage, and
+// the per-round traffic profile the paper criticizes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/topdown.h"
+#include "core/sp_cube.h"
+#include "cube/cube_result.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+EngineConfig TestConfig(int workers = 5) {
+  EngineConfig config;
+  config.num_workers = workers;
+  config.memory_budget_bytes = 4 << 20;
+  config.network_bandwidth_bytes_per_sec = 0;
+  return config;
+}
+
+TEST(TopDownParentTest, CoversEveryCuboidExactlyOnce) {
+  // Every non-base cuboid has exactly one parent; collecting children over
+  // all parents yields each cuboid once.
+  for (int d = 1; d <= 6; ++d) {
+    std::multiset<CuboidMask> produced;
+    const CuboidMask base = static_cast<CuboidMask>(NumCuboids(d) - 1);
+    for (CuboidMask parent = 0; parent <= base; ++parent) {
+      if (MaskPopCount(parent) == 0) continue;
+      for (CuboidMask child : ImmediateDescendants(parent)) {
+        if (TopDownParent(child, d) == parent) produced.insert(child);
+      }
+    }
+    for (CuboidMask mask = 0; mask < base; ++mask) {
+      EXPECT_EQ(produced.count(mask), 1u) << "d=" << d << " mask=" << mask;
+    }
+    EXPECT_EQ(TopDownParent(base, d), base);
+  }
+}
+
+TEST(TopDownTest, MatchesReferenceOnUniform) {
+  Relation rel = GenUniform(2000, 3, 15, 91);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  TopDownCubeAlgorithm topdown;
+  auto output = topdown.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok()) << output.status();
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  std::string diff;
+  EXPECT_TRUE(
+      CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+      << diff;
+}
+
+TEST(TopDownTest, MatchesReferenceOnSkewAndZipf) {
+  for (Relation rel : {GenBinomial(2000, 4, 0.6, 93),
+                       GenZipfPaper(2000, 94)}) {
+    DistributedFileSystem dfs;
+    Engine engine(TestConfig(), &dfs);
+    TopDownCubeAlgorithm topdown;
+    auto output = topdown.Run(engine, rel, {});
+    ASSERT_TRUE(output.ok()) << output.status();
+    CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+        << diff;
+  }
+}
+
+TEST(TopDownTest, AlgebraicAggregateAcrossRounds) {
+  // avg must survive d+1 rounds of partial-state merging.
+  Relation rel = GenUniform(1500, 3, 8, 95);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  TopDownCubeAlgorithm topdown;
+  CubeRunOptions options;
+  options.aggregate = AggregateKind::kAvg;
+  auto output = topdown.Run(engine, rel, options);
+  ASSERT_TRUE(output.ok());
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kAvg);
+  std::string diff;
+  EXPECT_TRUE(
+      CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+      << diff;
+}
+
+TEST(TopDownTest, RunsDPlusOneRounds) {
+  for (int d : {2, 4}) {
+    Relation rel = GenUniform(500, d, 6, 97);
+    DistributedFileSystem dfs;
+    Engine engine(TestConfig(), &dfs);
+    TopDownCubeAlgorithm topdown;
+    auto output = topdown.Run(engine, rel, {});
+    ASSERT_TRUE(output.ok());
+    EXPECT_EQ(output->metrics.rounds.size(), static_cast<size_t>(d + 1));
+  }
+}
+
+TEST(TopDownTest, MoreRoundsThanSpCubeMoreOverhead) {
+  // The round-latency argument of §7: with per-round overhead, d+1 rounds
+  // cost strictly more fixed time than SP-Cube's two.
+  Relation rel = GenUniform(2000, 5, 10, 99);
+  EngineConfig config = TestConfig();
+  config.round_overhead_seconds = 0.1;
+  {
+    DistributedFileSystem dfs;
+    Engine engine(config, &dfs);
+    TopDownCubeAlgorithm topdown;
+    auto td = topdown.Run(engine, rel, {});
+    ASSERT_TRUE(td.ok());
+    DistributedFileSystem dfs2;
+    Engine engine2(config, &dfs2);
+    SpCubeAlgorithm sp;
+    auto sp_out = sp.Run(engine2, rel, {});
+    ASSERT_TRUE(sp_out.ok());
+    double td_overhead = 0;
+    for (const auto& r : td->metrics.rounds) {
+      td_overhead += r.round_overhead_seconds;
+    }
+    double sp_overhead = 0;
+    for (const auto& r : sp_out->metrics.rounds) {
+      sp_overhead += r.round_overhead_seconds;
+    }
+    EXPECT_EQ(td_overhead, 0.6);  // 6 rounds
+    EXPECT_EQ(sp_overhead, 0.2);  // 2 rounds
+  }
+}
+
+TEST(TopDownTest, IcebergFilters) {
+  Relation rel = GenBinomial(1500, 3, 0.5, 101);
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  TopDownCubeAlgorithm topdown;
+  CubeRunOptions options;
+  options.iceberg_min_count = 10;
+  auto output = topdown.Run(engine, rel, options);
+  ASSERT_TRUE(output.ok());
+  CubeResult reference = ComputeCubeReference(rel, AggregateKind::kCount);
+  int64_t expected = 0;
+  for (const auto& [key, value] : reference.groups()) {
+    if (value >= 10) ++expected;
+  }
+  EXPECT_EQ(output->cube->num_groups(), expected);
+}
+
+TEST(TopDownTest, EmptyRelation) {
+  Relation rel(MakeAnonymousSchema(3));
+  DistributedFileSystem dfs;
+  Engine engine(TestConfig(), &dfs);
+  TopDownCubeAlgorithm topdown;
+  auto output = topdown.Run(engine, rel, {});
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->cube->num_groups(), 0);
+}
+
+}  // namespace
+}  // namespace spcube

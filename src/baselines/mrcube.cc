@@ -260,6 +260,9 @@ Result<MrCubeAnnotations> MrCubeAnnotations::Deserialize(
   uint64_t count = 0;
   SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_dims));
   SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&count));
+  if (num_dims < 1 || num_dims > static_cast<uint64_t>(kMaxDims)) {
+    return Status::Corruption("annotation num_dims out of range");
+  }
   out.num_dims = static_cast<int>(num_dims);
   if (count != static_cast<uint64_t>(NumCuboids(out.num_dims))) {
     return Status::Corruption("annotation count does not match 2^d");
@@ -311,7 +314,7 @@ Result<CubeRunOutput> MrCubeAlgorithm::Run(Engine& engine,
   }
 
   SPCUBE_ASSIGN_OR_RETURN(std::string annotation_bytes,
-                          engine.dfs()->Read(annotations_path));
+                          engine.dfs()->ReadWithRetry(annotations_path));
   SPCUBE_ASSIGN_OR_RETURN(MrCubeAnnotations annotations,
                           MrCubeAnnotations::Deserialize(annotation_bytes));
   last_unfriendly_ = 0;

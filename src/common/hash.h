@@ -1,6 +1,7 @@
 #ifndef SPCUBE_COMMON_HASH_H_
 #define SPCUBE_COMMON_HASH_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -32,6 +33,37 @@ inline uint64_t HashBytes(std::string_view bytes) {
     h *= 0x100000001b3ULL;
   }
   return Mix64(h);
+}
+
+namespace internal {
+
+/// Byte-at-a-time table for the Castagnoli CRC (reflected polynomial
+/// 0x82F63B78), built at compile time so the header stays dependency-free.
+constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace internal
+
+/// CRC32C (Castagnoli) of a byte string. Guards spill records, shuffle runs
+/// and DFS blobs against corruption in flight or at rest; software
+/// table-driven so no platform intrinsics are required.
+inline uint32_t Crc32c(std::string_view bytes) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : bytes) {
+    crc = (crc >> 8) ^ internal::kCrc32cTable[(crc ^ c) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 /// Hashes a span of 64-bit values.

@@ -38,7 +38,7 @@ Result<CubeResult> ReadCubeFromDfs(const DistributedFileSystem& dfs,
                                    const std::string& root, int num_dims) {
   CubeResult cube(num_dims);
   for (const std::string& path : dfs.List(root + "/")) {
-    SPCUBE_ASSIGN_OR_RETURN(std::string contents, dfs.Read(path));
+    SPCUBE_ASSIGN_OR_RETURN(std::string contents, dfs.ReadWithRetry(path));
     ByteReader reader(contents);
     while (!reader.AtEnd()) {
       std::string_view key_bytes;

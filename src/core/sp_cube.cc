@@ -43,9 +43,15 @@ Result<JobMetrics> SpCubeAlgorithm::RunSketchRound(
   SPCUBE_ASSIGN_OR_RETURN(JobMetrics round,
                           engine.Run(spec, input, &stats_sink));
 
-  SPCUBE_ASSIGN_OR_RETURN(auto sketch, LoadSketch(engine.dfs(), sketch_path));
-  last_sketch_bytes_ = sketch->SerializedByteSize();
-  last_sketch_skews_ = sketch->TotalSkewedGroups();
+  // Stats only: a corrupted broadcast must not fail the run here — the cube
+  // round degrades gracefully — so record zeros and move on.
+  bool degraded = false;
+  SPCUBE_ASSIGN_OR_RETURN(
+      auto sketch,
+      LoadSketchOrDegrade(engine.dfs(), sketch_path, input.num_dims(),
+                          engine.config().num_workers, &degraded));
+  last_sketch_bytes_ = degraded ? 0 : sketch->SerializedByteSize();
+  last_sketch_skews_ = degraded ? 0 : sketch->TotalSkewedGroups();
   return round;
 }
 
@@ -54,9 +60,15 @@ Result<CubeRunOutput> SpCubeAlgorithm::RunCubeRound(
     const std::string& sketch_path) {
   const int k = engine.config().num_workers;
 
-  // The driver needs the sketch too, for the partitioner.
-  SPCUBE_ASSIGN_OR_RETURN(auto sketch_owned,
-                          LoadSketch(engine.dfs(), sketch_path));
+  // The driver needs the sketch too, for the partitioner. Corruption is a
+  // property of the stored bytes, so when the driver degrades, the tasks'
+  // own loads degrade identically — partitioner and mapper/reducer keep a
+  // consistent (empty-sketch) view and the cube stays exact.
+  bool degraded = false;
+  SPCUBE_ASSIGN_OR_RETURN(
+      auto sketch_owned,
+      LoadSketchOrDegrade(engine.dfs(), sketch_path, input.num_dims(), k,
+                          &degraded));
   std::shared_ptr<const SpSketch> sketch(std::move(sketch_owned));
 
   CubeRunOutput out;
@@ -70,13 +82,17 @@ Result<CubeRunOutput> SpCubeAlgorithm::RunCubeRound(
     JobSpec spec;
     spec.name = "spcube-cube";
     spec.num_reducers = k + 1;  // reducer 0 handles skewed groups
-    if (options_.use_range_partitioner) {
+    if (options_.use_range_partitioner && !degraded) {
       spec.partitioner = std::make_shared<SketchRangePartitioner>(sketch);
     } else {
+      // Degraded: the empty sketch has no partition elements, so range
+      // partitioning would funnel everything into one reducer; spread the
+      // load by hashing instead (the skew set is empty either way).
       spec.partitioner = std::make_shared<SkewAwareHashPartitioner>(sketch);
     }
-    spec.mapper_factory = [this, sketch_path, &options]() {
-      return std::make_unique<SpCubeMapper>(sketch_path, options.aggregate,
+    spec.mapper_factory = [this, sketch_path, &options, &input]() {
+      return std::make_unique<SpCubeMapper>(sketch_path, input.num_dims(),
+                                            options.aggregate,
                                             options_.tuning);
     };
     spec.reducer_factory = [this, sketch_path, &options, &input]() {

@@ -1,5 +1,6 @@
 #include "core/sp_cube_tasks.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/bytes.h"
@@ -37,6 +38,33 @@ Result<std::unique_ptr<const SpSketch>> LoadSketch(
   return {std::make_unique<const SpSketch>(std::move(sketch))};
 }
 
+Result<std::unique_ptr<const SpSketch>> LoadSketchOrDegrade(
+    DistributedFileSystem* dfs, const std::string& path, int num_dims,
+    int num_partitions, bool* degraded) {
+  *degraded = false;
+  constexpr int kMaxLoadAttempts = 3;
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt < kMaxLoadAttempts; ++attempt) {
+    auto loaded = LoadSketch(dfs, path);
+    if (loaded.ok()) return loaded;
+    last_error = loaded.status();
+    if (last_error.code() == StatusCode::kCorruption) {
+      // The stored bytes themselves are bad (or persistently corrupted in
+      // flight): every participant sees the same verdict. Fall back to an
+      // empty sketch — no skews, no partition elements — which computes the
+      // cube exactly, only without skew handling or range balancing.
+      SPCUBE_LOG(Warning) << "sketch at '" << path
+                          << "' failed validation (" << last_error.message()
+                          << "); degrading to hash partitioning";
+      *degraded = true;
+      return {std::make_unique<const SpSketch>(num_dims,
+                                               std::max(1, num_partitions))};
+    }
+    if (!last_error.IsIoError()) break;  // NotFound etc.: not retryable.
+  }
+  return last_error;
+}
+
 int SketchRangePartitioner::Partition(std::string_view key,
                                       int num_reducers) const {
   auto decoded = DecodeGroupKey(key);
@@ -57,7 +85,10 @@ int SkewAwareHashPartitioner::Partition(std::string_view key,
 }
 
 Status SpCubeMapper::Setup(const TaskContext& task) {
-  SPCUBE_ASSIGN_OR_RETURN(sketch_, LoadSketch(task.dfs, sketch_path_));
+  SPCUBE_ASSIGN_OR_RETURN(
+      sketch_, LoadSketchOrDegrade(task.dfs, sketch_path_, num_dims_,
+                                   std::max(1, task.num_reducers - 1),
+                                   &degraded_));
   return Status::OK();
 }
 
@@ -131,13 +162,26 @@ Status SpCubeMapper::Finish(MapContext& context) {
   context.IncrementCounter("spcube.lattice_nodes_marked", nodes_marked_);
   context.IncrementCounter("spcube.skew_tuple_aggregations", skew_adds_);
   context.IncrementCounter("spcube.minimal_group_emits", minimal_emits_);
+  if (degraded_) {
+    context.IncrementCounter("spcube.sketch_degraded_fallbacks", 1);
+  }
   nodes_visited_ = nodes_marked_ = skew_adds_ = minimal_emits_ = 0;
   return Status::OK();
 }
 
 Status SpCubeReducer::Setup(const TaskContext& task) {
-  SPCUBE_ASSIGN_OR_RETURN(sketch_, LoadSketch(task.dfs, sketch_path_));
+  SPCUBE_ASSIGN_OR_RETURN(
+      sketch_, LoadSketchOrDegrade(task.dfs, sketch_path_, num_dims_,
+                                   std::max(1, task.num_reducers - 1),
+                                   &degraded_));
   is_skew_reducer_ = task.reduce_partition == 0;
+  return Status::OK();
+}
+
+Status SpCubeReducer::Finish(ReduceContext& context) {
+  if (degraded_) {
+    context.IncrementCounter("spcube.sketch_degraded_fallbacks", 1);
+  }
   return Status::OK();
 }
 

@@ -63,10 +63,12 @@ class SkewAwareHashPartitioner : public Partitioner {
 class SpCubeMapper : public Mapper {
  public:
   /// Reads the serialized sketch from the DFS at `sketch_path` during
-  /// Setup, mirroring the paper's broadcast-and-cache.
-  SpCubeMapper(std::string sketch_path, AggregateKind aggregate,
+  /// Setup, mirroring the paper's broadcast-and-cache. `num_dims` lets the
+  /// task build an empty fallback sketch if the broadcast is corrupted.
+  SpCubeMapper(std::string sketch_path, int num_dims, AggregateKind aggregate,
                SpCubeTuning tuning)
       : sketch_path_(std::move(sketch_path)),
+        num_dims_(num_dims),
         aggregate_(aggregate),
         tuning_(tuning) {}
 
@@ -77,10 +79,12 @@ class SpCubeMapper : public Mapper {
 
  private:
   std::string sketch_path_;
+  int num_dims_;
   AggregateKind aggregate_;
   SpCubeTuning tuning_;
 
   std::unique_ptr<const SpSketch> sketch_;
+  bool degraded_ = false;
   std::unordered_map<GroupKey, AggState, GroupKeyHash> skew_partials_;
   std::vector<CuboidMask> emitted_masks_;  // per-tuple scratch
 
@@ -110,6 +114,7 @@ class SpCubeReducer : public Reducer {
   Status Setup(const TaskContext& task) override;
   Status Reduce(const std::string& key, ValueStream& values,
                 ReduceContext& context) override;
+  Status Finish(ReduceContext& context) override;
 
  private:
   Status ReduceSkewedGroup(const GroupKey& group, ValueStream& values,
@@ -125,11 +130,25 @@ class SpCubeReducer : public Reducer {
 
   std::unique_ptr<const SpSketch> sketch_;
   bool is_skew_reducer_ = false;
+  bool degraded_ = false;
 };
 
 /// Loads and deserializes a sketch previously published to the DFS.
 Result<std::unique_ptr<const SpSketch>> LoadSketch(
     DistributedFileSystem* dfs, const std::string& path);
+
+/// Fault-tolerant sketch load used by every round-2 participant (driver,
+/// mappers, reducers). Transient DFS read errors are retried; a sketch that
+/// fails validation (Status::Corruption) degrades to an *empty* sketch of
+/// the given shape and sets `*degraded`. Corruption is a deterministic
+/// property of the stored bytes, so every participant degrades (or none
+/// does) and they keep a consistent view: with no skews and no partition
+/// elements the cube is still computed exactly, just without the paper's
+/// balancing (see docs/INTERNALS.md "Failure semantics"). Other errors
+/// (e.g. NotFound) propagate.
+Result<std::unique_ptr<const SpSketch>> LoadSketchOrDegrade(
+    DistributedFileSystem* dfs, const std::string& path, int num_dims,
+    int num_partitions, bool* degraded);
 
 }  // namespace spcube
 

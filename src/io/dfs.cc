@@ -1,11 +1,23 @@
 #include "io/dfs.h"
 
+#include <algorithm>
+
+#include "common/hash.h"
+
 namespace spcube {
+namespace {
+
+/// Re-fetches of the same blob a reader is willing to attempt before
+/// declaring the corruption persistent.
+constexpr int kMaxFetchAttempts = 6;
+
+}  // namespace
 
 Status DistributedFileSystem::Write(const std::string& path,
                                     std::string contents) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = files_.try_emplace(path, std::move(contents));
+  const uint32_t crc = Crc32c(contents);
+  auto [it, inserted] = files_.try_emplace(path, Blob{std::move(contents), crc});
   (void)it;
   if (!inserted) return Status::AlreadyExists("dfs file exists: " + path);
   return Status::OK();
@@ -14,25 +26,61 @@ Status DistributedFileSystem::Write(const std::string& path,
 Status DistributedFileSystem::Overwrite(const std::string& path,
                                         std::string contents) {
   std::lock_guard<std::mutex> lock(mu_);
-  files_[path] = std::move(contents);
+  const uint32_t crc = Crc32c(contents);
+  files_[path] = Blob{std::move(contents), crc};
   return Status::OK();
 }
 
 Status DistributedFileSystem::Append(const std::string& path,
                                      std::string_view contents) {
   std::lock_guard<std::mutex> lock(mu_);
-  files_[path].append(contents);
+  Blob& blob = files_[path];
+  blob.data.append(contents);
+  blob.crc = Crc32c(blob.data);
   return Status::OK();
 }
 
 Result<std::string> DistributedFileSystem::Read(const std::string& path)
     const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr) {
+    SPCUBE_RETURN_IF_ERROR(injector_->OnDfsRead(path));
+  }
   auto it = files_.find(path);
   if (it == files_.end()) {
     return Status::NotFound("dfs file not found: " + path);
   }
-  return it->second;
+  const Blob& blob = it->second;
+  if (injector_ == nullptr) return blob.data;
+
+  // Model the transfer: each fetch delivers a copy the injector may corrupt
+  // in flight; a checksum mismatch triggers a re-fetch of the same blob.
+  bool mismatched = false;
+  for (int fetch = 0; fetch < kMaxFetchAttempts; ++fetch) {
+    std::string delivered = blob.data;
+    injector_->MaybeCorrupt("dfs:" + path, /*item=*/0, fetch, &delivered);
+    if (Crc32c(delivered) == blob.crc) {
+      if (mismatched) ++reads_recovered_;
+      return delivered;
+    }
+    ++checksum_mismatches_;
+    mismatched = true;
+  }
+  return Status::Corruption("dfs blob failed checksum after " +
+                            std::to_string(kMaxFetchAttempts) +
+                            " fetch attempts: " + path);
+}
+
+Result<std::string> DistributedFileSystem::ReadWithRetry(
+    const std::string& path, int max_attempts) const {
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt < std::max(1, max_attempts); ++attempt) {
+    auto read = Read(path);
+    if (read.ok()) return read;
+    last_error = read.status();
+    if (!last_error.IsIoError()) break;
+  }
+  return last_error;
 }
 
 bool DistributedFileSystem::Exists(const std::string& path) const {
@@ -79,7 +127,7 @@ int64_t DistributedFileSystem::TotalBytes(const std::string& prefix) const {
        it != files_.end() &&
        it->first.compare(0, prefix.size(), prefix) == 0;
        ++it) {
-    total += static_cast<int64_t>(it->second.size());
+    total += static_cast<int64_t>(it->second.data.size());
   }
   return total;
 }
@@ -87,6 +135,21 @@ int64_t DistributedFileSystem::TotalBytes(const std::string& prefix) const {
 int64_t DistributedFileSystem::file_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(files_.size());
+}
+
+void DistributedFileSystem::SetFaultInjector(IoFaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
+int64_t DistributedFileSystem::checksum_mismatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checksum_mismatches_;
+}
+
+int64_t DistributedFileSystem::reads_recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_recovered_;
 }
 
 }  // namespace spcube

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/io_fault.h"
 
 namespace spcube {
 
@@ -19,6 +20,13 @@ namespace spcube {
 /// serialized SP-Sketch to every worker, exactly as the paper describes
 /// ("the sketch is stored in the distributed file system to be later cached
 /// by all machines").
+///
+/// Every blob carries a CRC32C computed at write time. Reads verify the
+/// checksum against the delivered bytes and re-fetch on mismatch (HDFS's
+/// per-block checksum protocol); with a fault injector installed this is
+/// what turns in-flight corruption into a counted, recovered event rather
+/// than silent data loss. Corruption that survives every re-fetch surfaces
+/// as a Corruption status.
 class DistributedFileSystem {
  public:
   DistributedFileSystem() = default;
@@ -35,8 +43,15 @@ class DistributedFileSystem {
   /// Appends to a file, creating it if absent.
   Status Append(const std::string& path, std::string_view contents);
 
-  /// Reads a whole file.
+  /// Reads a whole file, verifying its checksum (re-fetching on mismatch).
   Result<std::string> Read(const std::string& path) const;
+
+  /// Read with bounded retry of *transient* I/O errors (an injected fault
+  /// or a flaky replica). Other verdicts — NotFound, unrecoverable
+  /// Corruption — propagate immediately; retrying cannot change them. Use
+  /// this for driver-side reads that are not covered by task-attempt retry.
+  Result<std::string> ReadWithRetry(const std::string& path,
+                                    int max_attempts = 3) const;
 
   bool Exists(const std::string& path) const;
 
@@ -54,9 +69,28 @@ class DistributedFileSystem {
 
   int64_t file_count() const;
 
+  /// Installs (or clears, with nullptr) the fault model consulted on reads.
+  /// The injector must outlive the file system or be cleared first.
+  void SetFaultInjector(IoFaultInjector* injector);
+
+  /// Checksum mismatches observed on reads (each re-fetch that still
+  /// mismatches counts once).
+  int64_t checksum_mismatches() const;
+
+  /// Reads that returned OK only after at least one mismatched fetch.
+  int64_t reads_recovered() const;
+
  private:
+  struct Blob {
+    std::string data;
+    uint32_t crc = 0;
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, std::string> files_;
+  std::map<std::string, Blob> files_;
+  IoFaultInjector* injector_ = nullptr;
+  mutable int64_t checksum_mismatches_ = 0;
+  mutable int64_t reads_recovered_ = 0;
 };
 
 }  // namespace spcube

@@ -1,0 +1,37 @@
+#ifndef SPCUBE_IO_IO_FAULT_H_
+#define SPCUBE_IO_IO_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Injection points the I/O layer exposes to a fault model. The concrete
+/// deterministic plan lives in mapreduce/fault.h; io/ only depends on this
+/// interface so the dependency direction stays io <- mapreduce. All methods
+/// must be thread-safe and — for reproducibility — pure functions of the
+/// call's coordinates, not of call order across threads.
+class IoFaultInjector {
+ public:
+  virtual ~IoFaultInjector() = default;
+
+  /// Consulted once per DFS read. A non-OK status models a transient block
+  /// fetch failure (dead DataNode, network timeout); the caller surfaces it
+  /// to the running task, whose attempt-level retry covers it.
+  virtual Status OnDfsRead(const std::string& path) = 0;
+
+  /// May corrupt `payload` in flight, modeling a bad transfer or a bad
+  /// replica. `resource` names the blob or spill file, `item` the record
+  /// index within it (0 for whole-blob reads) and `fetch_attempt` counts
+  /// re-fetches of the same bytes after a checksum mismatch. Returns true
+  /// iff the payload was mutated.
+  virtual bool MaybeCorrupt(std::string_view resource, uint64_t item,
+                            int fetch_attempt, std::string* payload) = 0;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_IO_IO_FAULT_H_

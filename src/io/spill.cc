@@ -6,12 +6,17 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace spcube {
 namespace {
 
 std::atomic<int64_t> g_temp_dir_counter{0};
+
+/// Re-fetches of one spill record a reader attempts before giving up on a
+/// checksum mismatch (mirrors the DFS fetch-retry bound).
+constexpr int kMaxFetchAttempts = 6;
 
 }  // namespace
 
@@ -56,11 +61,13 @@ Status SpillWriter::Append(std::string_view record) {
     return Status::FailedPrecondition("spill writer not open");
   }
   const uint64_t len = record.size();
+  const uint32_t crc = Crc32c(record);
   if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
       (len > 0 && std::fwrite(record.data(), 1, len, file_) != len)) {
     return Status::IoError("short write to spill file: " + path_);
   }
-  bytes_written_ += static_cast<int64_t>(sizeof(len) + len);
+  bytes_written_ += static_cast<int64_t>(sizeof(len) + sizeof(crc) + len);
   ++record_count_;
   return Status::OK();
 }
@@ -89,6 +96,14 @@ Status SpillReader::Open() {
   return Status::OK();
 }
 
+void SpillReader::SetFaultInjection(IoFaultInjector* injector,
+                                    int64_t* mismatch_counter,
+                                    std::string resource) {
+  injector_ = injector;
+  mismatch_counter_ = mismatch_counter;
+  resource_ = resource.empty() ? path_ : std::move(resource);
+}
+
 Result<bool> SpillReader::Next(std::string* record) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("spill reader not open");
@@ -99,11 +114,36 @@ Result<bool> SpillReader::Next(std::string* record) {
     if (std::feof(file_)) return false;
     return Status::IoError("read failed for " + path_);
   }
+  uint32_t crc = 0;
+  if (std::fread(&crc, sizeof(crc), 1, file_) != 1) {
+    return Status::Corruption("truncated spill record header in " + path_);
+  }
   record->resize(len);
   if (len > 0 && std::fread(record->data(), 1, len, file_) != len) {
     return Status::Corruption("truncated spill record in " + path_);
   }
-  return true;
+  const uint64_t item = next_record_index_++;
+  if (injector_ == nullptr) {
+    if (Crc32c(*record) != crc) {
+      return Status::Corruption("spill record failed checksum in " + path_);
+    }
+    return true;
+  }
+  // Model the shuffle fetch: the bytes on disk are the mapper's committed
+  // output; each fetch delivers a copy the injector may corrupt in flight,
+  // and a mismatch re-fetches the same segment.
+  for (int fetch = 0; fetch < kMaxFetchAttempts; ++fetch) {
+    std::string delivered = *record;
+    injector_->MaybeCorrupt(resource_, item, fetch, &delivered);
+    if (Crc32c(delivered) == crc) {
+      *record = std::move(delivered);
+      return true;
+    }
+    if (mismatch_counter_ != nullptr) ++*mismatch_counter_;
+  }
+  return Status::Corruption("spill record failed checksum after " +
+                            std::to_string(kMaxFetchAttempts) +
+                            " fetch attempts in " + path_);
 }
 
 Status SpillReader::Close() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "io/io_fault.h"
 
 namespace spcube {
 
@@ -33,8 +34,10 @@ class TempFileManager {
   std::atomic<int64_t> counter_{0};
 };
 
-/// Writes length-prefixed records to a local file. Used for shuffle spills
-/// when a worker's in-memory buffer exceeds its memory budget.
+/// Writes records to a local file as [u64 length][u32 crc32c][payload].
+/// Used for shuffle spills when a worker's in-memory buffer exceeds its
+/// memory budget; the per-record checksum lets readers detect corruption of
+/// the run both at rest and in (simulated) transfer.
 class SpillWriter {
  public:
   explicit SpillWriter(std::string path);
@@ -59,7 +62,12 @@ class SpillWriter {
   int64_t record_count_ = 0;
 };
 
-/// Streams the records of a spill file back in write order.
+/// Streams the records of a spill file back in write order, verifying each
+/// record's checksum. With a fault injector installed, a mismatch caused by
+/// an injected in-flight corruption is recovered by re-fetching the pristine
+/// on-disk bytes (a reducer re-requesting the map output segment); a
+/// mismatch in the bytes actually on disk is unrecoverable and surfaces as
+/// Corruption.
 class SpillReader {
  public:
   explicit SpillReader(std::string path);
@@ -70,6 +78,16 @@ class SpillReader {
 
   Status Open();
 
+  /// Installs the corruption model for subsequent reads. `mismatch_counter`
+  /// (may be null) is incremented once per detected-and-recovered mismatch;
+  /// it is owned by the caller and must outlive the reader. `resource` is
+  /// the identity fed to the injector's decision hash; pass a stable logical
+  /// name (job/task/attempt/run) so injection is reproducible — host temp
+  /// paths embed the pid and a process-global counter. Empty falls back to
+  /// the file path.
+  void SetFaultInjection(IoFaultInjector* injector, int64_t* mismatch_counter,
+                         std::string resource = "");
+
   /// Reads the next record into `*record`. Returns true and OK status on
   /// success; false with OK status at end of file; false with error status
   /// on I/O failure or corruption.
@@ -79,7 +97,11 @@ class SpillReader {
 
  private:
   std::string path_;
+  std::string resource_;
   std::FILE* file_ = nullptr;
+  IoFaultInjector* injector_ = nullptr;
+  int64_t* mismatch_counter_ = nullptr;
+  uint64_t next_record_index_ = 0;
 };
 
 /// Deletes a file from the local filesystem, ignoring missing files.

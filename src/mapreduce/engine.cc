@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
 
 namespace spcube {
@@ -46,6 +47,7 @@ class EngineMapContext : public MapContext {
   }
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }
+  std::map<std::string, int64_t> TakeCounters() { return std::move(counters_); }
 
   Status Emit(std::string_view key, std::string_view value) override {
     const int partition = partitioner_->Partition(key, num_reducers_);
@@ -120,12 +122,38 @@ class EngineReduceContext : public ReduceContext {
   std::map<std::string, int64_t> counters_;
 };
 
+/// Everything one map task produced, isolated so that worker-crash recovery
+/// can discard and replace a task's contribution wholesale (output, shuffle
+/// counters and user counters all come from exactly one successful attempt).
+struct MapTaskState {
+  std::unique_ptr<ShuffleBuffer> buffer;
+  ShuffleCounters shuffle_counters;
+  std::map<std::string, int64_t> custom_counters;
+  double busy_seconds = 0.0;     // measured across all attempts
+  double penalty_seconds = 0.0;  // modeled retry backoff
+  double slowdown_factor = 1.0;  // >1: injected straggler
+  int64_t retries = 0;           // failed attempts that were retried
+  Status status;
+};
+
+/// Timing record of one reduce task; charged to its machine after the phase
+/// joins so speculative copies never race across machine threads.
+struct ReduceTaskState {
+  double busy_seconds = 0.0;
+  double penalty_seconds = 0.0;
+  double slowdown_factor = 1.0;
+  int64_t retries = 0;
+};
+
 }  // namespace
 
 Engine::Engine(EngineConfig config, DistributedFileSystem* dfs)
     : config_(config), dfs_(dfs), temp_files_("engine") {
   SPCUBE_CHECK(config_.num_workers >= 1);
   SPCUBE_CHECK(config_.memory_budget_bytes > 0);
+  if (config_.fault_plan != nullptr && dfs_ != nullptr) {
+    dfs_->SetFaultInjector(config_.fault_plan);
+  }
 }
 
 Result<JobMetrics> Engine::Run(const JobSpec& spec, const Relation& input,
@@ -165,6 +193,11 @@ Result<JobMetrics> Engine::RunImpl(
       spec.partitioner != nullptr ? spec.partitioner.get()
                                   : &kDefaultPartitioner;
 
+  FaultPlan* plan = config_.fault_plan;
+  const int64_t job_id = plan != nullptr ? plan->BeginJob(spec.name) : 0;
+  const int max_attempts =
+      std::max({1, spec.max_task_attempts, config_.min_task_attempts});
+
   JobMetrics metrics;
   metrics.job_name = spec.name;
   metrics.map_phase.EnsureWorkers(num_workers);
@@ -187,14 +220,13 @@ Result<JobMetrics> Engine::RunImpl(
 
   // ---- Map phase ----------------------------------------------------------
   const int64_t n = num_input_rows;
-  std::vector<std::unique_ptr<ShuffleBuffer>> buffers;
-  std::vector<ShuffleCounters> counters(static_cast<size_t>(num_workers));
-  buffers.reserve(static_cast<size_t>(num_workers));
+  std::vector<MapTaskState> map_tasks(static_cast<size_t>(num_workers));
 
-  const int max_attempts = std::max(1, spec.max_task_attempts);
-  buffers.resize(static_cast<size_t>(num_workers));
-  std::vector<Status> map_status(static_cast<size_t>(num_workers));
-  auto run_map_task = [&](int w) {
+  // Runs map task `w` to completion (with retries). `attempt_base` offsets
+  // the fault plan's attempt coordinate so a crash re-execution draws fresh
+  // — but reproducible — luck instead of replaying its original faults.
+  auto run_map_task = [&](int w, int attempt_base) -> MapTaskState {
+    MapTaskState state;
     const int64_t begin = n * w / num_workers;
     const int64_t end = n * (w + 1) / num_workers;
 
@@ -203,26 +235,51 @@ Result<JobMetrics> Engine::RunImpl(
     Status last_error = Status::OK();
     bool succeeded = false;
     for (int attempt = 0; attempt < max_attempts && !succeeded; ++attempt) {
+      TaskFault fault;
+      if (plan != nullptr) {
+        fault = plan->PlanTaskAttempt(job_id, TaskKind::kMap, w,
+                                      attempt_base + attempt);
+      }
+      // The plan models transient faults, so the final attempt is spared
+      // injected failures (a real cluster's node blacklisting converges the
+      // same way); genuine errors can still fail it.
+      const bool inject_failure = fault.fail && attempt + 1 < max_attempts;
+      if (fault.slowdown_factor > state.slowdown_factor) {
+        state.slowdown_factor = fault.slowdown_factor;
+      }
+
       // Fresh task state per attempt; a failed attempt's partial shuffle
       // output and counters are discarded wholesale.
       ShuffleCounters attempt_counters;
       auto buffer = std::make_unique<ShuffleBuffer>(
           num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
           &temp_files_, &attempt_counters);
+      // Logical run identity for fault injection: independent of host temp
+      // paths, so a fixed seed replays the same corruptions.
+      buffer->SetSpillResourcePrefix(
+          "run/j" + std::to_string(job_id) + "/m" + std::to_string(w) +
+          "/a" + std::to_string(attempt_base + attempt));
       EngineMapContext map_context(buffer.get(), partitioner, num_reducers);
 
       std::unique_ptr<Mapper> mapper = spec.mapper_factory();
       if (mapper == nullptr) {
-        map_status[static_cast<size_t>(w)] =
-            Status::Internal("mapper factory failed");
-        return;
+        state.status = Status::Internal("mapper factory failed");
+        return state;
       }
       TaskContext task{w, num_workers, num_reducers, /*reduce_partition=*/-1,
                        config_.memory_budget_bytes, dfs_};
       auto run_attempt = [&]() -> Status {
         SPCUBE_RETURN_IF_ERROR(mapper->Setup(task));
+        int64_t items = 0;
         for (int64_t row = begin; row < end; ++row) {
           SPCUBE_RETURN_IF_ERROR(map_row(mapper.get(), row, map_context));
+          ++items;
+          if (inject_failure && items >= fault.fail_after_items) {
+            return Status::IoError("injected map task failure");
+          }
+        }
+        if (inject_failure) {
+          return Status::IoError("injected map task failure (at finish)");
         }
         SPCUBE_RETURN_IF_ERROR(mapper->Finish(map_context));
         return buffer->FinalizeMapOutput();
@@ -230,56 +287,134 @@ Result<JobMetrics> Engine::RunImpl(
       last_error = run_attempt();
       if (last_error.ok()) {
         succeeded = true;
-        ShuffleCounters& c = counters[static_cast<size_t>(w)];
-        c.map_output_records += attempt_counters.map_output_records;
-        c.map_output_bytes += attempt_counters.map_output_bytes;
-        c.combine_input_records += attempt_counters.combine_input_records;
-        c.combine_output_records += attempt_counters.combine_output_records;
-        c.spill_bytes += attempt_counters.spill_bytes;
-        merge_counters(map_context.counters());
-        buffers[static_cast<size_t>(w)] = std::move(buffer);
+        state.shuffle_counters = attempt_counters;
+        state.custom_counters = map_context.TakeCounters();
+        state.buffer = std::move(buffer);
+      } else if (attempt + 1 < max_attempts) {
+        ++state.retries;
+        state.penalty_seconds +=
+            config_.retry_backoff_seconds * (attempt + 1);
       }
+      // A failed attempt's `buffer` dies here; its destructor reclaims any
+      // spill files the attempt wrote.
     }
+    state.busy_seconds = config_.use_threads
+                             ? ThreadCpuSeconds() - cpu_start
+                             : SecondsSince(start);
     if (!succeeded) {
-      map_status[static_cast<size_t>(w)] =
+      state.status =
           Status(last_error.code(),
                  "map task " + std::to_string(w) + " of job '" + spec.name +
                      "' failed after " + std::to_string(max_attempts) +
                      " attempt(s): " + last_error.message());
-      return;
     }
-    metrics.map_phase.per_worker_seconds[static_cast<size_t>(w)] =
-        config_.use_threads ? ThreadCpuSeconds() - cpu_start
-                            : SecondsSince(start);
+    return state;
   };
+
   if (config_.use_threads) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(num_workers));
     for (int w = 0; w < num_workers; ++w) {
-      threads.emplace_back(run_map_task, w);
+      threads.emplace_back([&, w]() {
+        map_tasks[static_cast<size_t>(w)] = run_map_task(w, 0);
+      });
     }
     for (std::thread& thread : threads) thread.join();
   } else {
-    for (int w = 0; w < num_workers; ++w) run_map_task(w);
-  }
-  for (const Status& status : map_status) {
-    SPCUBE_RETURN_IF_ERROR(status);
-  }
-  // Drop slots of (impossible here) unfinished tasks defensively.
-  for (auto& buffer : buffers) {
-    if (buffer == nullptr) {
-      buffer = std::make_unique<ShuffleBuffer>(
-          num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
-          &temp_files_, &counters[0]);
+    for (int w = 0; w < num_workers; ++w) {
+      map_tasks[static_cast<size_t>(w)] = run_map_task(w, 0);
     }
   }
+  for (const MapTaskState& task : map_tasks) {
+    SPCUBE_RETURN_IF_ERROR(task.status);
+  }
 
-  for (const ShuffleCounters& c : counters) {
+  // ---- Worker crashes & charging ------------------------------------------
+  // Crashes strike after the map phase: the machine's completed map outputs
+  // are gone with its local disks (Hadoop re-executes those map tasks), and
+  // the machine takes no reduce work.
+  std::vector<bool> alive(static_cast<size_t>(num_workers), true);
+  std::vector<int> crashed;
+  if (plan != nullptr && num_workers > 1) {
+    crashed = plan->CrashedWorkers(job_id, num_workers);
+    for (int w : crashed) alive[static_cast<size_t>(w)] = false;
+    metrics.workers_crashed = static_cast<int64_t>(crashed.size());
+  }
+  const auto next_alive = [&](int from) {
+    for (int i = 1; i < num_workers; ++i) {
+      const int c = (from + i) % num_workers;
+      if (alive[static_cast<size_t>(c)]) return c;
+    }
+    return -1;
+  };
+
+  // Charge the original map tasks: stragglers run `slowdown_factor` slow;
+  // with speculative execution the slot pays at most 2x measured (the slow
+  // copy is killed when the backup finishes) and the backup's measured time
+  // lands on the next machine. Crashed machines still pay for their
+  // original tasks — the work happened before the crash.
+  std::vector<double> map_seconds(static_cast<size_t>(num_workers), 0.0);
+  for (int w = 0; w < num_workers; ++w) {
+    MapTaskState& task = map_tasks[static_cast<size_t>(w)];
+    const double base = task.busy_seconds;
+    double charged = base * task.slowdown_factor;
+    if (task.slowdown_factor > 1.0 && config_.speculative_execution &&
+        num_workers > 1) {
+      const int backup = (w + 1) % num_workers;
+      charged = std::min(charged, 2.0 * base);
+      map_seconds[static_cast<size_t>(backup)] += base;
+      ++metrics.tasks_speculatively_reexecuted;
+      metrics.fault_recovery_seconds += base;
+    }
+    map_seconds[static_cast<size_t>(w)] += charged + task.penalty_seconds;
+    metrics.fault_recovery_seconds += task.penalty_seconds;
+    metrics.task_retries += task.retries;
+  }
+
+  // Re-execute the crashed machines' map tasks on the least-loaded
+  // survivors; their results replace the lost ones wholesale so no counter
+  // is double-counted.
+  for (int w : crashed) {
+    map_tasks[static_cast<size_t>(w)].buffer.reset();  // lost with the disk
+    MapTaskState redo = run_map_task(w, max_attempts);
+    SPCUBE_RETURN_IF_ERROR(redo.status);
+    int host = -1;
+    for (int h = 0; h < num_workers; ++h) {
+      if (!alive[static_cast<size_t>(h)]) continue;
+      if (host < 0 || map_seconds[static_cast<size_t>(h)] <
+                          map_seconds[static_cast<size_t>(host)]) {
+        host = h;
+      }
+    }
+    SPCUBE_CHECK(host >= 0) << "no surviving worker to re-execute on";
+    const double charged = redo.busy_seconds * redo.slowdown_factor +
+                           redo.penalty_seconds +
+                           config_.retry_backoff_seconds;
+    map_seconds[static_cast<size_t>(host)] += charged;
+    metrics.fault_recovery_seconds += charged;
+    metrics.task_retries += redo.retries;
+    ++metrics.tasks_reexecuted_after_crash;
+    map_tasks[static_cast<size_t>(w)] = std::move(redo);
+  }
+  for (int w = 0; w < num_workers; ++w) {
+    metrics.map_phase.per_worker_seconds[static_cast<size_t>(w)] =
+        map_seconds[static_cast<size_t>(w)];
+  }
+
+  for (MapTaskState& task : map_tasks) {
+    const ShuffleCounters& c = task.shuffle_counters;
     metrics.map_output_records += c.map_output_records;
     metrics.map_output_bytes += c.map_output_bytes;
     metrics.combine_input_records += c.combine_input_records;
     metrics.combine_output_records += c.combine_output_records;
-    metrics.spill_bytes += c.spill_bytes;
+    metrics.shuffle_checksum_mismatches += c.checksum_mismatches;
+    merge_counters(task.custom_counters);
+    if (task.buffer == nullptr) {
+      // Defensive: unfinished tasks cannot reach this point.
+      task.buffer = std::make_unique<ShuffleBuffer>(
+          num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
+          &temp_files_, &task.shuffle_counters);
+    }
   }
 
   // ---- Shuffle: assemble per-reducer inputs -------------------------------
@@ -287,8 +422,8 @@ Result<JobMetrics> Engine::RunImpl(
   for (int p = 0; p < num_reducers; ++p) {
     ReduceInput& in = reduce_inputs[static_cast<size_t>(p)];
     for (int w = 0; w < num_workers; ++w) {
-      std::vector<Record> records =
-          buffers[static_cast<size_t>(w)]->TakeMemoryRecords(p);
+      ShuffleBuffer& buffer = *map_tasks[static_cast<size_t>(w)].buffer;
+      std::vector<Record> records = buffer.TakeMemoryRecords(p);
       for (const Record& record : records) {
         in.total_bytes += RecordBytes(record.key, record.value);
       }
@@ -300,8 +435,7 @@ Result<JobMetrics> Engine::RunImpl(
                                  std::make_move_iterator(records.begin()),
                                  std::make_move_iterator(records.end()));
       }
-      std::vector<RunInfo> runs =
-          buffers[static_cast<size_t>(w)]->TakeSpillRuns(p);
+      std::vector<RunInfo> runs = buffer.TakeSpillRuns(p);
       for (RunInfo& run : runs) {
         in.total_bytes += run.payload_bytes;
         in.total_records += run.records;
@@ -313,7 +447,6 @@ Result<JobMetrics> Engine::RunImpl(
     metrics.shuffle_records += in.total_records;
     metrics.shuffle_bytes += in.total_bytes;
   }
-  buffers.clear();
 
   metrics.shuffle_seconds =
       config_.network_bandwidth_bytes_per_sec > 0
@@ -322,9 +455,15 @@ Result<JobMetrics> Engine::RunImpl(
           : 0.0;
 
   // ---- Reduce phase --------------------------------------------------------
-  // Assign reduce tasks to machines with a longest-processing-time greedy
-  // over their (known) input sizes, as a locality-free scheduler would:
-  // largest partitions first, each to the currently least-loaded machine.
+  // Assign reduce tasks to the surviving machines with a
+  // longest-processing-time greedy over their (known) input sizes, as a
+  // locality-free scheduler would: largest partitions first, each to the
+  // currently least-loaded machine.
+  std::vector<int> alive_machines;
+  for (int w = 0; w < num_workers; ++w) {
+    if (alive[static_cast<size_t>(w)]) alive_machines.push_back(w);
+  }
+  SPCUBE_CHECK(!alive_machines.empty());
   std::vector<int> machine_of(static_cast<size_t>(num_reducers), 0);
   {
     std::vector<int> by_size(static_cast<size_t>(num_reducers));
@@ -335,8 +474,8 @@ Result<JobMetrics> Engine::RunImpl(
     });
     std::vector<int64_t> machine_load(static_cast<size_t>(num_workers), 0);
     for (int p : by_size) {
-      int best = 0;
-      for (int w = 1; w < num_workers; ++w) {
+      int best = alive_machines.front();
+      for (int w : alive_machines) {
         if (machine_load[static_cast<size_t>(w)] <
             machine_load[static_cast<size_t>(best)]) {
           best = w;
@@ -348,8 +487,16 @@ Result<JobMetrics> Engine::RunImpl(
     }
   }
 
+  // Reduce-side spill/fetch accounting, one slot per machine so machine
+  // threads never share a counter.
+  std::vector<ShuffleCounters> reduce_counters(
+      static_cast<size_t>(num_workers));
+  std::vector<ReduceTaskState> reduce_tasks(
+      static_cast<size_t>(num_reducers));
+
   auto run_reduce_partition = [&](int p) -> Status {
     const int machine = machine_of[static_cast<size_t>(p)];
+    ReduceTaskState& state = reduce_tasks[static_cast<size_t>(p)];
     const auto start = std::chrono::steady_clock::now();
     const double cpu_start = ThreadCpuSeconds();
 
@@ -363,6 +510,15 @@ Result<JobMetrics> Engine::RunImpl(
     Status last_error = Status::OK();
     bool succeeded = false;
     for (int attempt = 0; attempt < max_attempts && !succeeded; ++attempt) {
+      TaskFault fault;
+      if (plan != nullptr) {
+        fault = plan->PlanTaskAttempt(job_id, TaskKind::kReduce, p, attempt);
+      }
+      const bool inject_failure = fault.fail && attempt + 1 < max_attempts;
+      if (fault.slowdown_factor > state.slowdown_factor) {
+        state.slowdown_factor = fault.slowdown_factor;
+      }
+
       // With retries enabled, later attempts need the input again, so the
       // in-memory part is copied; spill-run files survive attempts.
       ReduceInput attempt_input;
@@ -376,7 +532,9 @@ Result<JobMetrics> Engine::RunImpl(
         auto stream_result = MakeGroupedStream(
             std::move(attempt_input), config_.memory_budget_bytes,
             spec.memory_policy, &temp_files_,
-            &counters[static_cast<size_t>(machine)]);
+            &reduce_counters[static_cast<size_t>(machine)], plan,
+            "run/j" + std::to_string(job_id) + "/red" + std::to_string(p) +
+                "/a" + std::to_string(attempt));
         if (!stream_result.ok()) return stream_result.status();
         std::unique_ptr<GroupedRecordStream> stream =
             std::move(stream_result).value();
@@ -392,12 +550,20 @@ Result<JobMetrics> Engine::RunImpl(
 
         EngineReduceContext reduce_context;
         std::string key;
+        int64_t groups = 0;
         for (;;) {
           SPCUBE_ASSIGN_OR_RETURN(bool more, stream->NextGroup(&key));
           if (!more) break;
           GroupValueStream values(stream.get());
           SPCUBE_RETURN_IF_ERROR(
               reducer->Reduce(key, values, reduce_context));
+          ++groups;
+          if (inject_failure && groups >= fault.fail_after_items) {
+            return Status::IoError("injected reduce task failure");
+          }
+        }
+        if (inject_failure) {
+          return Status::IoError("injected reduce task failure (at finish)");
         }
         SPCUBE_RETURN_IF_ERROR(reducer->Finish(reduce_context));
         SPCUBE_RETURN_IF_ERROR(reduce_context.Commit(
@@ -411,18 +577,20 @@ Result<JobMetrics> Engine::RunImpl(
         succeeded = true;
       } else if (last_error.IsResourceExhausted()) {
         break;  // kStrict OOM: re-running cannot shrink the input.
+      } else if (attempt + 1 < max_attempts) {
+        ++state.retries;
+        state.penalty_seconds += config_.retry_backoff_seconds * (attempt + 1);
       }
     }
+    state.busy_seconds = config_.use_threads
+                             ? ThreadCpuSeconds() - cpu_start
+                             : SecondsSince(start);
     if (!succeeded) {
       return Status(last_error.code(),
                     "reduce task " + std::to_string(p) + " of job '" +
                         spec.name + "': " + last_error.message());
     }
     for (const std::string& path : run_paths) RemoveFileIfExists(path);
-
-    metrics.reduce_phase.Accumulate(
-        machine, config_.use_threads ? ThreadCpuSeconds() - cpu_start
-                                     : SecondsSince(start));
     return Status::OK();
   };
 
@@ -453,10 +621,38 @@ Result<JobMetrics> Engine::RunImpl(
     }
   }
 
-  // Spill bytes from reduce-side external sorting were accumulated into the
-  // per-machine counters during MakeGroupedStream; fold in the delta.
+  // Charge the reduce tasks to their machines (after the join, so straggler
+  // speculation can deterministically bill a second machine).
+  for (int p = 0; p < num_reducers; ++p) {
+    const int machine = machine_of[static_cast<size_t>(p)];
+    const ReduceTaskState& state = reduce_tasks[static_cast<size_t>(p)];
+    const double base = state.busy_seconds;
+    double charged = base * state.slowdown_factor;
+    const int backup = next_alive(machine);
+    if (state.slowdown_factor > 1.0 && config_.speculative_execution &&
+        backup >= 0) {
+      charged = std::min(charged, 2.0 * base);
+      metrics.reduce_phase.Accumulate(backup, base);
+      ++metrics.tasks_speculatively_reexecuted;
+      metrics.fault_recovery_seconds += base;
+    }
+    metrics.reduce_phase.Accumulate(machine,
+                                    charged + state.penalty_seconds);
+    metrics.fault_recovery_seconds += state.penalty_seconds;
+    metrics.task_retries += state.retries;
+  }
+
+  // Spill bytes and fetch mismatches from reduce-side merging were
+  // accumulated into the per-machine counters; fold them in with the
+  // map-side spills.
   int64_t total_spill = 0;
-  for (const ShuffleCounters& c : counters) total_spill += c.spill_bytes;
+  for (const MapTaskState& task : map_tasks) {
+    total_spill += task.shuffle_counters.spill_bytes;
+  }
+  for (const ShuffleCounters& c : reduce_counters) {
+    total_spill += c.spill_bytes;
+    metrics.shuffle_checksum_mismatches += c.checksum_mismatches;
+  }
   metrics.spill_bytes = total_spill;
 
   for (int64_t out : metrics.reducer_output_records) {

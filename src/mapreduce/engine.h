@@ -12,6 +12,8 @@
 
 namespace spcube {
 
+class FaultPlan;
+
 /// Shape and cost model of the simulated cluster (paper §2.3: k machines,
 /// each with memory O(m), m = n/k, sharing a distributed file system).
 struct EngineConfig {
@@ -38,6 +40,28 @@ struct EngineConfig {
   /// core contention does not distort the critical-path model. Default off:
   /// sequential execution is deterministic in wall-clock accounting too.
   bool use_threads = false;
+
+  // -- Fault tolerance -------------------------------------------------------
+
+  /// Deterministic chaos plan (mapreduce/fault.h). Borrowed, may be null
+  /// (no injection). The engine also installs it as the DFS fault injector.
+  FaultPlan* fault_plan = nullptr;
+
+  /// Floor on per-task attempts, applied over JobSpec::max_task_attempts.
+  /// Lets a chaos harness grant retries to jobs whose specs (built deep
+  /// inside an algorithm) default to one attempt.
+  int min_task_attempts = 1;
+
+  /// Simulated delay before re-scheduling a failed attempt, charged to the
+  /// machine's busy time (linear backoff: the i-th retry of a task waits
+  /// i times this long). Modeled time, not wall-clock sleeping.
+  double retry_backoff_seconds = 0.0;
+
+  /// Re-execute injected stragglers speculatively: the slow original is
+  /// charged at most twice its measured time (it is killed when the backup
+  /// finishes) and the backup's measured time is charged to another live
+  /// machine — Hadoop's speculative execution in the cost model.
+  bool speculative_execution = true;
 };
 
 /// Executes MapReduce rounds over the simulated cluster. Tasks run
@@ -68,6 +92,11 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   DistributedFileSystem* dfs() { return dfs_; }
+
+  /// Local scratch directory holding shuffle spills; empty of files between
+  /// jobs once every attempt's output has been reclaimed (tested in
+  /// tests/shuffle_test.cc).
+  const std::string& temp_dir() const { return temp_files_.dir(); }
 
  private:
   Result<JobMetrics> RunImpl(

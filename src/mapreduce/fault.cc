@@ -1,0 +1,149 @@
+#include "mapreduce/fault.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace spcube {
+namespace {
+
+/// Domain-separation tags so decisions of different kinds never share a
+/// hash stream.
+enum DecisionTag : uint64_t {
+  kTagTaskFail = 1,
+  kTagStraggler = 2,
+  kTagCrash = 3,
+  kTagForcedCrash = 4,
+  kTagDfsReadError = 5,
+  kTagCorruption = 6,
+};
+
+uint64_t DecisionKey(uint64_t seed, uint64_t tag, uint64_t a, uint64_t b,
+                     uint64_t c) {
+  uint64_t h = HashCombine(Mix64(seed ^ 0x5bd1e995u), tag);
+  h = HashCombine(h, a);
+  h = HashCombine(h, b);
+  h = HashCombine(h, c);
+  return h;
+}
+
+/// One seeded draw per decision; Rng gives well-distributed doubles from
+/// the decision key without any shared state.
+bool Bernoulli(uint64_t key, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Rng(key).NextBernoulli(p);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {}
+
+int64_t FaultPlan::BeginJob(std::string_view job_name) {
+  (void)job_name;  // the ordinal, not the name, namespaces decisions
+  return next_job_.fetch_add(1);
+}
+
+TaskFault FaultPlan::PlanTaskAttempt(int64_t job, TaskKind kind, int task,
+                                     int attempt) const {
+  const double fail_rate = kind == TaskKind::kMap
+                               ? config_.map_failure_rate
+                               : config_.reduce_failure_rate;
+  const uint64_t coords =
+      HashCombine(static_cast<uint64_t>(task),
+                  static_cast<uint64_t>(attempt));
+  TaskFault fault;
+  const uint64_t fail_key =
+      DecisionKey(config_.seed, kTagTaskFail, static_cast<uint64_t>(job),
+                  static_cast<uint64_t>(kind), coords);
+  if (Bernoulli(fail_key, fail_rate)) {
+    fault.fail = true;
+    // Fail partway through the attempt's input so retried work is visibly
+    // discarded, not just rejected up front.
+    fault.fail_after_items = 1 + static_cast<int64_t>(Rng(fail_key).Next() % 64);
+  }
+  const uint64_t straggle_key =
+      DecisionKey(config_.seed, kTagStraggler, static_cast<uint64_t>(job),
+                  static_cast<uint64_t>(kind), coords);
+  if (Bernoulli(straggle_key, config_.straggler_rate)) {
+    fault.slowdown_factor = std::max(1.0, config_.straggler_factor);
+  }
+  return fault;
+}
+
+std::vector<int> FaultPlan::CrashedWorkers(int64_t job,
+                                           int num_workers) const {
+  std::vector<int> crashed;
+  if (num_workers <= 1) return crashed;
+  const int max_crashes = num_workers - 1;  // someone must survive
+  for (int w = 0; w < num_workers; ++w) {
+    const uint64_t key =
+        DecisionKey(config_.seed, kTagCrash, static_cast<uint64_t>(job),
+                    static_cast<uint64_t>(w), 0);
+    if (Bernoulli(key, config_.worker_crash_rate)) crashed.push_back(w);
+    if (static_cast<int>(crashed.size()) >= max_crashes) return crashed;
+  }
+  // Forced crashes pick further victims pseudo-randomly among survivors.
+  for (int i = 0; i < config_.forced_worker_crashes; ++i) {
+    if (static_cast<int>(crashed.size()) >= max_crashes) break;
+    const uint64_t key =
+        DecisionKey(config_.seed, kTagForcedCrash, static_cast<uint64_t>(job),
+                    static_cast<uint64_t>(i), 0);
+    int victim = static_cast<int>(Rng(key).NextBounded(
+        static_cast<uint64_t>(num_workers)));
+    while (std::find(crashed.begin(), crashed.end(), victim) !=
+           crashed.end()) {
+      victim = (victim + 1) % num_workers;
+    }
+    crashed.push_back(victim);
+  }
+  std::sort(crashed.begin(), crashed.end());
+  return crashed;
+}
+
+Status FaultPlan::OnDfsRead(const std::string& path) {
+  if (config_.dfs_read_error_rate <= 0.0) return Status::OK();
+  int64_t occurrence = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    occurrence = ++dfs_reads_seen_[path];
+  }
+  // Only the first read of a path can fail: the error models a transient
+  // fetch problem, so any retry — by the same task attempt's successor or a
+  // later reader — succeeds by construction.
+  if (occurrence != 1) return Status::OK();
+  const uint64_t key =
+      DecisionKey(config_.seed, kTagDfsReadError, HashBytes(path), 0, 0);
+  if (!Bernoulli(key, config_.dfs_read_error_rate)) return Status::OK();
+  injected_read_errors_.fetch_add(1);
+  return Status::IoError("injected transient dfs read error: " + path);
+}
+
+bool FaultPlan::MaybeCorrupt(std::string_view resource, uint64_t item,
+                             int fetch_attempt, std::string* payload) {
+  if (payload == nullptr || payload->empty()) return false;
+  const bool persistent =
+      config_.corrupt_sketch_broadcast &&
+      !config_.persistent_corruption_substring.empty() &&
+      resource.find(config_.persistent_corruption_substring) !=
+          std::string_view::npos;
+  if (!persistent) {
+    // Transient in-flight corruption hits only the first fetch of an item;
+    // the checksum-triggered re-fetch always delivers clean bytes.
+    if (fetch_attempt != 0) return false;
+    const uint64_t key = DecisionKey(config_.seed, kTagCorruption,
+                                     HashBytes(resource), item, 0);
+    if (!Bernoulli(key, config_.payload_corruption_rate)) return false;
+  }
+  // Flip one pseudo-random bit of the payload — the smallest damage a CRC
+  // must still catch.
+  const uint64_t bit_key = DecisionKey(config_.seed, kTagCorruption,
+                                       HashBytes(resource), item, 1);
+  const uint64_t bit = Mix64(bit_key) % (payload->size() * 8);
+  (*payload)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  injected_corruptions_.fetch_add(1);
+  return true;
+}
+
+}  // namespace spcube

@@ -1,0 +1,126 @@
+#ifndef SPCUBE_MAPREDUCE_FAULT_H_
+#define SPCUBE_MAPREDUCE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/io_fault.h"
+
+namespace spcube {
+
+/// Which side of a MapReduce round a task attempt belongs to.
+enum class TaskKind : int8_t { kMap = 0, kReduce = 1 };
+
+/// What the plan injects into one task attempt.
+struct TaskFault {
+  /// Fail the attempt with an injected I/O error...
+  bool fail = false;
+  /// ...after this many input items (rows for maps, groups for reduces)
+  /// have been processed; if the attempt has fewer items it fails at the
+  /// finish barrier instead, so an injected failure always lands.
+  int64_t fail_after_items = 0;
+  /// > 1 marks the attempt's machine as a straggler: its charged busy time
+  /// is the measured time scaled by this factor (a slow disk or a busy
+  /// neighbor, not extra work).
+  double slowdown_factor = 1.0;
+};
+
+/// Fault rates of one chaos scenario. All probabilities are per decision
+/// point (task attempt, worker, DFS path, record fetch).
+struct FaultConfig {
+  /// Root of every pseudo-random decision; two plans with equal seeds make
+  /// identical decisions regardless of thread interleaving.
+  uint64_t seed = 0;
+
+  /// Probability that a map / reduce task attempt fails outright.
+  double map_failure_rate = 0.0;
+  double reduce_failure_rate = 0.0;
+
+  /// Probability, per worker per job, that the whole machine crashes after
+  /// the map phase, losing its completed map outputs (at least one worker
+  /// always survives).
+  double worker_crash_rate = 0.0;
+
+  /// Exactly this many workers (capped at num_workers - 1) crash per job,
+  /// in addition to the rate-based crashes. Lets tests pin "one crash".
+  int forced_worker_crashes = 0;
+
+  /// Probability that a task runs `straggler_factor` times slower than
+  /// measured.
+  double straggler_rate = 0.0;
+  double straggler_factor = 6.0;
+
+  /// Probability that the first read of a DFS path fails transiently
+  /// (injected only on the first read so a retried attempt can succeed).
+  double dfs_read_error_rate = 0.0;
+
+  /// Probability that a delivered payload (spill record fetch or DFS blob
+  /// read) is corrupted in flight. Injected only on the first fetch of an
+  /// item, so checksum-triggered re-fetches always recover.
+  double payload_corruption_rate = 0.0;
+
+  /// Persistently corrupts every read of DFS blobs whose path contains
+  /// `persistent_corruption_substring` — every fetch attempt of every
+  /// reader sees the same damage. Exercises SP-Cube's sketch-degradation
+  /// fallback: the broadcast is unrecoverable, identically for all tasks.
+  bool corrupt_sketch_broadcast = false;
+  std::string persistent_corruption_substring = "spcube/sketch/";
+};
+
+/// A seeded, deterministic chaos plan. Every decision is a pure hash of
+/// (seed, job ordinal, decision coordinates), never of call order, so
+/// threaded and sequential engine runs inject exactly the same faults and a
+/// re-executed attempt draws fresh (but reproducible) luck. Implements the
+/// io-layer injector interface so the same plan drives DFS and shuffle
+/// corruption.
+class FaultPlan : public IoFaultInjector {
+ public:
+  explicit FaultPlan(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Registers the start of a job and returns its stable ordinal, the
+  /// namespace of all task-level decisions for that job.
+  int64_t BeginJob(std::string_view job_name);
+
+  /// The faults destined for one task attempt. Pure and thread-safe.
+  TaskFault PlanTaskAttempt(int64_t job, TaskKind kind, int task,
+                            int attempt) const;
+
+  /// The workers that crash after `job`'s map phase: the rate-based draws
+  /// plus `forced_worker_crashes`, deduplicated, capped at num_workers - 1
+  /// so the job can always recover. Ascending order.
+  std::vector<int> CrashedWorkers(int64_t job, int num_workers) const;
+
+  // IoFaultInjector:
+  Status OnDfsRead(const std::string& path) override;
+  bool MaybeCorrupt(std::string_view resource, uint64_t item,
+                    int fetch_attempt, std::string* payload) override;
+
+  /// Totals of io-level injections actually performed (task-level injections
+  /// are counted by the engine in JobMetrics).
+  int64_t injected_read_errors() const { return injected_read_errors_; }
+  int64_t injected_corruptions() const { return injected_corruptions_; }
+
+ private:
+  FaultConfig config_;
+
+  std::atomic<int64_t> next_job_{0};
+  std::atomic<int64_t> injected_read_errors_{0};
+  std::atomic<int64_t> injected_corruptions_{0};
+
+  /// Per-path read counts backing the "first read only" rule for transient
+  /// DFS errors.
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> dfs_reads_seen_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_MAPREDUCE_FAULT_H_

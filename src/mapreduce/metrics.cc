@@ -77,7 +77,22 @@ std::string JobMetrics::ToString() const {
       static_cast<long long>(shuffle_bytes),
       static_cast<long long>(spill_bytes),
       static_cast<long long>(output_records), ReducerImbalance());
-  return buf;
+  std::string out = buf;
+  if (task_retries > 0 || workers_crashed > 0 ||
+      tasks_speculatively_reexecuted > 0 || shuffle_checksum_mismatches > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " faults(retries=%lld crashed=%lld crash_reexec=%lld spec=%lld "
+        "crc_mismatch=%lld recovery=%.3fs)",
+        static_cast<long long>(task_retries),
+        static_cast<long long>(workers_crashed),
+        static_cast<long long>(tasks_reexecuted_after_crash),
+        static_cast<long long>(tasks_speculatively_reexecuted),
+        static_cast<long long>(shuffle_checksum_mismatches),
+        fault_recovery_seconds);
+    out += buf;
+  }
+  return out;
 }
 
 double RunMetrics::TotalSeconds() const {
@@ -133,6 +148,50 @@ int64_t RunMetrics::ShuffleBytes() const {
 int64_t RunMetrics::SpillBytes() const {
   int64_t total = 0;
   for (const JobMetrics& round : rounds) total += round.spill_bytes;
+  return total;
+}
+
+int64_t RunMetrics::TaskRetries() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) total += round.task_retries;
+  return total;
+}
+
+int64_t RunMetrics::TasksReexecutedAfterCrash() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.tasks_reexecuted_after_crash;
+  }
+  return total;
+}
+
+int64_t RunMetrics::WorkersCrashed() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) total += round.workers_crashed;
+  return total;
+}
+
+int64_t RunMetrics::TasksSpeculativelyReexecuted() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.tasks_speculatively_reexecuted;
+  }
+  return total;
+}
+
+int64_t RunMetrics::ShuffleChecksumMismatches() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.shuffle_checksum_mismatches;
+  }
+  return total;
+}
+
+double RunMetrics::FaultRecoverySeconds() const {
+  double total = 0.0;
+  for (const JobMetrics& round : rounds) {
+    total += round.fault_recovery_seconds;
+  }
   return total;
 }
 

@@ -53,6 +53,24 @@ struct JobMetrics {
 
   int64_t output_records = 0;
 
+  // -- Fault tolerance (all zero on a fault-free run) ------------------------
+
+  /// Failed task attempts that were retried (injected or genuine).
+  int64_t task_retries = 0;
+  /// Map tasks re-executed because their machine crashed after completing
+  /// them (Hadoop's lost-map-output recovery).
+  int64_t tasks_reexecuted_after_crash = 0;
+  /// Machines lost to whole-worker crashes this round.
+  int64_t workers_crashed = 0;
+  /// Stragglers whose speculative copy was charged to another machine.
+  int64_t tasks_speculatively_reexecuted = 0;
+  /// Shuffle-fetch checksum mismatches detected and recovered by re-fetch.
+  int64_t shuffle_checksum_mismatches = 0;
+  /// Simulated time spent on recovery: retry backoff, crash re-execution
+  /// and speculative copies. Already included in the phase times; reported
+  /// separately so overhead is visible.
+  double fault_recovery_seconds = 0.0;
+
   /// User counters incremented by tasks via the contexts (only successful
   /// attempts contribute), keyed by name.
   std::map<std::string, int64_t> custom_counters;
@@ -94,6 +112,14 @@ struct RunMetrics {
   int64_t ShuffleBytes() const;
   int64_t SpillBytes() const;
   int64_t OutputRecords() const;
+
+  // Fault-tolerance totals over all rounds.
+  int64_t TaskRetries() const;
+  int64_t TasksReexecutedAfterCrash() const;
+  int64_t WorkersCrashed() const;
+  int64_t TasksSpeculativelyReexecuted() const;
+  int64_t ShuffleChecksumMismatches() const;
+  double FaultRecoverySeconds() const;
 
   /// Sum of one named user counter over all rounds.
   int64_t CustomCounter(const std::string& name) const;

@@ -69,6 +69,15 @@ ShuffleBuffer::ShuffleBuffer(int num_partitions,
       memory_(static_cast<size_t>(num_partitions)),
       spill_runs_(static_cast<size_t>(num_partitions)) {}
 
+ShuffleBuffer::~ShuffleBuffer() {
+  // Any run still here belongs to an attempt whose output was never
+  // published (failed or superseded); reclaim the disk now rather than at
+  // TempFileManager teardown.
+  for (const std::vector<RunInfo>& runs : spill_runs_) {
+    for (const RunInfo& run : runs) RemoveFileIfExists(run.path);
+  }
+}
+
 Status ShuffleBuffer::Add(int partition, std::string_view key,
                           std::string_view value) {
   SPCUBE_DCHECK(partition >= 0 && partition < num_partitions_)
@@ -91,7 +100,11 @@ std::vector<Record> ShuffleBuffer::TakeMemoryRecords(int partition) {
 }
 
 std::vector<RunInfo> ShuffleBuffer::TakeSpillRuns(int partition) {
-  return std::move(spill_runs_[static_cast<size_t>(partition)]);
+  // Explicitly leave the slot empty so the destructor does not delete runs
+  // whose ownership moved to the shuffle.
+  std::vector<RunInfo> runs;
+  runs.swap(spill_runs_[static_cast<size_t>(partition)]);
+  return runs;
 }
 
 Status ShuffleBuffer::Overflow() {
@@ -145,6 +158,11 @@ Status ShuffleBuffer::SpillAll() {
     SortRecords(partition);
     SPCUBE_ASSIGN_OR_RETURN(RunInfo run,
                             WriteRun(partition, temp_files_, counters_));
+    if (!resource_prefix_.empty()) {
+      run.resource =
+          resource_prefix_ + "/p" + std::to_string(p) + "/r" +
+          std::to_string(spill_runs_[static_cast<size_t>(p)].size());
+    }
     spill_runs_[static_cast<size_t>(p)].push_back(std::move(run));
     partition.clear();
     partition.shrink_to_fit();
@@ -191,17 +209,35 @@ class InMemoryGroupedStream : public GroupedRecordStream {
 };
 
 /// K-way merge over sorted run files; streams groups without materializing
-/// them. Heads are ordered by (key, run index) for determinism.
+/// them. Heads are ordered by (key, run index) for determinism. Paths in
+/// `owned_paths` (the attempt-private run MakeGroupedStream sorts out of the
+/// in-memory records) are deleted on destruction, whether or not the attempt
+/// succeeded.
 class MergingGroupedStream : public GroupedRecordStream {
  public:
-  explicit MergingGroupedStream(std::vector<std::string> run_paths)
-      : run_paths_(std::move(run_paths)) {}
+  /// `run_resources` parallels `run_paths` (empty string = use the path).
+  MergingGroupedStream(std::vector<std::string> run_paths,
+                       std::vector<std::string> run_resources,
+                       std::vector<std::string> owned_paths,
+                       IoFaultInjector* injector, int64_t* mismatch_counter)
+      : run_paths_(std::move(run_paths)),
+        run_resources_(std::move(run_resources)),
+        owned_paths_(std::move(owned_paths)),
+        injector_(injector),
+        mismatch_counter_(mismatch_counter) {}
+
+  ~MergingGroupedStream() override {
+    readers_.clear();  // close files before unlinking
+    for (const std::string& path : owned_paths_) RemoveFileIfExists(path);
+  }
 
   Status Init() {
     readers_.reserve(run_paths_.size());
-    for (const std::string& path : run_paths_) {
-      auto reader = std::make_unique<SpillReader>(path);
+    for (size_t i = 0; i < run_paths_.size(); ++i) {
+      auto reader = std::make_unique<SpillReader>(run_paths_[i]);
       SPCUBE_RETURN_IF_ERROR(reader->Open());
+      reader->SetFaultInjection(injector_, mismatch_counter_,
+                                run_resources_[i]);
       readers_.push_back(std::move(reader));
     }
     heads_.resize(readers_.size());
@@ -274,6 +310,10 @@ class MergingGroupedStream : public GroupedRecordStream {
   }
 
   std::vector<std::string> run_paths_;
+  std::vector<std::string> run_resources_;
+  std::vector<std::string> owned_paths_;
+  IoFaultInjector* injector_;
+  int64_t* mismatch_counter_;
   std::vector<std::unique_ptr<SpillReader>> readers_;
   std::vector<Head> heads_;
   std::string current_key_;
@@ -284,7 +324,10 @@ class MergingGroupedStream : public GroupedRecordStream {
 
 Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
     ReduceInput input, int64_t memory_budget_bytes, MemoryPolicy policy,
-    TempFileManager* temp_files, ShuffleCounters* counters) {
+    TempFileManager* temp_files, ShuffleCounters* counters,
+    IoFaultInjector* injector, std::string resource_prefix) {
+  int64_t* mismatch_counter =
+      counters != nullptr ? &counters->checksum_mismatches : nullptr;
   const bool fits = input.total_bytes <= memory_budget_bytes;
   if (!fits && policy == MemoryPolicy::kStrict) {
     return Status::ResourceExhausted(
@@ -303,6 +346,7 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
     for (const RunInfo& run : input.spill_runs) {
       SpillReader reader(run.path);
       SPCUBE_RETURN_IF_ERROR(reader.Open());
+      reader.SetFaultInjection(injector, mismatch_counter, run.resource);
       std::string raw;
       for (;;) {
         SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
@@ -317,16 +361,26 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
 
   // External path: sort the in-memory part into one more run, then merge.
   std::vector<std::string> run_paths;
+  std::vector<std::string> run_resources;
+  std::vector<std::string> owned_paths;
   run_paths.reserve(input.spill_runs.size() + 1);
-  for (const RunInfo& run : input.spill_runs) run_paths.push_back(run.path);
+  run_resources.reserve(input.spill_runs.size() + 1);
+  for (const RunInfo& run : input.spill_runs) {
+    run_paths.push_back(run.path);
+    run_resources.push_back(run.resource);
+  }
   if (!input.memory_records.empty()) {
     SortRecords(input.memory_records);
     SPCUBE_ASSIGN_OR_RETURN(
         RunInfo run, WriteRun(input.memory_records, temp_files, counters));
-    run_paths.push_back(std::move(run.path));
+    run_paths.push_back(run.path);
+    run_resources.push_back(
+        resource_prefix.empty() ? "" : resource_prefix + "/mem");
+    owned_paths.push_back(std::move(run.path));
   }
-  auto merging =
-      std::make_unique<MergingGroupedStream>(std::move(run_paths));
+  auto merging = std::make_unique<MergingGroupedStream>(
+      std::move(run_paths), std::move(run_resources), std::move(owned_paths),
+      injector, mismatch_counter);
   SPCUBE_RETURN_IF_ERROR(merging->Init());
   return {std::unique_ptr<GroupedRecordStream>(std::move(merging))};
 }

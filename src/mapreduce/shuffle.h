@@ -17,6 +17,11 @@ namespace spcube {
 /// the payload (key+value) bytes it carries for traffic accounting.
 struct RunInfo {
   std::string path;
+  /// Stable logical identity (job/task/attempt/partition/run) used for
+  /// fault-injection decisions instead of `path`, which embeds the pid and a
+  /// process-global counter and so is not reproducible. Empty means "use
+  /// the path" (buffers created outside an engine job).
+  std::string resource;
   int64_t file_bytes = 0;
   int64_t payload_bytes = 0;
   int64_t records = 0;
@@ -30,6 +35,8 @@ struct ShuffleCounters {
   int64_t combine_input_records = 0;
   int64_t combine_output_records = 0;
   int64_t spill_bytes = 0;
+  /// Fetches whose payload failed its CRC32C and was re-fetched.
+  int64_t checksum_mismatches = 0;
 };
 
 /// Map-side output buffer of one map task: one in-memory record vector per
@@ -42,6 +49,18 @@ class ShuffleBuffer {
   ShuffleBuffer(int num_partitions, int64_t memory_budget_bytes,
                 const Combiner* combiner, TempFileManager* temp_files,
                 ShuffleCounters* counters);
+
+  /// Deletes the files of any spill runs that were never taken — the
+  /// eager cleanup of a failed (and retried) map attempt's private output.
+  ~ShuffleBuffer();
+
+  /// Names this buffer's spill runs for fault injection:
+  /// `<prefix>/p<partition>/r<index>`. Call before the first Add; the engine
+  /// passes a job/task/attempt-scoped prefix so injection decisions are
+  /// independent of host temp paths and thread interleaving.
+  void SetSpillResourcePrefix(std::string prefix) {
+    resource_prefix_ = std::move(prefix);
+  }
 
   Status Add(int partition, std::string_view key, std::string_view value);
 
@@ -66,6 +85,7 @@ class ShuffleBuffer {
   const Combiner* combiner_;
   TempFileManager* temp_files_;
   ShuffleCounters* counters_;
+  std::string resource_prefix_;
 
   int64_t buffered_bytes_ = 0;
   std::vector<std::vector<Record>> memory_;        // per partition
@@ -102,10 +122,16 @@ struct ReduceInput {
 /// sorts the in-memory part into additional run files under `temp_files`
 /// and k-way merges all runs, adding the extra runs' bytes to
 /// `counters->spill_bytes`. Policy kStrict fails with ResourceExhausted
-/// when over budget.
+/// when over budget. Run files written here are attempt-private and deleted
+/// when the stream is destroyed; the caller owns `input.spill_runs`' files.
+/// `injector` (may be null) models in-flight corruption of run fetches,
+/// detected via record checksums and counted in
+/// `counters->checksum_mismatches`. `resource_prefix` names the extra
+/// reduce-side run for injection purposes (see RunInfo::resource).
 Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
     ReduceInput input, int64_t memory_budget_bytes, MemoryPolicy policy,
-    TempFileManager* temp_files, ShuffleCounters* counters);
+    TempFileManager* temp_files, ShuffleCounters* counters,
+    IoFaultInjector* injector = nullptr, std::string resource_prefix = "");
 
 }  // namespace spcube
 

@@ -8,6 +8,15 @@
 #include "common/logging.h"
 
 namespace spcube {
+namespace {
+
+/// Header of the serialized sketch: a magic tag plus a CRC32C over the body.
+/// A broadcast sketch is read by every round-2 task, so structural validation
+/// must be strong enough that a corrupted payload is detected (triggering the
+/// hash-partitioning fallback) instead of silently mis-partitioning.
+constexpr uint32_t kSketchMagic = 0x53504B31;  // "SPK1"
+
+}  // namespace
 
 SpSketch::SpSketch(int num_dims, int num_partitions)
     : num_dims_(num_dims),
@@ -172,26 +181,48 @@ std::vector<GroupKey> SpSketch::AllSkewedGroups() const {
 }
 
 std::string SpSketch::Serialize() const {
-  ByteWriter writer;
-  writer.PutVarint(static_cast<uint64_t>(num_dims_));
-  writer.PutVarint(static_cast<uint64_t>(num_partitions_));
-  writer.PutVarint(static_cast<uint64_t>(TotalSkewedGroups()));
+  ByteWriter body;
+  body.PutVarint(static_cast<uint64_t>(num_dims_));
+  body.PutVarint(static_cast<uint64_t>(num_partitions_));
+  body.PutVarint(static_cast<uint64_t>(TotalSkewedGroups()));
   for (const auto& [hash, bucket] : skew_index_) {
     (void)hash;
     for (const SkewEntry& entry : bucket) {
-      entry.key.EncodeTo(writer);
-      writer.PutVarintSigned(entry.estimated_count);
+      entry.key.EncodeTo(body);
+      body.PutVarintSigned(entry.estimated_count);
     }
   }
   for (const std::vector<GroupKey>& elements : partition_elements_) {
-    writer.PutVarint(elements.size());
-    for (const GroupKey& e : elements) e.EncodeTo(writer);
+    body.PutVarint(elements.size());
+    for (const GroupKey& e : elements) e.EncodeTo(body);
   }
-  return writer.TakeData();
+  ByteWriter framed;
+  framed.PutU32(kSketchMagic);
+  framed.PutU32(Crc32c(body.data()));
+  std::string out = framed.TakeData();
+  out += body.data();
+  return out;
 }
 
 Result<SpSketch> SpSketch::Deserialize(std::string_view bytes) {
-  ByteReader reader(bytes);
+  // Validate the frame before touching the body: a bit-flipped broadcast
+  // must surface as Corruption (recoverable by degradation), never as an
+  // SPCUBE_CHECK abort or a structurally-valid-but-wrong sketch.
+  ByteReader frame(bytes);
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  if (!frame.GetU32(&magic).ok() || !frame.GetU32(&crc).ok()) {
+    return Status::Corruption("sketch shorter than its header");
+  }
+  if (magic != kSketchMagic) {
+    return Status::Corruption("sketch magic mismatch");
+  }
+  const std::string_view payload = bytes.substr(frame.position());
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption("sketch payload failed checksum");
+  }
+
+  ByteReader reader(payload);
   uint64_t num_dims = 0;
   uint64_t num_partitions = 0;
   uint64_t num_skews = 0;
@@ -199,6 +230,10 @@ Result<SpSketch> SpSketch::Deserialize(std::string_view bytes) {
   SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_partitions));
   if (num_dims < 1 || num_dims > static_cast<uint64_t>(kMaxDims)) {
     return Status::Corruption("sketch has invalid dimension count");
+  }
+  if (num_partitions < 1 ||
+      num_partitions > static_cast<uint64_t>(1) << 20) {
+    return Status::Corruption("sketch has invalid partition count");
   }
   SpSketch sketch(static_cast<int>(num_dims), static_cast<int>(num_partitions));
   SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&num_skews));

@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "core/sp_cube.h"
 #include "cube/cube_result.h"
+#include "mapreduce/fault.h"
 #include "relation/generators.h"
 
 namespace spcube {
@@ -123,6 +124,125 @@ INSTANTIATE_TEST_SUITE_P(RandomGrid, DifferentialTest,
                          [](const ::testing::TestParamInfo<Config>& info) {
                            return info.param.Name();
                          });
+
+/// The same grid under a deterministic chaos plan: task failures, one
+/// forced worker crash, transient DFS read errors and in-flight payload
+/// corruption. Recovery must be invisible — bit-exact cubes AND the same
+/// per-round user counters as a fault-free run, proving failed attempts
+/// leave no trace in either output or accounting.
+class FaultedDifferentialTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(FaultedDifferentialTest, RecoveryIsExactAndCounterInvisible) {
+  const Config& config = GetParam();
+  const Relation rel = MakeRelation(config);
+  const AggregateKind kind = static_cast<AggregateKind>(config.aggregate);
+  const CubeResult reference = ComputeCubeReference(rel, kind);
+
+  EngineConfig cluster;
+  cluster.num_workers = config.workers;
+  cluster.memory_budget_bytes = int64_t{1} << (10 + 2 * config.budget_shift);
+  cluster.network_bandwidth_bytes_per_sec = 0;
+
+  FaultConfig chaos;
+  chaos.seed = config.seed;
+  chaos.map_failure_rate = 0.25;
+  chaos.reduce_failure_rate = 0.25;
+  chaos.straggler_rate = 0.2;
+  chaos.dfs_read_error_rate = 0.2;
+  chaos.payload_corruption_rate = 0.25;
+  chaos.forced_worker_crashes = 1;
+
+  SpCubeAlgorithm sp_clean, sp_faulted;
+  MrCubeAlgorithm mr_clean, mr_faulted;
+  const std::pair<CubeAlgorithm*, CubeAlgorithm*> pairs[] = {
+      {&sp_clean, &sp_faulted}, {&mr_clean, &mr_faulted}};
+  for (const auto& [clean_algorithm, faulted_algorithm] : pairs) {
+    CubeRunOptions options;
+    options.aggregate = kind;
+
+    DistributedFileSystem clean_dfs;
+    Engine clean_engine(cluster, &clean_dfs);
+    auto clean = clean_algorithm->Run(clean_engine, rel, options);
+    ASSERT_TRUE(clean.ok()) << config.Name() << " / "
+                            << clean_algorithm->name() << ": "
+                            << clean.status();
+
+    EngineConfig faulted_cluster = cluster;
+    FaultPlan plan(chaos);
+    faulted_cluster.fault_plan = &plan;
+    faulted_cluster.min_task_attempts = 3;
+    faulted_cluster.retry_backoff_seconds = 0.01;
+    DistributedFileSystem faulted_dfs;
+    Engine faulted_engine(faulted_cluster, &faulted_dfs);
+    auto faulted = faulted_algorithm->Run(faulted_engine, rel, options);
+    ASSERT_TRUE(faulted.ok()) << config.Name() << " / "
+                              << faulted_algorithm->name() << ": "
+                              << faulted.status();
+
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *faulted->cube, 1e-6, &diff))
+        << config.Name() << " / " << faulted_algorithm->name() << ":\n"
+        << diff;
+
+    // Counter invisibility: failed attempts and crash re-executions must
+    // not leak into the per-round user counters.
+    ASSERT_EQ(faulted->metrics.rounds.size(), clean->metrics.rounds.size())
+        << config.Name() << " / " << faulted_algorithm->name();
+    for (size_t r = 0; r < clean->metrics.rounds.size(); ++r) {
+      EXPECT_EQ(faulted->metrics.rounds[r].custom_counters,
+                clean->metrics.rounds[r].custom_counters)
+          << config.Name() << " / " << faulted_algorithm->name()
+          << " round " << r;
+      EXPECT_EQ(faulted->metrics.rounds[r].output_records,
+                clean->metrics.rounds[r].output_records)
+          << config.Name() << " / " << faulted_algorithm->name()
+          << " round " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrid, FaultedDifferentialTest,
+                         ::testing::ValuesIn(MakeGrid()),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           return info.param.Name();
+                         });
+
+TEST(SketchDegradationTest, CorruptedBroadcastDegradesToExactHashFallback) {
+  // Persistently corrupt the SP-Sketch broadcast: every fetch by every
+  // reader is damaged, so no retry can recover it. SP-Cube must fall back
+  // to an empty sketch + hash partitioning — exactness is unconditional on
+  // sketch quality (docs/INTERNALS.md §2) — and count the degradation.
+  const Relation rel = GenZipf(1500, 2, 0, 40, 1.2, 321);
+  const CubeResult reference =
+      ComputeCubeReference(rel, AggregateKind::kCount);
+
+  EngineConfig cluster;
+  cluster.num_workers = 4;
+  cluster.memory_budget_bytes = 1 << 20;
+  cluster.network_bandwidth_bytes_per_sec = 0;
+
+  FaultConfig chaos;
+  chaos.seed = 1;
+  chaos.corrupt_sketch_broadcast = true;
+  FaultPlan plan(chaos);
+  cluster.fault_plan = &plan;
+
+  SpCubeAlgorithm sp;
+  DistributedFileSystem dfs;
+  Engine engine(cluster, &dfs);
+  CubeRunOptions options;
+  options.aggregate = AggregateKind::kCount;
+  auto output = sp.Run(engine, rel, options);
+  ASSERT_TRUE(output.ok()) << output.status();
+  std::string diff;
+  EXPECT_TRUE(
+      CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+      << diff;
+  // Every round-2 task (4 mappers, 5 reducers) noticed and degraded.
+  EXPECT_GT(
+      output->metrics.CustomCounter("spcube.sketch_degraded_fallbacks"), 0);
+}
 
 }  // namespace
 }  // namespace spcube

@@ -8,8 +8,10 @@
 #include <map>
 #include <memory>
 
+#include "common/logging.h"
 #include "io/dfs.h"
 #include "mapreduce/engine.h"
+#include "mapreduce/fault.h"
 #include "relation/generators.h"
 
 namespace spcube {
@@ -219,9 +221,15 @@ TEST(FaultToleranceTest, FlakyReducerOutputNotDuplicated) {
 }
 
 TEST(FaultToleranceTest, StrictMemoryFailureIsNotRetried) {
+  // Under MemoryPolicy::kStrict, ResourceExhausted is a *deterministic*
+  // verdict about the partition's size, not a transient fault: re-running
+  // the attempt cannot shrink the input, so the engine must fail fast
+  // instead of burning the remaining attempts. Even the chaos harness's
+  // attempt floor (min_task_attempts) must not override this.
   Relation rel = GenUniform(3000, 1, 50, 75);
   EngineConfig config = TestConfig();
   config.memory_budget_bytes = 256;
+  config.min_task_attempts = 5;
   DistributedFileSystem dfs;
   Engine engine(config, &dfs);
 
@@ -249,6 +257,262 @@ TEST(FaultToleranceTest, StrictMemoryFailureIsNotRetried) {
   // The OOM happens before the reducer is even constructed, and it is not
   // retried — so no reducer was built for the failing partition.
   EXPECT_LE(reducer_constructions->load(), 1);
+}
+
+// ---- Deterministic chaos (FaultPlan) ---------------------------------------
+
+JobSpec CountJobSpec() {
+  JobSpec spec;
+  spec.name = "chaos-count";
+  spec.mapper_factory = [] {
+    class TokenMapper : public Mapper {
+      Status Map(const Relation& input, int64_t row,
+                 MapContext& context) override {
+        return context.Emit(std::to_string(input.dim(row, 0)), "1");
+      }
+    };
+    return std::make_unique<TokenMapper>();
+  };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  return spec;
+}
+
+TEST(FaultPlanTest, DecisionsAreDeterministicAndSeedSensitive) {
+  FaultConfig config;
+  config.seed = 42;
+  config.map_failure_rate = 0.5;
+  config.straggler_rate = 0.5;
+  config.worker_crash_rate = 0.3;
+
+  FaultPlan a(config);
+  FaultPlan b(config);
+  const int64_t job_a = a.BeginJob("j");
+  const int64_t job_b = b.BeginJob("j");
+  EXPECT_EQ(job_a, job_b);
+  for (int task = 0; task < 16; ++task) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const TaskFault fa = a.PlanTaskAttempt(job_a, TaskKind::kMap, task,
+                                             attempt);
+      const TaskFault fb = b.PlanTaskAttempt(job_b, TaskKind::kMap, task,
+                                             attempt);
+      EXPECT_EQ(fa.fail, fb.fail);
+      EXPECT_EQ(fa.fail_after_items, fb.fail_after_items);
+      EXPECT_EQ(fa.slowdown_factor, fb.slowdown_factor);
+    }
+  }
+  EXPECT_EQ(a.CrashedWorkers(job_a, 8), b.CrashedWorkers(job_b, 8));
+
+  // A different seed yields a different plan somewhere in this window.
+  config.seed = 43;
+  FaultPlan c(config);
+  const int64_t job_c = c.BeginJob("j");
+  bool any_difference = !(a.CrashedWorkers(job_a, 8) ==
+                          c.CrashedWorkers(job_c, 8));
+  for (int task = 0; task < 16 && !any_difference; ++task) {
+    for (int attempt = 0; attempt < 4 && !any_difference; ++attempt) {
+      const TaskFault fa = a.PlanTaskAttempt(job_a, TaskKind::kMap, task,
+                                             attempt);
+      const TaskFault fc = c.PlanTaskAttempt(job_c, TaskKind::kMap, task,
+                                             attempt);
+      any_difference = fa.fail != fc.fail ||
+                       fa.slowdown_factor != fc.slowdown_factor;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlanTest, InjectedMapFailuresRecoverWithBackoffCharged) {
+  Relation rel = GenUniform(200, 1, 9, 71);
+  EngineConfig config = TestConfig();
+  config.min_task_attempts = 3;
+  config.retry_backoff_seconds = 0.5;
+
+  FaultConfig fault_config;
+  fault_config.seed = 7;
+  fault_config.map_failure_rate = 1.0;  // every non-final attempt fails
+  FaultPlan plan(fault_config);
+  config.fault_plan = &plan;
+
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(CountJobSpec(), rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
+
+  // All 4 map tasks fail attempts 0 and 1 and succeed on the spared final
+  // attempt: 8 retries, each charged its linear backoff (0.5 + 1.0 per
+  // task) into both the phase time and the recovery total.
+  EXPECT_EQ(metrics->task_retries, 8);
+  EXPECT_DOUBLE_EQ(metrics->fault_recovery_seconds, 4 * 1.5);
+  EXPECT_GE(metrics->map_phase.MaxSeconds(), 1.5);
+}
+
+TEST(FaultPlanTest, WorkerCrashRecoveryReexecutesLostMapTasks) {
+  Relation rel = GenZipf(600, 1, 1, 30, 1.2, 77);
+  EngineConfig config = TestConfig();
+  config.retry_backoff_seconds = 0.25;
+
+  // Fault-free reference run.
+  DistributedFileSystem clean_dfs;
+  Engine clean_engine(config, &clean_dfs);
+  VectorOutputCollector clean_collector;
+  auto clean = clean_engine.Run(CountJobSpec(), rel, &clean_collector);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  FaultConfig fault_config;
+  fault_config.seed = 11;
+  fault_config.forced_worker_crashes = 2;
+  FaultPlan plan(fault_config);
+  config.fault_plan = &plan;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(CountJobSpec(), rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+
+  // The crash is recovered exactly: same output, same record counts.
+  EXPECT_EQ(CollectorCounts(collector), CollectorCounts(clean_collector));
+  EXPECT_EQ(metrics->map_output_records, clean->map_output_records);
+  EXPECT_EQ(metrics->workers_crashed, 2);
+  EXPECT_EQ(metrics->tasks_reexecuted_after_crash, 2);
+  // Recovery has a simulated-time cost: re-executed work plus the
+  // re-scheduling backoff lands on surviving machines.
+  EXPECT_GT(metrics->fault_recovery_seconds, 0.0);
+  EXPECT_GE(metrics->map_phase.SumSeconds(),
+            2 * config.retry_backoff_seconds);
+}
+
+TEST(FaultPlanTest, StragglersAreSpeculativelyReexecuted) {
+  Relation rel = GenUniform(200, 1, 9, 71);
+  EngineConfig config = TestConfig();
+
+  FaultConfig fault_config;
+  fault_config.seed = 5;
+  fault_config.straggler_rate = 1.0;
+  fault_config.straggler_factor = 10.0;
+  FaultPlan plan(fault_config);
+  config.fault_plan = &plan;
+
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(CountJobSpec(), rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
+  // Every map task and every reduce task straggled and was backed up.
+  EXPECT_EQ(metrics->tasks_speculatively_reexecuted, 4 + 4);
+
+  // Without speculation the same plan pays the full slowdown.
+  config.speculative_execution = false;
+  FaultPlan slow_plan(fault_config);
+  config.fault_plan = &slow_plan;
+  DistributedFileSystem slow_dfs;
+  Engine slow_engine(config, &slow_dfs);
+  VectorOutputCollector slow_collector;
+  auto slow = slow_engine.Run(CountJobSpec(), rel, &slow_collector);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(slow->tasks_speculatively_reexecuted, 0);
+  // The speculative run's recovery time is the backups' busy time.
+  EXPECT_GT(metrics->fault_recovery_seconds, 0.0);
+}
+
+TEST(FaultPlanTest, TransientDfsReadErrorIsRetriable) {
+  FaultConfig config;
+  config.seed = 3;
+  config.dfs_read_error_rate = 1.0;
+  FaultPlan plan(config);
+
+  DistributedFileSystem dfs;
+  dfs.SetFaultInjector(&plan);
+  ASSERT_TRUE(dfs.Write("a/b", "payload").ok());
+  // The first-ever read of the path fails; the retry succeeds, so a reader
+  // with one retry always makes progress.
+  auto first = dfs.Read("a/b");
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsIoError());
+  auto second = dfs.Read("a/b");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*second, "payload");
+  EXPECT_EQ(plan.injected_read_errors(), 1);
+}
+
+TEST(FaultPlanTest, CorruptedDfsPayloadIsDetectedAndRefetched) {
+  FaultConfig config;
+  config.seed = 9;
+  config.payload_corruption_rate = 1.0;
+  FaultPlan plan(config);
+
+  DistributedFileSystem dfs;
+  dfs.SetFaultInjector(&plan);
+  ASSERT_TRUE(dfs.Write("blob", "some payload bytes").ok());
+  auto read = dfs.Read("blob");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, "some payload bytes");
+  EXPECT_GE(dfs.checksum_mismatches(), 1);
+  EXPECT_GE(dfs.reads_recovered(), 1);
+}
+
+TEST(FaultPlanTest, CorruptedShuffleFetchIsDetectedAndRefetched) {
+  // Tiny memory budget forces spill runs, whose reduce-side fetches are the
+  // corruption surface; every first fetch is corrupted and every record
+  // still arrives intact via CRC-triggered re-fetch.
+  Relation rel = GenUniform(2000, 2, 40, 79);
+  EngineConfig config = TestConfig();
+  config.memory_budget_bytes = 1 << 10;
+
+  FaultConfig fault_config;
+  fault_config.seed = 13;
+  fault_config.payload_corruption_rate = 1.0;
+  FaultPlan plan(fault_config);
+  config.fault_plan = &plan;
+
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(CountJobSpec(), rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
+  EXPECT_GT(metrics->shuffle_checksum_mismatches, 0);
+  EXPECT_GT(plan.injected_corruptions(), 0);
+}
+
+TEST(FaultPlanTest, ThreadedChaosMatchesSequentialChaos) {
+  // The plan keys every decision on stable task coordinates, so the same
+  // seed produces the same failures, retries and output under real thread
+  // interleaving.
+  Relation rel = GenUniform(800, 2, 25, 91);
+  EngineConfig config = TestConfig();
+  config.min_task_attempts = 3;
+  config.retry_backoff_seconds = 0.125;
+
+  FaultConfig fault_config;
+  fault_config.seed = 17;
+  fault_config.map_failure_rate = 0.4;
+  fault_config.reduce_failure_rate = 0.4;
+  fault_config.forced_worker_crashes = 1;
+  fault_config.payload_corruption_rate = 0.3;
+
+  auto run = [&](bool use_threads, int64_t* retries) {
+    EngineConfig engine_config = config;
+    engine_config.use_threads = use_threads;
+    FaultPlan plan(fault_config);
+    engine_config.fault_plan = &plan;
+    DistributedFileSystem dfs;
+    Engine engine(engine_config, &dfs);
+    VectorOutputCollector collector;
+    auto metrics = engine.Run(CountJobSpec(), rel, &collector);
+    SPCUBE_CHECK_OK(metrics.status());
+    *retries = metrics->task_retries;
+    return CollectorCounts(collector);
+  };
+  int64_t sequential_retries = 0;
+  int64_t threaded_retries = 0;
+  const auto sequential = run(false, &sequential_retries);
+  const auto threaded = run(true, &threaded_retries);
+  EXPECT_EQ(sequential, DirectCounts(rel));
+  EXPECT_EQ(threaded, sequential);
+  EXPECT_EQ(threaded_retries, sequential_retries);
 }
 
 }  // namespace

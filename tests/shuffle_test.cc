@@ -4,11 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include <map>
 #include <set>
 
 #include "common/bytes.h"
+#include "io/dfs.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
+#include "relation/generators.h"
 
 namespace spcube {
 namespace {
@@ -290,6 +297,135 @@ TEST(GroupedStreamTest, EmptyInput) {
   ASSERT_TRUE(stream.ok());
   std::string key;
   EXPECT_FALSE((*stream)->NextGroup(&key).value());
+}
+
+// ---- Checksums and attempt-private file lifetime ---------------------------
+
+int64_t CountFilesIn(const std::string& dir) {
+  int64_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) ++count;
+  }
+  return count;
+}
+
+TEST(SpillChecksumTest, OnDiskCorruptionIsDetected) {
+  TempFileManager temp("crc");
+  const std::string path = temp.NextPath();
+  SpillWriter writer(path);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Append("record one, long enough to land a flip").ok());
+  ASSERT_TRUE(writer.Append("record two").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Flip one payload byte on disk: [u64 len][u32 crc] precede the payload.
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(12 + 4);
+    char byte = 0;
+    file.seekg(12 + 4);
+    file.get(byte);
+    file.seekp(12 + 4);
+    file.put(static_cast<char>(byte ^ 0x20));
+  }
+
+  SpillReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  std::string record;
+  auto read = reader.Next(&record);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ShuffleBufferTest, DestructorRemovesUntakenSpillRuns) {
+  TempFileManager temp("cleanup");
+  std::vector<RunInfo> taken;
+  {
+    ShuffleCounters counters;
+    ShuffleBuffer buffer(2, /*memory_budget_bytes=*/64, nullptr, &temp,
+                         &counters);
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE(buffer
+                      .Add(i % 2, "key" + std::to_string(i),
+                           "value" + std::to_string(i))
+                      .ok());
+    }
+    ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+    // Take partition 0's runs (ownership moves to us); leave partition 1's
+    // with the buffer, as happens when a map attempt fails mid-shuffle.
+    taken = buffer.TakeSpillRuns(0);
+    ASSERT_GT(taken.size(), 0u);
+    // Partition 1's runs are still owned by the buffer: more files on disk
+    // than we took.
+    ASSERT_GT(CountFilesIn(temp.dir()), static_cast<int64_t>(taken.size()));
+  }
+  // Destructor ran: only the taken runs' files may remain.
+  for (const RunInfo& run : taken) {
+    EXPECT_TRUE(std::filesystem::exists(run.path)) << run.path;
+    RemoveFileIfExists(run.path);
+  }
+  EXPECT_EQ(CountFilesIn(temp.dir()), 0);
+}
+
+TEST(ShuffleLifetimeTest, RetriedChaosJobLeavesNoTempFiles) {
+  // A job whose map and reduce attempts fail, spill heavily, and corrupt
+  // fetches in flight must still reclaim every attempt-private temp file by
+  // the time it returns — failed attempts' spills eagerly, survivors via
+  // stream destruction.
+  Relation rel = GenUniform(3000, 2, 30, 83);
+  EngineConfig config;
+  config.num_workers = 4;
+  config.memory_budget_bytes = 1 << 10;  // force spills everywhere
+  config.network_bandwidth_bytes_per_sec = 0;
+  config.min_task_attempts = 3;
+
+  FaultConfig chaos;
+  chaos.seed = 21;
+  chaos.map_failure_rate = 1.0;
+  chaos.reduce_failure_rate = 1.0;
+  chaos.payload_corruption_rate = 0.5;
+  chaos.forced_worker_crashes = 1;
+  FaultPlan plan(chaos);
+  config.fault_plan = &plan;
+
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+  JobSpec spec;
+  spec.name = "cleanup-check";
+  spec.mapper_factory = [] {
+    class TokenMapper : public Mapper {
+      Status Map(const Relation& input, int64_t row,
+                 MapContext& context) override {
+        return context.Emit(std::to_string(input.dim(row, 0)), "1");
+      }
+    };
+    return std::make_unique<TokenMapper>();
+  };
+  spec.reducer_factory = [] {
+    class CountReducer : public Reducer {
+      Status Reduce(const std::string& key, ValueStream& values,
+                    ReduceContext& context) override {
+        int64_t count = 0;
+        std::string value;
+        for (;;) {
+          SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+          if (!more) break;
+          count += std::stoll(value);
+        }
+        return context.Output(key, std::to_string(count));
+      }
+    };
+    return std::make_unique<CountReducer>();
+  };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics->task_retries, 0);
+  EXPECT_GT(metrics->spill_bytes, 0);
+  EXPECT_EQ(CountFilesIn(engine.temp_dir()), 0);
 }
 
 }  // namespace

@@ -111,7 +111,7 @@ TEST(SpCubeMapperTest, NoSkewsEmitsApexOnly) {
   // tuple lattice is covered by a single emission.
   SpSketch sketch(3, 4);
   DistributedFileSystem dfs;
-  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  SpCubeMapper mapper(kSketchPath, 3, AggregateKind::kCount, {});
   ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
 
   Relation rel = OneRow({1, 2, 3}, 7);
@@ -134,7 +134,7 @@ TEST(SpCubeMapperTest, ApexSkewedEmitsSingletons) {
   SpSketch sketch(3, 4);
   sketch.AddSkew(GroupKey(0, {}), 1000);
   DistributedFileSystem dfs;
-  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  SpCubeMapper mapper(kSketchPath, 3, AggregateKind::kCount, {});
   ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
 
   Relation rel = OneRow({1, 2, 3}, 7);
@@ -162,7 +162,7 @@ TEST(SpCubeMapperTest, SkewPartialsAccumulateAcrossRows) {
   sketch.AddSkew(GroupKey(0, {}), 1000);
   sketch.AddSkew(GroupKey(0b01, {5}), 500);
   DistributedFileSystem dfs;
-  SpCubeMapper mapper(kSketchPath, AggregateKind::kSum, {});
+  SpCubeMapper mapper(kSketchPath, 2, AggregateKind::kSum, {});
   ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
 
   Relation rel(MakeAnonymousSchema(2));
@@ -206,7 +206,7 @@ TEST(SpCubeMapperTest, MarkingSkipsCoveredAncestors) {
   sketch.AddSkew(GroupKey::Project(0b001, tuple), 900);
   sketch.AddSkew(GroupKey::Project(0b010, tuple), 800);
   DistributedFileSystem dfs;
-  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  SpCubeMapper mapper(kSketchPath, 3, AggregateKind::kCount, {});
   ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
 
   Relation rel = OneRow(tuple, 1);
@@ -337,7 +337,7 @@ TEST(SpCubeReducerTest, ClosureViolatingSketchStillCoversExactlyOnce) {
   DistributedFileSystem dfs;
 
   // Mapper side: (5,1) rows are NOT aggregated locally.
-  SpCubeMapper mapper(kSketchPath, AggregateKind::kCount, {});
+  SpCubeMapper mapper(kSketchPath, 2, AggregateKind::kCount, {});
   ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
   Relation rel = OneRow({5, 1}, 1);
   CapturingMapContext map_context;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds and tests the whole repo under ASan+UBSan and then TSan, using the
+# CMake presets of the same names (separate build-asan/ and build-tsan/
+# trees, so the primary build/ directory is never reconfigured). Finishes
+# with a chaos smoke run of the CLI so the fault-injection paths get
+# sanitizer coverage end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for preset in asan-ubsan tsan; do
+  echo "=== configure + build: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "=== ctest: ${preset} ==="
+  ctest --preset "${preset}"
+done
+
+echo "=== chaos smoke run under ASan+UBSan ==="
+./build-asan/tools/spcube_cli --generate=zipf:5000 --workers=4 \
+  --fault-rate=0.1 --fault-seed=7
+
+echo "All sanitizer runs passed."

@@ -32,7 +32,9 @@ bench::AlgoResult RunVariant(const Relation& rel, int k,
   return bench::RunOne(sp, engine, rel);
 }
 
-void PrintRow(const char* name, const bench::AlgoResult& r) {
+void PrintRow(const char* name, const bench::AlgoResult& r,
+              bench::FailureAudit& audit) {
+  audit.Note(r);
   if (r.failed) {
     std::printf("%-22s FAILED: %s\n", name, r.failure.c_str());
     return;
@@ -52,28 +54,31 @@ int main(int argc, char** argv) {
   const int k = 16;
   const int64_t n = bench::Scaled(100000, scale);
   Relation rel = GenWikiLike(n, 1601);
+  bench::FailureAudit audit;
 
   std::printf("SP-Cube ablations | wiki-like, n=%lld, k=%d\n",
               static_cast<long long>(n), k);
   std::printf("%-22s %10s %14s %14s %12s %12s\n", "variant", "total-s",
               "map-out-rec", "shuffle", "imbalance", "sketch");
 
-  PrintRow("paper (full)", RunVariant(rel, k, {}));
+  PrintRow("paper (full)", RunVariant(rel, k, {}), audit);
 
   {
     SpCubeOptions options;
     options.tuning.aggregate_skews_in_mapper = false;
-    PrintRow("- mapper skew agg", RunVariant(rel, k, options));
+    PrintRow("- mapper skew agg", RunVariant(rel, k, options), audit);
   }
   {
     SpCubeOptions options;
     options.tuning.emit_minimal_groups_only = false;
-    PrintRow("- factorized routing", RunVariant(rel, k, options));
+    PrintRow("- factorized routing", RunVariant(rel, k, options),
+             audit);
   }
   {
     SpCubeOptions options;
     options.use_range_partitioner = false;
-    PrintRow("- range partitioner", RunVariant(rel, k, options));
+    PrintRow("- range partitioner", RunVariant(rel, k, options),
+             audit);
   }
 
   std::printf("\nSampling-rate sweep (alpha multiplier):\n");
@@ -82,7 +87,7 @@ int main(int argc, char** argv) {
     options.sketch.sample_rate_multiplier = multiplier;
     char name[32];
     std::snprintf(name, sizeof(name), "alpha x %.2f", multiplier);
-    PrintRow(name, RunVariant(rel, k, options));
+    PrintRow(name, RunVariant(rel, k, options), audit);
   }
 
   std::printf(
@@ -90,5 +95,5 @@ int main(int argc, char** argv) {
       "shuffled records; dropping factorized routing inflates map output "
       "toward 2^d per tuple; dropping the range partitioner worsens "
       "imbalance; larger alpha grows the sketch for little gain.\n");
-  return 0;
+  return audit.ExitCode();
 }

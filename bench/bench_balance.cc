@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
   const int k = 16;
   const int64_t n = bench::Scaled(100000, scale);
+  int failed_runs = 0;
 
   std::printf("Reducer balance | k=%d, n=%lld\n", k,
               static_cast<long long>(n));
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
       if (!out.ok()) {
         std::printf("%-12s %-10s FAILED: %s\n", workload.name, "sp-cube",
                     out.status().ToString().c_str());
+        ++failed_runs;
         continue;
       }
       const JobMetrics& round = out->metrics.rounds[1];
@@ -99,6 +101,7 @@ int main(int argc, char** argv) {
       if (!out.ok()) {
         std::printf("%-12s %-10s FAILED: %s\n", workload.name, "naive",
                     out.status().ToString().c_str());
+        ++failed_runs;
         continue;
       }
       const JobMetrics& round = out->metrics.rounds[0];
@@ -116,5 +119,5 @@ int main(int argc, char** argv) {
       "\nShape to match: SP-Cube's range reducers have similar output "
       "sizes (imbalance close to 1) on every distribution, while naive's "
       "hash partitioning leaves stragglers on skewed inputs.\n");
-  return 0;
+  return failed_runs > 0 ? 1 : 0;
 }

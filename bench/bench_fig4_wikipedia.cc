@@ -39,10 +39,12 @@ int main(int argc, char** argv) {
       "Figure 4(c): intermediate data shipped to reducers", "tuples",
       columns);
 
+  bench::FailureAudit audit;
   for (const int64_t n : sizes) {
     const Relation rel = GenWikiLike(n, /*seed=*/1204);
     const std::vector<bench::AlgoResult> results =
         bench::RunCompetitors(rel, k);
+    audit.NoteAll(results);
     std::vector<std::string> total_cells;
     std::vector<std::string> reduce_cells;
     std::vector<std::string> map_cells;
@@ -70,5 +72,5 @@ int main(int argc, char** argv) {
       "\nPaper shape to match: SP-Cube fastest (Hive ~1.2x, Pig ~3-4x "
       "slower at the largest size); SP-Cube's intermediate data ~5-6x "
       "smaller than Pig/Hive.\n");
-  return 0;
+  return audit.ExitCode();
 }

@@ -35,11 +35,13 @@ int main(int argc, char** argv) {
   bench::SeriesTable sketch("Figure 5(c): SP-Sketch size", "tuples",
                             {"sketch-bytes", "input-bytes", "ratio"});
 
+  bench::FailureAudit audit;
   for (const int64_t n : sizes) {
     const Relation full = GenUsaGovLike(n, /*seed=*/1205);
     const Relation rel = ProjectDims(full, {0, 1, 2, 3});
     const std::vector<bench::AlgoResult> results =
         bench::RunCompetitors(rel, k);
+    audit.NoteAll(results);
     std::vector<std::string> total_cells;
     std::vector<std::string> map_cells;
     int64_t sketch_bytes = 0;
@@ -72,5 +74,5 @@ int main(int argc, char** argv) {
       "\nPaper shape to match: SP-Cube fastest (30%% over Pig, ~3x over "
       "Hive, whose map time dominates); sketch grows slowly and stays "
       "orders of magnitude below the input size.\n");
-  return 0;
+  return audit.ExitCode();
 }

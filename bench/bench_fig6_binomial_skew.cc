@@ -39,10 +39,12 @@ int main(int argc, char** argv) {
   bench::SeriesTable sketch("Figure 6(c): SP-Sketch size", "skewness p",
                             {"sketch-bytes", "skewed-groups"});
 
+  bench::FailureAudit audit;
   for (const double p : skews) {
     const Relation rel = GenBinomial(n, 4, p, /*seed=*/1206);
     const std::vector<bench::AlgoResult> results =
         bench::RunCompetitors(rel, k);
+    audit.NoteAll(results);
     std::vector<std::string> total_cells;
     std::vector<std::string> map_cells;
     int64_t sketch_bytes = 0;
@@ -76,5 +78,5 @@ int main(int argc, char** argv) {
       "as p grows from 0 to 0.75; intermediate data shrinks with p for "
       "SP-Cube and Pig; paper's Hive OOMs for p >= 0.4 (our surrogate "
       "degrades to spilling instead).\n");
-  return 0;
+  return audit.ExitCode();
 }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   std::printf("%-4s %-12s %8s %10s %14s %14s\n", "d", "algo", "rounds",
               "total-s", "shuffle", "map-out-rec");
 
+  bench::FailureAudit audit;
   for (int d = 3; d <= 7; ++d) {
     Relation rel = GenZipf(n, /*num_zipf_dims=*/2,
                            /*num_uniform_dims=*/d - 2, /*domain=*/200,
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
       }
       const bench::AlgoResult result =
           bench::RunOne(*algorithm, engine, rel);
+      audit.Note(result);
       if (result.failed) {
         std::printf("%-4d %-12s FAILED: %s\n", d,
                     result.algorithm.c_str(), result.failure.c_str());
@@ -61,5 +63,5 @@ int main(int argc, char** argv) {
       "\nShape to match: top-down pays one round per lattice level (d+1 "
       "rounds) plus full inter-round materialization of each level, so the "
       "gap to SP-Cube widens with d.\n");
-  return 0;
+  return audit.ExitCode();
 }

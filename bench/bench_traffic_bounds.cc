@@ -18,7 +18,7 @@ namespace bench = spcube::bench;
 
 namespace {
 
-double RecordsPerTuple(const Relation& rel, int k,
+double RecordsPerTuple(const Relation& rel, int k, bool* any_failed,
                        SpCubeOptions options = {}) {
   DistributedFileSystem dfs;
   Engine engine(bench::MakeClusterConfig(rel.num_rows(), rel.num_dims(), k),
@@ -27,7 +27,12 @@ double RecordsPerTuple(const Relation& rel, int k,
   CubeRunOptions run_options;
   run_options.collect_output = false;
   auto out = sp.Run(engine, rel, run_options);
-  if (!out.ok()) return -1.0;
+  if (!out.ok()) {
+    std::fprintf(stderr, "error: sp-cube run failed: %s\n",
+                 out.status().ToString().c_str());
+    *any_failed = true;
+    return -1.0;
+  }
   return static_cast<double>(out->metrics.rounds[1].map_output_records) /
          static_cast<double>(rel.num_rows());
 }
@@ -45,11 +50,14 @@ int main(int argc, char** argv) {
   std::printf("%-4s %12s %12s %12s %12s %8s\n", "d", "monotonic",
               "independent", "layered", "naive=2^d", "d^2");
 
+  bool any_failed = false;
   for (int d = 4; d <= 8; ++d) {
     const double monotonic =
-        RecordsPerTuple(GenMonotonicSkew(n, d, 0.4, 2000, 1501), k);
+        RecordsPerTuple(GenMonotonicSkew(n, d, 0.4, 2000, 1501), k,
+                        &any_failed);
     const double independent =
-        RecordsPerTuple(GenIndependentSkew(n, d, 0.3, 500, 1502), k);
+        RecordsPerTuple(GenIndependentSkew(n, d, 0.3, 500, 1502), k,
+                        &any_failed);
     // Layered adversary: binary domains, skew threshold between the middle
     // lattice levels (see DESIGN.md / Theorem 5.3 discussion).
     SpCubeOptions layered_options;
@@ -58,7 +66,8 @@ int main(int argc, char** argv) {
                              static_cast<double>(int64_t{1} << (d / 2 + 1)));
     layered_options.sketch.sample_rate_multiplier = 8.0;
     const double layered =
-        RecordsPerTuple(GenUniform(n, d, 2, 1503), k, layered_options);
+        RecordsPerTuple(GenUniform(n, d, 2, 1503), k, &any_failed,
+                        layered_options);
 
     std::printf("%-4d %12.2f %12.2f %12.2f %12d %8d\n", d, monotonic,
                 independent, layered, 1 << d, d * d);
@@ -68,5 +77,5 @@ int main(int argc, char** argv) {
       "\nShape to match: monotonic stays ~d (within the O(d^2) bound); "
       "independent stays polynomial; the layered adversary tracks a "
       "constant fraction of 2^d, demonstrating the worst case.\n");
-  return 0;
+  return any_failed ? 1 : 0;
 }

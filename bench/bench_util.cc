@@ -36,6 +36,7 @@ AlgoResult RunOne(CubeAlgorithm& algorithm, Engine& engine,
   if (!output.ok()) {
     result.failed = true;
     result.failure = output.status().ToString();
+    result.failure_code = output.status().code();
     return result;
   }
   const RunMetrics& metrics = output->metrics;
@@ -90,6 +91,26 @@ std::vector<AlgoResult> RunCompetitors(const Relation& input, int k) {
     results.push_back(RunOne(naive, engine, input));
   }
   return results;
+}
+
+void FailureAudit::Note(const AlgoResult& result) {
+  if (!result.failed) return;
+  const bool expected_oom =
+      result.algorithm != "sp-cube" &&
+      (result.failure_code == StatusCode::kOutOfMemory ||
+       result.failure_code == StatusCode::kResourceExhausted);
+  if (expected_oom) {
+    std::fprintf(stderr, "note: %s failed as modeled (%s)\n",
+                 result.algorithm.c_str(), result.failure.c_str());
+    return;
+  }
+  ++unexpected_failures_;
+  std::fprintf(stderr, "error: %s run failed: %s\n",
+               result.algorithm.c_str(), result.failure.c_str());
+}
+
+void FailureAudit::NoteAll(const std::vector<AlgoResult>& results) {
+  for (const AlgoResult& result : results) Note(result);
 }
 
 SeriesTable::SeriesTable(std::string title, std::string x_label,

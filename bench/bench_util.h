@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/cube_algorithm.h"
 #include "mapreduce/engine.h"
 #include "relation/relation.h"
@@ -23,6 +24,7 @@ struct AlgoResult {
   std::string algorithm;
   bool failed = false;        // e.g. Hive OOM under strict memory
   std::string failure;        // status text when failed
+  StatusCode failure_code = StatusCode::kOk;  // code behind `failure`
   double total_seconds = 0;
   double map_max_seconds = 0;
   double map_avg_seconds = 0;
@@ -62,6 +64,26 @@ class SeriesTable {
   std::string x_label_;
   std::vector<std::string> columns_;
   std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+/// Keeps benchmark binaries honest about errors: every AlgoResult flows
+/// through Note(), failures are echoed to stderr (a FAIL table cell alone
+/// is too easy to miss in CI logs), and mains return ExitCode() instead
+/// of a blanket 0. A competitor running out of memory under the strict
+/// budget is modeled figure content (the paper's Hive does exactly that)
+/// and stays exit-clean; any other failure — and any SP-Cube failure —
+/// is a broken reproduction and must fail the binary.
+class FailureAudit {
+ public:
+  void Note(const AlgoResult& result);
+  void NoteAll(const std::vector<AlgoResult>& results);
+
+  /// 0 when every noted run either succeeded or was an expected
+  /// competitor OOM; 1 otherwise.
+  int ExitCode() const { return unexpected_failures_ > 0 ? 1 : 0; }
+
+ private:
+  int unexpected_failures_ = 0;
 };
 
 std::string FormatSeconds(double seconds);

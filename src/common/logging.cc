@@ -48,6 +48,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
+  // spcube-lint: allow(no-stdout-in-lib): this is the logging sink itself
   std::fputs(stream_.str().c_str(), stderr);
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -48,8 +48,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 namespace internal {
 
 void DieOnBadResultAccess(const Status& status) {
+  // spcube-lint: allow(no-stdout-in-lib): abort path must not depend on
   std::fprintf(stderr, "Result<T>::value() called on error: %s\n",
-               status.ToString().c_str());
+               status.ToString().c_str());  // the logging layer above it
   std::abort();
 }
 

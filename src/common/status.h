@@ -31,8 +31,10 @@ enum class StatusCode : int8_t {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on the success path (no
-/// allocation); errors carry a message.
-class Status {
+/// allocation); errors carry a message. Marked [[nodiscard]] so an ignored
+/// error fails the -Wall build; intentional discards must go through
+/// SPCUBE_IGNORE_ERROR with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -103,7 +105,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// computations. Accessing the value of an error Result aborts, so callers
 /// must check ok() (or use ASSIGN_OR_RETURN).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error Status keeps call sites
   /// terse (`return value;` / `return Status::IoError(...)`).
@@ -153,6 +155,17 @@ void Result<T>::AbortIfError() const {
 }
 
 }  // namespace spcube
+
+/// Deliberately discards a Status (or Result<T>) with a documented reason.
+/// This is the only sanctioned way to ignore a fallible call's outcome; the
+/// reason string keeps the "why is this safe" next to the discard and gives
+/// spcube_lint an anchor to distinguish audited discards from accidents.
+#define SPCUBE_IGNORE_ERROR(expr, reason)            \
+  do {                                               \
+    static_assert(sizeof(reason) > 1,                \
+                  "give a non-empty discard reason"); \
+    (void)(expr);                                    \
+  } while (false)
 
 /// Propagates a non-OK Status from an expression to the caller.
 #define SPCUBE_RETURN_IF_ERROR(expr)                    \

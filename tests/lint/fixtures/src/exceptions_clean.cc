@@ -1,0 +1,12 @@
+// Fixture: fallible code in the sanctioned style — Status out, no throw.
+// Identifiers that merely contain the keywords (entry, retry_count,
+// dispatch) must not be flagged.
+namespace spcube {
+
+struct Entry {
+  int retry_count = 0;
+};
+
+int DispatchEntry(const Entry& entry) { return entry.retry_count; }
+
+}  // namespace spcube

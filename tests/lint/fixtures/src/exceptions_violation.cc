@@ -1,0 +1,16 @@
+// Fixture: exception constructs in library code, one per line so the
+// lint test can pin exact line numbers.
+#include <stdexcept>
+
+namespace spcube {
+
+int Parse(int x) {
+  try {  // line 8
+    if (x < 0) throw std::runtime_error("negative");  // line 9
+  } catch (const std::exception&) {  // line 10
+    return -1;
+  }
+  return x;
+}
+
+}  // namespace spcube

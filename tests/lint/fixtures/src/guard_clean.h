@@ -1,0 +1,10 @@
+// Fixture: include guard following the SPCUBE_<PATH>_H_ convention —
+// spcube_lint must report nothing here.
+#ifndef SPCUBE_GUARD_CLEAN_H_
+#define SPCUBE_GUARD_CLEAN_H_
+
+namespace spcube {
+inline int GuardFixture() { return 1; }
+}  // namespace spcube
+
+#endif  // SPCUBE_GUARD_CLEAN_H_

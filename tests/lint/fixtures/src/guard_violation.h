@@ -1,0 +1,10 @@
+// Fixture: include guard that does not match the header's path (expected
+// SPCUBE_GUARD_VIOLATION_H_) and a #define that differs from the #ifndef.
+#ifndef SPCUBE_WRONG_GUARD_H_
+#define SPCUBE_WRONG_GUARD_H_
+
+namespace spcube {
+inline int GuardFixture() { return 1; }
+}  // namespace spcube
+
+#endif  // SPCUBE_WRONG_GUARD_H_

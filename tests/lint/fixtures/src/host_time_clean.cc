@@ -1,0 +1,20 @@
+// Fixture: the sanctioned uses of time-like code. Simulated timestamps
+// carried in plain doubles are fine, and a measured busy-time read is
+// acceptable when annotated with an allow pragma carrying a reason —
+// spcube_lint must report nothing here.
+#include <chrono>
+
+namespace spcube {
+
+struct SimulatedClock {
+  double now_seconds = 0.0;
+  void Advance(double dt) { now_seconds += dt; }
+};
+
+double BusyTimeInput() {
+  // spcube-lint: allow(no-host-time): measured busy time feeds the model
+  auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(start.time_since_epoch()).count();
+}
+
+}  // namespace spcube

@@ -1,0 +1,23 @@
+// Fixture: host-clock reads that would leak wall time into simulated
+// cluster-time metrics.
+#include <time.h>
+
+#include <chrono>
+
+namespace spcube {
+
+double WallSeconds() {
+  auto now = std::chrono::steady_clock::now();  // line 10
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long SystemEpoch() {
+  return static_cast<long>(time(nullptr));  // line 15
+}
+
+double DateStamp() {
+  auto tp = std::chrono::system_clock::now();  // line 19
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+}  // namespace spcube

@@ -1,0 +1,27 @@
+// Fixture: the three sanctioned shapes — a per-declaration [[nodiscard]],
+// a declaration whose return type is itself class-level [[nodiscard]],
+// and a discard audited through SPCUBE_IGNORE_ERROR — spcube_lint must
+// report nothing here.
+#ifndef SPCUBE_NODISCARD_CLEAN_H_
+#define SPCUBE_NODISCARD_CLEAN_H_
+
+#include "common/status.h"
+
+namespace spcube {
+
+class [[nodiscard]] Status {};
+template <typename T>
+class [[nodiscard]] Result;
+
+Status OpenShard(int shard);
+Result<int> CountGroups(const char* name);
+
+[[nodiscard]] Status CloseShard(int shard);
+
+inline void Discard() {
+  SPCUBE_IGNORE_ERROR(OpenShard(0), "fixture: shard teardown best-effort");
+}
+
+}  // namespace spcube
+
+#endif  // SPCUBE_NODISCARD_CLEAN_H_

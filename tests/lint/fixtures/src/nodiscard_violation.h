@@ -1,0 +1,22 @@
+// Fixture: fallible declarations without [[nodiscard]] (and no
+// class-level [[nodiscard]] on the types in this scan set), plus a bare
+// (void)-cast discard of a call result.
+#ifndef SPCUBE_NODISCARD_VIOLATION_H_
+#define SPCUBE_NODISCARD_VIOLATION_H_
+
+namespace spcube {
+
+class Status;
+template <typename T>
+class Result;
+
+Status OpenShard(int shard);                 // line 13
+Result<int> CountGroups(const char* name);   // line 14
+
+inline void Discard() {
+  (void)OpenShard(0);  // line 17: unaudited discard
+}
+
+}  // namespace spcube
+
+#endif  // SPCUBE_NODISCARD_VIOLATION_H_

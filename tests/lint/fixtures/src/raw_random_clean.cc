@@ -1,0 +1,15 @@
+// Fixture: reproducible randomness through seeded spcube::Rng only —
+// spcube_lint must report nothing here. Mentions of rand inside comments
+// ("never call rand()") and strings must not trip the rule either.
+#include "common/random.h"
+
+namespace spcube {
+
+double DrawOne(uint64_t seed) {
+  Rng rng(seed);
+  const char* message = "rand() and std::random_device are banned";
+  (void)message;
+  return rng.NextDouble();
+}
+
+}  // namespace spcube

@@ -1,0 +1,22 @@
+// Fixture: every seeded-randomness bypass spcube_lint must catch.
+#include <cstdlib>
+#include <random>
+
+namespace spcube {
+
+int UnseededEngine() {
+  std::mt19937 gen;  // line 8: default-seeded mersenne twister
+  return static_cast<int>(gen());
+}
+
+int HostEntropy() {
+  std::random_device device;  // line 13: nondeterministic host entropy
+  return static_cast<int>(device());
+}
+
+int LibcRand() {
+  srand(42);              // line 18: libc seeding
+  return rand();          // line 19: libc generator
+}
+
+}  // namespace spcube

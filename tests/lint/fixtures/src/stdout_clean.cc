@@ -1,0 +1,15 @@
+// Fixture: library-style reporting that must not be flagged — the
+// logging macro, string formatting into buffers (snprintf is not console
+// I/O), and printf-lookalike identifiers.
+#include <cstdio>
+
+namespace spcube {
+
+void Report(int n) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "groups: %d", n);
+  int pretty_printf_count = n;
+  (void)pretty_printf_count;
+}
+
+}  // namespace spcube

@@ -1,0 +1,14 @@
+// Fixture: direct console I/O from library code, one form per line.
+#include <cstdio>
+#include <iostream>
+
+namespace spcube {
+
+void Report(int n) {
+  std::cout << "groups: " << n << "\n";        // line 8
+  std::printf("groups: %d\n", n);              // line 9
+  fprintf(stderr, "groups: %d\n", n);          // line 10
+  puts("done");                                // line 11
+}
+
+}  // namespace spcube

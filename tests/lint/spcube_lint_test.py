@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Golden tests for tools/lint/spcube_lint.py.
+
+Each rule has a violating fixture and a clean fixture under
+tests/lint/fixtures/src/ (the src/ segment matters: several rules only
+apply to library code, and the fixtures are linted with --root pointing
+at the fixtures dir so they look like library files). The test asserts
+the exact (line, rule-id) set per fixture — a linter that fires the right
+rule on the wrong line, or a neighboring rule, fails here.
+
+Each fixture is linted in its own invocation: the marked-type exemption
+for nodiscard-on-status is computed over the scanned set, and the clean
+fixture's `class [[nodiscard]] Status` must not leak into the violating
+fixture's run.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.normpath(os.path.join(HERE, "..", ".."))
+LINTER = os.path.join(REPO, "tools", "lint", "spcube_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture file (relative to fixtures/) -> expected [(line, rule-id)].
+EXPECTATIONS = {
+    "src/raw_random_violation.cc": [
+        (8, "no-raw-random"),
+        (13, "no-raw-random"),
+        (18, "no-raw-random"),
+        (19, "no-raw-random"),
+    ],
+    "src/raw_random_clean.cc": [],
+    "src/exceptions_violation.cc": [
+        (8, "no-exceptions"),
+        (9, "no-exceptions"),
+        (10, "no-exceptions"),
+    ],
+    "src/exceptions_clean.cc": [],
+    "src/host_time_violation.cc": [
+        (3, "no-host-time"),
+        (10, "no-host-time"),
+        (15, "no-host-time"),
+        (19, "no-host-time"),
+    ],
+    "src/host_time_clean.cc": [],
+    "src/stdout_violation.cc": [
+        (8, "no-stdout-in-lib"),
+        (9, "no-stdout-in-lib"),
+        (10, "no-stdout-in-lib"),
+        (11, "no-stdout-in-lib"),
+    ],
+    "src/stdout_clean.cc": [],
+    "src/guard_violation.h": [
+        (3, "include-guard-name"),
+    ],
+    "src/guard_clean.h": [],
+    "src/nodiscard_violation.h": [
+        (13, "nodiscard-on-status"),
+        (14, "nodiscard-on-status"),
+        (17, "nodiscard-on-status"),
+    ],
+    "src/nodiscard_clean.h": [],
+}
+
+
+def run_linter(paths, root):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", root] + paths,
+        capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        # path:line: [rule] message
+        parts = line.split(":", 2)
+        if len(parts) < 3 or "[" not in parts[2]:
+            continue
+        rule = parts[2].split("[", 1)[1].split("]", 1)[0]
+        findings.append((parts[0], int(parts[1]), rule))
+    return proc, findings
+
+
+def main():
+    failures = []
+
+    for rel, expected in sorted(EXPECTATIONS.items()):
+        path = os.path.join(FIXTURES, rel)
+        proc, findings = run_linter([path], FIXTURES)
+        got = [(line, rule) for (_, line, rule) in findings]
+        want = sorted(expected)
+        if sorted(got) != want:
+            failures.append(
+                "%s:\n  expected %s\n  got      %s\n  stdout: %s"
+                % (rel, want, sorted(got), proc.stdout.strip()))
+            continue
+        want_exit = 1 if expected else 0
+        if proc.returncode != want_exit:
+            failures.append("%s: exit code %d, expected %d"
+                            % (rel, proc.returncode, want_exit))
+
+    # The reported paths must be relative to --root so findings are
+    # stable across checkouts.
+    proc, findings = run_linter(
+        [os.path.join(FIXTURES, "src/guard_violation.h")], FIXTURES)
+    if findings and findings[0][0] != os.path.join(
+            "src", "guard_violation.h"):
+        failures.append("paths not reported relative to --root: %s"
+                        % findings[0][0])
+
+    # An allow pragma without a reason is itself a finding.
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", FIXTURES, "--list-rules"],
+        capture_output=True, text=True)
+    rules = proc.stdout.split()
+    for rule in ("no-raw-random", "no-exceptions", "no-host-time",
+                 "no-stdout-in-lib", "include-guard-name",
+                 "nodiscard-on-status"):
+        if rule not in rules:
+            failures.append("--list-rules missing %s" % rule)
+
+    # The repo itself must be clean: the acceptance gate for every PR.
+    proc, findings = run_linter([], REPO)
+    if proc.returncode != 0:
+        failures.append("repo-wide lint not clean:\n%s" % proc.stdout)
+
+    if failures:
+        print("spcube_lint_test: %d failure(s)" % len(failures))
+        for failure in failures:
+            print("---\n" + failure)
+        return 1
+    print("spcube_lint_test: all %d fixtures behaved" % len(EXPECTATIONS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

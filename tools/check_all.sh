@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Single entry point for every machine-checked gate in the repo:
+#
+#   1. build + unit/differential tests   (primary tree, RelWithDebInfo)
+#   2. static analysis                   (tools/run_static_analysis.sh)
+#   3. sanitizers                        (tools/run_sanitizers.sh)
+#
+# Runs all stages even after a failure and finishes with a summary table,
+# so one broken gate doesn't hide the state of the others. Exits nonzero
+# if any stage failed. Pass --fast to skip the sanitizer stage (it
+# rebuilds the tree twice and dominates wall time).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) fast=1 ;;
+    *) echo "usage: tools/check_all.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+declare -a stage_names=()
+declare -a stage_results=()
+
+run_stage() {
+  local name="$1"; shift
+  echo
+  echo "########## ${name} ##########"
+  if "$@"; then
+    stage_results+=("PASS")
+  else
+    stage_results+=("FAIL")
+  fi
+  stage_names+=("${name}")
+}
+
+build_and_test() {
+  cmake -B build -S . && cmake --build build -j "$(nproc)" &&
+    ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
+
+run_stage "build+test" build_and_test
+run_stage "static-analysis" tools/run_static_analysis.sh
+if [[ ${fast} -eq 0 ]]; then
+  run_stage "sanitizers" tools/run_sanitizers.sh
+else
+  stage_names+=("sanitizers"); stage_results+=("SKIP (--fast)")
+fi
+
+echo
+echo "=============================="
+printf '%-18s %s\n' "stage" "result"
+printf '%-18s %s\n' "-----" "------"
+failed=0
+for i in "${!stage_names[@]}"; do
+  printf '%-18s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  [[ "${stage_results[$i]}" == "FAIL" ]] && failed=1
+done
+echo "=============================="
+exit "${failed}"

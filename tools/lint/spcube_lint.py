@@ -1,0 +1,453 @@
+#!/usr/bin/env python3
+"""spcube_lint: the repo's conventions, as machine-checked rules.
+
+The correctness story of this reproduction rests on a handful of
+conventions (CLAUDE.md, docs/INTERNALS.md) that an ordinary compiler run
+does not enforce. This linter turns each of them into a named, file-scope
+rule so a violation fails `tools/run_static_analysis.sh` (and the `lint`
+CMake target) instead of silently compiling:
+
+  no-raw-random       rand()/srand()/std::random_device/std::mt19937 —
+                      all randomness must flow through seeded spcube::Rng.
+  no-exceptions       throw/try/catch in src/ — library code returns
+                      Status/Result<T> (src/common/status.h).
+  no-host-time        system_clock/steady_clock/time()/clock_gettime/... in
+                      src/ — host clocks must not leak into simulated
+                      cluster-time metrics. Measured busy-time inputs to the
+                      simulation are the explicit allowlist case.
+  no-stdout-in-lib    printf/std::cout/std::cerr/puts in src/ — library
+                      code reports through SPCUBE_LOG (common/logging.h).
+  include-guard-name  header guards must be SPCUBE_<PATH>_H_ (path relative
+                      to the repo root, with a leading src/ stripped).
+  nodiscard-on-status every declaration returning Status/Result<T> must be
+                      [[nodiscard]] — or the type itself must carry the
+                      class-level [[nodiscard]], in which case declarations
+                      are exempt. Also flags `(void)`-cast calls, the
+                      unaudited way to discard an error (use
+                      SPCUBE_IGNORE_ERROR(expr, reason)).
+
+Suppression is explicit and greppable:
+
+  some_code();  // spcube-lint: allow(rule-id): reason
+  // spcube-lint: allow(rule-id): reason        <- covers the next line
+  // spcube-lint: allow-file(rule-id): reason   <- covers the whole file
+
+A reason is required; an allow pragma without one is itself a finding
+(rule `allow-without-reason`).
+
+Usage:
+  tools/lint/spcube_lint.py [--root DIR] [paths...]
+
+With no paths, scans src/, tools/, and bench/ under --root (default: the
+repo root inferred from this script's location). Prints findings as
+`path:line: [rule-id] message` and exits 1 if there were any, 0 otherwise.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+DEFAULT_SCAN_DIRS = ("src", "tools", "bench")
+
+ALLOW_LINE_RE = re.compile(
+    r"//\s*spcube-lint:\s*allow\(([a-z-]+)\)(:\s*(\S.*))?")
+ALLOW_FILE_RE = re.compile(
+    r"//\s*spcube-lint:\s*allow-file\(([a-z-]+)\)(:\s*(\S.*))?")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+class SourceFile:
+    """One parsed file: raw lines, comment/string-stripped lines, pragmas."""
+
+    def __init__(self, abspath, relpath):
+        self.abspath = abspath
+        self.relpath = relpath
+        with open(abspath, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.raw_lines = self.raw.split("\n")
+        self.code_lines = _strip_comments_and_strings(self.raw).split("\n")
+        # allow pragmas: rule -> set of 1-based line numbers it covers.
+        self.allowed_lines = {}
+        self.allowed_file_rules = set()
+        self.pragma_findings = []
+        self._collect_pragmas()
+
+    def _collect_pragmas(self):
+        for i, line in enumerate(self.raw_lines, start=1):
+            m = ALLOW_FILE_RE.search(line)
+            if m:
+                if not m.group(3):
+                    self.pragma_findings.append(Finding(
+                        self.relpath, i, "allow-without-reason",
+                        "allow-file(%s) pragma needs a ': reason'"
+                        % m.group(1)))
+                self.allowed_file_rules.add(m.group(1))
+                continue
+            m = ALLOW_LINE_RE.search(line)
+            if m:
+                if not m.group(3):
+                    self.pragma_findings.append(Finding(
+                        self.relpath, i, "allow-without-reason",
+                        "allow(%s) pragma needs a ': reason'" % m.group(1)))
+                rule = m.group(1)
+                covered = self.allowed_lines.setdefault(rule, set())
+                covered.add(i)
+                # A pragma on an otherwise comment-only line covers the
+                # next line, so multi-line constructs can be annotated
+                # above rather than squeezed past the column limit.
+                if line.strip().startswith("//"):
+                    covered.add(i + 1)
+
+    def allows(self, rule, line):
+        if rule in self.allowed_file_rules:
+            return True
+        return line in self.allowed_lines.get(rule, set())
+
+
+def _strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines
+    and column positions so findings report real line numbers."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string literals R"delim(...)delim" have no escapes.
+                if i >= 1 and text[i - 1] == "R" and (
+                        i < 2 or not (text[i - 2].isalnum()
+                                      or text[i - 2] == "_")):
+                    m = re.match(r'"([^()\\ \n]*)\(', text[i:])
+                    if m:
+                        closer = ")" + m.group(1) + '"'
+                        end = text.find(closer, i)
+                        end = (end + len(closer)) if end != -1 else n
+                        segment = text[i:end]
+                        out.append(re.sub(r"[^\n]", " ", segment))
+                        i = end
+                        continue
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def _in_src(relpath):
+    return relpath.startswith("src" + os.sep) or relpath.startswith("src/")
+
+
+# --- Rules -----------------------------------------------------------------
+
+RAW_RANDOM_RE = re.compile(
+    r"std::random_device|std::mt19937|std::minstd_rand|"
+    r"std::default_random_engine|\bsrand\s*\(|(?<![\w:.])rand\s*\(")
+
+
+def check_no_raw_random(f, findings):
+    for i, line in enumerate(f.code_lines, start=1):
+        m = RAW_RANDOM_RE.search(line)
+        if m and not f.allows("no-raw-random", i):
+            findings.append(Finding(
+                f.relpath, i, "no-raw-random",
+                "'%s' bypasses seeded spcube::Rng; all randomness must be "
+                "reproducible (common/random.h)" % m.group(0).strip()))
+
+
+EXCEPTION_RE = re.compile(r"\bthrow\b|\btry\b\s*\{|\bcatch\s*\(")
+
+
+def check_no_exceptions(f, findings):
+    if not _in_src(f.relpath):
+        return
+    for i, line in enumerate(f.code_lines, start=1):
+        m = EXCEPTION_RE.search(line)
+        if m and not f.allows("no-exceptions", i):
+            findings.append(Finding(
+                f.relpath, i, "no-exceptions",
+                "exception construct '%s' in library code; return Status/"
+                "Result<T> instead (common/status.h)"
+                % m.group(0).strip()))
+
+
+HOST_TIME_RE = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)|"
+    r"(?<!::)\b(system_clock|steady_clock|high_resolution_clock)::|"
+    r"\bclock_gettime\s*\(|\bgettimeofday\s*\(|\bclock\s*\(\s*\)|"
+    r"(?<![\w:.])time\s*\(|\blocaltime\s*\(|\bgmtime\s*\(|\bmktime\s*\(")
+HOST_TIME_INCLUDE_RE = re.compile(
+    r'#\s*include\s*<(ctime|time\.h|sys/time\.h)>')
+
+
+def check_no_host_time(f, findings):
+    if not _in_src(f.relpath):
+        return
+    for i, (code, raw) in enumerate(
+            zip(f.code_lines, f.raw_lines), start=1):
+        m = HOST_TIME_RE.search(code) or HOST_TIME_INCLUDE_RE.search(raw)
+        if m and not f.allows("no-host-time", i):
+            findings.append(Finding(
+                f.relpath, i, "no-host-time",
+                "host clock '%s' in library code; cluster time is simulated "
+                "(EngineConfig) and host state must not leak into metrics"
+                % m.group(0).strip()))
+
+
+STDOUT_RE = re.compile(
+    r"std::cout|std::cerr|"
+    r"(?<![\w.])(?:std::)?(?:v?f?printf|puts|fputs)\s*\(")
+
+
+def check_no_stdout_in_lib(f, findings):
+    if not _in_src(f.relpath):
+        return
+    for i, line in enumerate(f.code_lines, start=1):
+        m = STDOUT_RE.search(line)
+        if m and not f.allows("no-stdout-in-lib", i):
+            findings.append(Finding(
+                f.relpath, i, "no-stdout-in-lib",
+                "direct console I/O '%s' in library code; use SPCUBE_LOG "
+                "(common/logging.h)" % m.group(0).strip()))
+
+
+IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)")
+
+
+def expected_guard(relpath):
+    path = relpath.replace(os.sep, "/")
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    return "SPCUBE_" + re.sub(r"[^A-Za-z0-9]", "_", path).upper() + "_"
+
+
+def check_include_guard(f, findings):
+    if not f.relpath.endswith((".h", ".hpp")):
+        return
+    want = expected_guard(f.relpath)
+    ifndef_line = None
+    got = None
+    for i, line in enumerate(f.raw_lines, start=1):
+        m = IFNDEF_RE.match(line)
+        if m:
+            ifndef_line, got = i, m.group(1)
+            break
+        if line.strip() and not line.strip().startswith("//"):
+            break  # first real line is not a guard
+    if got is None:
+        if not f.allows("include-guard-name", 1):
+            findings.append(Finding(
+                f.relpath, 1, "include-guard-name",
+                "header has no include guard; expected '#ifndef %s'"
+                % want))
+        return
+    if got != want and not f.allows("include-guard-name", ifndef_line):
+        findings.append(Finding(
+            f.relpath, ifndef_line, "include-guard-name",
+            "include guard '%s' does not match path; expected '%s'"
+            % (got, want)))
+        return
+    # The #define on the next code line must match the #ifndef.
+    for j in range(ifndef_line, min(ifndef_line + 2, len(f.raw_lines))):
+        m = DEFINE_RE.match(f.raw_lines[j])
+        if m:
+            if m.group(1) != got and not f.allows("include-guard-name",
+                                                  j + 1):
+                findings.append(Finding(
+                    f.relpath, j + 1, "include-guard-name",
+                    "#define '%s' does not match #ifndef '%s'"
+                    % (m.group(1), got)))
+            return
+
+
+NODISCARD_CLASS_RE = re.compile(
+    r"class\s+\[\[nodiscard\]\]\s+(Status|Result)\b")
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:(?:static|virtual|inline|constexpr|friend|explicit)\s+)*"
+    r"(?:::)?(?:spcube::)?(Status|Result\s*<[^;={}]*>)\s+"
+    r"(~?\w+)\s*\(")
+VOID_CAST_CALL_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.\->]*\s*\(")
+
+
+def find_marked_types(files):
+    """Types whose class definition carries [[nodiscard]] anywhere in the
+    scanned set; declarations returning them need no per-site attribute."""
+    marked = set()
+    for f in files:
+        for line in f.code_lines:
+            for m in NODISCARD_CLASS_RE.finditer(line):
+                marked.add(m.group(1))
+    return marked
+
+
+def check_nodiscard_on_status(f, findings, marked_types):
+    is_header = f.relpath.endswith((".h", ".hpp"))
+    for i, line in enumerate(f.code_lines, start=1):
+        if is_header:
+            m = STATUS_DECL_RE.match(line)
+            if m:
+                base_type = "Result" if m.group(1).startswith("Result") \
+                    else "Status"
+                if base_type in marked_types:
+                    continue
+                prev = f.code_lines[i - 2] if i >= 2 else ""
+                if "[[nodiscard]]" in line or "[[nodiscard]]" in prev:
+                    continue
+                if f.allows("nodiscard-on-status", i):
+                    continue
+                findings.append(Finding(
+                    f.relpath, i, "nodiscard-on-status",
+                    "declaration of '%s' returns %s but is not "
+                    "[[nodiscard]] (and the type is not class-level "
+                    "[[nodiscard]])" % (m.group(2), base_type)))
+        m = VOID_CAST_CALL_RE.search(line)
+        if m and "SPCUBE_IGNORE_ERROR" not in f.raw_lines[i - 1]:
+            if not f.allows("nodiscard-on-status", i):
+                findings.append(Finding(
+                    f.relpath, i, "nodiscard-on-status",
+                    "bare '(void)' cast of a call discards its result "
+                    "without an audit trail; use "
+                    "SPCUBE_IGNORE_ERROR(expr, reason)"))
+
+
+RULES = [
+    "no-raw-random",
+    "no-exceptions",
+    "no-host-time",
+    "no-stdout-in-lib",
+    "include-guard-name",
+    "nodiscard-on-status",
+]
+
+
+def lint_files(paths, root):
+    files = []
+    for p in sorted(paths):
+        rel = os.path.relpath(p, root)
+        files.append(SourceFile(p, rel))
+    marked = find_marked_types(files)
+    findings = []
+    for f in files:
+        findings.extend(f.pragma_findings)
+        check_no_raw_random(f, findings)
+        check_no_exceptions(f, findings)
+        check_no_host_time(f, findings)
+        check_no_stdout_in_lib(f, findings)
+        check_include_guard(f, findings)
+        check_nodiscard_on_status(f, findings, marked)
+    findings.sort(key=lambda x: (x.path, x.line, x.rule))
+    return findings
+
+
+def collect_paths(args_paths, root):
+    paths = []
+    if not args_paths:
+        args_paths = [os.path.join(root, d) for d in DEFAULT_SCAN_DIRS]
+    for p in args_paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("build", ".git")]
+                for name in sorted(filenames):
+                    if name.endswith(CXX_EXTENSIONS):
+                        paths.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            paths.append(p)
+        else:
+            print("spcube_lint: no such path: %s" % p, file=sys.stderr)
+            return None
+    return paths
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Lint the repo's coding conventions.")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule IDs and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/ tools/ "
+                             "bench/ under --root)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+
+    root = args.root or os.path.normpath(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    paths = collect_paths(args.paths, root)
+    if paths is None:
+        return 2
+    findings = lint_files(paths, root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("spcube_lint: %d finding(s) in %d file(s) scanned"
+              % (len(findings), len(paths)), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Static-analysis gate: spcube_lint (the repo's conventions as code) plus
+# clang-tidy over the compile database. Exits nonzero on any finding.
+#
+# clang-tidy is optional equipment: on machines without it (the minimal CI
+# image, for instance) that half is skipped with a visible notice so the
+# gate still runs the convention linter and ctest stays green. Set
+# SPCUBE_REQUIRE_CLANG_TIDY=1 to turn the skip into a failure.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+
+echo "=== spcube_lint (src/ tools/ bench/) ==="
+if python3 tools/lint/spcube_lint.py; then
+  echo "spcube_lint: clean"
+else
+  failures=$((failures + 1))
+fi
+
+echo
+echo "=== clang-tidy (.clang-tidy check set) ==="
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  if [[ "${SPCUBE_REQUIRE_CLANG_TIDY:-0}" == "1" ]]; then
+    echo "clang-tidy: NOT FOUND and SPCUBE_REQUIRE_CLANG_TIDY=1" >&2
+    failures=$((failures + 1))
+  else
+    echo "clang-tidy: not installed — SKIPPED (install clang-tidy or set"
+    echo "CLANG_TIDY=/path/to/clang-tidy to enable this half of the gate)"
+  fi
+else
+  # The compile database comes from the primary build tree; configure it
+  # if missing (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in
+  # CMakeLists.txt, and the static-analysis preset pins it too).
+  if [[ ! -f build/compile_commands.json ]]; then
+    echo "configuring build/ to produce compile_commands.json ..."
+    cmake -B build -S . >/dev/null
+  fi
+  mapfile -t sources < <(find src bench tools -name '*.cc' | sort)
+  if "${CLANG_TIDY}" -p build --quiet "${sources[@]}"; then
+    echo "clang-tidy: clean (${#sources[@]} files)"
+  else
+    failures=$((failures + 1))
+  fi
+fi
+
+echo
+if [[ ${failures} -gt 0 ]]; then
+  echo "static analysis: FAILED (${failures} stage(s) with findings)" >&2
+  exit 1
+fi
+echo "static analysis: all stages clean"

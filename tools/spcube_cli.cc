@@ -225,6 +225,14 @@ Status WriteCuboids(const CubeStore& store, const Schema& schema,
       }
       file << cell.value << "\n";
     }
+    // ofstream swallows write errors into stream state; surface them so
+    // a truncated cuboid (disk full, quota) fails the CLI instead of
+    // exiting 0 with silently short output.
+    file.flush();
+    if (!file) {
+      return Status::IoError("short write on " +
+                             CuboidFileName(mask, schema));
+    }
   }
   return Status::OK();
 }

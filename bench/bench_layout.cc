@@ -1,0 +1,284 @@
+// Layout microbenchmarks: the seed's row-major (AoS) data layer versus the
+// columnar (SoA) Relation across the three cube hot paths it rebuilt —
+//
+//   projection-scan  GroupKey::Project over every (row, mask) pair: a
+//                    contiguous row-major span versus the columnar RowRef
+//                    gather. Measures what the lazy gather costs.
+//   buc-partition    BUC's per-level partition primitive: sort row indices
+//                    by one dimension and count runs. Row-major strides
+//                    through memory; columnar reads one contiguous column.
+//   lattice-walk     The round-2 mapper's inner loop: project each tuple
+//                    onto every lattice node and hash the key. The seed
+//                    emulation heap-allocates each key's value vector; the
+//                    inline GroupKey does not (allocations are counted).
+//
+// Wall-clock timing is host-side and legitimate here: these race two code
+// paths on identical in-memory inputs, no simulated cluster involved.
+// Results go to stdout and, with --json=<path>, to a JSON file for
+// BENCH_layout.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "cube/group_key.h"
+#include "layout_baseline.h"
+#include "relation/generators.h"
+#include "relation/relation_view.h"
+
+// --- allocation counter (mirrors tests/layout_test.cc) ---------------------
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<int64_t> g_alloc_count{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) std::abort();
+  return ptr;
+}
+
+}  // namespace
+
+// Nothrow variants replaced too: sanitizer runtimes intercept any variant
+// left unreplaced, and mixing their allocator with the replaced delete is
+// an alloc-dealloc mismatch (see tests/layout_test.cc).
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+using namespace spcube;
+namespace bench = spcube::bench;
+
+namespace {
+
+volatile uint64_t g_sink = 0;  // defeats dead-code elimination
+
+struct Measurement {
+  double millis = 0;
+  int64_t allocs = 0;
+};
+
+/// Best-of-`reps` wall time (and one rep's allocation count) of `fn`.
+template <typename Fn>
+Measurement Measure(int reps, Fn&& fn) {
+  Measurement m;
+  m.millis = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    m.millis = std::min(m.millis, ms);
+    m.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  }
+  return m;
+}
+
+struct BenchRow {
+  const char* name;
+  Measurement row_major;
+  Measurement columnar;
+};
+
+void PrintRow(const BenchRow& row) {
+  std::printf("%-16s %12.2f %12.2f %9.2fx %14lld %14lld\n", row.name,
+              row.row_major.millis, row.columnar.millis,
+              row.row_major.millis / row.columnar.millis,
+              static_cast<long long>(row.row_major.allocs),
+              static_cast<long long>(row.columnar.allocs));
+}
+
+std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+void WriteJson(const std::string& path, int64_t rows, int dims,
+               const std::vector<BenchRow>& table) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"bench_layout\",\n";
+  out << "  \"rows\": " << rows << ",\n  \"dims\": " << dims << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < table.size(); ++i) {
+    const BenchRow& r = table[i];
+    out << "    {\"name\": \"" << r.name << "\", "
+        << "\"row_major_ms\": " << r.row_major.millis << ", "
+        << "\"columnar_ms\": " << r.columnar.millis << ", "
+        << "\"speedup\": " << r.row_major.millis / r.columnar.millis << ", "
+        << "\"row_major_allocs\": " << r.row_major.allocs << ", "
+        << "\"columnar_allocs\": " << r.columnar.allocs << "}"
+        << (i + 1 < table.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  const std::string json_path = ParseJsonPath(argc, argv);
+  const int64_t n = bench::Scaled(200000, scale);
+  const int d = 6;
+  const int reps = 5;
+
+  // 3 Zipf + 3 uniform dimensions: realistic run structure for BUC.
+  const Relation rel = GenZipf(n, 3, 3, 1000, 1.1, 20260806);
+  const bench::RowMajorRelation rm =
+      bench::RowMajorRelation::FromRelation(rel);
+  const CuboidMask num_masks = static_cast<CuboidMask>(NumCuboids(d));
+  std::vector<BenchRow> table;
+
+  std::printf("Layout microbenchmarks | n=%lld, d=%d, best of %d\n",
+              static_cast<long long>(n), d, reps);
+  std::printf("%-16s %12s %12s %9s %14s %14s\n", "hot path",
+              "row-major-ms", "columnar-ms", "speedup", "rm-allocs",
+              "col-allocs");
+
+  {
+    // Projection scan: every (row, mask) pair through GroupKey::Project.
+    BenchRow row{"projection-scan", {}, {}};
+    row.row_major = Measure(reps, [&] {
+      uint64_t sum = 0;
+      for (int64_t r = 0; r < rm.num_rows(); ++r) {
+        const std::span<const int64_t> tuple = rm.row(r);
+        for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+          sum += GroupKey::Project(mask, tuple).Hash();
+        }
+      }
+      g_sink = sum;
+    });
+    row.columnar = Measure(reps, [&] {
+      uint64_t sum = 0;
+      for (int64_t r = 0; r < rel.num_rows(); ++r) {
+        const Relation::RowRef tuple = rel.row(r);
+        for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+          sum += GroupKey::Project(mask, tuple).Hash();
+        }
+      }
+      g_sink = sum;
+    });
+    PrintRow(row);
+    table.push_back(row);
+  }
+
+  {
+    // BUC partition primitive: per dimension, order all rows by that
+    // dimension's value and count the runs (the groups of one level).
+    BenchRow row{"buc-partition", {}, {}};
+    std::vector<int64_t> rows(static_cast<size_t>(n));
+    row.row_major = Measure(reps, [&] {
+      uint64_t runs = 0;
+      for (int dim = 0; dim < d; ++dim) {
+        std::iota(rows.begin(), rows.end(), int64_t{0});
+        std::sort(rows.begin(), rows.end(), [&rm, dim](int64_t a, int64_t b) {
+          return rm.dim(a, dim) < rm.dim(b, dim);
+        });
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (i == 0 || rm.dim(rows[i], dim) != rm.dim(rows[i - 1], dim)) {
+            ++runs;
+          }
+        }
+      }
+      g_sink = runs;
+    });
+    row.columnar = Measure(reps, [&] {
+      uint64_t runs = 0;
+      for (int dim = 0; dim < d; ++dim) {
+        const std::span<const int64_t> col = rel.column(dim);
+        std::iota(rows.begin(), rows.end(), int64_t{0});
+        std::sort(rows.begin(), rows.end(), [col](int64_t a, int64_t b) {
+          return col[static_cast<size_t>(a)] < col[static_cast<size_t>(b)];
+        });
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (i == 0 || col[static_cast<size_t>(rows[i])] !=
+                            col[static_cast<size_t>(rows[i - 1])]) {
+            ++runs;
+          }
+        }
+      }
+      g_sink = runs;
+    });
+    PrintRow(row);
+    table.push_back(row);
+  }
+
+  {
+    // Lattice walk: the round-2 mapper's inner loop. The seed emulation
+    // pays one heap allocation per non-apex key; the inline GroupKey pays
+    // none (the allocation columns make the difference visible).
+    BenchRow row{"lattice-walk", {}, {}};
+    const int64_t walk_rows = std::min<int64_t>(n, 20000);
+    row.row_major = Measure(reps, [&] {
+      uint64_t sum = 0;
+      for (int64_t r = 0; r < walk_rows; ++r) {
+        const std::span<const int64_t> tuple = rm.row(r);
+        for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+          const bench::HeapGroupKey key = bench::HeapProject(mask, tuple);
+          sum += HashCombine(Mix64(key.mask),
+                             HashSpan(key.values.data(), key.values.size()));
+        }
+      }
+      g_sink = sum;
+    });
+    row.columnar = Measure(reps, [&] {
+      uint64_t sum = 0;
+      for (int64_t r = 0; r < walk_rows; ++r) {
+        const Relation::RowRef tuple = rel.row(r);
+        for (CuboidMask mask = 0; mask < num_masks; ++mask) {
+          sum += GroupKey::Project(mask, tuple).Hash();
+        }
+      }
+      g_sink = sum;
+    });
+    PrintRow(row);
+    table.push_back(row);
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, n, d, table);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  std::printf(
+      "\nShape to match: buc-partition and lattice-walk favor columnar "
+      "(contiguous column scans, zero per-key allocations); "
+      "projection-scan stays near parity (the RowRef gather touches d "
+      "cache lines where a row-major row touches one, but both feed the "
+      "same projection loop).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef SPCUBE_BENCH_LAYOUT_BASELINE_H_
+#define SPCUBE_BENCH_LAYOUT_BASELINE_H_
+
+// Row-major emulation of the seed data layout, kept in bench/ so the
+// library itself stays columnar-only. bench_layout and the --layout axis
+// of bench_ablation race these baselines against the SoA Relation /
+// inline GroupKey hot paths to quantify what the columnar layer buys.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cube/cuboid.h"
+#include "relation/relation.h"
+
+namespace spcube {
+namespace bench {
+
+/// The seed's array-of-structs layout: one flat row-major cell array with
+/// stride num_dims, plus a parallel measure array. row() is contiguous
+/// (cheap), but any per-dimension scan strides through memory.
+struct RowMajorRelation {
+  int num_dims = 0;
+  std::vector<int64_t> cells;     // row-major, stride num_dims
+  std::vector<int64_t> measures;  // one per row
+
+  static RowMajorRelation FromRelation(const Relation& rel) {
+    RowMajorRelation out;
+    out.num_dims = rel.num_dims();
+    out.cells.reserve(static_cast<size_t>(rel.num_rows() * rel.num_dims()));
+    out.measures.reserve(static_cast<size_t>(rel.num_rows()));
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      for (int d = 0; d < rel.num_dims(); ++d) {
+        out.cells.push_back(rel.dim(r, d));
+      }
+      out.measures.push_back(rel.measure(r));
+    }
+    return out;
+  }
+
+  int64_t num_rows() const {
+    return static_cast<int64_t>(measures.size());
+  }
+
+  std::span<const int64_t> row(int64_t r) const {
+    return std::span<const int64_t>(
+        cells.data() + r * num_dims, static_cast<size_t>(num_dims));
+  }
+
+  int64_t dim(int64_t r, int d) const {
+    return cells[static_cast<size_t>(r * num_dims + d)];
+  }
+};
+
+/// The seed's group key shape: projected values in a heap-allocated
+/// vector. One allocation per non-apex projection — the cost the inline
+/// GroupValues storage removes.
+struct HeapGroupKey {
+  CuboidMask mask = 0;
+  std::vector<int64_t> values;
+};
+
+inline HeapGroupKey HeapProject(CuboidMask mask,
+                                std::span<const int64_t> tuple) {
+  HeapGroupKey key;
+  key.mask = mask;
+  for (size_t d = 0; d < tuple.size(); ++d) {
+    if ((mask >> d) & 1) key.values.push_back(tuple[d]);
+  }
+  return key;
+}
+
+}  // namespace bench
+}  // namespace spcube
+
+#endif  // SPCUBE_BENCH_LAYOUT_BASELINE_H_

@@ -131,7 +131,7 @@ class MrCubeMapper : public Mapper {
     return Status::OK();
   }
 
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     const Aggregator& agg = GetAggregator(kind_);
     const auto tuple = input.row(row);

@@ -18,7 +18,7 @@ class NaiveMapper : public Mapper {
  public:
   explicit NaiveMapper(AggregateKind kind) : kind_(kind) {}
 
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     const Aggregator& agg = GetAggregator(kind_);
     const auto tuple = input.row(row);

@@ -23,7 +23,7 @@ class BaseCuboidMapper : public Mapper {
  public:
   explicit BaseCuboidMapper(AggregateKind kind) : kind_(kind) {}
 
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     const Aggregator& agg = GetAggregator(kind_);
     AggState single = agg.Empty();

@@ -22,8 +22,12 @@ void ByteWriter::PutBytes(std::string_view bytes) {
 }
 
 void ByteWriter::PutI64Vector(const std::vector<int64_t>& values) {
-  PutVarint(values.size());
-  for (int64_t v : values) PutVarintSigned(v);
+  PutI64Span(values.data(), values.size());
+}
+
+void ByteWriter::PutI64Span(const int64_t* values, size_t count) {
+  PutVarint(count);
+  for (size_t i = 0; i < count; ++i) PutVarintSigned(values[i]);
 }
 
 Status ByteReader::GetRaw(void* dst, size_t n) {

@@ -40,6 +40,10 @@ class ByteWriter {
   /// Length-prefixed vector of signed varints.
   void PutI64Vector(const std::vector<int64_t>& values);
 
+  /// Same wire format as PutI64Vector over a borrowed span, so inline-storage
+  /// containers (InlineVec) encode bit-identically to std::vector.
+  void PutI64Span(const int64_t* values, size_t count);
+
   const std::string& data() const { return buffer_; }
   std::string TakeData() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }

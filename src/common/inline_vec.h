@@ -1,0 +1,88 @@
+#ifndef SPCUBE_COMMON_INLINE_VEC_H_
+#define SPCUBE_COMMON_INLINE_VEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+#include "common/logging.h"
+
+namespace spcube {
+
+/// A fixed-capacity vector with fully inline storage: push_back never
+/// allocates, so values live wherever the InlineVec itself lives (stack,
+/// or inline inside a hash-map node). The cube hot paths use it for
+/// per-group attribute values, whose length is bounded by kMaxDims — the
+/// whole point is that projecting a tuple onto a cuboid touches the heap
+/// zero times (ISSUE: allocation-free GroupKey).
+///
+/// Deliberately a subset of std::vector's interface: size/operator[]/
+/// data/begin/end/push_back/clear plus value comparisons. Exceeding the
+/// capacity is a programming error (checked by SPCUBE_DCHECK), not a
+/// growth trigger.
+template <typename T, int Capacity>
+class InlineVec {
+ public:
+  InlineVec() = default;
+
+  InlineVec(std::initializer_list<T> init) {
+    SPCUBE_DCHECK(init.size() <= static_cast<size_t>(Capacity))
+        << "InlineVec initializer exceeds capacity " << Capacity;
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  static constexpr int capacity() { return Capacity; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    SPCUBE_DCHECK(size_ < static_cast<size_t>(Capacity))
+        << "InlineVec overflow beyond capacity " << Capacity;
+    data_[size_++] = v;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T* begin() { return data_; }
+  const T* begin() const { return data_; }
+  T* end() { return data_ + size_; }
+  const T* end() const { return data_ + size_; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+  /// Lexicographic, mirroring std::vector's operator<.
+  friend bool operator<(const InlineVec& a, const InlineVec& b) {
+    const size_t n = a.size_ < b.size_ ? a.size_ : b.size_;
+    for (size_t i = 0; i < n; ++i) {
+      if (a.data_[i] < b.data_[i]) return true;
+      if (b.data_[i] < a.data_[i]) return false;
+    }
+    return a.size_ < b.size_;
+  }
+
+ private:
+  T data_[Capacity];
+  size_t size_ = 0;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_INLINE_VEC_H_

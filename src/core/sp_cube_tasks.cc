@@ -1,7 +1,6 @@
 #include "core/sp_cube_tasks.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "common/bytes.h"
 #include "common/hash.h"
@@ -92,9 +91,9 @@ Status SpCubeMapper::Setup(const TaskContext& task) {
   return Status::OK();
 }
 
-Status SpCubeMapper::Map(const Relation& input, int64_t row,
+Status SpCubeMapper::Map(const RelationView& input, int64_t row,
                          MapContext& context) {
-  const std::span<const int64_t> tuple = input.row(row);
+  const Relation::RowRef tuple = input.row(row);
   const int64_t measure = input.measure(row);
   const Aggregator& agg = GetAggregator(aggregate_);
 
@@ -260,9 +259,6 @@ Status SpCubeReducer::ReduceRangeGroup(const GroupKey& group,
     local.AppendRow(dims, measure);
   }
 
-  std::vector<int64_t> rows(static_cast<size_t>(local.num_rows()));
-  std::iota(rows.begin(), rows.end(), int64_t{0});
-
   int64_t owned = 0;
   int64_t rejected = 0;
   Status status = Status::OK();
@@ -272,7 +268,7 @@ Status SpCubeReducer::ReduceRangeGroup(const GroupKey& group,
   if (min_count_ > 1 && aggregate_ == AggregateKind::kCount) {
     buc_options.min_support = min_count_;
   }
-  BucCompute(local, std::move(rows), group.mask, agg, buc_options,
+  BucCompute(RelationView(local), group.mask, agg, buc_options,
              [&](const GroupKey& ancestor, const AggState& state) {
                if (!status.ok()) return;
                if (min_count_ > 1 &&

@@ -73,7 +73,7 @@ class SpCubeMapper : public Mapper {
         tuning_(tuning) {}
 
   Status Setup(const TaskContext& task) override;
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override;
   Status Finish(MapContext& context) override;
 

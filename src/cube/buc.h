@@ -8,6 +8,7 @@
 #include "cube/aggregate.h"
 #include "cube/group_key.h"
 #include "relation/relation.h"
+#include "relation/relation_view.h"
 
 namespace spcube {
 
@@ -19,29 +20,39 @@ struct BucOptions {
 
   /// Classic BUC heuristic: process dimensions in decreasing-cardinality
   /// order so partitions shrink fastest. Output is order-independent.
+  /// Cardinalities are estimated from a bounded seeded-Rng row sample, so
+  /// the ordering pass costs O(sample) regardless of the partition size.
   bool order_dims_by_cardinality = true;
+
+  /// Rows sampled for the cardinality estimate (deterministic; the seed is
+  /// fixed so identical inputs order identically across runs and machines).
+  int cardinality_sample_size = 256;
 };
 
 /// Receives one aggregated c-group. `key.mask` always contains `base_mask`.
 using GroupCallback =
     std::function<void(const GroupKey& key, const AggState& state)>;
 
-/// Runs BUC over `rows` (indices into `rel`), extending `base_mask` with
-/// every subset of the remaining dimensions, and reports one aggregated
-/// c-group per (extension, value-combination) — including the base group
-/// itself (the projection of the rows onto `base_mask`).
+/// Runs BUC over the rows of `view`, extending `base_mask` with every subset
+/// of the remaining dimensions, and reports one aggregated c-group per
+/// (extension, value-combination) — including the base group itself (the
+/// projection of the rows onto `base_mask`).
 ///
 /// Preconditions: every row agrees with the others on the dimensions in
 /// `base_mask` (vacuous for base_mask == 0). This is exactly the situation
 /// of an SP-Cube reducer, which receives set(g) for a c-group g and must
 /// compute g and its ancestors locally (paper §5.1, Observation 2.6); with
-/// base_mask == 0 and all rows it is the classic full-cube BUC used as a
-/// single-machine reference and inside sketch building.
+/// base_mask == 0 and a whole-relation view it is the classic full-cube BUC
+/// used as a single-machine reference and inside sketch building.
 ///
-/// `rows` is consumed (reordered in place).
-void BucCompute(const Relation& rel, std::vector<int64_t> rows,
-                CuboidMask base_mask, const Aggregator& agg,
-                const BucOptions& options, const GroupCallback& callback);
+/// Recursion state is a mutable index array seeded from the view; each
+/// recursion level partitions by scanning the single dimension column of the
+/// columnar base relation (contiguous reads) instead of comparator sorts
+/// over strided row-major rows. Per-group emission performs no heap
+/// allocation (GroupKey has inline storage).
+void BucCompute(const RelationView& view, CuboidMask base_mask,
+                const Aggregator& agg, const BucOptions& options,
+                const GroupCallback& callback);
 
 /// Convenience overload over all rows of `rel` with base_mask 0.
 void BucComputeFull(const Relation& rel, const Aggregator& agg,

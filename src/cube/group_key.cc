@@ -2,26 +2,26 @@
 
 namespace spcube {
 
-GroupKey GroupKey::Project(CuboidMask mask, std::span<const int64_t> tuple) {
-  GroupKey key;
-  key.mask = mask;
-  key.values.reserve(static_cast<size_t>(MaskPopCount(mask)));
-  for (size_t d = 0; d < tuple.size(); ++d) {
-    if ((mask >> d) & 1) key.values.push_back(tuple[d]);
-  }
-  return key;
-}
-
 void GroupKey::EncodeTo(ByteWriter& writer) const {
   writer.PutVarint(mask);
-  writer.PutI64Vector(values);
+  writer.PutI64Span(values.data(), values.size());
 }
 
 Status GroupKey::DecodeFrom(ByteReader& reader, GroupKey* out) {
   uint64_t mask = 0;
   SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&mask));
   out->mask = static_cast<CuboidMask>(mask);
-  SPCUBE_RETURN_IF_ERROR(reader.GetI64Vector(&out->values));
+  uint64_t count = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&count));
+  if (count > static_cast<uint64_t>(GroupValues::capacity())) {
+    return Status::Corruption("group key arity exceeds kMaxDims");
+  }
+  out->values.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t v = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarintSigned(&v));
+    out->values.push_back(v);
+  }
   if (static_cast<int>(out->values.size()) != MaskPopCount(out->mask)) {
     return Status::Corruption("group key arity does not match mask");
   }
@@ -41,28 +41,6 @@ std::string GroupKey::ToString(int num_dims) const {
   }
   out += ")";
   return out;
-}
-
-int CompareOnCuboid(CuboidMask mask, std::span<const int64_t> a,
-                    std::span<const int64_t> b) {
-  for (size_t d = 0; d < a.size(); ++d) {
-    if (((mask >> d) & 1) == 0) continue;
-    if (a[d] < b[d]) return -1;
-    if (a[d] > b[d]) return 1;
-  }
-  return 0;
-}
-
-int CompareTupleToKey(CuboidMask mask, std::span<const int64_t> tuple,
-                      const GroupKey& key) {
-  size_t vi = 0;
-  for (size_t d = 0; d < tuple.size(); ++d) {
-    if (((mask >> d) & 1) == 0) continue;
-    const int64_t kv = key.values[vi++];
-    if (tuple[d] < kv) return -1;
-    if (tuple[d] > kv) return 1;
-  }
-  return 0;
 }
 
 }  // namespace spcube

@@ -4,14 +4,21 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <vector>
 
 #include "common/bytes.h"
 #include "common/hash.h"
+#include "common/inline_vec.h"
 #include "common/status.h"
 #include "cube/cuboid.h"
+#include "relation/relation.h"
 
 namespace spcube {
+
+/// A cuboid's attribute values with fully inline storage: projecting a tuple
+/// never touches the heap (the Round-2 mapper projects every tuple onto up to
+/// 2^d lattice nodes — this is the hottest allocation site in the system).
+/// kMaxDims bounds the arity, mirroring CuboidMask's width.
+using GroupValues = InlineVec<int64_t, kMaxDims>;
 
 /// Identifies one cube group (c-group, paper §2.1): the cuboid it lives in
 /// plus the values of that cuboid's group-by attributes, in dimension order.
@@ -19,15 +26,24 @@ namespace spcube {
 /// conceptually '*'.
 struct GroupKey {
   CuboidMask mask = 0;
-  std::vector<int64_t> values;
+  GroupValues values;
 
   GroupKey() = default;
-  GroupKey(CuboidMask m, std::vector<int64_t> v)
-      : mask(m), values(std::move(v)) {}
+  GroupKey(CuboidMask m, GroupValues v) : mask(m), values(v) {}
 
   /// Projects a full tuple onto a cuboid, e.g. the node of the tuple's
-  /// lattice for that cuboid (paper Def. 2.4).
-  static GroupKey Project(CuboidMask mask, std::span<const int64_t> tuple);
+  /// lattice for that cuboid (paper Def. 2.4). Accepts spans, vectors and
+  /// Relation::RowRef; performs zero heap allocations.
+  template <TupleLike Tuple>
+  static GroupKey Project(CuboidMask mask, const Tuple& tuple) {
+    GroupKey key;
+    key.mask = mask;
+    const size_t n = tuple.size();
+    for (size_t d = 0; d < n; ++d) {
+      if ((mask >> d) & 1) key.values.push_back(tuple[d]);
+    }
+    return key;
+  }
 
   friend bool operator==(const GroupKey& a, const GroupKey& b) {
     return a.mask == b.mask && a.values == b.values;
@@ -45,6 +61,7 @@ struct GroupKey {
   }
 
   /// Binary encoding (mask varint + value vector); appended to `writer`.
+  /// Bit-identical to the former std::vector-backed encoding.
   void EncodeTo(ByteWriter& writer) const;
   static Status DecodeFrom(ByteReader& reader, GroupKey* out);
 
@@ -61,12 +78,31 @@ struct GroupKeyHash {
 /// Compares two full tuples restricted to a cuboid's dimensions,
 /// lexicographically in dimension order — the <_C order of paper §4.1 that
 /// partition elements are defined over. Returns <0, 0, >0.
-int CompareOnCuboid(CuboidMask mask, std::span<const int64_t> a,
-                    std::span<const int64_t> b);
+template <TupleLike TupleA, TupleLike TupleB>
+int CompareOnCuboid(CuboidMask mask, const TupleA& a, const TupleB& b) {
+  const size_t n = a.size();
+  for (size_t d = 0; d < n; ++d) {
+    if (((mask >> d) & 1) == 0) continue;
+    if (a[d] < b[d]) return -1;
+    if (a[d] > b[d]) return 1;
+  }
+  return 0;
+}
 
 /// Compares a full tuple against a projected key of the same cuboid.
-int CompareTupleToKey(CuboidMask mask, std::span<const int64_t> tuple,
-                      const GroupKey& key);
+template <TupleLike Tuple>
+int CompareTupleToKey(CuboidMask mask, const Tuple& tuple,
+                      const GroupKey& key) {
+  size_t vi = 0;
+  const size_t n = tuple.size();
+  for (size_t d = 0; d < n; ++d) {
+    if (((mask >> d) & 1) == 0) continue;
+    const int64_t kv = key.values[vi++];
+    if (tuple[d] < kv) return -1;
+    if (tuple[d] > kv) return 1;
+  }
+  return 0;
+}
 
 }  // namespace spcube
 

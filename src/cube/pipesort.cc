@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -77,14 +78,22 @@ void PipeSortComputeFull(const Relation& rel, const Aggregator& agg,
   if (n == 0) return;
   const int d = rel.num_dims();
 
+  // One span per dimension column, hoisted so the sort comparator and the
+  // run-boundary scan read contiguous columns directly.
+  std::vector<std::span<const int64_t>> cols;
+  cols.reserve(static_cast<size_t>(d));
+  for (int dim = 0; dim < d; ++dim) cols.push_back(rel.column(dim));
+
   std::vector<int64_t> rows(static_cast<size_t>(n));
   for (const Pipeline& pipeline : PlanPipelines(d)) {
     std::iota(rows.begin(), rows.end(), int64_t{0});
     std::sort(rows.begin(), rows.end(),
-              [&rel, &pipeline](int64_t a, int64_t b) {
+              [&cols, &pipeline](int64_t a, int64_t b) {
                 for (int dim : pipeline.order) {
-                  const int64_t va = rel.dim(a, dim);
-                  const int64_t vb = rel.dim(b, dim);
+                  const int64_t va = cols[static_cast<size_t>(dim)]
+                                         [static_cast<size_t>(a)];
+                  const int64_t vb = cols[static_cast<size_t>(dim)]
+                                         [static_cast<size_t>(b)];
                   if (va != vb) return va < vb;
                 }
                 return false;
@@ -115,7 +124,10 @@ void PipeSortComputeFull(const Relation& rel, const Aggregator& agg,
         int differs_at = d;  // no difference
         for (int pos = 0; pos < d; ++pos) {
           const int dim = pipeline.order[static_cast<size_t>(pos)];
-          if (rel.dim(prev, dim) != rel.dim(row, dim)) {
+          const std::span<const int64_t> col =
+              cols[static_cast<size_t>(dim)];
+          if (col[static_cast<size_t>(prev)] !=
+              col[static_cast<size_t>(row)]) {
             differs_at = pos;
             break;
           }

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "io/dfs.h"
 #include "relation/relation.h"
+#include "relation/relation_view.h"
 
 namespace spcube {
 
@@ -73,9 +74,11 @@ class Mapper {
 
   virtual Status Setup(const TaskContext& /*task*/) { return Status::OK(); }
 
-  /// Row-of-a-relation input (Engine::Run). Default fails, so record-only
-  /// mappers need not implement it.
-  virtual Status Map(const Relation& /*input*/, int64_t /*row*/,
+  /// Row-of-a-split input (Engine::Run). `input` is the task's zero-copy
+  /// view over the job's relation — the simulated HDFS input split — and
+  /// `row` indexes into the view ([0, input.num_rows())). Default fails, so
+  /// record-only mappers need not implement it.
+  virtual Status Map(const RelationView& /*input*/, int64_t /*row*/,
                      MapContext& /*context*/) {
     return Status::Internal("mapper does not accept relation input");
   }

@@ -167,8 +167,13 @@ Result<JobMetrics> Engine::Run(const JobSpec& spec, const Relation& input,
                                OutputCollector* collector) {
   return RunImpl(
       spec, input.num_rows(),
-      [&input](Mapper* mapper, int64_t row, MapContext& context) {
-        return mapper->Map(input, row, context);
+      [&input](Mapper* mapper, int64_t begin, int64_t end, int64_t row,
+               MapContext& context) {
+        // The split is a borrowed view over [begin, end): constructing it is
+        // three words, and the mapper addresses rows relative to its split —
+        // no tuple data is copied per task (asserted by tests/engine_test.cc).
+        return mapper->Map(RelationView(input, begin, end), row - begin,
+                           context);
       },
       collector);
 }
@@ -178,7 +183,8 @@ Result<JobMetrics> Engine::RunRecords(const JobSpec& spec,
                                       OutputCollector* collector) {
   return RunImpl(
       spec, static_cast<int64_t>(input.size()),
-      [&input](Mapper* mapper, int64_t row, MapContext& context) {
+      [&input](Mapper* mapper, int64_t /*begin*/, int64_t /*end*/,
+               int64_t row, MapContext& context) {
         return mapper->MapRecord(input[static_cast<size_t>(row)], context);
       },
       collector);
@@ -186,7 +192,8 @@ Result<JobMetrics> Engine::RunRecords(const JobSpec& spec,
 
 Result<JobMetrics> Engine::RunImpl(
     const JobSpec& spec, int64_t num_input_rows,
-    const std::function<Status(Mapper*, int64_t, MapContext&)>& map_row,
+    const std::function<Status(Mapper*, int64_t begin, int64_t end,
+                               int64_t row, MapContext&)>& map_row,
     OutputCollector* collector) {
   if (!spec.mapper_factory || !spec.reducer_factory) {
     return Status::InvalidArgument("job needs mapper and reducer factories");
@@ -280,7 +287,8 @@ Result<JobMetrics> Engine::RunImpl(
         SPCUBE_RETURN_IF_ERROR(mapper->Setup(task));
         int64_t items = 0;
         for (int64_t row = begin; row < end; ++row) {
-          SPCUBE_RETURN_IF_ERROR(map_row(mapper.get(), row, map_context));
+          SPCUBE_RETURN_IF_ERROR(
+              map_row(mapper.get(), begin, end, row, map_context));
           ++items;
           if (inject_failure && items >= fault.fail_after_items) {
             return Status::IoError("injected map task failure");

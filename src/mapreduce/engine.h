@@ -77,9 +77,11 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Runs one round: splits `input` into num_workers equal row ranges, maps,
-  /// shuffles (with combining/spilling), reduces, and delivers reduce output
-  /// to `collector`. Returns the round's metrics, or the first task error.
+  /// Runs one round: splits `input` into num_workers equal row ranges — each
+  /// handed to its mapper as a zero-copy RelationView (no tuple data is
+  /// duplicated per split) — maps, shuffles (with combining/spilling),
+  /// reduces, and delivers reduce output to `collector`. Returns the round's
+  /// metrics, or the first task error.
   Result<JobMetrics> Run(const JobSpec& spec, const Relation& input,
                          OutputCollector* collector);
 
@@ -99,9 +101,14 @@ class Engine {
   const std::string& temp_dir() const { return temp_files_.dir(); }
 
  private:
+  /// `map_row` feeds the mapper one input item; `begin`/`end` delimit the
+  /// task's split and `row` is the global item index within [begin, end).
+  /// Relation jobs wrap the split as a RelationView; record jobs ignore the
+  /// split bounds.
   Result<JobMetrics> RunImpl(
       const JobSpec& spec, int64_t num_input_rows,
-      const std::function<Status(Mapper*, int64_t, MapContext&)>& map_row,
+      const std::function<Status(Mapper*, int64_t begin, int64_t end,
+                                 int64_t row, MapContext&)>& map_row,
       OutputCollector* collector);
 
   EngineConfig config_;

@@ -84,7 +84,7 @@ Result<std::vector<CubeCell>> CubeStore::Slice(const GroupKey& fixed,
   if (prefix && fixed.mask != 0) {
     const auto lower = std::lower_bound(
         cells.begin(), cells.end(), fixed.values,
-        [](const CubeCell& cell, const std::vector<int64_t>& probe) {
+        [](const CubeCell& cell, const GroupValues& probe) {
           return std::lexicographical_compare(
               cell.key.values.begin(),
               cell.key.values.begin() +

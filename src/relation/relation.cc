@@ -8,19 +8,20 @@ void Relation::AppendRow(std::span<const int64_t> dims, int64_t measure) {
   SPCUBE_DCHECK(static_cast<int>(dims.size()) == num_dims())
       << "row arity mismatch: got " << dims.size() << ", schema has "
       << num_dims();
-  dims_.insert(dims_.end(), dims.begin(), dims.end());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    cols_[d].push_back(dims[d]);
+  }
   measures_.push_back(measure);
 }
 
-Relation Relation::Slice(int64_t begin, int64_t end) const {
-  SPCUBE_DCHECK(begin >= 0 && begin <= end && end <= num_rows())
-      << "bad slice [" << begin << ", " << end << ")";
-  Relation out(schema_);
-  out.Reserve(end - begin);
-  for (int64_t r = begin; r < end; ++r) {
-    out.AppendRow(row(r), measure(r));
+void Relation::AppendRow(RowRef row, int64_t measure) {
+  SPCUBE_DCHECK(static_cast<int>(row.size()) == num_dims())
+      << "row arity mismatch: got " << row.size() << ", schema has "
+      << num_dims();
+  for (size_t d = 0; d < row.size(); ++d) {
+    cols_[d].push_back(row[static_cast<int>(d)]);
   }
-  return out;
+  measures_.push_back(measure);
 }
 
 }  // namespace spcube

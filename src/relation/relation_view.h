@@ -1,0 +1,70 @@
+#ifndef SPCUBE_RELATION_RELATION_VIEW_H_
+#define SPCUBE_RELATION_RELATION_VIEW_H_
+
+#include <cstdint>
+#include <span>
+
+#include "relation/relation.h"
+
+namespace spcube {
+
+/// A non-owning window onto a Relation: either a contiguous row range
+/// [begin, end) — the shape of an engine input split — or an explicit
+/// row-index indirection (the shape of BUC recursion state and of test
+/// grids that shuffle or subset rows). Copying a view copies three words;
+/// no tuple data moves.
+///
+/// Lifetime rules (docs/INTERNALS.md "Data layer"): a view borrows both the
+/// relation and, in the indirection case, the index array. Neither may be
+/// destroyed, and the relation must not be appended to, while the view is
+/// in use. Views are therefore function-parameter and stack objects, never
+/// stored members of long-lived state.
+class RelationView {
+ public:
+  /// All rows of `rel`.
+  explicit RelationView(const Relation& rel)
+      : rel_(&rel), begin_(0), end_(rel.num_rows()) {}
+
+  /// The contiguous rows [begin, end) of `rel`.
+  RelationView(const Relation& rel, int64_t begin, int64_t end)
+      : rel_(&rel), begin_(begin), end_(end) {}
+
+  /// The rows of `rel` named by `rows`, in that order (duplicates allowed).
+  RelationView(const Relation& rel, std::span<const int64_t> rows)
+      : rel_(&rel), rows_(rows), begin_(0),
+        end_(static_cast<int64_t>(rows.size())), indirect_(true) {}
+
+  const Relation& base() const { return *rel_; }
+  const Schema& schema() const { return rel_->schema(); }
+  int num_dims() const { return rel_->num_dims(); }
+  int64_t num_rows() const { return end_ - begin_; }
+  bool has_indirection() const { return indirect_; }
+
+  /// Base-relation row id of the view's i-th row.
+  int64_t base_row(int64_t i) const {
+    return indirect_ ? rows_[static_cast<size_t>(i)] : begin_ + i;
+  }
+
+  Relation::RowRef row(int64_t i) const { return rel_->row(base_row(i)); }
+  int64_t dim(int64_t i, int d) const { return rel_->dim(base_row(i), d); }
+  int64_t measure(int64_t i) const { return rel_->measure(base_row(i)); }
+
+  /// Bytes of tuple data this view would occupy if materialized — the
+  /// memory-model cost a copying split would pay. The view itself costs
+  /// O(1); tests assert splits never pay the materialized figure.
+  int64_t MaterializedByteSize() const {
+    return num_rows() * static_cast<int64_t>(num_dims() + 1) *
+           static_cast<int64_t>(sizeof(int64_t));
+  }
+
+ private:
+  const Relation* rel_;
+  std::span<const int64_t> rows_;  // used only when indirect_
+  int64_t begin_;
+  int64_t end_;
+  bool indirect_ = false;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_RELATION_RELATION_VIEW_H_

@@ -2,19 +2,6 @@
 
 namespace spcube {
 
-void EncodeTupleTo(ByteWriter& writer, std::span<const int64_t> dims,
-                   int64_t measure) {
-  writer.PutVarint(dims.size());
-  for (int64_t v : dims) writer.PutVarintSigned(v);
-  writer.PutVarintSigned(measure);
-}
-
-std::string EncodeTuple(std::span<const int64_t> dims, int64_t measure) {
-  ByteWriter writer;
-  EncodeTupleTo(writer, dims, measure);
-  return writer.TakeData();
-}
-
 Status DecodeTuple(std::string_view bytes, std::vector<int64_t>* dims,
                    int64_t* measure) {
   ByteReader reader(bytes);

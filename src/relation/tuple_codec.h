@@ -2,12 +2,13 @@
 #define SPCUBE_RELATION_TUPLE_CODEC_H_
 
 #include <cstdint>
-#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "relation/relation.h"
 
 namespace spcube {
 
@@ -15,11 +16,22 @@ namespace spcube {
 /// measure), used as the shuffle value when a tuple travels to a reducer and
 /// inside the sketch-sampling round. Varint-encoded, so a tuple costs O(d)
 /// bytes — the unit of the paper's intermediate-data analysis (§5.2).
-std::string EncodeTuple(std::span<const int64_t> dims, int64_t measure);
+/// Accepts spans, vectors and borrowed Relation::RowRef rows; the encoding
+/// is identical regardless of the tuple's in-memory layout.
+template <TupleLike Tuple>
+void EncodeTupleTo(ByteWriter& writer, const Tuple& dims, int64_t measure) {
+  const size_t n = dims.size();
+  writer.PutVarint(n);
+  for (size_t d = 0; d < n; ++d) writer.PutVarintSigned(dims[d]);
+  writer.PutVarintSigned(measure);
+}
 
-/// Appends the encoding to an existing writer.
-void EncodeTupleTo(ByteWriter& writer, std::span<const int64_t> dims,
-                   int64_t measure);
+template <TupleLike Tuple>
+std::string EncodeTuple(const Tuple& dims, int64_t measure) {
+  ByteWriter writer;
+  EncodeTupleTo(writer, dims, measure);
+  return writer.TakeData();
+}
 
 /// Decodes a tuple previously encoded with EncodeTuple.
 Status DecodeTuple(std::string_view bytes, std::vector<int64_t>* dims,

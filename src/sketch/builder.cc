@@ -110,6 +110,7 @@ Result<SpSketch> BuildSketchLocal(const Relation& input,
   Relation sample(MakeAnonymousSchema(input.num_dims()));
   for (int64_t r = 0; r < input.num_rows(); ++r) {
     if (rng.NextBernoulli(alpha)) {
+      // spcube-lint: allow(no-owning-copy-in-hot-path): Bernoulli sampling
       sample.AppendRow(input.row(r), input.measure(r));
     }
   }
@@ -123,7 +124,7 @@ Status SketchSampleMapper::Setup(const TaskContext& task) {
   return Status::OK();
 }
 
-Status SketchSampleMapper::Map(const Relation& input, int64_t row,
+Status SketchSampleMapper::Map(const RelationView& input, int64_t row,
                                MapContext& context) {
   if (!rng_.NextBernoulli(alpha_)) return Status::OK();
   return context.Emit(kSampleKey,

@@ -64,7 +64,7 @@ class SketchSampleMapper : public Mapper {
       : alpha_(alpha), seed_(seed), rng_(0) {}
 
   Status Setup(const TaskContext& task) override;
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override;
 
  private:

@@ -27,18 +27,6 @@ SpSketch::SpSketch(int num_dims, int num_partitions)
   SPCUBE_CHECK(num_partitions >= 1);
 }
 
-uint64_t SpSketch::ProjectedHash(CuboidMask mask,
-                                 std::span<const int64_t> tuple) {
-  // Must match GroupKey::Hash() on the projected key.
-  uint64_t values_hash = 0x9ae16a3b2f90404fULL;
-  for (size_t d = 0; d < tuple.size(); ++d) {
-    if ((mask >> d) & 1) {
-      values_hash = HashCombine(values_hash, static_cast<uint64_t>(tuple[d]));
-    }
-  }
-  return HashCombine(Mix64(mask), values_hash);
-}
-
 void SpSketch::AddSkew(const GroupKey& key, int64_t estimated_count) {
   SPCUBE_DCHECK(static_cast<int>(key.values.size()) ==
                 MaskPopCount(key.mask));
@@ -78,19 +66,6 @@ Status SpSketch::SetPartitionElements(CuboidMask mask,
   return Status::OK();
 }
 
-bool SpSketch::IsSkewedTuple(CuboidMask mask,
-                             std::span<const int64_t> tuple) const {
-  const auto it = skew_index_.find(ProjectedHash(mask, tuple));
-  if (it == skew_index_.end()) return false;
-  for (const SkewEntry& entry : it->second) {
-    if (entry.key.mask == mask &&
-        CompareTupleToKey(mask, tuple, entry.key) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
 bool SpSketch::IsSkewedKey(const GroupKey& key) const {
   const auto it = skew_index_.find(key.Hash());
   if (it == skew_index_.end()) return false;
@@ -98,25 +73,6 @@ bool SpSketch::IsSkewedKey(const GroupKey& key) const {
     if (entry.key == key) return true;
   }
   return false;
-}
-
-int SpSketch::PartitionOfTuple(CuboidMask mask,
-                               std::span<const int64_t> tuple) const {
-  const std::vector<GroupKey>& elements = partition_elements_[mask];
-  // Number of elements strictly smaller than the tuple's projection.
-  int lo = 0;
-  int hi = static_cast<int>(elements.size());
-  while (lo < hi) {
-    const int mid = (lo + hi) / 2;
-    // element < tuple  <=>  tuple > element
-    if (CompareTupleToKey(mask, tuple,
-                          elements[static_cast<size_t>(mid)]) > 0) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
 }
 
 int SpSketch::PartitionOfKey(const GroupKey& key) const {

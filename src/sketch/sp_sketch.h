@@ -7,9 +7,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "cube/cuboid.h"
 #include "cube/group_key.h"
+#include "relation/relation.h"
 
 namespace spcube {
 
@@ -50,8 +52,21 @@ class SpSketch {
   // -- Queries --------------------------------------------------------------
 
   /// True iff the projection of `tuple` onto `mask` is a recorded skewed
-  /// c-group. `tuple` holds all num_dims dimension values.
-  bool IsSkewedTuple(CuboidMask mask, std::span<const int64_t> tuple) const;
+  /// c-group. `tuple` holds all num_dims dimension values; it may be a span,
+  /// vector or borrowed Relation::RowRef — the probe never materializes the
+  /// projection.
+  template <TupleLike Tuple>
+  bool IsSkewedTuple(CuboidMask mask, const Tuple& tuple) const {
+    const auto it = skew_index_.find(ProjectedHash(mask, tuple));
+    if (it == skew_index_.end()) return false;
+    for (const SkewEntry& entry : it->second) {
+      if (entry.key.mask == mask &&
+          CompareTupleToKey(mask, tuple, entry.key) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// True iff `key` (a projected group) is recorded as skewed.
   bool IsSkewedKey(const GroupKey& key) const;
@@ -59,7 +74,24 @@ class SpSketch {
   /// Range-partition index in [0, k) of `tuple` within cuboid `mask`
   /// (Def. 4.1: the number of partition elements lexicographically smaller
   /// than the tuple's projection).
-  int PartitionOfTuple(CuboidMask mask, std::span<const int64_t> tuple) const;
+  template <TupleLike Tuple>
+  int PartitionOfTuple(CuboidMask mask, const Tuple& tuple) const {
+    const std::vector<GroupKey>& elements = partition_elements_[mask];
+    // Number of elements strictly smaller than the tuple's projection.
+    int lo = 0;
+    int hi = static_cast<int>(elements.size());
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      // element < tuple  <=>  tuple > element
+      if (CompareTupleToKey(mask, tuple,
+                            elements[static_cast<size_t>(mid)]) > 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
 
   /// Same, for an already-projected key of cuboid `key.mask`.
   int PartitionOfKey(const GroupKey& key) const;
@@ -94,8 +126,19 @@ class SpSketch {
  private:
   /// Hash of the projection of `tuple` onto `mask`; must equal
   /// GroupKey::Project(mask, tuple).Hash().
-  static uint64_t ProjectedHash(CuboidMask mask,
-                                std::span<const int64_t> tuple);
+  template <TupleLike Tuple>
+  static uint64_t ProjectedHash(CuboidMask mask, const Tuple& tuple) {
+    // Must match GroupKey::Hash() on the projected key.
+    uint64_t values_hash = 0x9ae16a3b2f90404fULL;
+    const size_t n = tuple.size();
+    for (size_t d = 0; d < n; ++d) {
+      if ((mask >> d) & 1) {
+        values_hash =
+            HashCombine(values_hash, static_cast<uint64_t>(tuple[d]));
+      }
+    }
+    return HashCombine(Mix64(mask), values_hash);
+  }
 
   struct SkewEntry {
     GroupKey key;

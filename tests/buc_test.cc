@@ -130,10 +130,8 @@ TEST(BucTest, BaseMaskRestrictsToAncestors) {
   rel.AppendRow(std::vector<int64_t>{5, 1, 2}, 1);
   rel.AppendRow(std::vector<int64_t>{5, 2, 1}, 1);
 
-  std::vector<int64_t> rows(3);
-  std::iota(rows.begin(), rows.end(), 0);
   std::unordered_map<GroupKey, double, GroupKeyHash> produced;
-  BucCompute(rel, rows, /*base_mask=*/0b001,
+  BucCompute(RelationView(rel), /*base_mask=*/0b001,
              GetAggregator(AggregateKind::kCount), {},
              [&](const GroupKey& key, const AggState& state) {
                EXPECT_TRUE(IsSubsetMask(0b001, key.mask));
@@ -152,9 +150,8 @@ TEST(BucTest, FullBaseMaskReportsOnlyTheGroup) {
   Relation rel(MakeAnonymousSchema(2));
   rel.AppendRow(std::vector<int64_t>{1, 2}, 10);
   rel.AppendRow(std::vector<int64_t>{1, 2}, 20);
-  std::vector<int64_t> rows = {0, 1};
   int calls = 0;
-  BucCompute(rel, rows, /*base_mask=*/0b11,
+  BucCompute(RelationView(rel), /*base_mask=*/0b11,
              GetAggregator(AggregateKind::kSum), {},
              [&](const GroupKey& key, const AggState& state) {
                ++calls;
@@ -169,10 +166,11 @@ TEST(BucTest, SubsetOfRowsOnly) {
   for (int64_t i = 0; i < 10; ++i) {
     rel.AppendRow(std::vector<int64_t>{i % 2}, 1);
   }
-  // Only even rows (value 0).
-  std::vector<int64_t> rows = {0, 2, 4, 6, 8};
+  // Only even rows (value 0), selected through view row indirection.
+  const std::vector<int64_t> rows = {0, 2, 4, 6, 8};
   std::unordered_map<GroupKey, double, GroupKeyHash> produced;
-  BucCompute(rel, rows, 0, GetAggregator(AggregateKind::kCount), {},
+  BucCompute(RelationView(rel, rows), 0,
+             GetAggregator(AggregateKind::kCount), {},
              [&](const GroupKey& key, const AggState& state) {
                produced[key] = static_cast<double>(state.v0);
              });

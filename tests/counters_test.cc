@@ -24,7 +24,7 @@ EngineConfig TestConfig() {
 
 class CountingMapper : public Mapper {
  public:
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     context.IncrementCounter("rows_mapped", 1);
     if (input.dim(row, 0) % 2 == 0) {
@@ -95,7 +95,7 @@ class FlakyCountingMapper : public Mapper {
     return Status::OK();
   }
 
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     context.IncrementCounter("rows_mapped", 1);
     SPCUBE_RETURN_IF_ERROR(

@@ -82,7 +82,7 @@ TEST(GroupKeyTest, ProjectSelectsMaskedDims) {
   const std::vector<int64_t> tuple = {7, 8, 9};
   GroupKey key = GroupKey::Project(0b101, tuple);
   EXPECT_EQ(key.mask, 0b101u);
-  EXPECT_EQ(key.values, (std::vector<int64_t>{7, 9}));
+  EXPECT_EQ(key.values, (GroupValues{7, 9}));
   EXPECT_EQ(key.ToString(3), "(7, *, 9)");
   GroupKey apex = GroupKey::Project(0, tuple);
   EXPECT_TRUE(apex.values.empty());

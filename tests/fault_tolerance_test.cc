@@ -37,7 +37,7 @@ class FlakyMapper : public Mapper {
     return Status::OK();
   }
 
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     SPCUBE_RETURN_IF_ERROR(
         context.Emit(std::to_string(input.dim(row, 0)), "1"));
@@ -172,7 +172,7 @@ TEST(FaultToleranceTest, PermanentMapperFailureExhaustsAttempts) {
   spec.max_task_attempts = 3;
   spec.mapper_factory = [] {
     class AlwaysFails : public Mapper {
-      Status Map(const Relation&, int64_t, MapContext&) override {
+      Status Map(const RelationView&, int64_t, MapContext&) override {
         return Status::IoError("permanently broken");
       }
     };
@@ -198,7 +198,7 @@ TEST(FaultToleranceTest, FlakyReducerOutputNotDuplicated) {
   spec.max_task_attempts = 2;
   spec.mapper_factory = [] {
     class TokenMapper : public Mapper {
-      Status Map(const Relation& input, int64_t row,
+      Status Map(const RelationView& input, int64_t row,
                  MapContext& context) override {
         return context.Emit(std::to_string(input.dim(row, 0)), "1");
       }
@@ -239,7 +239,7 @@ TEST(FaultToleranceTest, StrictMemoryFailureIsNotRetried) {
   spec.memory_policy = MemoryPolicy::kStrict;
   spec.mapper_factory = [] {
     class TokenMapper : public Mapper {
-      Status Map(const Relation& input, int64_t row,
+      Status Map(const RelationView& input, int64_t row,
                  MapContext& context) override {
         return context.Emit(std::to_string(input.dim(row, 0)), "1");
       }
@@ -266,7 +266,7 @@ JobSpec CountJobSpec() {
   spec.name = "chaos-count";
   spec.mapper_factory = [] {
     class TokenMapper : public Mapper {
-      Status Map(const Relation& input, int64_t row,
+      Status Map(const RelationView& input, int64_t row,
                  MapContext& context) override {
         return context.Emit(std::to_string(input.dim(row, 0)), "1");
       }

@@ -1,0 +1,288 @@
+// Tests for the columnar data layer: allocation-freedom of the GroupKey
+// hot path, bounded allocations in BUC's emission loop, and seeded property
+// tests that the SoA Relation + RelationView round-trip through the tuple
+// codec / CSV and stay exact under row indirection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cube/buc.h"
+#include "cube/cube_result.h"
+#include "cube/group_key.h"
+#include "relation/csv.h"
+#include "relation/generators.h"
+#include "relation/relation.h"
+#include "relation/relation_view.h"
+#include "relation/tuple_codec.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Overriding the global operator new lets the
+// tests assert that a code path performs no (or boundedly many) heap
+// allocations; counting is toggled so gtest's own bookkeeping is excluded.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<int64_t> g_alloc_count{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) std::abort();  // repo builds with -fno-exceptions
+  return ptr;
+}
+
+}  // namespace
+
+// The nothrow variants must be replaced alongside the plain ones: the
+// default nothrow new forwards to the plain new, but sanitizer runtimes
+// intercept any variant left unreplaced, and an ASan-allocated pointer
+// freed by the replaced delete is an alloc-dealloc mismatch
+// (std::stable_sort's temporary buffer allocates via nothrow new).
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+namespace spcube {
+namespace {
+
+/// Runs `fn` with allocation counting on; returns the number of operator-new
+/// calls it made.
+template <typename Fn>
+int64_t CountAllocations(Fn&& fn) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  fn();
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(AllocationTest, GroupKeyProjectIsAllocationFree) {
+  // A full-width tuple: kMaxDims values, every mask subset arity possible.
+  std::vector<int64_t> tuple(static_cast<size_t>(kMaxDims));
+  for (int d = 0; d < kMaxDims; ++d) tuple[static_cast<size_t>(d)] = d * 11;
+
+  int64_t checksum = 0;
+  const int64_t allocs = CountAllocations([&] {
+    for (CuboidMask mask = 0; mask < 4096; ++mask) {
+      const GroupKey key = GroupKey::Project(mask, tuple);
+      checksum += static_cast<int64_t>(key.Hash() & 0xff);
+      checksum += key.values.empty() ? 0 : key.values.front();
+    }
+  });
+  EXPECT_EQ(allocs, 0) << "Project must use GroupKey's inline storage";
+  EXPECT_NE(checksum, 0);
+}
+
+TEST(AllocationTest, ProjectFromRelationRowIsAllocationFree) {
+  Relation rel = GenUniform(/*rows=*/64, /*dims=*/6, /*card=*/4, 7);
+  int64_t checksum = 0;
+  const int64_t allocs = CountAllocations([&] {
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      const auto row = rel.row(r);
+      for (CuboidMask mask = 0; mask < 64; ++mask) {
+        checksum +=
+            static_cast<int64_t>(GroupKey::Project(mask, row).Hash() & 0xff);
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0);
+  EXPECT_NE(checksum, 0);
+}
+
+TEST(AllocationTest, BucEmissionAllocationsAreBoundedByAConstant) {
+  // Thousands of distinct groups; the recursion's setup allocates a handful
+  // of index/scratch vectors, but the per-group emission path must not
+  // allocate, so the total stays a small constant independent of the
+  // number of groups produced.
+  Relation small = GenZipf(/*num_rows=*/200, /*num_zipf_dims=*/2,
+                           /*num_uniform_dims=*/2, /*domain=*/8, 1.1, 11);
+  Relation large = GenZipf(/*num_rows=*/2000, /*num_zipf_dims=*/2,
+                           /*num_uniform_dims=*/2, /*domain=*/32, 1.1, 11);
+
+  auto run = [](const Relation& rel, int64_t* groups) {
+    BucCompute(RelationView(rel), /*base_mask=*/0,
+               GetAggregator(AggregateKind::kCount), BucOptions{},
+               [groups](const GroupKey&, const AggState&) { ++*groups; });
+  };
+
+  int64_t small_groups = 0;
+  const int64_t small_allocs =
+      CountAllocations([&] { run(small, &small_groups); });
+  int64_t large_groups = 0;
+  const int64_t large_allocs =
+      CountAllocations([&] { run(large, &large_groups); });
+
+  EXPECT_GT(large_groups, 1000);
+  EXPECT_GT(large_groups, small_groups * 2);
+  // Setup cost only: rows index, dim order, sampling scratch. Equal for both
+  // sizes (same O(1) count of vectors), far below one-per-group.
+  EXPECT_LE(small_allocs, 16);
+  EXPECT_LE(large_allocs, 16);
+  EXPECT_EQ(large_allocs, small_allocs)
+      << "allocations must not scale with groups emitted";
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property tests: the columnar layout is observationally identical
+// to the seed's row-major layout through every codec.
+// ---------------------------------------------------------------------------
+
+class LayoutPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LayoutPropertyTest, TupleCodecRoundTripsColumnarRows) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int dims = 1 + static_cast<int>(rng.NextBounded(6));
+    const int64_t rows = 1 + static_cast<int64_t>(rng.NextBounded(50));
+    Relation rel(MakeAnonymousSchema(dims));
+    std::vector<std::vector<int64_t>> original;
+    std::vector<int64_t> measures;
+    for (int64_t r = 0; r < rows; ++r) {
+      std::vector<int64_t> tuple;
+      for (int d = 0; d < dims; ++d) {
+        tuple.push_back(static_cast<int64_t>(rng.Next()) % 1000);
+      }
+      const int64_t measure = static_cast<int64_t>(rng.Next()) % 1000;
+      rel.AppendRow(tuple, measure);
+      original.push_back(std::move(tuple));
+      measures.push_back(measure);
+    }
+
+    for (int64_t r = 0; r < rows; ++r) {
+      // Encoding a lazily-gathered RowRef must produce the same bytes as
+      // encoding the materialized row-major tuple (the seed layout).
+      const std::string from_view = EncodeTuple(rel.row(r), rel.measure(r));
+      const std::string from_vector =
+          EncodeTuple(original[static_cast<size_t>(r)],
+                      measures[static_cast<size_t>(r)]);
+      ASSERT_EQ(from_view, from_vector);
+
+      std::vector<int64_t> decoded;
+      int64_t decoded_measure = 0;
+      ASSERT_TRUE(
+          DecodeTuple(from_view, &decoded, &decoded_measure).ok());
+      EXPECT_EQ(decoded, original[static_cast<size_t>(r)]);
+      EXPECT_EQ(decoded_measure, measures[static_cast<size_t>(r)]);
+    }
+  }
+}
+
+TEST_P(LayoutPropertyTest, CsvRoundTripPreservesColumnarCells) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const int dims = 1 + static_cast<int>(rng.NextBounded(4));
+    const int64_t rows = 1 + static_cast<int64_t>(rng.NextBounded(30));
+    std::string csv = "";
+    for (int d = 0; d < dims; ++d) csv += "d" + std::to_string(d) + ",";
+    csv += "m\n";
+    Relation expected(MakeAnonymousSchema(dims));
+    for (int64_t r = 0; r < rows; ++r) {
+      std::vector<int64_t> tuple;
+      std::string line;
+      for (int d = 0; d < dims; ++d) {
+        const int64_t v = static_cast<int64_t>(rng.NextBounded(5));
+        tuple.push_back(v);
+        line += "v" + std::to_string(v) + ",";
+      }
+      const int64_t measure = static_cast<int64_t>(rng.NextBounded(100));
+      line += std::to_string(measure) + "\n";
+      csv += line;
+      expected.AppendRow(tuple, measure);
+    }
+
+    auto loaded = LoadCsv(csv);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    const Relation& rel = loaded->relation;
+    ASSERT_EQ(rel.num_rows(), expected.num_rows());
+    ASSERT_EQ(rel.num_dims(), expected.num_dims());
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      EXPECT_EQ(rel.measure(r), expected.measure(r));
+    }
+    // Dictionary codes depend on interning order, so cells are compared
+    // through a second CSV round-trip rather than against raw values.
+    const std::string csv2 = ToCsv(*loaded);
+    auto reloaded = LoadCsv(csv2);
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_EQ(ToCsv(*reloaded), csv2);
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      for (int d = 0; d < rel.num_dims(); ++d) {
+        EXPECT_EQ(reloaded->relation.dim(r, d), rel.dim(r, d));
+      }
+    }
+  }
+}
+
+TEST_P(LayoutPropertyTest, BucOverIndirectedViewMatchesMaterializedSubset) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const int dims = 2 + static_cast<int>(rng.NextBounded(3));
+    Relation rel =
+        GenZipf(/*num_rows=*/300, /*num_zipf_dims=*/dims,
+                /*num_uniform_dims=*/0, /*domain=*/6, 1.2,
+                GetParam() * 31 + static_cast<uint64_t>(trial));
+
+    // A shuffled strict subset of the rows, selected through indirection.
+    std::vector<int64_t> subset;
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      if (rng.NextBernoulli(0.6)) subset.push_back(r);
+    }
+    if (subset.empty()) subset.push_back(0);
+    for (size_t i = subset.size() - 1; i > 0; --i) {
+      std::swap(subset[i], subset[rng.NextBounded(i + 1)]);
+    }
+
+    // Reference: materialize the subset into its own relation.
+    Relation materialized(MakeAnonymousSchema(dims));
+    for (const int64_t r : subset) {
+      materialized.AppendRow(rel.row(r), rel.measure(r));
+    }
+    const CubeResult reference =
+        ComputeCubeReference(materialized, AggregateKind::kSum);
+
+    CubeResult via_view(dims);
+    BucCompute(RelationView(rel, subset), /*base_mask=*/0,
+               GetAggregator(AggregateKind::kSum), BucOptions{},
+               [&](const GroupKey& key, const AggState& state) {
+                 ASSERT_TRUE(
+                     via_view
+                         .AddGroup(key, GetAggregator(AggregateKind::kSum)
+                                            .Finalize(state))
+                         .ok());
+               });
+
+    std::string diff;
+    EXPECT_TRUE(CubeResult::ApproxEqual(reference, via_view, 1e-9, &diff))
+        << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace spcube

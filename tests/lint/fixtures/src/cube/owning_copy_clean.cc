@@ -1,0 +1,14 @@
+// Fixture: the sanctioned hot-path styles — zero-copy views, appends from
+// freshly decoded vectors, and an annotated deliberate copy.
+namespace spcube {
+
+void Recurse(const Relation& rel, Relation& sample,
+             const std::vector<long>& decoded) {
+  RelationView view(rel, 0, rel.num_rows());
+  RelationView subset(rel, decoded);
+  sample.AppendRow(decoded, 7);  // appending a decoded tuple is fine
+  // spcube-lint: allow(no-owning-copy-in-hot-path): Bernoulli sampling
+  sample.AppendRow(rel.row(0), rel.measure(0));
+}
+
+}  // namespace spcube

@@ -1,0 +1,13 @@
+// Fixture: owning sub-relation copies on a cube hot path, one violating
+// construct per line so the lint test can pin exact line numbers.
+namespace spcube {
+
+void Partition(Relation& rel, Relation& out) {
+  Relation chunk = rel.Slice(0, 4);  // line 6
+  for (long r = 0; r < rel.num_rows(); ++r) {
+    out.AppendRow(rel.row(r), rel.measure(r));  // line 8
+  }
+  out.AppendRow(chunk.row(0), 0);  // line 10
+}
+
+}  // namespace spcube

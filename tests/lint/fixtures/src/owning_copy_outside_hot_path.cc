@@ -1,0 +1,10 @@
+// Fixture: the same owning-copy constructs outside src/cube|core|sketch —
+// the rule is scoped to the cube hot paths and must not fire here.
+namespace spcube {
+
+void Helper(Relation& rel, Relation& out) {
+  Relation chunk = rel.Slice(0, 4);
+  out.AppendRow(rel.row(0), rel.measure(0));
+}
+
+}  // namespace spcube

@@ -62,6 +62,13 @@ EXPECTATIONS = {
         (17, "nodiscard-on-status"),
     ],
     "src/nodiscard_clean.h": [],
+    "src/cube/owning_copy_violation.cc": [
+        (6, "no-owning-copy-in-hot-path"),
+        (8, "no-owning-copy-in-hot-path"),
+        (10, "no-owning-copy-in-hot-path"),
+    ],
+    "src/cube/owning_copy_clean.cc": [],
+    "src/owning_copy_outside_hot_path.cc": [],
 }
 
 
@@ -114,7 +121,7 @@ def main():
     rules = proc.stdout.split()
     for rule in ("no-raw-random", "no-exceptions", "no-host-time",
                  "no-stdout-in-lib", "include-guard-name",
-                 "nodiscard-on-status"):
+                 "nodiscard-on-status", "no-owning-copy-in-hot-path"):
         if rule not in rules:
             failures.append("--list-rules missing %s" % rule)
 

@@ -18,7 +18,7 @@ namespace {
 /// Emits (dim0 value as decimal string, "1") per row.
 class TokenMapper : public Mapper {
  public:
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
     return context.Emit(std::to_string(input.dim(row, 0)), "1");
   }
@@ -195,9 +195,11 @@ class ExplicitPartitionMapper : public Mapper {
     num_reducers_ = task.num_reducers;
     return Status::OK();
   }
-  Status Map(const Relation& input, int64_t row,
+  Status Map(const RelationView& input, int64_t row,
              MapContext& context) override {
-    const int partition = static_cast<int>(row % num_reducers_);
+    // Spread by the global row id: view-local indices restart per split.
+    const int partition =
+        static_cast<int>(input.base_row(row) % num_reducers_);
     return context.EmitToPartition(partition, std::to_string(input.dim(row, 0)),
                                    "1");
   }
@@ -258,7 +260,7 @@ TEST_F(MapReduceTest, EmitToInvalidPartitionFails) {
   JobSpec spec;
   spec.mapper_factory = [] {
     class BadMapper : public Mapper {
-      Status Map(const Relation&, int64_t, MapContext& context) override {
+      Status Map(const RelationView&, int64_t, MapContext& context) override {
         return context.EmitToPartition(99, "k", "v");
       }
     };
@@ -320,7 +322,7 @@ TEST_F(MapReduceTest, KeysSortedEvenWhenSpilling) {
 /// Mapper that emits only from Finish (checks lifecycle hooks).
 class FinishOnlyMapper : public Mapper {
  public:
-  Status Map(const Relation&, int64_t, MapContext&) override {
+  Status Map(const RelationView&, int64_t, MapContext&) override {
     ++rows_;
     return Status::OK();
   }
@@ -499,7 +501,7 @@ TEST_F(MapReduceTest, ThreadedModePropagatesTaskFailures) {
   JobSpec spec;
   spec.mapper_factory = [] {
     class Fails : public Mapper {
-      Status Map(const Relation&, int64_t, MapContext&) override {
+      Status Map(const RelationView&, int64_t, MapContext&) override {
         return Status::IoError("boom");
       }
     };

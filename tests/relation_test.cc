@@ -7,6 +7,7 @@
 #include "relation/csv.h"
 #include "relation/dictionary.h"
 #include "relation/relation.h"
+#include "relation/relation_view.h"
 #include "relation/schema.h"
 #include "relation/tuple_codec.h"
 
@@ -66,21 +67,69 @@ TEST(RelationTest, AppendAndRead) {
   EXPECT_EQ(row[1], 4);
 }
 
-TEST(RelationTest, SliceCopiesRange) {
+TEST(RelationTest, ColumnSpansMirrorRows) {
+  Relation rel(MakeAnonymousSchema(2));
+  rel.AppendRow(std::vector<int64_t>{1, 2}, 10);
+  rel.AppendRow(std::vector<int64_t>{3, 4}, 20);
+  const auto col0 = rel.column(0);
+  const auto col1 = rel.column(1);
+  ASSERT_EQ(col0.size(), 2u);
+  EXPECT_EQ(col0[0], 1);
+  EXPECT_EQ(col0[1], 3);
+  EXPECT_EQ(col1[0], 2);
+  EXPECT_EQ(col1[1], 4);
+  const auto measures = rel.measures();
+  ASSERT_EQ(measures.size(), 2u);
+  EXPECT_EQ(measures[1], 20);
+}
+
+TEST(RelationViewTest, ContiguousRange) {
   Relation rel(MakeAnonymousSchema(1));
   for (int64_t i = 0; i < 10; ++i) {
     rel.AppendRow(std::vector<int64_t>{i}, i * 100);
   }
-  Relation slice = rel.Slice(3, 7);
-  ASSERT_EQ(slice.num_rows(), 4);
-  EXPECT_EQ(slice.dim(0, 0), 3);
-  EXPECT_EQ(slice.measure(3), 600);
+  RelationView view(rel, 3, 7);
+  ASSERT_EQ(view.num_rows(), 4);
+  EXPECT_FALSE(view.has_indirection());
+  EXPECT_EQ(&view.base(), &rel);
+  EXPECT_EQ(view.dim(0, 0), 3);
+  EXPECT_EQ(view.measure(3), 600);
+  EXPECT_EQ(view.base_row(0), 3);
 }
 
-TEST(RelationTest, EmptySlice) {
+TEST(RelationViewTest, EmptyRange) {
   Relation rel(MakeAnonymousSchema(1));
   rel.AppendRow(std::vector<int64_t>{1}, 1);
-  EXPECT_EQ(rel.Slice(1, 1).num_rows(), 0);
+  RelationView view(rel, 1, 1);
+  EXPECT_EQ(view.num_rows(), 0);
+  EXPECT_FALSE(view.has_indirection());
+}
+
+TEST(RelationViewTest, RowIndirection) {
+  Relation rel(MakeAnonymousSchema(2));
+  for (int64_t i = 0; i < 5; ++i) {
+    rel.AppendRow(std::vector<int64_t>{i, i * 10}, i);
+  }
+  const std::vector<int64_t> rows = {4, 0, 2};
+  RelationView view(rel, rows);
+  ASSERT_EQ(view.num_rows(), 3);
+  EXPECT_TRUE(view.has_indirection());
+  EXPECT_EQ(view.base_row(0), 4);
+  EXPECT_EQ(view.dim(0, 0), 4);
+  EXPECT_EQ(view.dim(0, 1), 40);
+  EXPECT_EQ(view.dim(2, 1), 20);
+  EXPECT_EQ(view.measure(2), 2);
+  const auto row = view.row(1);
+  EXPECT_EQ(row[0], 0);
+  EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(RelationViewTest, WholeRelationView) {
+  Relation rel(MakeAnonymousSchema(1));
+  rel.AppendRow(std::vector<int64_t>{7}, 70);
+  RelationView view(rel);
+  EXPECT_EQ(view.num_rows(), 1);
+  EXPECT_EQ(view.MaterializedByteSize(), 2 * 8);
 }
 
 TEST(RelationTest, ByteSizeGrows) {

@@ -397,7 +397,7 @@ TEST(ShuffleLifetimeTest, RetriedChaosJobLeavesNoTempFiles) {
   spec.name = "cleanup-check";
   spec.mapper_factory = [] {
     class TokenMapper : public Mapper {
-      Status Map(const Relation& input, int64_t row,
+      Status Map(const RelationView& input, int64_t row,
                  MapContext& context) override {
         return context.Emit(std::to_string(input.dim(row, 0)), "1");
       }

@@ -14,6 +14,7 @@
 #include "core/sp_cube_tasks.h"
 #include "io/dfs.h"
 #include "relation/relation.h"
+#include "relation/relation_view.h"
 #include "relation/tuple_codec.h"
 #include "sketch/sp_sketch.h"
 
@@ -116,7 +117,7 @@ TEST(SpCubeMapperTest, NoSkewsEmitsApexOnly) {
 
   Relation rel = OneRow({1, 2, 3}, 7);
   CapturingMapContext context;
-  ASSERT_TRUE(mapper.Map(rel, 0, context).ok());
+  ASSERT_TRUE(mapper.Map(RelationView(rel), 0, context).ok());
   ASSERT_TRUE(mapper.Finish(context).ok());
   ASSERT_EQ(context.emissions.size(), 1u);
   EXPECT_EQ(context.emissions[0].key.mask, 0u);
@@ -139,7 +140,7 @@ TEST(SpCubeMapperTest, ApexSkewedEmitsSingletons) {
 
   Relation rel = OneRow({1, 2, 3}, 7);
   CapturingMapContext context;
-  ASSERT_TRUE(mapper.Map(rel, 0, context).ok());
+  ASSERT_TRUE(mapper.Map(RelationView(rel), 0, context).ok());
   ASSERT_EQ(context.emissions.size(), 3u);
   std::set<CuboidMask> masks;
   for (const auto& emission : context.emissions) {
@@ -172,7 +173,7 @@ TEST(SpCubeMapperTest, SkewPartialsAccumulateAcrossRows) {
 
   CapturingMapContext context;
   for (int64_t r = 0; r < 3; ++r) {
-    ASSERT_TRUE(mapper.Map(rel, r, context).ok());
+    ASSERT_TRUE(mapper.Map(RelationView(rel), r, context).ok());
   }
   const size_t tuples_shipped = context.emissions.size();
   ASSERT_TRUE(mapper.Finish(context).ok());
@@ -211,7 +212,7 @@ TEST(SpCubeMapperTest, MarkingSkipsCoveredAncestors) {
 
   Relation rel = OneRow(tuple, 1);
   CapturingMapContext context;
-  ASSERT_TRUE(mapper.Map(rel, 0, context).ok());
+  ASSERT_TRUE(mapper.Map(RelationView(rel), 0, context).ok());
   std::set<CuboidMask> masks;
   for (const auto& emission : context.emissions) {
     masks.insert(emission.key.mask);
@@ -341,7 +342,7 @@ TEST(SpCubeReducerTest, ClosureViolatingSketchStillCoversExactlyOnce) {
   ASSERT_TRUE(mapper.Setup(MakeTask(&dfs, sketch)).ok());
   Relation rel = OneRow({5, 1}, 1);
   CapturingMapContext map_context;
-  ASSERT_TRUE(mapper.Map(rel, 0, map_context).ok());
+  ASSERT_TRUE(mapper.Map(RelationView(rel), 0, map_context).ok());
   ASSERT_TRUE(mapper.Finish(map_context).ok());
   // Emissions: tuples for (5,*) and (*,1), then the apex partial from
   // Finish — never a record keyed by the "skewed" (5,1).

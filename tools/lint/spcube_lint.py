@@ -25,6 +25,14 @@ CMake target) instead of silently compiling:
                       are exempt. Also flags `(void)`-cast calls, the
                       unaudited way to discard an error (use
                       SPCUBE_IGNORE_ERROR(expr, reason)).
+  no-owning-copy-in-hot-path
+                      materializing an owning sub-relation on a cube hot
+                      path (src/cube/, src/core/, src/sketch/): calling a
+                      Slice()-style copier or gathering another relation's
+                      rows via AppendRow(rel.row(...), ...). Hot paths pass
+                      zero-copy RelationViews (relation/relation_view.h);
+                      deliberate copies (e.g. Bernoulli sampling) carry an
+                      allow pragma.
 
 Suppression is explicit and greppable:
 
@@ -367,6 +375,31 @@ def check_nodiscard_on_status(f, findings, marked_types):
                     "SPCUBE_IGNORE_ERROR(expr, reason)"))
 
 
+HOT_PATH_DIRS = ("src/cube/", "src/core/", "src/sketch/")
+OWNING_COPY_RE = re.compile(
+    r"\.\s*Slice\s*\(|"
+    r"\bAppendRow\s*\(\s*[\w.\[\]()>-]*\.\s*row\s*\(")
+
+
+def _in_hot_path(relpath):
+    path = relpath.replace(os.sep, "/")
+    return any(path.startswith(d) for d in HOT_PATH_DIRS)
+
+
+def check_no_owning_copy(f, findings):
+    if not _in_hot_path(f.relpath):
+        return
+    for i, line in enumerate(f.code_lines, start=1):
+        m = OWNING_COPY_RE.search(line)
+        if m and not f.allows("no-owning-copy-in-hot-path", i):
+            findings.append(Finding(
+                f.relpath, i, "no-owning-copy-in-hot-path",
+                "'%s' materializes an owning copy of relation rows on a "
+                "cube hot path; pass a zero-copy RelationView "
+                "(relation/relation_view.h) or annotate a deliberate copy"
+                % m.group(0).strip()))
+
+
 RULES = [
     "no-raw-random",
     "no-exceptions",
@@ -374,6 +407,7 @@ RULES = [
     "no-stdout-in-lib",
     "include-guard-name",
     "nodiscard-on-status",
+    "no-owning-copy-in-hot-path",
 ]
 
 
@@ -392,6 +426,7 @@ def lint_files(paths, root):
         check_no_stdout_in_lib(f, findings)
         check_include_guard(f, findings)
         check_nodiscard_on_status(f, findings, marked)
+        check_no_owning_copy(f, findings)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
 

@@ -1,0 +1,290 @@
+// Shuffle fast-path microbenchmarks: the seed's string-based map-side
+// buffer (bench/shuffle_baseline.h) versus the arena-backed ShuffleBuffer
+// across its three hot paths —
+//
+//   emit          Add only: route M pre-encoded records into 4 partitions
+//                 under a budget nothing overflows. The baseline pays two
+//                 std::string constructions per record; the arena path
+//                 bump-copies into per-partition chunks.
+//   emit-combine  Add + combine cycles: 256 distinct keys under a budget
+//                 that repeatedly overflows into combine passes (and never
+//                 spills). The baseline rebuilds an unordered_map of owned
+//                 strings per pass; the arena path deduplicates through its
+//                 incremental key index and compacts survivors.
+//   spill-sort    Add + sort + spill: distinct keys under a small budget so
+//                 every overflow stable-sorts the buffer and streams a
+//                 CRC32C run file. Both sides do identical disk I/O; the
+//                 difference is Record sorting + per-record re-encoding
+//                 versus the slot-index sort over arena bytes.
+//
+// Wall-clock timing is host-side and legitimate here: these race two code
+// paths on identical in-memory inputs, no simulated cluster involved.
+// Results go to stdout and, with --json=<path>, to a JSON file for
+// BENCH_shuffle.json. Allocation columns count global operator new calls
+// per rep (reported per record in the JSON).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "io/spill.h"
+#include "mapreduce/api.h"
+#include "mapreduce/shuffle.h"
+#include "shuffle_baseline.h"
+
+// --- allocation counter (mirrors tests/layout_test.cc) ---------------------
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<int64_t> g_alloc_count{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) std::abort();
+  return ptr;
+}
+
+}  // namespace
+
+// Nothrow variants replaced too: sanitizer runtimes intercept any variant
+// left unreplaced, and mixing their allocator with the replaced delete is
+// an alloc-dealloc mismatch (see tests/layout_test.cc).
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+using namespace spcube;
+namespace bench = spcube::bench;
+
+namespace {
+
+volatile uint64_t g_sink = 0;  // defeats dead-code elimination
+
+struct Measurement {
+  double millis = 0;
+  int64_t allocs = 0;
+};
+
+/// Best-of-`reps` wall time (and one rep's allocation count) of `fn`.
+template <typename Fn>
+Measurement Measure(int reps, Fn&& fn) {
+  Measurement m;
+  m.millis = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    m.millis = std::min(m.millis, ms);
+    m.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  }
+  return m;
+}
+
+struct BenchRow {
+  const char* name;
+  Measurement baseline;
+  Measurement arena;
+};
+
+void PrintRow(const BenchRow& row, int64_t records) {
+  std::printf("%-14s %12.2f %12.2f %9.2fx %13.3f %13.3f\n", row.name,
+              row.baseline.millis, row.arena.millis,
+              row.baseline.millis / row.arena.millis,
+              static_cast<double>(row.baseline.allocs) /
+                  static_cast<double>(records),
+              static_cast<double>(row.arena.allocs) /
+                  static_cast<double>(records));
+}
+
+std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+void WriteJson(const std::string& path, int64_t records,
+               const std::vector<BenchRow>& table) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"bench_shuffle\",\n";
+  out << "  \"records\": " << records << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < table.size(); ++i) {
+    const BenchRow& r = table[i];
+    out << "    {\"name\": \"" << r.name << "\", "
+        << "\"baseline_ms\": " << r.baseline.millis << ", "
+        << "\"arena_ms\": " << r.arena.millis << ", "
+        << "\"speedup\": " << r.baseline.millis / r.arena.millis << ", "
+        << "\"baseline_allocs_per_record\": "
+        << static_cast<double>(r.baseline.allocs) /
+               static_cast<double>(records)
+        << ", "
+        << "\"arena_allocs_per_record\": "
+        << static_cast<double>(r.arena.allocs) / static_cast<double>(records)
+        << "}" << (i + 1 < table.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// One pre-encoded map output with its partition decided up front, so the
+/// measured loops contain nothing but shuffle work.
+struct EmitInput {
+  std::string key;
+  std::string value;
+  int partition;
+};
+
+std::vector<EmitInput> MakeInputs(int64_t count, int64_t key_space,
+                                  int num_partitions, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmitInput> inputs;
+  inputs.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    EmitInput in;
+    in.key = "cube|group|" +
+             std::to_string(rng.NextBounded(static_cast<uint64_t>(key_space)));
+    in.value = std::to_string(1000 + rng.NextBounded(100000000));
+    in.partition = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(num_partitions)));
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+/// Sums decimal-string values (the combiner of the shuffle unit tests);
+/// identical work on both sides of the race.
+class SumCombiner : public Combiner {
+ public:
+  Status Combine(const std::string& /*key*/,
+                 const std::vector<std::string>& values,
+                 std::vector<std::string>* combined) const override {
+    int64_t total = 0;
+    for (const std::string& value : values) total += std::stoll(value);
+    combined->assign(1, std::to_string(total));
+    return Status::OK();
+  }
+};
+
+/// Drives `buffer` over `inputs` and finalizes; aborts on error (benchmark
+/// inputs cannot legitimately fail).
+template <typename Buffer>
+void Drive(Buffer& buffer, const std::vector<EmitInput>& inputs) {
+  for (const EmitInput& in : inputs) {
+    const Status status = buffer.Add(in.partition, in.key, in.value);
+    if (!status.ok()) std::abort();
+  }
+  if (!buffer.FinalizeMapOutput().ok()) std::abort();
+}
+
+BenchRow RaceScenario(const char* name, const std::vector<EmitInput>& inputs,
+                      int num_partitions, int64_t budget,
+                      const Combiner* combiner, TempFileManager* temp,
+                      int reps) {
+  BenchRow row{name, {}, {}};
+  row.baseline = Measure(reps, [&] {
+    ShuffleCounters counters;
+    bench::StringShuffleBuffer buffer(num_partitions, budget, combiner, temp,
+                                      &counters);
+    Drive(buffer, inputs);
+    g_sink = static_cast<uint64_t>(counters.map_output_bytes +
+                                   counters.spill_bytes);
+  });
+  row.arena = Measure(reps, [&] {
+    ShuffleCounters counters;
+    ShuffleBuffer buffer(num_partitions, budget, combiner, temp, &counters);
+    Drive(buffer, inputs);
+    g_sink = static_cast<uint64_t>(counters.map_output_bytes +
+                                   counters.spill_bytes);
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv);
+  const std::string json_path = ParseJsonPath(argc, argv);
+  const int64_t n = std::max<int64_t>(bench::Scaled(200000, scale), 1000);
+  const int partitions = 4;
+  const int reps = 5;
+  TempFileManager temp("bench_shuffle");
+
+  std::printf("Shuffle microbenchmarks | records=%lld, partitions=%d, "
+              "best of %d\n",
+              static_cast<long long>(n), partitions, reps);
+  std::printf("%-14s %12s %12s %9s %13s %13s\n", "hot path", "string-ms",
+              "arena-ms", "speedup", "str-allocs/r", "arena-allocs/r");
+
+  std::vector<BenchRow> table;
+  {
+    // Emit only: wide key space, nothing overflows.
+    const auto inputs = MakeInputs(n, /*key_space=*/1 << 20, partitions, 11);
+    table.push_back(RaceScenario("emit", inputs, partitions,
+                                 /*budget=*/int64_t{1} << 40, nullptr, &temp,
+                                 reps));
+    PrintRow(table.back(), n);
+  }
+  {
+    // Emit + combine: 256 hot keys, a budget that overflows into combine
+    // passes every few thousand records and never spills.
+    const auto inputs = MakeInputs(n, /*key_space=*/256, partitions, 12);
+    SumCombiner combiner;
+    table.push_back(RaceScenario("emit-combine", inputs, partitions,
+                                 /*budget=*/64 << 10, &combiner, &temp,
+                                 reps));
+    PrintRow(table.back(), n);
+  }
+  {
+    // Spill path: distinct keys, no combiner — every overflow sorts the
+    // buffer and writes a checksummed run (identical I/O both sides).
+    const auto inputs = MakeInputs(n, /*key_space=*/1 << 20, partitions, 13);
+    table.push_back(RaceScenario("spill-sort", inputs, partitions,
+                                 /*budget=*/256 << 10, nullptr, &temp,
+                                 reps));
+    PrintRow(table.back(), n);
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, n, table);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  std::printf(
+      "\nShape to match: emit and emit-combine favor the arena path well "
+      "past the 1.5x gate (no per-record strings, no per-pass hash map "
+      "rebuild; arena allocs/record ~0 at steady state); spill-sort "
+      "improves less because both sides share the run-file I/O.\n");
+  return 0;
+}

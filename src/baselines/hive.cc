@@ -55,15 +55,13 @@ class HiveMapper : public Mapper {
 
  private:
   Status Flush(MapContext& context) {
-    ByteWriter key_writer;
-    ByteWriter value_writer;
     for (const auto& [key, state] : hash_) {
-      key_writer.Clear();
-      key.EncodeTo(key_writer);
-      value_writer.Clear();
-      state.EncodeTo(value_writer);
+      key_writer_.Clear();
+      key.EncodeTo(key_writer_);
+      value_writer_.Clear();
+      state.EncodeTo(value_writer_);
       SPCUBE_RETURN_IF_ERROR(
-          context.Emit(key_writer.data(), value_writer.data()));
+          context.Emit(key_writer_.data(), value_writer_.data()));
     }
     hash_.clear();
     hash_bytes_ = 0;
@@ -75,6 +73,10 @@ class HiveMapper : public Mapper {
   int64_t hash_budget_bytes_ = 0;
   int64_t hash_bytes_ = 0;
   std::unordered_map<GroupKey, AggState, GroupKeyHash> hash_;
+  // Task-lifetime encode buffers reused across flushes (Emit copies the
+  // bytes into the shuffle arena before returning).
+  ByteWriter key_writer_;
+  ByteWriter value_writer_;
 };
 
 }  // namespace

@@ -19,11 +19,12 @@ namespace {
 
 /// Round-2 shuffle key: encoded GroupKey followed by a varint sub-partition
 /// id (always present; 0 in friendly cuboids).
-std::string EncodeMrKey(const GroupKey& key, uint64_t subpartition) {
-  ByteWriter writer;
+std::string_view EncodeMrKeyTo(const GroupKey& key, uint64_t subpartition,
+                               ByteWriter& writer) {
+  writer.Clear();
   key.EncodeTo(writer);
   writer.PutVarint(subpartition);
-  return writer.TakeData();
+  return writer.data();
 }
 
 Status DecodeMrKey(std::string_view bytes, GroupKey* key,
@@ -137,8 +138,8 @@ class MrCubeMapper : public Mapper {
     const auto tuple = input.row(row);
     AggState single = agg.Empty();
     agg.Add(single, input.measure(row));
-    ByteWriter value_writer;
-    single.EncodeTo(value_writer);
+    value_writer_.Clear();
+    single.EncodeTo(value_writer_);
 
     const CuboidMask num_masks =
         static_cast<CuboidMask>(NumCuboids(input.num_dims()));
@@ -155,8 +156,8 @@ class MrCubeMapper : public Mapper {
                       static_cast<uint64_t>(local_row_)) %
                     static_cast<uint64_t>(factor);
       SPCUBE_RETURN_IF_ERROR(context.Emit(
-          EncodeMrKey(GroupKey::Project(mask, tuple), sub),
-          value_writer.data()));
+          EncodeMrKeyTo(GroupKey::Project(mask, tuple), sub, key_writer_),
+          value_writer_.data()));
     }
     return Status::OK();
   }
@@ -167,6 +168,9 @@ class MrCubeMapper : public Mapper {
   MrCubeAnnotations annotations_;
   int worker_id_ = 0;
   int64_t local_row_ = 0;
+  // Task-lifetime encode buffers: Emit copies into the shuffle arena.
+  ByteWriter key_writer_;
+  ByteWriter value_writer_;
 };
 
 /// Round-2 reduce task: merge the (combined) partial states per key. For a
@@ -207,8 +211,9 @@ class MrCubeReducer : public Reducer {
       SPCUBE_RETURN_IF_ERROR(AggState::DecodeFrom(reader, &partial));
       agg.Merge(total, partial);
     }
-    ByteWriter key_writer;
-    group.EncodeTo(key_writer);
+    key_writer_.Clear();
+    group.EncodeTo(key_writer_);
+    value_writer_.Clear();
     if (annotations_.partition_factor[group.mask] <= 1) {
       // Final value for a friendly cuboid; apply the iceberg filter here.
       // Partitioned cuboids carry partial states onward unfiltered — the
@@ -217,13 +222,11 @@ class MrCubeReducer : public Reducer {
           total.v0 < min_count_) {
         return Status::OK();
       }
-      ByteWriter value_writer;
-      value_writer.PutDouble(agg.Finalize(total));
-      return context.Output(key_writer.data(), value_writer.data());
+      value_writer_.PutDouble(agg.Finalize(total));
+      return context.Output(key_writer_.data(), value_writer_.data());
     }
-    ByteWriter value_writer;
-    total.EncodeTo(value_writer);
-    return context.Output(key_writer.data(), value_writer.data());
+    total.EncodeTo(value_writer_);
+    return context.Output(key_writer_.data(), value_writer_.data());
   }
 
  private:
@@ -231,6 +234,9 @@ class MrCubeReducer : public Reducer {
   AggregateKind kind_;
   int64_t min_count_;
   MrCubeAnnotations annotations_;
+  // Task-lifetime encode buffers (Output copies before returning).
+  ByteWriter key_writer_;
+  ByteWriter value_writer_;
 };
 
 /// Round-3 map task: identity over the partial records of partitioned

@@ -25,23 +25,25 @@ class NaiveMapper : public Mapper {
     const int64_t measure = input.measure(row);
     const CuboidMask num_masks =
         static_cast<CuboidMask>(NumCuboids(input.num_dims()));
-    ByteWriter key_writer;
-    ByteWriter value_writer;
     for (CuboidMask mask = 0; mask < num_masks; ++mask) {
-      key_writer.Clear();
-      GroupKey::Project(mask, tuple).EncodeTo(key_writer);
-      value_writer.Clear();
+      key_writer_.Clear();
+      GroupKey::Project(mask, tuple).EncodeTo(key_writer_);
+      value_writer_.Clear();
       AggState single = agg.Empty();
       agg.Add(single, measure);
-      single.EncodeTo(value_writer);
+      single.EncodeTo(value_writer_);
       SPCUBE_RETURN_IF_ERROR(
-          context.Emit(key_writer.data(), value_writer.data()));
+          context.Emit(key_writer_.data(), value_writer_.data()));
     }
     return Status::OK();
   }
 
  private:
   AggregateKind kind_;
+  // Task-lifetime encode buffers: Emit copies into the shuffle arena, so
+  // reusing these across emits is safe and allocation-free.
+  ByteWriter key_writer_;
+  ByteWriter value_writer_;
 };
 
 }  // namespace

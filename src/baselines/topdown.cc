@@ -11,10 +11,12 @@
 namespace spcube {
 namespace {
 
-std::string EncodeGroupKey(const GroupKey& key) {
-  ByteWriter writer;
+/// Encodes into a caller-owned writer (cleared first); Emit/Output copy the
+/// bytes before returning, so one task-lifetime writer serves every emit.
+std::string_view EncodeGroupKey(const GroupKey& key, ByteWriter& writer) {
+  writer.Clear();
   key.EncodeTo(writer);
-  return writer.TakeData();
+  return writer.data();
 }
 
 /// Round-1 map: project every tuple onto the base cuboid (all dimensions)
@@ -28,17 +30,19 @@ class BaseCuboidMapper : public Mapper {
     const Aggregator& agg = GetAggregator(kind_);
     AggState single = agg.Empty();
     agg.Add(single, input.measure(row));
-    ByteWriter value_writer;
-    single.EncodeTo(value_writer);
+    value_writer_.Clear();
+    single.EncodeTo(value_writer_);
     const CuboidMask base =
         static_cast<CuboidMask>(NumCuboids(input.num_dims()) - 1);
     return context.Emit(
-        EncodeGroupKey(GroupKey::Project(base, input.row(row))),
-        value_writer.data());
+        EncodeGroupKey(GroupKey::Project(base, input.row(row)), key_writer_),
+        value_writer_.data());
   }
 
  private:
   AggregateKind kind_;
+  ByteWriter key_writer_;  // reused across emits; Emit copies the bytes
+  ByteWriter value_writer_;
 };
 
 /// Level round map: each parent cell is projected onto the children this
@@ -64,7 +68,7 @@ class LevelMapper : public Mapper {
     for (CuboidMask child : ImmediateDescendants(parent.mask)) {
       if (TopDownParent(child, num_dims_) != parent.mask) continue;
       SPCUBE_RETURN_IF_ERROR(context.Emit(
-          EncodeGroupKey(GroupKey::Project(child, expanded)),
+          EncodeGroupKey(GroupKey::Project(child, expanded), key_writer_),
           record.value));
     }
     return Status::OK();
@@ -72,6 +76,7 @@ class LevelMapper : public Mapper {
 
  private:
   int num_dims_;
+  ByteWriter key_writer_;  // reused across emits; Emit copies the bytes
 };
 
 /// Merges partial states per group and re-emits (group, state) records —
@@ -93,13 +98,14 @@ class MergeToStateReducer : public Reducer {
       SPCUBE_RETURN_IF_ERROR(AggState::DecodeFrom(reader, &partial));
       agg.Merge(total, partial);
     }
-    ByteWriter writer;
-    total.EncodeTo(writer);
-    return context.Output(key, writer.data());
+    writer_.Clear();
+    total.EncodeTo(writer_);
+    return context.Output(key, writer_.data());
   }
 
  private:
   AggregateKind kind_;
+  ByteWriter writer_;  // reused across Reduce calls; Output copies the bytes
 };
 
 }  // namespace

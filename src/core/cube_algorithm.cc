@@ -24,6 +24,12 @@ std::string EncodeCubeValue(double value) {
   return writer.TakeData();
 }
 
+std::string_view EncodeCubeValueTo(double value, ByteWriter& writer) {
+  writer.Clear();
+  writer.PutDouble(value);
+  return writer.data();
+}
+
 Result<double> DecodeCubeValue(std::string_view bytes) {
   ByteReader reader(bytes);
   double value = 0.0;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "cube/cube_result.h"
 #include "mapreduce/engine.h"
@@ -58,6 +59,9 @@ class CubeAlgorithm {
 /// encoded GroupKey, value a little-endian double. These helpers parse a
 /// collector's contents back into a CubeResult.
 std::string EncodeCubeValue(double value);
+/// Encodes into a caller-owned writer (cleared first) and returns a view of
+/// the encoding — the allocation-free variant for reducer emit loops.
+std::string_view EncodeCubeValueTo(double value, ByteWriter& writer);
 Result<double> DecodeCubeValue(std::string_view bytes);
 Result<CubeResult> CollectCube(const VectorOutputCollector& collector,
                                int num_dims);

@@ -19,10 +19,14 @@ Result<GroupKey> DecodeGroupKey(std::string_view bytes) {
   return key;
 }
 
-std::string EncodeGroupKey(const GroupKey& key) {
-  ByteWriter writer;
+/// Encodes into a caller-owned writer (cleared first); the returned view is
+/// valid until the writer's next Clear. Emit copies the bytes into the
+/// shuffle arena before returning, so one reusable writer per task suffices
+/// — no per-emit string.
+std::string_view EncodeGroupKey(const GroupKey& key, ByteWriter& writer) {
+  writer.Clear();
   key.EncodeTo(writer);
-  return writer.TakeData();
+  return writer.data();
 }
 
 }  // namespace
@@ -125,10 +129,10 @@ Status SpCubeMapper::Map(const RelationView& input, int64_t row,
         // Ablation: ship one singleton partial per occurrence.
         AggState single = agg.Empty();
         agg.Add(single, measure);
-        ByteWriter writer;
-        single.EncodeTo(writer);
-        SPCUBE_RETURN_IF_ERROR(
-            context.Emit(EncodeGroupKey(key), writer.data()));
+        value_writer_.Clear();
+        single.EncodeTo(value_writer_);
+        SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(key, key_writer_),
+                                            value_writer_.data()));
       }
       continue;
     }
@@ -137,8 +141,10 @@ Status SpCubeMapper::Map(const RelationView& input, int64_t row,
     // (lines 9-12) and mark all ancestors.
     const GroupKey key = GroupKey::Project(mask, tuple);
     ++minimal_emits_;
-    SPCUBE_RETURN_IF_ERROR(context.Emit(
-        EncodeGroupKey(key), EncodeTuple(tuple, measure)));
+    value_writer_.Clear();
+    EncodeTupleTo(value_writer_, tuple, measure);
+    SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(key, key_writer_),
+                                        value_writer_.data()));
     if (tuning_.emit_minimal_groups_only) {
       emitted_masks_.push_back(mask);
     }
@@ -150,11 +156,11 @@ Status SpCubeMapper::Map(const RelationView& input, int64_t row,
 Status SpCubeMapper::Finish(MapContext& context) {
   // Ship the per-mapper partial aggregates of skewed groups (lines 16-20);
   // the partitioner routes them to the skew reducer.
-  ByteWriter writer;
   for (const auto& [key, state] : skew_partials_) {
-    writer.Clear();
-    state.EncodeTo(writer);
-    SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(key), writer.data()));
+    value_writer_.Clear();
+    state.EncodeTo(value_writer_);
+    SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(key, key_writer_),
+                                        value_writer_.data()));
   }
   skew_partials_.clear();
   context.IncrementCounter("spcube.lattice_nodes_visited", nodes_visited_);
@@ -213,8 +219,8 @@ Status SpCubeReducer::ReduceSkewedGroup(const GroupKey& group,
       total.v0 < min_count_) {
     return Status::OK();
   }
-  return context.Output(EncodeGroupKey(group),
-                        EncodeCubeValue(agg.Finalize(total)));
+  return context.Output(EncodeGroupKey(group, key_writer_),
+                        EncodeCubeValueTo(agg.Finalize(total), value_writer_));
 }
 
 Status SpCubeReducer::ReduceRangeGroup(const GroupKey& group,
@@ -239,8 +245,9 @@ Status SpCubeReducer::ReduceRangeGroup(const GroupKey& group,
         state.v0 < min_count_) {
       return Status::OK();
     }
-    return context.Output(EncodeGroupKey(group),
-                          EncodeCubeValue(agg.Finalize(state)));
+    return context.Output(
+        EncodeGroupKey(group, key_writer_),
+        EncodeCubeValueTo(agg.Finalize(state), value_writer_));
   }
 
   // Materialize set(group) — O(m) w.h.p. by Prop. 4.6 — then compute the
@@ -284,8 +291,9 @@ Status SpCubeReducer::ReduceRangeGroup(const GroupKey& group,
                  return;
                }
                ++owned;
-               status = context.Output(EncodeGroupKey(ancestor),
-                                       EncodeCubeValue(agg.Finalize(state)));
+               status = context.Output(
+                   EncodeGroupKey(ancestor, key_writer_),
+                   EncodeCubeValueTo(agg.Finalize(state), value_writer_));
              });
   context.IncrementCounter("spcube.owned_groups_output", owned);
   context.IncrementCounter("spcube.ownership_rejections", rejected);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytes.h"
 #include "cube/aggregate.h"
 #include "cube/group_key.h"
 #include "mapreduce/api.h"
@@ -87,6 +88,8 @@ class SpCubeMapper : public Mapper {
   bool degraded_ = false;
   std::unordered_map<GroupKey, AggState, GroupKeyHash> skew_partials_;
   std::vector<CuboidMask> emitted_masks_;  // per-tuple scratch
+  ByteWriter key_writer_;                  // reusable emit encode buffers
+  ByteWriter value_writer_;
 
   // Batched user counters, published in Finish (see JobMetrics).
   int64_t nodes_visited_ = 0;
@@ -131,6 +134,8 @@ class SpCubeReducer : public Reducer {
   std::unique_ptr<const SpSketch> sketch_;
   bool is_skew_reducer_ = false;
   bool degraded_ = false;
+  ByteWriter key_writer_;  // reusable output encode buffers
+  ByteWriter value_writer_;
 };
 
 /// Loads and deserializes a sketch previously published to the DFS.

@@ -55,6 +55,12 @@ class MapContext {
 
   /// Emits an intermediate (key, value) pair. May spill to local disk when
   /// the worker's buffer exceeds its memory budget.
+  ///
+  /// Zero-copy contract: the implementation copies `key` and `value` into
+  /// its own storage (the shuffle arena) before returning, so mappers
+  /// should encode into reusable task-lifetime buffers (e.g. a ByteWriter
+  /// member, cleared per emit) instead of building a fresh std::string per
+  /// record — the steady-state emit path then performs no heap allocation.
   virtual Status Emit(std::string_view key, std::string_view value) = 0;
 
   /// Emits directly to an explicit reduce partition, bypassing the

@@ -101,6 +101,7 @@ class GroupValueStream : public ValueStream {
 class EngineReduceContext : public ReduceContext {
  public:
   Status Output(std::string_view key, std::string_view value) override {
+    // spcube-lint: allow(no-owning-copy-in-hot-path): attempt-private commit buffer must own its bytes past the reducer's scratch lifetime
     pending_.push_back(Record{std::string(key), std::string(value)});
     return Status::OK();
   }
@@ -439,17 +440,13 @@ Result<JobMetrics> Engine::RunImpl(
     ReduceInput& in = reduce_inputs[static_cast<size_t>(p)];
     for (int w = 0; w < num_workers; ++w) {
       ShuffleBuffer& buffer = *map_tasks[static_cast<size_t>(w)].buffer;
-      std::vector<Record> records = buffer.TakeMemoryRecords(p);
-      for (const Record& record : records) {
-        in.total_bytes += RecordBytes(record.key, record.value);
-      }
-      in.total_records += static_cast<int64_t>(records.size());
-      if (in.memory_records.empty()) {
-        in.memory_records = std::move(records);
-      } else {
-        in.memory_records.insert(in.memory_records.end(),
-                                 std::make_move_iterator(records.begin()),
-                                 std::make_move_iterator(records.end()));
+      // Zero-copy hand-off: the segment keeps the map task's arena alive;
+      // no Record materialization between map output and reduce input.
+      ShuffleSegment segment = buffer.TakeMemorySegment(p);
+      in.total_bytes += segment.payload_bytes();
+      in.total_records += segment.num_records();
+      if (!segment.empty()) {
+        in.memory_segments.push_back(std::move(segment));
       }
       std::vector<RunInfo> runs = buffer.TakeSpillRuns(p);
       for (RunInfo& run : runs) {

@@ -1,50 +1,84 @@
 #include "mapreduce/shuffle.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "common/bytes.h"
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace spcube {
-namespace {
 
-void SortRecords(std::vector<Record>& records) {
-  std::stable_sort(records.begin(), records.end(),
-                   [](const Record& a, const Record& b) {
-                     return a.key < b.key;
-                   });
+void AppendSpillRecord(std::string_view key, std::string_view value,
+                       ByteWriter* out) {
+  out->PutBytes(key);
+  out->PutBytes(value);
 }
 
-std::string EncodeSpillRecord(const Record& record) {
-  ByteWriter writer;
-  writer.PutBytes(record.key);
-  writer.PutBytes(record.value);
-  return writer.TakeData();
-}
-
-Status DecodeSpillRecord(const std::string& raw, Record* out) {
+Status ParseSpillRecord(std::string_view raw, std::string_view* key,
+                        std::string_view* value) {
   ByteReader reader(raw);
-  std::string_view key;
-  std::string_view value;
-  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(&key));
-  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(&value));
-  out->key.assign(key);
-  out->value.assign(value);
+  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(key));
+  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(value));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after spill record");
+  }
   return Status::OK();
 }
 
-/// Writes sorted records as one spill run.
-Result<RunInfo> WriteRun(const std::vector<Record>& sorted_records,
-                         TempFileManager* temp_files,
-                         ShuffleCounters* counters) {
+namespace {
+
+/// First 8 key bytes, big-endian, zero-padded: prefixes compare like the
+/// keys themselves until the first 8 bytes tie.
+uint64_t KeyPrefix(std::string_view key) {
+  uint64_t prefix = 0;
+  const size_t n = key.size() < 8 ? key.size() : 8;
+  for (size_t i = 0; i < n; ++i) {
+    prefix |= static_cast<uint64_t>(static_cast<unsigned char>(key[i]))
+              << (56 - 8 * static_cast<int>(i));
+  }
+  return prefix;
+}
+
+/// Fills `items` with one entry per ref and sorts by (prefix, full key,
+/// emission index) — the same total order as a stable sort by key.
+void SortRefs(const std::vector<ShuffleRecordRef>& refs,
+              std::vector<ShuffleSortItem>* items) {
+  items->resize(refs.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    (*items)[i] =
+        ShuffleSortItem{KeyPrefix(refs[i].key()), static_cast<uint32_t>(i)};
+  }
+  std::sort(items->begin(), items->end(),
+            [&refs](const ShuffleSortItem& a, const ShuffleSortItem& b) {
+              if (a.key_prefix != b.key_prefix) {
+                return a.key_prefix < b.key_prefix;
+              }
+              const int cmp =
+                  refs[a.index].key().compare(refs[b.index].key());
+              if (cmp != 0) return cmp < 0;
+              return a.index < b.index;
+            });
+}
+
+/// Streams refs in `order` as one spill run, encoding each record into the
+/// caller's reusable writer. Byte-identical to encoding owned Records.
+Result<RunInfo> WriteSortedRun(const std::vector<ShuffleRecordRef>& refs,
+                               const std::vector<ShuffleSortItem>& order,
+                               TempFileManager* temp_files,
+                               ShuffleCounters* counters, ByteWriter* encode) {
   SpillWriter writer(temp_files->NextPath());
   SPCUBE_RETURN_IF_ERROR(writer.Open());
   RunInfo info;
-  for (const Record& record : sorted_records) {
-    SPCUBE_RETURN_IF_ERROR(writer.Append(EncodeSpillRecord(record)));
-    info.payload_bytes += RecordBytes(record.key, record.value);
+  for (const ShuffleSortItem& item : order) {
+    const ShuffleRecordRef& ref = refs[item.index];
+    encode->Clear();
+    AppendSpillRecord(ref.key(), ref.value(), encode);
+    SPCUBE_RETURN_IF_ERROR(writer.Append(encode->data()));
+    info.payload_bytes += RecordBytes(ref.key(), ref.value());
   }
   SPCUBE_RETURN_IF_ERROR(writer.Close());
   if (counters != nullptr) counters->spill_bytes += writer.bytes_written();
@@ -52,6 +86,22 @@ Result<RunInfo> WriteRun(const std::vector<Record>& sorted_records,
   info.file_bytes = writer.bytes_written();
   info.records = writer.record_count();
   return info;
+}
+
+void AppendRecordEntries(const std::vector<Record>& records,
+                         const std::vector<ShuffleSegment>& segments,
+                         std::vector<ShuffleRecordRef>* entries) {
+  for (const Record& record : records) {
+    entries->push_back(ShuffleRecordRef{
+        record.key.data(), record.value.data(),
+        static_cast<uint32_t>(record.key.size()),
+        static_cast<uint32_t>(record.value.size())});
+  }
+  for (const ShuffleSegment& segment : segments) {
+    for (const ShuffleRecordRef& ref : segment.refs()) {
+      entries->push_back(ref);
+    }
+  }
 }
 
 }  // namespace
@@ -66,7 +116,7 @@ ShuffleBuffer::ShuffleBuffer(int num_partitions,
       combiner_(combiner),
       temp_files_(temp_files),
       counters_(counters),
-      memory_(static_cast<size_t>(num_partitions)),
+      partitions_(static_cast<size_t>(num_partitions)),
       spill_runs_(static_cast<size_t>(num_partitions)) {}
 
 ShuffleBuffer::~ShuffleBuffer() {
@@ -85,8 +135,30 @@ Status ShuffleBuffer::Add(int partition, std::string_view key,
   counters_->map_output_records += 1;
   counters_->map_output_bytes += RecordBytes(key, value);
   buffered_bytes_ += RecordBytes(key, value);
-  memory_[static_cast<size_t>(partition)].push_back(
-      Record{std::string(key), std::string(value)});
+  PartitionState& part = partitions_[static_cast<size_t>(partition)];
+  if (combiner_ == nullptr) {
+    const char* data = part.arena.AppendPair(key, value);
+    part.records.push_back(RecordSlot{data, static_cast<uint32_t>(key.size()),
+                                      static_cast<uint32_t>(value.size())});
+  } else {
+    // Combine-eligible records hit the key index before any buffering: a
+    // repeated key stores only its value, never a second key copy.
+    if ((part.keys.size() + 1) * 2 > part.buckets.size()) {
+      RehashBuckets(&part, (part.keys.size() + 1) * 2);
+    }
+    const uint32_t key_index = FindOrInsertKey(&part, key);
+    const char* data = part.arena.Append(value);
+    const int32_t value_index = static_cast<int32_t>(part.values.size());
+    part.values.push_back(ValueSlot{data, static_cast<uint32_t>(value.size()),
+                                    static_cast<int32_t>(key_index), -1});
+    KeySlot& kslot = part.keys[key_index];
+    if (kslot.tail < 0) {
+      kslot.head = value_index;
+    } else {
+      part.values[static_cast<size_t>(kslot.tail)].next = value_index;
+    }
+    kslot.tail = value_index;
+  }
   if (buffered_bytes_ > memory_budget_bytes_) {
     SPCUBE_RETURN_IF_ERROR(Overflow());
   }
@@ -95,8 +167,99 @@ Status ShuffleBuffer::Add(int partition, std::string_view key,
 
 Status ShuffleBuffer::FinalizeMapOutput() { return CombineInMemory(); }
 
+void ShuffleBuffer::AppendRecordRefs(
+    const PartitionState& part, std::vector<ShuffleRecordRef>* refs) const {
+  if (combiner_ == nullptr) {
+    for (const RecordSlot& slot : part.records) {
+      refs->push_back(ShuffleRecordRef{slot.data, slot.data + slot.key_len,
+                                       slot.key_len, slot.value_len});
+    }
+  } else {
+    // `values` is emission order (after a combine: key-insertion order with
+    // each key's merged values contiguous) — the canonical record order.
+    for (const ValueSlot& value : part.values) {
+      const KeySlot& key = part.keys[static_cast<size_t>(value.key_index)];
+      refs->push_back(
+          ShuffleRecordRef{key.data, value.data, key.len, value.len});
+    }
+  }
+}
+
+void ShuffleBuffer::ResetPartition(PartitionState* part) {
+  // Capacity (arena chunks, slot vectors, buckets) is retained for the next
+  // fill cycle; only the logical contents are dropped.
+  part->arena.Reset();
+  part->records.clear();
+  part->keys.clear();
+  part->values.clear();
+  if (!part->buckets.empty()) {
+    std::fill(part->buckets.begin(), part->buckets.end(), 0u);
+  }
+}
+
+void ShuffleBuffer::RehashBuckets(PartitionState* part, size_t min_slots) {
+  size_t want = 16;
+  while (want < min_slots) want <<= 1;
+  if (want < part->buckets.size()) want = part->buckets.size();
+  part->buckets.assign(want, 0u);
+  const size_t mask = want - 1;
+  for (size_t k = 0; k < part->keys.size(); ++k) {
+    size_t slot = static_cast<size_t>(part->keys[k].hash) & mask;
+    while (part->buckets[slot] != 0) slot = (slot + 1) & mask;
+    part->buckets[slot] = static_cast<uint32_t>(k + 1);
+  }
+}
+
+uint32_t ShuffleBuffer::FindOrInsertKey(PartitionState* part,
+                                        std::string_view key) {
+  const uint64_t hash = HashBytes(key);
+  const size_t mask = part->buckets.size() - 1;
+  size_t slot = static_cast<size_t>(hash) & mask;
+  for (;;) {
+    const uint32_t stored = part->buckets[slot];
+    if (stored == 0) {
+      const char* data = part->arena.Append(key);
+      part->keys.push_back(KeySlot{data, static_cast<uint32_t>(key.size()),
+                                   hash, -1, -1});
+      part->buckets[slot] = static_cast<uint32_t>(part->keys.size());
+      return static_cast<uint32_t>(part->keys.size() - 1);
+    }
+    const KeySlot& existing = part->keys[stored - 1];
+    if (existing.hash == hash && existing.len == key.size() &&
+        (key.empty() ||
+         std::memcmp(existing.data, key.data(), key.size()) == 0)) {
+      return stored - 1;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+ShuffleSegment ShuffleBuffer::TakeMemorySegment(int partition) {
+  PartitionState& part = partitions_[static_cast<size_t>(partition)];
+  ShuffleSegment segment;
+  auto rep = std::make_shared<ShuffleSegment::Rep>();
+  AppendRecordRefs(part, &rep->refs);
+  for (const ShuffleRecordRef& ref : rep->refs) {
+    rep->payload_bytes += RecordBytes(ref.key(), ref.value());
+  }
+  rep->arena = std::move(part.arena);  // the refs keep pointing into it
+  segment.rep_ = std::move(rep);
+  ResetPartition(&part);
+  return segment;
+}
+
 std::vector<Record> ShuffleBuffer::TakeMemoryRecords(int partition) {
-  return std::move(memory_[static_cast<size_t>(partition)]);
+  PartitionState& part = partitions_[static_cast<size_t>(partition)];
+  scratch_refs_.clear();
+  AppendRecordRefs(part, &scratch_refs_);
+  std::vector<Record> out;
+  out.reserve(scratch_refs_.size());
+  for (const ShuffleRecordRef& ref : scratch_refs_) {
+    // spcube-lint: allow(no-owning-copy-in-hot-path): compatibility accessor whose contract is to materialize owned Records
+    out.push_back(Record{std::string(ref.key()), std::string(ref.value())});
+  }
+  ResetPartition(&part);
+  return out;
 }
 
 std::vector<RunInfo> ShuffleBuffer::TakeSpillRuns(int partition) {
@@ -122,50 +285,87 @@ Status ShuffleBuffer::Overflow() {
 
 Status ShuffleBuffer::CombineInMemory() {
   if (combiner_ == nullptr) return Status::OK();
-  for (std::vector<Record>& partition : memory_) {
-    if (partition.empty()) continue;
-    std::unordered_map<std::string, std::vector<std::string>> by_key;
-    for (Record& record : partition) {
-      by_key[std::move(record.key)].push_back(std::move(record.value));
-    }
-    std::vector<Record> combined;
-    for (auto& [key, values] : by_key) {
-      counters_->combine_input_records +=
-          static_cast<int64_t>(values.size());
-      std::vector<std::string> merged;
-      SPCUBE_RETURN_IF_ERROR(combiner_->Combine(key, values, &merged));
+  int64_t live_bytes = 0;
+  for (PartitionState& part : partitions_) {
+    if (part.keys.empty()) continue;
+    // Compact into the spare arena/slot vectors, then swap. The spare side
+    // retains its capacity across passes, so the steady-state cycle of
+    // fill → combine → fill performs no heap allocations.
+    for (size_t k = 0; k < part.keys.size(); ++k) {
+      const KeySlot& kslot = part.keys[k];
+      size_t count = 0;
+      for (int32_t v = kslot.head; v >= 0;
+           v = part.values[static_cast<size_t>(v)].next) {
+        ++count;
+      }
+      combine_values_.resize(count);
+      size_t i = 0;
+      for (int32_t v = kslot.head; v >= 0;
+           v = part.values[static_cast<size_t>(v)].next) {
+        const ValueSlot& vslot = part.values[static_cast<size_t>(v)];
+        combine_values_[i++].assign(vslot.data, vslot.len);
+      }
+      counters_->combine_input_records += static_cast<int64_t>(count);
+      combine_key_.assign(kslot.data, kslot.len);
+      combine_merged_.clear();
+      SPCUBE_RETURN_IF_ERROR(
+          combiner_->Combine(combine_key_, combine_values_, &combine_merged_));
       counters_->combine_output_records +=
-          static_cast<int64_t>(merged.size());
-      for (std::string& value : merged) {
-        combined.push_back(Record{key, std::move(value)});
+          static_cast<int64_t>(combine_merged_.size());
+      if (combine_merged_.empty()) continue;  // combiner dropped the key
+      const char* key_data =
+          part.spare_arena.Append(std::string_view(kslot.data, kslot.len));
+      const int32_t new_key_index =
+          static_cast<int32_t>(part.spare_keys.size());
+      part.spare_keys.push_back(KeySlot{key_data, kslot.len, kslot.hash,
+                                        -1, -1});
+      KeySlot& new_key = part.spare_keys.back();
+      for (const std::string& merged : combine_merged_) {
+        const char* value_data = part.spare_arena.Append(merged);
+        const int32_t value_index =
+            static_cast<int32_t>(part.spare_values.size());
+        part.spare_values.push_back(
+            ValueSlot{value_data, static_cast<uint32_t>(merged.size()),
+                      new_key_index, -1});
+        if (new_key.tail < 0) {
+          new_key.head = value_index;
+        } else {
+          part.spare_values[static_cast<size_t>(new_key.tail)].next =
+              value_index;
+        }
+        new_key.tail = value_index;
+        live_bytes += RecordBytes(combine_key_, merged);
       }
     }
-    partition = std::move(combined);
+    std::swap(part.arena, part.spare_arena);
+    part.keys.swap(part.spare_keys);
+    part.values.swap(part.spare_values);
+    part.spare_keys.clear();
+    part.spare_values.clear();
+    part.spare_arena.Reset();
+    RehashBuckets(&part, (part.keys.size() + 1) * 2);
   }
-  buffered_bytes_ = 0;
-  for (const std::vector<Record>& partition : memory_) {
-    for (const Record& record : partition) {
-      buffered_bytes_ += RecordBytes(record.key, record.value);
-    }
-  }
+  buffered_bytes_ = live_bytes;
   return Status::OK();
 }
 
 Status ShuffleBuffer::SpillAll() {
   for (int p = 0; p < num_partitions_; ++p) {
-    std::vector<Record>& partition = memory_[static_cast<size_t>(p)];
-    if (partition.empty()) continue;
-    SortRecords(partition);
-    SPCUBE_ASSIGN_OR_RETURN(RunInfo run,
-                            WriteRun(partition, temp_files_, counters_));
+    PartitionState& part = partitions_[static_cast<size_t>(p)];
+    scratch_refs_.clear();
+    AppendRecordRefs(part, &scratch_refs_);
+    if (scratch_refs_.empty()) continue;
+    SortRefs(scratch_refs_, &sort_items_);
+    SPCUBE_ASSIGN_OR_RETURN(
+        RunInfo run, WriteSortedRun(scratch_refs_, sort_items_, temp_files_,
+                                    counters_, &encode_scratch_));
     if (!resource_prefix_.empty()) {
       run.resource =
           resource_prefix_ + "/p" + std::to_string(p) + "/r" +
           std::to_string(spill_runs_[static_cast<size_t>(p)].size());
     }
     spill_runs_[static_cast<size_t>(p)].push_back(std::move(run));
-    partition.clear();
-    partition.shrink_to_fit();
+    ResetPartition(&part);
   }
   buffered_bytes_ = 0;
   return Status::OK();
@@ -173,21 +373,48 @@ Status ShuffleBuffer::SpillAll() {
 
 namespace {
 
-/// Fully in-memory grouped stream over records sorted by key.
+/// Fully in-memory grouped stream: iterates record refs (owned Records,
+/// arena-backed segments, and absorbed runs parsed into a private arena)
+/// through a sorted index — no per-record Record materialization.
 class InMemoryGroupedStream : public GroupedRecordStream {
  public:
-  explicit InMemoryGroupedStream(std::vector<Record> records)
-      : records_(std::move(records)) {
-    SortRecords(records_);
+  InMemoryGroupedStream(std::vector<Record> records,
+                        std::vector<ShuffleSegment> segments)
+      : records_(std::move(records)), segments_(std::move(segments)) {
+    AppendRecordEntries(records_, segments_, &entries_);
   }
+
+  /// Reads one sorted run into the stream-private arena. Call before Seal.
+  Status AbsorbRun(const RunInfo& run, IoFaultInjector* injector,
+                   int64_t* mismatch_counter) {
+    SpillReader reader(run.path);
+    SPCUBE_RETURN_IF_ERROR(reader.Open());
+    reader.SetFaultInjection(injector, mismatch_counter, run.resource);
+    std::string raw;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
+      if (!more) break;
+      std::string_view key;
+      std::string_view value;
+      SPCUBE_RETURN_IF_ERROR(ParseSpillRecord(raw, &key, &value));
+      const char* data = absorbed_.AppendPair(key, value);
+      entries_.push_back(ShuffleRecordRef{
+          data, data + key.size(), static_cast<uint32_t>(key.size()),
+          static_cast<uint32_t>(value.size())});
+    }
+    return Status::OK();
+  }
+
+  /// Builds the sorted iteration order; call once after the last AbsorbRun.
+  void Seal() { SortRefs(entries_, &order_); }
 
   Result<bool> NextGroup(std::string* key) override {
     pos_ = group_end_;
-    if (pos_ >= records_.size()) return false;
-    *key = records_[pos_].key;
+    if (pos_ >= order_.size()) return false;
+    const std::string_view group = KeyAt(pos_);
+    key->assign(group);
     group_end_ = pos_;
-    while (group_end_ < records_.size() &&
-           records_[group_end_].key == *key) {
+    while (group_end_ < order_.size() && KeyAt(group_end_) == group) {
       ++group_end_;
     }
     value_pos_ = pos_;
@@ -196,13 +423,22 @@ class InMemoryGroupedStream : public GroupedRecordStream {
 
   Result<bool> NextValue(std::string* value) override {
     if (value_pos_ >= group_end_) return false;
-    *value = std::move(records_[value_pos_].value);
+    const ShuffleRecordRef& ref = entries_[order_[value_pos_].index];
+    value->assign(ref.value());
     ++value_pos_;
     return true;
   }
 
  private:
-  std::vector<Record> records_;
+  std::string_view KeyAt(size_t sorted_pos) const {
+    return entries_[order_[sorted_pos].index].key();
+  }
+
+  std::vector<Record> records_;          // owns bytes for direct inputs
+  std::vector<ShuffleSegment> segments_; // owns bytes for map-side segments
+  Arena absorbed_;                       // owns bytes for absorbed runs
+  std::vector<ShuffleRecordRef> entries_;
+  std::vector<ShuffleSortItem> order_;
   size_t pos_ = 0;
   size_t group_end_ = 0;
   size_t value_pos_ = 0;
@@ -272,7 +508,9 @@ class MergingGroupedStream : public GroupedRecordStream {
       in_group_ = false;
       return false;
     }
-    *value = std::move(heads_[static_cast<size_t>(run)].record.value);
+    // Assign (not move) so the head string keeps its capacity for the next
+    // record parsed into it.
+    *value = heads_[static_cast<size_t>(run)].record.value;
     SPCUBE_RETURN_IF_ERROR(Advance(static_cast<size_t>(run)));
     return true;
   }
@@ -284,13 +522,16 @@ class MergingGroupedStream : public GroupedRecordStream {
   };
 
   Status Advance(size_t run) {
-    std::string raw;
-    SPCUBE_ASSIGN_OR_RETURN(bool more, readers_[run]->Next(&raw));
+    SPCUBE_ASSIGN_OR_RETURN(bool more, readers_[run]->Next(&raw_));
     if (!more) {
       heads_[run].valid = false;
       return Status::OK();
     }
-    SPCUBE_RETURN_IF_ERROR(DecodeSpillRecord(raw, &heads_[run].record));
+    std::string_view key;
+    std::string_view value;
+    SPCUBE_RETURN_IF_ERROR(ParseSpillRecord(raw_, &key, &value));
+    heads_[run].record.key.assign(key);
+    heads_[run].record.value.assign(value);
     heads_[run].valid = true;
     return Status::OK();
   }
@@ -316,6 +557,7 @@ class MergingGroupedStream : public GroupedRecordStream {
   int64_t* mismatch_counter_;
   std::vector<std::unique_ptr<SpillReader>> readers_;
   std::vector<Head> heads_;
+  std::string raw_;  // reused fetch buffer; parsed records view into it
   std::string current_key_;
   bool in_group_ = false;
 };
@@ -335,28 +577,17 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
         " bytes exceeds the machine memory budget of " +
         std::to_string(memory_budget_bytes) + " bytes");
   }
-  if (fits && input.spill_runs.empty()) {
-    return {std::make_unique<InMemoryGroupedStream>(
-        std::move(input.memory_records))};
-  }
   if (fits) {
-    // Small enough to absorb the runs into memory: read them back and sort
-    // everything together.
-    std::vector<Record> all = std::move(input.memory_records);
+    // Small enough to run in memory; absorb any runs into the stream's
+    // private arena and sort everything together.
+    auto stream = std::make_unique<InMemoryGroupedStream>(
+        std::move(input.memory_records), std::move(input.memory_segments));
     for (const RunInfo& run : input.spill_runs) {
-      SpillReader reader(run.path);
-      SPCUBE_RETURN_IF_ERROR(reader.Open());
-      reader.SetFaultInjection(injector, mismatch_counter, run.resource);
-      std::string raw;
-      for (;;) {
-        SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
-        if (!more) break;
-        Record record;
-        SPCUBE_RETURN_IF_ERROR(DecodeSpillRecord(raw, &record));
-        all.push_back(std::move(record));
-      }
+      SPCUBE_RETURN_IF_ERROR(
+          stream->AbsorbRun(run, injector, mismatch_counter));
     }
-    return {std::make_unique<InMemoryGroupedStream>(std::move(all))};
+    stream->Seal();
+    return {std::unique_ptr<GroupedRecordStream>(std::move(stream))};
   }
 
   // External path: sort the in-memory part into one more run, then merge.
@@ -369,10 +600,16 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
     run_paths.push_back(run.path);
     run_resources.push_back(run.resource);
   }
-  if (!input.memory_records.empty()) {
-    SortRecords(input.memory_records);
-    SPCUBE_ASSIGN_OR_RETURN(
-        RunInfo run, WriteRun(input.memory_records, temp_files, counters));
+  std::vector<ShuffleRecordRef> memory_refs;
+  AppendRecordEntries(input.memory_records, input.memory_segments,
+                      &memory_refs);
+  if (!memory_refs.empty()) {
+    std::vector<ShuffleSortItem> order;
+    SortRefs(memory_refs, &order);
+    ByteWriter encode;
+    SPCUBE_ASSIGN_OR_RETURN(RunInfo run,
+                            WriteSortedRun(memory_refs, order, temp_files,
+                                           counters, &encode));
     run_paths.push_back(run.path);
     run_resources.push_back(
         resource_prefix.empty() ? "" : resource_prefix + "/mem");

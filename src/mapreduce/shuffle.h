@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/bytes.h"
 #include "common/status.h"
 #include "io/spill.h"
 #include "mapreduce/api.h"
@@ -39,10 +41,84 @@ struct ShuffleCounters {
   int64_t checksum_mismatches = 0;
 };
 
-/// Map-side output buffer of one map task: one in-memory record vector per
-/// reduce partition, combined and/or spilled to sorted local run files when
-/// the memory budget is exceeded — the Hadoop sort-and-spill pipeline in
-/// miniature.
+/// Spill-record codec: `[varint key_len | key | varint value_len | value]`.
+/// AppendSpillRecord appends one record's encoding to `out` (callers reuse
+/// the writer across records); ParseSpillRecord yields views into `raw`
+/// without copying. The byte format is the wire contract of spill runs and
+/// must not change (checksummed by SpillWriter/SpillReader around it).
+void AppendSpillRecord(std::string_view key, std::string_view value,
+                       ByteWriter* out);
+Status ParseSpillRecord(std::string_view raw, std::string_view* key,
+                        std::string_view* value);
+
+/// One shuffle record as views into arena (or other stable) storage. Plain
+/// pointers + lengths so a vector of refs is trivially sortable.
+struct ShuffleRecordRef {
+  const char* key_data = nullptr;
+  const char* value_data = nullptr;
+  uint32_t key_len = 0;
+  uint32_t value_len = 0;
+
+  std::string_view key() const { return {key_data, key_len}; }
+  std::string_view value() const { return {value_data, value_len}; }
+};
+
+/// Cache of a record's first 8 big-endian key bytes, used to sort slot
+/// indices for a spill without touching the full keys in the hot loop.
+struct ShuffleSortItem {
+  uint64_t key_prefix = 0;
+  uint32_t index = 0;
+};
+
+/// An immutable batch of map-output records backed by the arena they were
+/// emitted into: the zero-copy hand-off from ShuffleBuffer to the reduce
+/// side. Cheap to copy (shared ownership) so a ReduceInput holding segments
+/// stays copyable for reduce-attempt retries.
+class ShuffleSegment {
+ public:
+  ShuffleSegment() = default;
+
+  bool empty() const { return rep_ == nullptr || rep_->refs.empty(); }
+  int64_t num_records() const {
+    return rep_ == nullptr ? 0 : static_cast<int64_t>(rep_->refs.size());
+  }
+  /// Key+value bytes across all records (the RecordBytes sum).
+  int64_t payload_bytes() const {
+    return rep_ == nullptr ? 0 : rep_->payload_bytes;
+  }
+  const std::vector<ShuffleRecordRef>& refs() const {
+    static const std::vector<ShuffleRecordRef> kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->refs;
+  }
+
+ private:
+  friend class ShuffleBuffer;
+
+  struct Rep {
+    Arena arena;  // owns the bytes the refs point into
+    std::vector<ShuffleRecordRef> refs;
+    int64_t payload_bytes = 0;
+  };
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Map-side output buffer of one map task — the Hadoop sort-and-spill
+/// pipeline in miniature, rebuilt around per-partition bump arenas:
+///
+///  * Add appends `[key|value]` bytes into the partition's arena and records
+///    a compact slot; no per-record std::string is created.
+///  * With a combiner, keys are deduplicated on the way in through an
+///    open-addressing index keyed on string_views into the arena (built
+///    incrementally, not per overflow); each key's values form a linked
+///    list in emission order.
+///  * Spills sort slot indices (cached 8-byte key prefix, then full key,
+///    then emission order — equivalent to a stable sort by key) and stream
+///    the run straight from arena bytes through the CRC32C spill writer.
+///
+/// Wire formats, counter semantics, and the Take* contracts are identical
+/// to the original Record-based implementation; see docs/INTERNALS.md §9
+/// for what `buffered_bytes_` counts under the arena.
 class ShuffleBuffer {
  public:
   /// `combiner` may be null. `temp_files` outlives the buffer.
@@ -62,23 +138,78 @@ class ShuffleBuffer {
     resource_prefix_ = std::move(prefix);
   }
 
+  /// Copies `key`/`value` into the partition's arena before returning, so
+  /// callers may reuse their encode buffers immediately.
   Status Add(int partition, std::string_view key, std::string_view value);
 
   /// Runs the final combine pass; call once after the map task finishes.
   Status FinalizeMapOutput();
 
-  /// Moves out the surviving in-memory records of a partition.
+  /// Moves out a partition's surviving in-memory records together with the
+  /// arena that owns their bytes — the zero-copy path the engine uses.
+  ShuffleSegment TakeMemorySegment(int partition);
+
+  /// Materializes the surviving in-memory records of a partition as owned
+  /// Records (compatibility accessor; prefer TakeMemorySegment). Same
+  /// records in the same order as TakeMemorySegment; each call empties the
+  /// partition.
   std::vector<Record> TakeMemoryRecords(int partition);
 
   /// Sorted run files spilled for a partition.
   std::vector<RunInfo> TakeSpillRuns(int partition);
 
  private:
+  /// A record of the no-combiner path: key bytes at `data`, value bytes
+  /// immediately after (one contiguous AppendPair region).
+  struct RecordSlot {
+    const char* data = nullptr;
+    uint32_t key_len = 0;
+    uint32_t value_len = 0;
+  };
+  /// One distinct key of the combiner path, plus its value list.
+  struct KeySlot {
+    const char* data = nullptr;
+    uint32_t len = 0;
+    uint64_t hash = 0;
+    int32_t head = -1;  // first ValueSlot index, -1 when empty
+    int32_t tail = -1;  // last ValueSlot index
+  };
+  /// One value of the combiner path; `values` order is emission order.
+  struct ValueSlot {
+    const char* data = nullptr;
+    uint32_t len = 0;
+    int32_t key_index = -1;
+    int32_t next = -1;  // next value of the same key
+  };
+  struct PartitionState {
+    Arena arena;
+    Arena spare_arena;  // compaction target; swapped with `arena` per pass
+    std::vector<RecordSlot> records;  // no-combiner mode
+    std::vector<KeySlot> keys;        // combiner mode
+    std::vector<ValueSlot> values;
+    std::vector<KeySlot> spare_keys;
+    std::vector<ValueSlot> spare_values;
+    std::vector<uint32_t> buckets;  // open addressing; key_index+1, 0=empty
+  };
+
   /// Combines in-memory records per key; if memory still exceeds the budget
   /// afterwards (or there is no combiner), sorts and spills each partition.
   Status Overflow();
   Status CombineInMemory();
   Status SpillAll();
+
+  /// Appends refs for a partition's live records in canonical order
+  /// (emission order; after a combine, key-insertion order with each key's
+  /// merged values contiguous).
+  void AppendRecordRefs(const PartitionState& part,
+                        std::vector<ShuffleRecordRef>* refs) const;
+  void ResetPartition(PartitionState* part);
+  /// Rehashes `part->keys` into a cleared bucket array of at least
+  /// `min_slots` slots (power of two; never shrinks existing capacity).
+  void RehashBuckets(PartitionState* part, size_t min_slots);
+  /// Index into `part->keys` for `key`, inserting (arena-copying the key
+  /// bytes) if absent. Caller ensures bucket headroom.
+  uint32_t FindOrInsertKey(PartitionState* part, std::string_view key);
 
   int num_partitions_;
   int64_t memory_budget_bytes_;
@@ -87,9 +218,20 @@ class ShuffleBuffer {
   ShuffleCounters* counters_;
   std::string resource_prefix_;
 
+  /// Live payload bytes (RecordBytes sum over surviving records) — not
+  /// arena chunk bytes; see docs/INTERNALS.md §9.
   int64_t buffered_bytes_ = 0;
-  std::vector<std::vector<Record>> memory_;        // per partition
-  std::vector<std::vector<RunInfo>> spill_runs_;   // per partition
+  std::vector<PartitionState> partitions_;
+  std::vector<std::vector<RunInfo>> spill_runs_;  // per partition
+
+  // Reusable scratch so the steady-state Add → combine → spill cycle
+  // performs no per-record heap allocations.
+  std::string combine_key_;
+  std::vector<std::string> combine_values_;
+  std::vector<std::string> combine_merged_;
+  std::vector<ShuffleRecordRef> scratch_refs_;
+  std::vector<ShuffleSortItem> sort_items_;
+  ByteWriter encode_scratch_;
 };
 
 /// Iterates the reduce input of one partition as (group, values) in
@@ -109,25 +251,30 @@ class GroupedRecordStream {
   virtual Result<bool> NextValue(std::string* value) = 0;
 };
 
-/// Inputs for building a reduce-side stream.
+/// Inputs for building a reduce-side stream. `memory_records` and
+/// `memory_segments` are both unsorted in-memory sources (records first in
+/// the canonical ordering); the engine uses segments, tests may use either.
 struct ReduceInput {
-  std::vector<Record> memory_records;  // unsorted
-  std::vector<RunInfo> spill_runs;     // each sorted by key
-  int64_t total_bytes = 0;             // payload bytes across both sources
+  std::vector<Record> memory_records;
+  std::vector<ShuffleSegment> memory_segments;
+  std::vector<RunInfo> spill_runs;  // each sorted by key
+  int64_t total_bytes = 0;          // payload bytes across all sources
   int64_t total_records = 0;
 };
 
 /// Builds a stream over `input`. If everything fits in
-/// `memory_budget_bytes`, runs fully in memory; otherwise (policy kSpill)
-/// sorts the in-memory part into additional run files under `temp_files`
-/// and k-way merges all runs, adding the extra runs' bytes to
-/// `counters->spill_bytes`. Policy kStrict fails with ResourceExhausted
-/// when over budget. Run files written here are attempt-private and deleted
-/// when the stream is destroyed; the caller owns `input.spill_runs`' files.
-/// `injector` (may be null) models in-flight corruption of run fetches,
-/// detected via record checksums and counted in
-/// `counters->checksum_mismatches`. `resource_prefix` names the extra
-/// reduce-side run for injection purposes (see RunInfo::resource).
+/// `memory_budget_bytes`, runs fully in memory (iterating segment slots
+/// directly — absorbed runs are parsed into a stream-private arena, never
+/// into per-record strings); otherwise (policy kSpill) sorts the in-memory
+/// part into one additional run file under `temp_files` and k-way merges
+/// all runs, adding the extra run's bytes to `counters->spill_bytes`.
+/// Policy kStrict fails with ResourceExhausted when over budget. Run files
+/// written here are attempt-private and deleted when the stream is
+/// destroyed; the caller owns `input.spill_runs`' files. `injector` (may be
+/// null) models in-flight corruption of run fetches, detected via record
+/// checksums and counted in `counters->checksum_mismatches`.
+/// `resource_prefix` names the extra reduce-side run for injection purposes
+/// (see RunInfo::resource).
 Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
     ReduceInput input, int64_t memory_budget_bytes, MemoryPolicy policy,
     TempFileManager* temp_files, ShuffleCounters* counters,

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned shuffle styles — string_views into the arena,
+// aggregate Records built from already-owned strings, and an annotated
+// deliberate copy at an ownership boundary.
+namespace spcube {
+
+void Forward(Stream& stream, Arena& arena, std::vector<Ref>& refs,
+             std::vector<Record>& pending) {
+  const char* bytes = arena.AppendPair(stream.key(), stream.value());
+  refs.push_back(Ref{bytes, stream.key().size(), stream.value().size()});
+  std::string owned_key = TakeKey(stream);
+  pending.push_back(Record{std::move(owned_key), TakeValue(stream)});
+  // spcube-lint: allow(no-owning-copy-in-hot-path): commit buffer must own
+  pending.push_back(Record{std::string(stream.key()), TakeValue(stream)});
+}
+
+}  // namespace spcube

@@ -1,0 +1,11 @@
+// Fixture: materializing owned Records on the shuffle hot path, one
+// violating construct per line so the lint test can pin exact line numbers.
+namespace spcube {
+
+void Drain(Stream& stream, std::vector<Record>& out) {
+  out.push_back(Record{std::string(stream.key()), "v"});  // line 6
+  out.emplace_back(
+      Record{std::string(stream.key()), std::string(stream.value())});
+}
+
+}  // namespace spcube

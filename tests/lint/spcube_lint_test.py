@@ -68,6 +68,11 @@ EXPECTATIONS = {
         (10, "no-owning-copy-in-hot-path"),
     ],
     "src/cube/owning_copy_clean.cc": [],
+    "src/mapreduce/owning_copy_violation.cc": [
+        (6, "no-owning-copy-in-hot-path"),
+        (8, "no-owning-copy-in-hot-path"),
+    ],
+    "src/mapreduce/owning_copy_clean.cc": [],
     "src/owning_copy_outside_hot_path.cc": [],
 }
 

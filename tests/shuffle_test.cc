@@ -11,6 +11,7 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "common/random.h"
 #include "io/dfs.h"
 #include "mapreduce/engine.h"
 #include "mapreduce/fault.h"
@@ -426,6 +427,232 @@ TEST(ShuffleLifetimeTest, RetriedChaosJobLeavesNoTempFiles) {
   EXPECT_GT(metrics->task_retries, 0);
   EXPECT_GT(metrics->spill_bytes, 0);
   EXPECT_EQ(CountFilesIn(engine.temp_dir()), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Spill-record codec: the wire contract of run files.
+// ---------------------------------------------------------------------------
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string out(rng.NextBounded(max_len + 1), '\0');
+  for (char& c : out) c = static_cast<char>(rng.NextBounded(256));
+  return out;
+}
+
+TEST(SpillCodecTest, MatchesManualEncodingAndRoundTrips) {
+  // Property: AppendSpillRecord is bit-identical to the historical
+  // `PutBytes(key); PutBytes(value)` pair, and ParseSpillRecord inverts it.
+  Rng rng(191);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string key = RandomBytes(rng, 48);
+    const std::string value = RandomBytes(rng, 160);
+
+    ByteWriter codec;
+    AppendSpillRecord(key, value, &codec);
+    ByteWriter manual;
+    manual.PutBytes(key);
+    manual.PutBytes(value);
+    ASSERT_EQ(codec.data(), manual.data());
+
+    std::string_view parsed_key;
+    std::string_view parsed_value;
+    ASSERT_TRUE(
+        ParseSpillRecord(codec.data(), &parsed_key, &parsed_value).ok());
+    EXPECT_EQ(parsed_key, key);
+    EXPECT_EQ(parsed_value, value);
+  }
+}
+
+TEST(SpillCodecTest, AppendsWithoutClearingTheWriter) {
+  // Callers stream many records through one writer; each record's encoding
+  // must be self-delimiting and independent of what came before.
+  ByteWriter out;
+  AppendSpillRecord("alpha", "1", &out);
+  const size_t first = out.size();
+  AppendSpillRecord("bee", "22", &out);
+
+  std::string_view key;
+  std::string_view value;
+  ASSERT_TRUE(ParseSpillRecord(std::string_view(out.data()).substr(0, first),
+                               &key, &value)
+                  .ok());
+  EXPECT_EQ(key, "alpha");
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(ParseSpillRecord(std::string_view(out.data()).substr(first),
+                               &key, &value)
+                  .ok());
+  EXPECT_EQ(key, "bee");
+  EXPECT_EQ(value, "22");
+}
+
+TEST(SpillCodecTest, RejectsTruncationAndTrailingBytes) {
+  ByteWriter out;
+  AppendSpillRecord("some_key", "some_value", &out);
+  const std::string_view raw = out.data();
+
+  std::string_view key;
+  std::string_view value;
+  for (size_t len = 0; len < raw.size(); ++len) {
+    EXPECT_FALSE(ParseSpillRecord(raw.substr(0, len), &key, &value).ok())
+        << "prefix of length " << len << " parsed as a whole record";
+  }
+  std::string padded(raw);
+  padded.push_back('\0');
+  EXPECT_FALSE(ParseSpillRecord(padded, &key, &value).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Spill-forcing equivalence grid: the reduce input must be independent of
+// whether records travelled via the in-memory arena, combined survivors, or
+// checksummed spill runs — with and without in-flight corruption.
+// ---------------------------------------------------------------------------
+
+/// Runs `records` through a ShuffleBuffer + MakeGroupedStream round trip and
+/// returns the reduce-side groups, summing each group's values so the result
+/// is invariant under map-side combining.
+std::map<std::string, int64_t> RoundTrip(
+    const std::vector<Record>& records, bool use_combiner,
+    int64_t map_budget_bytes, IoFaultInjector* injector,
+    ShuffleCounters* counters) {
+  TempFileManager temp("shuffle_equiv");
+  SumCombiner combiner;
+  ShuffleBuffer buffer(1, map_budget_bytes,
+                       use_combiner ? &combiner : nullptr, &temp, counters);
+  buffer.SetSpillResourcePrefix("equiv/m0/a0");
+  for (const Record& record : records) {
+    EXPECT_TRUE(buffer.Add(0, record.key, record.value).ok());
+  }
+  EXPECT_TRUE(buffer.FinalizeMapOutput().ok());
+
+  ReduceInput input;
+  ShuffleSegment segment = buffer.TakeMemorySegment(0);
+  input.total_bytes += segment.payload_bytes();
+  input.total_records += segment.num_records();
+  if (!segment.empty()) input.memory_segments.push_back(std::move(segment));
+  for (RunInfo& run : buffer.TakeSpillRuns(0)) {
+    input.total_bytes += run.payload_bytes;
+    input.total_records += run.records;
+    input.spill_runs.push_back(std::move(run));
+  }
+  std::vector<std::string> run_paths;
+  for (const RunInfo& run : input.spill_runs) run_paths.push_back(run.path);
+
+  auto stream =
+      MakeGroupedStream(std::move(input), int64_t{1} << 30,
+                        MemoryPolicy::kSpill, &temp, counters, injector,
+                        "equiv/r0");
+  EXPECT_TRUE(stream.ok()) << stream.status();
+  std::map<std::string, int64_t> sums;
+  if (stream.ok()) {
+    for (auto& [key, values] : DrainStream(**stream)) {
+      int64_t total = 0;
+      for (const std::string& value : values) total += std::stoll(value);
+      sums[key] = total;
+    }
+  }
+  for (const std::string& path : run_paths) {
+    std::filesystem::remove(path);  // runs taken out of the buffer are ours
+  }
+  return sums;
+}
+
+TEST(ShuffleEquivalenceTest, SpillsCombinerAndCorruptionPreserveReduceInput) {
+  // Seeded skewed key distribution so some keys combine heavily and others
+  // are singletons.
+  Rng rng(404);
+  std::vector<Record> records;
+  std::map<std::string, int64_t> expected;
+  for (int i = 0; i < 400; ++i) {
+    const int64_t hot = rng.NextBounded(3);
+    const std::string key =
+        rng.NextBernoulli(0.5)
+            ? "hot_key_" + std::to_string(hot)
+            : "cold_key_" + std::to_string(rng.NextBounded(1000));
+    const std::string value = std::to_string(rng.NextInRange(-50, 50));
+    expected[key] += std::stoll(value);
+    records.push_back(Record{key, value});
+  }
+
+  for (const bool use_combiner : {false, true}) {
+    for (const bool tiny_budget : {false, true}) {
+      for (const double corruption_rate : {0.0, 0.5}) {
+        SCOPED_TRACE("combiner=" + std::to_string(use_combiner) +
+                     " tiny=" + std::to_string(tiny_budget) +
+                     " corruption=" + std::to_string(corruption_rate));
+        FaultConfig config;
+        config.seed = 77;
+        config.payload_corruption_rate = corruption_rate;
+        FaultPlan plan(config);
+        ShuffleCounters counters;
+        const int64_t budget = tiny_budget ? 256 : (int64_t{1} << 30);
+        const auto sums =
+            RoundTrip(records, use_combiner, budget,
+                      corruption_rate > 0 ? &plan : nullptr, &counters);
+        EXPECT_EQ(sums, expected);
+        if (tiny_budget) {
+          EXPECT_GT(counters.spill_bytes, 0) << "budget did not force spills";
+        } else {
+          EXPECT_EQ(counters.spill_bytes, 0);
+        }
+        if (corruption_rate > 0 && tiny_budget) {
+          // Spilled fetches were corrupted in flight; the checksummed reader
+          // must have detected and re-fetched every one of them.
+          EXPECT_GT(counters.checksum_mismatches, 0);
+          EXPECT_GT(plan.injected_corruptions(), 0);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TakeMemorySegment / TakeMemoryRecords equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(ShuffleBufferTest, SegmentAndRecordAccessorsAgree) {
+  Rng rng(88);
+  std::vector<Record> records;
+  for (int i = 0; i < 120; ++i) {
+    records.push_back(Record{"key_" + std::to_string(rng.NextBounded(20)),
+                             std::to_string(rng.NextBounded(100))});
+  }
+  for (const bool use_combiner : {false, true}) {
+    SCOPED_TRACE("combiner=" + std::to_string(use_combiner));
+    TempFileManager temp("shuffle_seg");
+    SumCombiner combiner;
+    ShuffleCounters seg_counters;
+    ShuffleCounters rec_counters;
+    ShuffleBuffer seg_buffer(2, int64_t{1} << 30,
+                             use_combiner ? &combiner : nullptr, &temp,
+                             &seg_counters);
+    ShuffleBuffer rec_buffer(2, int64_t{1} << 30,
+                             use_combiner ? &combiner : nullptr, &temp,
+                             &rec_counters);
+    for (const Record& record : records) {
+      const int partition = static_cast<int>(record.key.size() % 2);
+      ASSERT_TRUE(seg_buffer.Add(partition, record.key, record.value).ok());
+      ASSERT_TRUE(rec_buffer.Add(partition, record.key, record.value).ok());
+    }
+    ASSERT_TRUE(seg_buffer.FinalizeMapOutput().ok());
+    ASSERT_TRUE(rec_buffer.FinalizeMapOutput().ok());
+
+    for (int p = 0; p < 2; ++p) {
+      ShuffleSegment segment = seg_buffer.TakeMemorySegment(p);
+      const std::vector<Record> taken = rec_buffer.TakeMemoryRecords(p);
+      ASSERT_EQ(segment.num_records(),
+                static_cast<int64_t>(taken.size()));
+      int64_t payload = 0;
+      for (size_t i = 0; i < taken.size(); ++i) {
+        EXPECT_EQ(segment.refs()[i].key(), taken[i].key);
+        EXPECT_EQ(segment.refs()[i].value(), taken[i].value);
+        payload += RecordBytes(taken[i].key, taken[i].value);
+      }
+      EXPECT_EQ(segment.payload_bytes(), payload);
+      // A second take yields nothing: each call empties the partition.
+      EXPECT_TRUE(seg_buffer.TakeMemorySegment(p).empty());
+      EXPECT_TRUE(rec_buffer.TakeMemoryRecords(p).empty());
+    }
+  }
 }
 
 }  // namespace

@@ -375,10 +375,11 @@ def check_nodiscard_on_status(f, findings, marked_types):
                     "SPCUBE_IGNORE_ERROR(expr, reason)"))
 
 
-HOT_PATH_DIRS = ("src/cube/", "src/core/", "src/sketch/")
+HOT_PATH_DIRS = ("src/cube/", "src/core/", "src/sketch/", "src/mapreduce/")
 OWNING_COPY_RE = re.compile(
     r"\.\s*Slice\s*\(|"
-    r"\bAppendRow\s*\(\s*[\w.\[\]()>-]*\.\s*row\s*\(")
+    r"\bAppendRow\s*\(\s*[\w.\[\]()>-]*\.\s*row\s*\(|"
+    r"\bRecord\s*\{\s*std::string\s*\(")
 
 
 def _in_hot_path(relpath):
@@ -394,9 +395,9 @@ def check_no_owning_copy(f, findings):
         if m and not f.allows("no-owning-copy-in-hot-path", i):
             findings.append(Finding(
                 f.relpath, i, "no-owning-copy-in-hot-path",
-                "'%s' materializes an owning copy of relation rows on a "
-                "cube hot path; pass a zero-copy RelationView "
-                "(relation/relation_view.h) or annotate a deliberate copy"
+                "'%s' materializes an owning copy on a hot path; pass a "
+                "zero-copy view (RelationView, or string_views into the "
+                "shuffle arena) or annotate a deliberate copy"
                 % m.group(0).strip()))
 
 

@@ -14,8 +14,8 @@
 //
 // Wall-clock timing is host-side and legitimate here: these race two code
 // paths on identical in-memory inputs, no simulated cluster involved.
-// Results go to stdout and, with --json=<path>, to a JSON file for
-// BENCH_layout.json.
+// Results go to stdout and, with --emit-json=<path> (legacy --json=), to a
+// JSON file matching the tools/validate_bench_json.py schema.
 
 #include <algorithm>
 #include <atomic>
@@ -122,13 +122,6 @@ void PrintRow(const BenchRow& row) {
               static_cast<long long>(row.columnar.allocs));
 }
 
-std::string ParseJsonPath(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
-  }
-  return "";
-}
-
 void WriteJson(const std::string& path, int64_t rows, int dims,
                const std::vector<BenchRow>& table) {
   std::ofstream out(path);
@@ -152,7 +145,7 @@ void WriteJson(const std::string& path, int64_t rows, int dims,
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
-  const std::string json_path = ParseJsonPath(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int64_t n = bench::Scaled(200000, scale);
   const int d = 6;
   const int reps = 5;

@@ -19,9 +19,10 @@
 //
 // Wall-clock timing is host-side and legitimate here: these race two code
 // paths on identical in-memory inputs, no simulated cluster involved.
-// Results go to stdout and, with --json=<path>, to a JSON file for
-// BENCH_shuffle.json. Allocation columns count global operator new calls
-// per rep (reported per record in the JSON).
+// Results go to stdout and, with --emit-json=<path> (legacy --json=), to a
+// JSON file matching the tools/validate_bench_json.py schema. Allocation
+// columns count global operator new calls per rep (reported per record in
+// the JSON).
 
 #include <algorithm>
 #include <atomic>
@@ -129,13 +130,6 @@ void PrintRow(const BenchRow& row, int64_t records) {
                   static_cast<double>(records));
 }
 
-std::string ParseJsonPath(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
-  }
-  return "";
-}
-
 void WriteJson(const std::string& path, int64_t records,
                const std::vector<BenchRow>& table) {
   std::ofstream out(path);
@@ -236,7 +230,7 @@ BenchRow RaceScenario(const char* name, const std::vector<EmitInput>& inputs,
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
-  const std::string json_path = ParseJsonPath(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int64_t n = std::max<int64_t>(bench::Scaled(200000, scale), 1000);
   const int partitions = 4;
   const int reps = 5;

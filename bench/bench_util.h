@@ -94,6 +94,12 @@ std::string FormatCount(int64_t count);
 /// multiplied by it so users can cheaply smoke-test or crank up fidelity.
 double ParseScale(int argc, char** argv);
 
+/// Parses "--emit-json=<path>" (or the legacy "--json=<path>" spelling)
+/// from argv; empty string when absent. The emitted file must satisfy
+/// tools/validate_bench_json.py: a top-level object with a "bench" name
+/// and a non-empty "results" array of {name, numeric fields...} rows.
+std::string ParseEmitJsonPath(int argc, char** argv);
+
 inline int64_t Scaled(int64_t base, double scale) {
   return static_cast<int64_t>(static_cast<double>(base) * scale);
 }

@@ -310,8 +310,9 @@ Result<CubeRunOutput> MrCubeAlgorithm::Run(Engine& engine,
     spec.mapper_factory = [alpha, seed = sampling.seed]() {
       return std::make_unique<SketchSampleMapper>(alpha, seed);
     };
-    spec.reducer_factory = [&]() {
-      return std::make_unique<AnnotateReducer>(input.num_dims(), n, sampling,
+    spec.reducer_factory = [num_dims = input.num_dims(), n, sampling,
+                            annotations_path]() {
+      return std::make_unique<AnnotateReducer>(num_dims, n, sampling,
                                                annotations_path);
     };
     NullOutputCollector sink;

@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lifetime.h"
+
 namespace spcube {
 
 /// Chunked bump allocator for byte payloads. Appended bytes live at stable
@@ -39,6 +41,11 @@ class Arena {
     offset_ = other.offset_;
     bytes_used_ = other.bytes_used_;
     bytes_reserved_ = other.bytes_reserved_;
+    // The generation travels with the chunks: addresses handed out by
+    // `other` stay valid through `*this`, and `other` (now empty) must fail
+    // any stale-generation comparison against them.
+    generation_ = other.generation_;
+    other.generation_ += 1;
     other.chunks_.clear();
     other.active_ = 0;
     other.offset_ = 0;
@@ -65,8 +72,20 @@ class Arena {
 
   /// Rewinds to empty. Keeps every chunk, so previously reached capacity is
   /// reused allocation-free; all addresses handed out before the Reset are
-  /// invalidated (the bytes may be overwritten by later appends).
+  /// invalidated (the bytes may be overwritten by later appends). Under
+  /// SPCUBE_LIFETIME_CHECKS the retained chunks are poisoned with
+  /// kLifetimePoisonByte so a stale read is recognizable instead of
+  /// silently returning the previous cycle's bytes.
   void Reset() {
+    generation_ += 1;
+#if SPCUBE_LIFETIME_CHECKS
+    // Chunks past `active_` were never written this cycle (they still hold
+    // the previous Reset's poison), so poisoning [0, active_] is complete.
+    for (size_t c = 0; c < chunks_.size() && c <= active_; ++c) {
+      std::memset(chunks_[c].data.get(), kLifetimePoisonByte,
+                  chunks_[c].capacity);
+    }
+#endif
     active_ = 0;
     offset_ = 0;
     bytes_used_ = 0;
@@ -77,6 +96,13 @@ class Arena {
 
   /// Total chunk capacity held (survives Reset).
   int64_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Bumped by every Reset() (and for the source of a move): two equal
+  /// generations mean addresses taken at the first are still valid at the
+  /// second. ShuffleSegment stamps this to catch stale borrows under
+  /// SPCUBE_LIFETIME_CHECKS; maintained unconditionally so mixed-TU builds
+  /// agree on layout and values.
+  uint64_t generation() const { return generation_; }
 
  private:
   struct Chunk {
@@ -114,6 +140,7 @@ class Arena {
   size_t offset_ = 0;   // bytes used within the active chunk
   int64_t bytes_used_ = 0;
   int64_t bytes_reserved_ = 0;
+  uint64_t generation_ = 0;  // see generation()
 };
 
 }  // namespace spcube

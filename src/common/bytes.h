@@ -84,6 +84,7 @@ class ByteReader {
  private:
   Status GetRaw(void* dst, size_t n);
 
+  // spcube-analyzer: allow(view-escape): ByteReader is a decode cursor; its contract (class comment) is that the caller keeps the buffer alive
   std::string_view data_;
   size_t pos_ = 0;
 };

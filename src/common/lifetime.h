@@ -1,0 +1,33 @@
+#ifndef SPCUBE_COMMON_LIFETIME_H_
+#define SPCUBE_COMMON_LIFETIME_H_
+
+// SPCUBE_LIFETIME_CHECKS gates the dynamic half of the zero-copy lifetime
+// contracts (docs/INTERNALS.md §10): Arena poisons retained chunks on
+// Reset(), and ShuffleSegment / RelationView verify their owner's
+// generation/epoch on access, aborting deterministically on a stale borrow.
+//
+// Layout-affecting state (the generation and epoch counters) and the stamp
+// writes are compiled UNCONDITIONALLY so that objects keep one ABI across
+// translation units built with different settings; only the checks and the
+// poisoning are gated. Defaults to on in debug builds, off under NDEBUG;
+// override per target with -DSPCUBE_LIFETIME_CHECKS=0/1 (tests/CMakeLists
+// opts lifetime_test in; the SPCUBE_LIFETIME_CHECKS CMake option opts in a
+// whole build, as the asan-ubsan preset does).
+#ifndef SPCUBE_LIFETIME_CHECKS
+#ifdef NDEBUG
+#define SPCUBE_LIFETIME_CHECKS 0
+#else
+#define SPCUBE_LIFETIME_CHECKS 1
+#endif
+#endif
+
+namespace spcube {
+
+/// Byte written over every retained arena chunk by Arena::Reset() under
+/// SPCUBE_LIFETIME_CHECKS, so a read through a stale pointer yields a
+/// recognizable pattern instead of the previous cycle's plausible payload.
+inline constexpr unsigned char kLifetimePoisonByte = 0xCD;
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_LIFETIME_H_

@@ -243,10 +243,24 @@ ShuffleSegment ShuffleBuffer::TakeMemorySegment(int partition) {
     rep->payload_bytes += RecordBytes(ref.key(), ref.value());
   }
   rep->arena = std::move(part.arena);  // the refs keep pointing into it
+  rep->generation = rep->arena.generation();
   segment.rep_ = std::move(rep);
   ResetPartition(&part);
   return segment;
 }
+
+namespace internal {
+
+void DebugExpireSegment(ShuffleSegment* segment) {
+  if (segment->rep_ == nullptr) return;
+  // The rep is shared as const because segments are immutable hand-offs;
+  // this seam deliberately breaks that to manufacture a stale borrow for
+  // lifetime death tests (see the declaration in shuffle.h).
+  auto* rep = const_cast<ShuffleSegment::Rep*>(segment->rep_.get());
+  rep->arena.Reset();
+}
+
+}  // namespace internal
 
 std::vector<Record> ShuffleBuffer::TakeMemoryRecords(int partition) {
   PartitionState& part = partitions_[static_cast<size_t>(partition)];
@@ -437,6 +451,7 @@ class InMemoryGroupedStream : public GroupedRecordStream {
   std::vector<Record> records_;          // owns bytes for direct inputs
   std::vector<ShuffleSegment> segments_; // owns bytes for map-side segments
   Arena absorbed_;                       // owns bytes for absorbed runs
+  // spcube-analyzer: allow(view-escape): entries_ point into records_/segments_/absorbed_, all owned by this same stream
   std::vector<ShuffleRecordRef> entries_;
   std::vector<ShuffleSortItem> order_;
   size_t pos_ = 0;

@@ -9,11 +9,24 @@
 
 #include "common/arena.h"
 #include "common/bytes.h"
+#include "common/lifetime.h"
+#include "common/logging.h"
 #include "common/status.h"
 #include "io/spill.h"
 #include "mapreduce/api.h"
 
 namespace spcube {
+
+class ShuffleSegment;
+
+namespace internal {
+/// Test seam for SPCUBE_LIFETIME_CHECKS death tests: resets the arena
+/// inside `segment`'s shared rep so its refs go stale. Correct code cannot
+/// reach this state (a segment owns its arena), which is exactly why the
+/// stale-generation abort needs a seam to be testable. Never call outside
+/// tests.
+void DebugExpireSegment(ShuffleSegment* segment);
+}  // namespace internal
 
 /// A sorted run file spilled to local disk, with both its on-disk size and
 /// the payload (key+value) bytes it carries for traffic accounting.
@@ -88,16 +101,27 @@ class ShuffleSegment {
   }
   const std::vector<ShuffleRecordRef>& refs() const {
     static const std::vector<ShuffleRecordRef> kEmpty;
+#if SPCUBE_LIFETIME_CHECKS
+    SPCUBE_CHECK(rep_ == nullptr ||
+                 rep_->arena.generation() == rep_->generation)
+        << "stale ShuffleSegment: the backing arena was reset after the "
+           "segment was taken";
+#endif
     return rep_ == nullptr ? kEmpty : rep_->refs;
   }
 
  private:
   friend class ShuffleBuffer;
+  friend void internal::DebugExpireSegment(ShuffleSegment* segment);
 
   struct Rep {
     Arena arena;  // owns the bytes the refs point into
+    // spcube-analyzer: allow(view-escape): refs point into the arena this same Rep owns; both live and die together
     std::vector<ShuffleRecordRef> refs;
     int64_t payload_bytes = 0;
+    /// Arena generation at hand-off; refs() verifies it still matches under
+    /// SPCUBE_LIFETIME_CHECKS. Unconditional for one cross-TU layout.
+    uint64_t generation = 0;
   };
 
   std::shared_ptr<const Rep> rep_;
@@ -229,6 +253,7 @@ class ShuffleBuffer {
   std::string combine_key_;
   std::vector<std::string> combine_values_;
   std::vector<std::string> combine_merged_;
+  // spcube-analyzer: allow(view-escape): per-call scratch; cleared and refilled inside each Take*/spill call, never escapes
   std::vector<ShuffleRecordRef> scratch_refs_;
   std::vector<ShuffleSortItem> sort_items_;
   ByteWriter encode_scratch_;

@@ -12,6 +12,7 @@ void Relation::AppendRow(std::span<const int64_t> dims, int64_t measure) {
     cols_[d].push_back(dims[d]);
   }
   measures_.push_back(measure);
+  lifetime_epoch_ += 1;
 }
 
 void Relation::AppendRow(RowRef row, int64_t measure) {
@@ -22,6 +23,7 @@ void Relation::AppendRow(RowRef row, int64_t measure) {
     cols_[d].push_back(row[static_cast<int>(d)]);
   }
   measures_.push_back(measure);
+  lifetime_epoch_ += 1;
 }
 
 }  // namespace spcube

@@ -95,6 +95,13 @@ class Relation {
 
   std::span<const int64_t> measures() const { return measures_; }
 
+  /// Bumped by every append (a push_back may reallocate the columns, so any
+  /// outstanding borrow is suspect). RelationView stamps this at
+  /// construction and, under SPCUBE_LIFETIME_CHECKS, aborts when a read
+  /// goes through a view whose relation has since been appended to.
+  /// Maintained unconditionally so mixed-TU builds agree on layout.
+  uint64_t lifetime_epoch() const { return lifetime_epoch_; }
+
   /// Approximate in-memory footprint in bytes (used for the memory model):
   /// num_rows * (num_dims + 1) int64s, identical to the row-major layout.
   int64_t ByteSize() const {
@@ -109,6 +116,7 @@ class Relation {
   Schema schema_;
   std::vector<std::vector<int64_t>> cols_;  // one contiguous array per dim
   std::vector<int64_t> measures_;           // one per row
+  uint64_t lifetime_epoch_ = 0;             // see lifetime_epoch()
 };
 
 }  // namespace spcube

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <span>
 
+#include "common/lifetime.h"
+#include "common/logging.h"
 #include "relation/relation.h"
 
 namespace spcube {
@@ -23,16 +25,19 @@ class RelationView {
  public:
   /// All rows of `rel`.
   explicit RelationView(const Relation& rel)
-      : rel_(&rel), begin_(0), end_(rel.num_rows()) {}
+      : rel_(&rel), begin_(0), end_(rel.num_rows()),
+        epoch_(rel.lifetime_epoch()) {}
 
   /// The contiguous rows [begin, end) of `rel`.
   RelationView(const Relation& rel, int64_t begin, int64_t end)
-      : rel_(&rel), begin_(begin), end_(end) {}
+      : rel_(&rel), begin_(begin), end_(end),
+        epoch_(rel.lifetime_epoch()) {}
 
   /// The rows of `rel` named by `rows`, in that order (duplicates allowed).
   RelationView(const Relation& rel, std::span<const int64_t> rows)
       : rel_(&rel), rows_(rows), begin_(0),
-        end_(static_cast<int64_t>(rows.size())), indirect_(true) {}
+        end_(static_cast<int64_t>(rows.size())),
+        epoch_(rel.lifetime_epoch()), indirect_(true) {}
 
   const Relation& base() const { return *rel_; }
   const Schema& schema() const { return rel_->schema(); }
@@ -40,8 +45,16 @@ class RelationView {
   int64_t num_rows() const { return end_ - begin_; }
   bool has_indirection() const { return indirect_; }
 
-  /// Base-relation row id of the view's i-th row.
+  /// Base-relation row id of the view's i-th row. Every element accessor
+  /// funnels through here, so this is where a stale view (relation appended
+  /// to after the view was taken; see Relation::lifetime_epoch) aborts
+  /// under SPCUBE_LIFETIME_CHECKS.
   int64_t base_row(int64_t i) const {
+#if SPCUBE_LIFETIME_CHECKS
+    SPCUBE_CHECK(rel_->lifetime_epoch() == epoch_)
+        << "stale RelationView: the relation was appended to after this "
+           "view was taken";
+#endif
     return indirect_ ? rows_[static_cast<size_t>(i)] : begin_ + i;
   }
 
@@ -59,9 +72,11 @@ class RelationView {
 
  private:
   const Relation* rel_;
+  // spcube-analyzer: allow(view-escape): RelationView is itself a borrow; it adds no lifetime beyond the one its creator manages
   std::span<const int64_t> rows_;  // used only when indirect_
   int64_t begin_;
   int64_t end_;
+  uint64_t epoch_;  // rel_'s lifetime_epoch() at construction
   bool indirect_ = false;
 };
 

@@ -1,0 +1,42 @@
+// Golden fixture: arena usage the analyzer must NOT flag — uses before the
+// Reset, re-derivation after it, the combine pass's swap-then-Reset
+// rotation, and Reset followed only by fresh appends.
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+namespace fixture {
+
+class Arena {
+ public:
+  const char* Append(std::string_view bytes);
+  const char* AppendPair(std::string_view a, std::string_view b);
+  void Reset();
+};
+
+unsigned long UseBeforeReset(Arena& arena) {
+  const char* key = arena.Append("cube|group|17");
+  unsigned long n = std::strlen(key);  // fine: arena still live
+  arena.Reset();
+  return n;
+}
+
+unsigned long RederiveAfterReset(Arena& arena) {
+  const char* key = arena.Append("first");
+  (void)key;
+  arena.Reset();
+  key = arena.Append("second");  // rebinding revives the variable
+  return std::strlen(key);
+}
+
+// The shuffle combine rotation: survivors are copied into the spare arena,
+// the arenas swap, and only the (now-spare) source is Reset. Addresses
+// derived from the spare side before the swap stay valid.
+const char* CombineRotation(Arena& arena, Arena& spare) {
+  const char* survivor = spare.Append("survivor");
+  std::swap(arena, spare);
+  spare.Reset();
+  return survivor;  // fine: survivor's chunks now live in `arena`
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Golden fixture: pointers derived from an Arena used after its Reset().
+#include <cstring>
+#include <string_view>
+
+namespace fixture {
+
+// Minimal stand-in with the real Arena's derive/Reset surface.
+class Arena {
+ public:
+  const char* Append(std::string_view bytes);
+  const char* AppendPair(std::string_view a, std::string_view b);
+  void Reset();
+};
+
+unsigned long StaleRead(Arena& arena) {
+  const char* key = arena.Append("cube|group|17");
+  arena.Reset();
+  return std::strlen(key);  // arena-escape: key died at Reset()
+}
+
+std::string_view StalePair(Arena& arena) {
+  const char* pair = arena.AppendPair("k", "v");
+  const char* fresh = arena.Append("other");
+  arena.Reset();
+  (void)fresh;  // arena-escape: fresh died at Reset() too
+  return std::string_view(pair, 2);  // arena-escape: and so did pair
+}
+
+}  // namespace fixture

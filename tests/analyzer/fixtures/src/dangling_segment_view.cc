@@ -1,0 +1,24 @@
+// Seeded dangling-view bug (acceptance fixture): a group key is borrowed
+// from a shuffle partition's arena, the arena is reset by the take/compact
+// cycle, and the stale borrow is then returned to the caller. The static
+// analyzer reports both escapes below; the SPCUBE_LIFETIME_CHECKS build
+// catches the same sequence dynamically — tests/lifetime_test.cc's
+// PoisonCatchesTheSeededDanglingViewFixture replays it against the real
+// Arena and observes 0xCD poison where the key bytes used to be.
+#include <string_view>
+
+namespace fixture {
+
+class Arena {
+ public:
+  const char* Append(std::string_view bytes);
+  void Reset();
+};
+
+std::string_view TakeThenReadGroupKey(Arena& arena) {
+  const char* key = arena.Append("cube|group|42");
+  arena.Reset();  // the take/compact cycle rewinds the partition arena
+  return std::string_view(key, 13);  // arena-escape: stale borrow escapes
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Golden fixture: the sanctioned encode-then-emit shapes the analyzer must
+// NOT flag — mutate first and bind the view afterwards, take the view
+// inline at the call site, or re-bind after the mutation.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+class ByteWriter {
+ public:
+  void Clear();
+  void PutVarint(unsigned long v);
+  std::string_view data() const;
+};
+
+class MapContext {
+ public:
+  void Emit(std::string_view key, std::string_view value);
+};
+
+// The repo's standard mapper shape: clear, encode, then view and emit.
+void ClearEncodeEmit(MapContext& context, ByteWriter& writer) {
+  writer.Clear();
+  writer.PutVarint(7);
+  std::string_view key = writer.data();
+  context.Emit(key, "1");
+}
+
+// Inline views are taken at the call, after every mutation.
+void InlineEmit(MapContext& context, ByteWriter& writer) {
+  writer.Clear();
+  writer.PutVarint(7);
+  context.Emit(writer.data(), "1");
+}
+
+// Re-binding after the mutation refreshes the borrow.
+void RebindAfterMutate(MapContext& context, ByteWriter& writer) {
+  std::string_view key = writer.data();
+  writer.Clear();
+  writer.PutVarint(9);
+  key = writer.data();
+  context.Emit(key, "1");
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Golden fixture: emitting a view of a buffer that was mutated after the
+// view was bound — the emit reads reused bytes.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+class ByteWriter {
+ public:
+  void Clear();
+  void PutVarint(unsigned long v);
+  std::string_view data() const;
+};
+
+class MapContext {
+ public:
+  void Emit(std::string_view key, std::string_view value);
+  void EmitToPartition(int partition, std::string_view key,
+                       std::string_view value);
+};
+
+void EmitAfterClear(MapContext& context, ByteWriter& writer) {
+  writer.PutVarint(7);
+  std::string_view key = writer.data();
+  writer.Clear();  // invalidates `key`'s bytes
+  writer.PutVarint(8);
+  context.Emit(key, "1");  // emit-borrow: key views the cleared buffer
+}
+
+void EmitAfterAppend(MapContext& context, std::string& buffer) {
+  buffer.assign("group");
+  std::string_view key = buffer.data();
+  buffer.append("|suffix");  // may reallocate out from under `key`
+  context.EmitToPartition(0, key, "1");  // emit-borrow
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Golden fixture: an allow pragma with no reason suppresses the finding
+// but is itself reported, mirroring spcube_lint's pragma contract.
+#include <string_view>
+
+namespace fixture {
+
+class Header {
+ private:
+  // spcube-analyzer: allow(view-escape)
+  std::string_view name_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Golden fixture: Result<T> flows the analyzer must NOT flag — every
+// unwrap is dominated by an ok() (or status()) check.
+#include <string>
+
+namespace fixture {
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  T& value();
+  T* operator->();
+  T& operator*();
+};
+
+Result<std::string> ReadShard(int shard);
+
+unsigned long CheckedUnwrap(int shard) {
+  Result<std::string> blob = ReadShard(shard);
+  if (!blob.ok()) return 0;
+  return blob.value().size();
+}
+
+unsigned long CheckedDeref(int shard) {
+  Result<std::string> blob = ReadShard(shard);
+  if (blob.ok()) {
+    return blob->size();
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Golden fixture: Result<T> unwrapped before any ok() check — an error
+// value here aborts the process at the unwrap.
+#include <string>
+
+namespace fixture {
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  T& value();
+  T* operator->();
+  T& operator*();
+};
+
+Result<std::string> ReadShard(int shard);
+
+unsigned long UnwrapWithoutCheck(int shard) {
+  Result<std::string> blob = ReadShard(shard);
+  return blob.value().size();  // status-flow: no ok() check dominates this
+}
+
+unsigned long DerefWithoutCheck(int shard) {
+  Result<std::string> blob = ReadShard(shard);
+  return blob->size();  // status-flow: unchecked operator->
+}
+
+}  // namespace fixture

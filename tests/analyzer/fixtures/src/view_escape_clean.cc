@@ -1,0 +1,49 @@
+// Golden fixture: view handling the analyzer must NOT flag — views as
+// parameters and locals, a documented co-owning member, a value-capture
+// factory, and returning a container of views by value.
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+// Trimming a parameter view and returning it borrows nothing new.
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  return s;
+}
+
+// Returning a container of views by value moves the container; the views
+// inside it point at the caller-owned argument.
+std::vector<std::string_view> Split(std::string_view line) {
+  std::vector<std::string_view> fields;
+  fields.push_back(line);
+  return fields;
+}
+
+// A view member whose co-ownership is documented is sanctioned.
+class Segment {
+ public:
+  explicit Segment(std::string bytes) : bytes_(std::move(bytes)) {
+    view_ = bytes_;
+  }
+
+ private:
+  std::string bytes_;
+  // spcube-analyzer: allow(view-escape): view_ points into bytes_, owned by this same object
+  std::string_view view_;
+};
+
+struct Job {
+  std::function<std::unique_ptr<int>()> mapper_factory;
+};
+
+// Explicit value captures cannot dangle.
+void Configure(Job* job, const std::string& name) {
+  int arity = static_cast<int>(name.size());
+  job->mapper_factory = [arity]() { return std::make_unique<int>(arity); };
+}
+
+}  // namespace fixture

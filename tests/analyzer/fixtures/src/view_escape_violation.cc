@@ -1,0 +1,39 @@
+// Golden fixture: the three view-escape shapes. Self-contained stubs so the
+// libclang backend can parse it without the repo's include paths; the
+// internal backend only needs the spellings. Expected findings are pinned
+// by tests/analyzer/spcube_analyzer_test.py.
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+// (a) A borrowed view stored as a data member of a long-lived object.
+class CachedHeader {
+ public:
+  explicit CachedHeader(std::string_view header) : header_(header) {}
+
+ private:
+  std::string_view header_;  // view-escape: outlives the caller's buffer
+};
+
+// (b) Returning a view rooted at a function-local owner.
+std::string_view RenderGroupKey(int cuboid) {
+  std::string key = "cuboid|" + std::to_string(cuboid);
+  return std::string_view(key);  // view-escape: key dies at return
+}
+
+// (c) A by-reference capture stored into a deferred callback slot.
+struct Job {
+  std::function<std::unique_ptr<int>()> mapper_factory;
+};
+
+void Configure(Job* job, const std::string& name) {
+  int arity = static_cast<int>(name.size());
+  job->mapper_factory = [&]() {  // view-escape: deferred [&] capture
+    return std::make_unique<int>(arity);
+  };
+}
+
+}  // namespace fixture

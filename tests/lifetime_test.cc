@@ -1,0 +1,125 @@
+// Dynamic half of the lifetime & borrow contracts (docs/INTERNALS.md §10):
+// this target is compiled with SPCUBE_LIFETIME_CHECKS=1 (see
+// tests/CMakeLists.txt), so Arena::Reset() poisons retained chunks and
+// ShuffleSegment / RelationView verify their generation/epoch stamps on
+// access. Reading poisoned bytes is NOT undefined behavior here — the
+// chunks stay allocated across Reset — which is what makes the poison
+// pattern deterministically observable.
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/arena.h"
+#include "common/lifetime.h"
+#include "gtest/gtest.h"
+#include "mapreduce/shuffle.h"
+#include "relation/relation.h"
+#include "relation/relation_view.h"
+
+namespace spcube {
+namespace {
+
+static_assert(SPCUBE_LIFETIME_CHECKS == 1,
+              "lifetime_test must build with the checks enabled");
+
+TEST(ArenaLifetimeTest, ResetPoisonsRetainedChunks) {
+  Arena arena;
+  const std::string payload = "cube|group|17";
+  const char* data = arena.Append(payload);
+  ASSERT_EQ(payload, std::string_view(data, payload.size()));
+
+  arena.Reset();
+  for (size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(data[i]), kLifetimePoisonByte)
+        << "byte " << i << " not poisoned after Reset";
+  }
+}
+
+TEST(ArenaLifetimeTest, ResetPoisonsEveryChunkWrittenThisCycle) {
+  Arena arena(/*chunk_bytes=*/64);
+  // Spans several chunks, including a dedicated oversize chunk.
+  const char* small = arena.Append(std::string(48, 'a'));
+  const char* oversize = arena.Append(std::string(300, 'b'));
+  const char* tail = arena.Append(std::string(48, 'c'));
+
+  arena.Reset();
+  EXPECT_EQ(static_cast<unsigned char>(small[0]), kLifetimePoisonByte);
+  EXPECT_EQ(static_cast<unsigned char>(oversize[299]), kLifetimePoisonByte);
+  EXPECT_EQ(static_cast<unsigned char>(tail[47]), kLifetimePoisonByte);
+}
+
+TEST(ArenaLifetimeTest, GenerationBumpsOnResetAndTravelsWithMove) {
+  Arena arena;
+  const uint64_t g0 = arena.generation();
+  arena.Reset();
+  EXPECT_EQ(arena.generation(), g0 + 1);
+
+  arena.Append("payload");
+  Arena moved = std::move(arena);
+  // The destination carries the generation its addresses were stamped
+  // with; the hollow source can no longer satisfy a stale comparison.
+  EXPECT_EQ(moved.generation(), g0 + 1);
+  EXPECT_NE(arena.generation(), moved.generation());
+}
+
+// The dynamic twin of the seeded static fixture
+// (tests/analyzer/fixtures/src/dangling_segment_view.cc): derive a group
+// key from an arena, Reset, and observe that the stale borrow now reads
+// poison instead of plausible stale payload.
+TEST(ArenaLifetimeTest, PoisonCatchesTheSeededDanglingViewFixture) {
+  Arena arena;
+  const char* key = arena.Append("cube|group|42");
+  arena.Reset();  // the take/compact cycle rewinds the partition arena
+  const std::string_view stale(key, 13);
+  for (char c : stale) {
+    EXPECT_EQ(static_cast<unsigned char>(c), kLifetimePoisonByte);
+  }
+}
+
+ShuffleSegment TakeOneRecordSegment(ShuffleCounters* counters) {
+  ShuffleBuffer buffer(/*num_partitions=*/1,
+                       /*memory_budget_bytes=*/int64_t{1} << 30,
+                       /*combiner=*/nullptr, /*temp_files=*/nullptr,
+                       counters);
+  EXPECT_TRUE(buffer.Add(0, "key", "value").ok());
+  EXPECT_TRUE(buffer.FinalizeMapOutput().ok());
+  return buffer.TakeMemorySegment(0);
+}
+
+TEST(ShuffleSegmentLifetimeTest, FreshSegmentReadsFine) {
+  ShuffleCounters counters;
+  ShuffleSegment segment = TakeOneRecordSegment(&counters);
+  ASSERT_EQ(segment.num_records(), 1);
+  EXPECT_EQ(segment.refs()[0].key(), "key");
+  EXPECT_EQ(segment.refs()[0].value(), "value");
+}
+
+TEST(ShuffleSegmentLifetimeDeathTest, StaleSegmentReadAborts) {
+  ShuffleCounters counters;
+  ShuffleSegment segment = TakeOneRecordSegment(&counters);
+  // Correct code cannot make a segment stale (it owns its arena), so the
+  // test seam manufactures the state the generation check guards against.
+  internal::DebugExpireSegment(&segment);
+  EXPECT_DEATH((void)segment.refs(), "stale ShuffleSegment");
+}
+
+TEST(RelationViewLifetimeTest, StableViewReadsFine) {
+  Relation rel(Schema::Make({"d0", "d1"}, "m").value());
+  rel.AppendRow(std::vector<int64_t>{1, 2}, 10);
+  rel.AppendRow(std::vector<int64_t>{3, 4}, 20);
+  const RelationView view(rel);
+  EXPECT_EQ(view.dim(1, 0), 3);
+  EXPECT_EQ(view.measure(0), 10);
+}
+
+TEST(RelationViewLifetimeDeathTest, AppendAfterViewTakenAborts) {
+  Relation rel(Schema::Make({"d0", "d1"}, "m").value());
+  rel.AppendRow(std::vector<int64_t>{1, 2}, 10);
+  const RelationView view(rel);
+  rel.AppendRow(std::vector<int64_t>{3, 4}, 20);  // may reallocate columns
+  EXPECT_DEATH((void)view.dim(0, 0), "stale RelationView");
+}
+
+}  // namespace
+}  // namespace spcube

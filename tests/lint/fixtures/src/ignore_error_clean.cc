@@ -1,0 +1,19 @@
+// Fixture: sanctioned SPCUBE_IGNORE_ERROR discards — a real reason, a
+// multi-line call whose reason closes on a later line, and concatenated
+// literals whose combined length is the audit trail.
+#include "common/status.h"
+
+namespace spcube {
+
+Status CloseShard(int shard);
+
+void Teardown() {
+  SPCUBE_IGNORE_ERROR(CloseShard(0), "shard teardown is best-effort");
+  SPCUBE_IGNORE_ERROR(
+      CloseShard(1),
+      "a failed close here is retried by the janitor pass");
+  SPCUBE_IGNORE_ERROR(CloseShard(2), "best-"
+                                     "effort close");
+}
+
+}  // namespace spcube

@@ -1,0 +1,16 @@
+// Fixture: SPCUBE_IGNORE_ERROR discards that defeat the audit-trail
+// contract — an empty reason, a too-short reason, and a non-literal
+// reason the linter cannot audit.
+#include "common/status.h"
+
+namespace spcube {
+
+Status CloseShard(int shard);
+
+void Teardown(const char* why) {
+  SPCUBE_IGNORE_ERROR(CloseShard(0), "");
+  SPCUBE_IGNORE_ERROR(CloseShard(1), "cleanup");
+  SPCUBE_IGNORE_ERROR(CloseShard(2), why);
+}
+
+}  // namespace spcube

@@ -74,6 +74,12 @@ EXPECTATIONS = {
     ],
     "src/mapreduce/owning_copy_clean.cc": [],
     "src/owning_copy_outside_hot_path.cc": [],
+    "src/ignore_error_violation.cc": [
+        (11, "ignore-error-has-reason"),
+        (12, "ignore-error-has-reason"),
+        (13, "ignore-error-has-reason"),
+    ],
+    "src/ignore_error_clean.cc": [],
 }
 
 
@@ -126,7 +132,8 @@ def main():
     rules = proc.stdout.split()
     for rule in ("no-raw-random", "no-exceptions", "no-host-time",
                  "no-stdout-in-lib", "include-guard-name",
-                 "nodiscard-on-status", "no-owning-copy-in-hot-path"):
+                 "nodiscard-on-status", "no-owning-copy-in-hot-path",
+                 "ignore-error-has-reason"):
         if rule not in rules:
             failures.append("--list-rules missing %s" % rule)
 

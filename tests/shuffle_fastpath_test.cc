@@ -7,9 +7,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/arena.h"
@@ -224,6 +226,69 @@ TEST(ShuffleFastPathTest, SpillPathAllocatesPerSpillNotPerRecord) {
       << "spill cycle allocates per record, not per spill";
 
   ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
+}
+
+TEST(ShuffleFastPathTest, SegmentOutlivesSourceBufferAcrossCombinePass) {
+  // Regression for the zero-copy hand-off contract (docs/INTERNALS.md §10):
+  // TakeMemorySegment moves the partition's arena into the segment, so the
+  // segment's refs must stay valid while the source buffer keeps running
+  // combine passes on a fresh arena — and after the buffer dies entirely.
+  // This is exactly the shape spcube-analyzer's view-escape rule flags when
+  // the ownership transfer is missing.
+  TempFileManager temp("fastpath_segment");
+  ShuffleCounters counters;
+  SumCombiner combiner;
+  auto buffer = std::make_unique<ShuffleBuffer>(
+      1, /*memory_budget_bytes=*/4096, &combiner, &temp, &counters);
+
+  // First batch: small budget forces combine passes before the take, so the
+  // segment's refs point into arena bytes rewritten by compaction at least
+  // once.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        buffer->Add(0, "early_key_" + std::to_string(i % 8), "1").ok());
+  }
+  ASSERT_TRUE(buffer->FinalizeMapOutput().ok());
+  ASSERT_GT(counters.combine_input_records, 0) << "combine never ran";
+  ASSERT_EQ(counters.spill_bytes, 0) << "test invalid: the batch spilled";
+
+  ShuffleSegment segment = buffer->TakeMemorySegment(0);
+  ASSERT_EQ(segment.num_records(), 8);
+
+  // Snapshot what the segment reads now (owned copies), to compare against
+  // reads made after the buffer has mutated and died.
+  std::vector<std::pair<std::string, std::string>> expected;
+  for (const ShuffleRecordRef& ref : segment.refs()) {
+    expected.emplace_back(std::string(ref.key()), std::string(ref.value()));
+  }
+
+  // Second batch on the same buffer: drives fresh combine passes (arena
+  // appends, compaction swaps, Reset cycles) on the partition the segment
+  // was taken from. None of that may disturb the segment's bytes.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(buffer->Add(0, "late_key_" + std::to_string(i % 8), "1").ok());
+  }
+  ASSERT_TRUE(buffer->FinalizeMapOutput().ok());
+
+  auto read_segment = [&segment] {
+    std::vector<std::pair<std::string, std::string>> got;
+    for (const ShuffleRecordRef& ref : segment.refs()) {
+      got.emplace_back(std::string(ref.key()), std::string(ref.value()));
+    }
+    return got;
+  };
+  EXPECT_EQ(read_segment(), expected)
+      << "segment contents changed while the source buffer kept combining";
+
+  // Destroy the source buffer outright; the segment owns its arena and must
+  // keep every byte readable.
+  buffer.reset();
+  EXPECT_EQ(read_segment(), expected)
+      << "segment contents changed after the source buffer was destroyed";
+  for (const auto& [key, value] : expected) {
+    EXPECT_TRUE(key.rfind("early_key_", 0) == 0) << key;
+    EXPECT_EQ(value, "250");  // 2000 emits of "1" over 8 keys, summed
+  }
 }
 
 }  // namespace

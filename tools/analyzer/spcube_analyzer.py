@@ -1,0 +1,897 @@
+#!/usr/bin/env python3
+"""spcube_analyzer: AST-level lifetime & borrow checking for the zero-copy
+core.
+
+The regex linter (tools/lint/spcube_lint.py) checks file-scope conventions;
+it cannot see scopes, statement order, or call structure. This analyzer
+enforces the repo's zero-copy *lifetime contracts* (docs/INTERNALS.md §10)
+as named, fixture-tested rules over a per-function statement stream:
+
+  view-escape   A borrowed view (RelationView, std::string_view, std::span,
+                ShuffleRecordRef) must not outlive the owner it borrows
+                from. Flags: (a) view-typed data members — long-lived
+                storage of a borrow — unless the enclosing class documents
+                co-ownership with an allow pragma; (b) returning a view
+                rooted at a function-local owner (the classic dangling
+                string_view); (c) a by-reference lambda capture stored into
+                a deferred callback slot (factory/callback/handler/hook).
+  arena-escape  A pointer derived from an Arena (Append/AppendPair/
+                Allocate) must not be used after that arena's Reset() in
+                the same function: Reset invalidates every address the
+                arena handed out (and poisons the bytes under
+                SPCUBE_LIFETIME_CHECKS).
+  emit-borrow   A mapper/reducer Emit/EmitToPartition/Output argument must
+                not be a view bound to a buffer that was mutated (cleared,
+                reused, appended to) after the view was bound: the emit
+                would read reused bytes. Encode-then-emit with the view
+                taken inline at the call site is the sanctioned shape.
+  status-flow   A Result<T> local must not be unwrapped (.value(), *r,
+                r->) before an ok()/status() check on the same variable —
+                deeper than the [[nodiscard]] sweep, which only sees
+                discarded returns.
+
+Two backends produce the same findings:
+
+  * libclang (python clang.cindex), when importable and a libclang shared
+    library is found: parses real translation units against the exported
+    compile database (build/compile_commands.json), so function extents,
+    class fields, and local variable types (including `auto`) come from
+    the AST.
+  * internal, always available: a self-contained C++ scanner (comment/
+    string stripping, balanced-brace function and class extraction). It
+    resolves no types beyond spelled-out ones, which is why the rules are
+    written to be precision-first.
+
+Both backends lower code into one micro-IR (functions as ordered statement
+events) and run the same rule engine, so golden fixtures pin identical
+(line, rule-id) findings for either.
+
+Suppression mirrors spcube_lint and requires a reason:
+
+  member_;  // spcube-analyzer: allow(view-escape): reason
+  // spcube-analyzer: allow(rule-id): reason      <- covers the next line
+  // spcube-analyzer: allow-file(rule-id): reason <- covers the whole file
+
+Usage:
+  tools/analyzer/spcube_analyzer.py [--root DIR] [--backend auto|internal|
+      libclang] [--compile-commands PATH] [--fast] [paths...]
+
+With no paths, scans src/ under --root (the zero-copy contracts are
+library-side; bench and tool mains own their buffers). Prints findings as
+`path:line: [rule-id] message` and exits 1 if there were any.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.normpath(os.path.join(_HERE, "..", "lint")))
+# The comment/string/raw-literal stripper is shared with the linter so both
+# tools agree on what counts as code.
+from spcube_lint import _strip_comments_and_strings  # noqa: E402
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+DEFAULT_SCAN_DIRS = ("src",)
+
+RULES = [
+    "view-escape",
+    "arena-escape",
+    "emit-borrow",
+    "status-flow",
+]
+
+ALLOW_LINE_RE = re.compile(
+    r"//\s*spcube-analyzer:\s*allow\(([a-z-]+)\)(:\s*(\S.*))?")
+ALLOW_FILE_RE = re.compile(
+    r"//\s*spcube-analyzer:\s*allow-file\(([a-z-]+)\)(:\s*(\S.*))?")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+# ---------------------------------------------------------------------------
+# Micro-IR: a file is classes (with fields) + functions (with an ordered
+# statement stream). Both backends produce this shape.
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """One flattened statement: its stripped text, 1-based start line, and
+    brace depth relative to the function body."""
+
+    def __init__(self, text, line, depth):
+        self.text = text
+        self.line = line
+        self.depth = depth
+
+
+class Function:
+    def __init__(self, name, return_type, params, stmts, line):
+        self.name = name
+        self.return_type = return_type
+        self.params = params  # list of (type, name)
+        self.stmts = stmts
+        self.line = line
+
+
+class Field:
+    def __init__(self, class_name, type_text, name, line):
+        self.class_name = class_name
+        self.type_text = type_text
+        self.name = name
+        self.line = line
+
+
+class FileIR:
+    def __init__(self, relpath):
+        self.relpath = relpath
+        self.fields = []
+        self.functions = []
+
+
+class PragmaIndex:
+    """allow pragmas of one file, same line/next-line/file scoping rules as
+    spcube_lint."""
+
+    def __init__(self, raw_lines, relpath):
+        self.allowed_lines = {}
+        self.allowed_file_rules = set()
+        self.pragma_findings = []
+        for i, line in enumerate(raw_lines, start=1):
+            m = ALLOW_FILE_RE.search(line)
+            if m:
+                if not m.group(3):
+                    self.pragma_findings.append(Finding(
+                        relpath, i, "allow-without-reason",
+                        "allow-file(%s) pragma needs a ': reason'"
+                        % m.group(1)))
+                self.allowed_file_rules.add(m.group(1))
+                continue
+            m = ALLOW_LINE_RE.search(line)
+            if m:
+                if not m.group(3):
+                    self.pragma_findings.append(Finding(
+                        relpath, i, "allow-without-reason",
+                        "allow(%s) pragma needs a ': reason'" % m.group(1)))
+                covered = self.allowed_lines.setdefault(m.group(1), set())
+                covered.add(i)
+                if line.strip().startswith("//"):
+                    covered.add(i + 1)
+
+    def allows(self, rule, line):
+        if rule in self.allowed_file_rules:
+            return True
+        return line in self.allowed_lines.get(rule, set())
+
+
+# ---------------------------------------------------------------------------
+# Internal backend: extract classes and functions from stripped source.
+# ---------------------------------------------------------------------------
+
+def _line_of(text, index, base_line=1):
+    return base_line + text.count("\n", 0, index)
+
+
+def _match_balanced(text, start, open_ch, close_ch):
+    """Index one past the delimiter closing `text[start]`; -1 if unbalanced."""
+    depth = 0
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def split_statements(body, base_line):
+    """Flattens a function body into ordered statements. Statements are
+    separated by ';', '{' and '}'; nesting is recorded as a depth, giving the
+    rules a linear, textually-dominated event stream."""
+    stmts = []
+    depth = 0
+    seg_start = 0
+    for i, c in enumerate(body):
+        if c in ";{}":
+            seg = body[seg_start:i].strip()
+            if seg:
+                stmts.append(Stmt(seg, _line_of(body, seg_start +
+                                                _leading_ws(body, seg_start),
+                                                base_line), depth))
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth = max(0, depth - 1)
+            seg_start = i + 1
+    seg = body[seg_start:].strip()
+    if seg:
+        stmts.append(Stmt(seg, _line_of(body, seg_start +
+                                        _leading_ws(body, seg_start),
+                                        base_line), depth))
+    return stmts
+
+
+def _leading_ws(text, start):
+    i = start
+    while i < len(text) and text[i] in " \t\n":
+        i += 1
+    return i - start
+
+
+CLASS_RE = re.compile(r"\b(class|struct)\s+(?:\[\[\w+\]\]\s+)?(\w+)"
+                      r"[^;{(]*\{")
+FIELD_RE = re.compile(
+    r"^(?:mutable\s+)?(?:static\s+)?(const\s+)?"
+    r"((?:[A-Za-z_][\w:]*)(?:\s*<[^;{}]*>)?(?:\s*(?:\*|&))?)\s+"
+    r"([A-Za-z_]\w*)\s*(=.*)?$")
+FIELD_SKIP_RE = re.compile(
+    r"\b(using|typedef|friend|return|public|private|protected|operator|"
+    r"template|explicit|virtual|enum|namespace)\b|[({]")
+
+FUNC_NAME_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:<[^<>]*>)?\s*::\s*)*~?[A-Za-z_]\w*|"
+    r"operator\s*(?:\(\)|\[\]|[^\s(]+))\s*$")
+KEYWORD_HEADS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else",
+    "new", "delete", "sizeof", "alignof", "case", "default", "static_assert",
+    "decltype", "noexcept", "throw", "and", "or", "not", "assert",
+}
+
+
+def extract_classes(code, relpath, ir):
+    for m in CLASS_RE.finditer(code):
+        body_start = m.end() - 1
+        body_end = _match_balanced(code, body_start, "{", "}")
+        if body_end < 0:
+            continue
+        class_name = m.group(2)
+        body = code[body_start + 1:body_end - 1]
+        # Only depth-0 segments of the class body are this class's own
+        # members; nested classes re-match CLASS_RE themselves.
+        for stmt in split_statements(body, _line_of(code, body_start + 1)):
+            if stmt.depth != 0:
+                continue
+            # Access-specifier labels end in ':' and so glom onto the next
+            # statement; peel them (and adjust the line) before matching.
+            text = stmt.text
+            label = re.match(r"(?:(?:public|private|protected)\s*:\s*)+",
+                             text)
+            if label:
+                stmt.line += text.count("\n", 0, label.end())
+                text = text[label.end():]
+            text = text.strip()
+            if not text or FIELD_SKIP_RE.search(text):
+                continue
+            fm = FIELD_RE.match(text)
+            if fm:
+                ir.fields.append(Field(class_name, fm.group(2), fm.group(3),
+                                       stmt.line))
+
+
+def _skip_function_prelude(code, i):
+    """From one past a parameter list's ')', steps over cv-qualifiers,
+    noexcept/override/final, a trailing return type, and a constructor
+    member-init list; returns the index of the body's '{', or -1 if this is
+    not a function definition."""
+    n = len(code)
+    while True:
+        while i < n and code[i] in " \t\n":
+            i += 1
+        if i >= n:
+            return -1
+        if code[i] == "{":
+            return i
+        tail = code[i:]
+        m = re.match(r"(const|noexcept|override|final|mutable)\b|&&|&", tail)
+        if m and m.group(0):
+            i += m.end()
+            if code[i - 1] == "(" or (i < n and code[i] == "("):
+                # noexcept(expr)
+                close = _match_balanced(code, code.index("(", i - 1), "(",
+                                        ")")
+                if close < 0:
+                    return -1
+                i = close
+            continue
+        if tail.startswith("->"):  # trailing return type
+            j = i + 2
+            while j < n and code[j] not in "{;":
+                j += 1
+            i = j
+            continue
+        if code[i] == ":":  # constructor member-init list
+            i += 1
+            while True:
+                while i < n and code[i] in " \t\n,":
+                    i += 1
+                m = re.match(r"[A-Za-z_][\w:]*(\s*<[^<>{}]*>)?", code[i:])
+                if not m:
+                    return -1
+                i += m.end()
+                while i < n and code[i] in " \t\n":
+                    i += 1
+                if i >= n or code[i] not in "({":
+                    return -1
+                close = _match_balanced(code, i, code[i],
+                                        ")" if code[i] == "(" else "}")
+                if close < 0:
+                    return -1
+                i = close
+                while i < n and code[i] in " \t\n":
+                    i += 1
+                if i < n and code[i] == ",":
+                    continue
+                if i < n and code[i] == "{":
+                    return i
+                return -1
+        return -1
+
+
+PARAM_RE = re.compile(
+    r"^(const\s+)?((?:[A-Za-z_][\w:]*)(?:\s*<.*>)?(?:\s*(?:\*|&|&&))?)\s*"
+    r"([A-Za-z_]\w*)?\s*(=.*)?$")
+
+
+def _parse_params(param_text):
+    params = []
+    depth = 0
+    part = []
+    parts = []
+    for c in param_text:
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(part))
+            part = []
+        else:
+            part.append(c)
+    if part:
+        parts.append("".join(part))
+    for p in parts:
+        p = " ".join(p.split())
+        if not p or p == "void":
+            continue
+        m = PARAM_RE.match(p)
+        if m and m.group(3):
+            params.append((m.group(2).strip(), m.group(3)))
+    return params
+
+
+def extract_functions(code, relpath, ir):
+    """Finds function definitions by locating parameter lists followed by a
+    body (skipping qualifiers and member-init lists). Precision-first: a
+    candidate the prelude parser cannot follow is skipped, not guessed at."""
+    i = 0
+    n = len(code)
+    while i < n:
+        open_paren = code.find("(", i)
+        if open_paren < 0:
+            break
+        head = code[max(0, open_paren - 200):open_paren]
+        name_match = FUNC_NAME_RE.search(head)
+        if not name_match:
+            i = open_paren + 1
+            continue
+        name = name_match.group(1)
+        bare = name.split("::")[-1].strip()
+        if bare in KEYWORD_HEADS:
+            i = open_paren + 1
+            continue
+        close_paren = _match_balanced(code, open_paren, "(", ")")
+        if close_paren < 0:
+            i = open_paren + 1
+            continue
+        body_open = _skip_function_prelude(code, close_paren)
+        if body_open < 0:
+            i = open_paren + 1
+            continue
+        body_close = _match_balanced(code, body_open, "{", "}")
+        if body_close < 0:
+            i = open_paren + 1
+            continue
+        # Return type: the head text before the name, last declaration-ish
+        # run (after any ';', '{', '}').
+        before_name = head[:name_match.start(1)]
+        ret = re.split(r"[;{}]", before_name)[-1].strip()
+        ret = re.sub(r"\b(static|inline|constexpr|virtual|explicit|friend|"
+                     r"\[\[nodiscard\]\])\b", "", ret).strip()
+        params = _parse_params(code[open_paren + 1:close_paren - 1])
+        body = code[body_open + 1:body_close - 1]
+        stmts = split_statements(body, _line_of(code, body_open + 1))
+        ir.functions.append(Function(name, ret, params, stmts,
+                                     _line_of(code, open_paren)))
+        i = body_close
+    return ir
+
+
+def build_ir_internal(code, relpath):
+    ir = FileIR(relpath)
+    extract_classes(code, relpath, ir)
+    extract_functions(code, relpath, ir)
+    return ir
+
+
+# ---------------------------------------------------------------------------
+# Rule engine (shared by both backends).
+# ---------------------------------------------------------------------------
+
+VIEW_TYPE_RE = re.compile(
+    r"\b(RelationView|ShuffleRecordRef|(?:std\s*::\s*)?string_view\b|"
+    r"(?:std\s*::\s*)?span\s*<)")
+OWNER_TYPE_RE = re.compile(
+    r"^(?:const\s+)?(?:std\s*::\s*)?"
+    r"(string|vector|ostringstream|ByteWriter|Relation|Arena|Record)\b"
+    r"[^*&]*$")
+# The *returned object itself* is a view (anchored match): returning a
+# container of views by value moves the container, which is fine.
+RETURN_VIEW_TYPE_RE = re.compile(
+    r"^(?:const\s+)?(?:std\s*::\s*)?"
+    r"(string_view\b|span\s*<|RelationView\b|ShuffleRecordRef\b)")
+
+CALL_RE = re.compile(
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*(?:\.|->)\s*"
+    r"([A-Za-z_]\w*)\s*\(")
+ARENA_DERIVE_METHODS = {"Append", "AppendPair", "Allocate"}
+BUFFER_MUTATORS_RE = re.compile(
+    r"^(clear|Clear|Reset|assign|resize|append|push_back|emplace_back|"
+    r"pop_back|erase|insert|shrink_to_fit|Put\w*)$")
+EMIT_METHODS = {"Emit", "EmitToPartition", "Output"}
+CALLBACK_SLOT_RE = re.compile(
+    r"[\w.\->\[\]]*\b\w*(factory|callback|handler|hook)\w*\s*=\s*"
+    r"\[\s*&\s*[\],]")
+RETURN_VIEW_ROOT_RE = re.compile(
+    r"^return\b\s*(?:(?:std\s*::\s*)?string_view\s*[({]|"
+    r"(?:std\s*::\s*)?span\s*<[^>]*>\s*[({]|\{)?\s*&?\s*"
+    r"([A-Za-z_]\w*)")
+# A declaration (`string_view v = buf.data()`) or a plain reassignment
+# (`v = buf.data()`) both (re-)bind the view to the buffer's bytes.
+VIEW_BIND_RE = re.compile(
+    r"^(?:(?:const\s+)?(?:(?:std\s*::\s*)?string_view|auto)\s*&?\s*)?"
+    r"([A-Za-z_]\w*)\s*[=({]+\s*([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*?)"
+    r"\s*(?:\.|->)\s*(data|view|str)\s*\(\s*\)")
+RESULT_DECL_RE = re.compile(
+    r"^(?:const\s+)?(?:spcube\s*::\s*)?Result\s*<[^;]*>\s*&?\s*"
+    r"([A-Za-z_]\w*)\s*[=({]")
+
+
+def _word_re(name):
+    return re.compile(r"(?<![\w.])%s\b" % re.escape(name))
+
+
+def _decl_of(stmt_text):
+    """(type, name, init) if the statement is a simple declaration. The
+    type/name separator (whitespace or * & &&) is mandatory so that a plain
+    assignment like `key = ...` cannot backtrack into type `ke`, name `y`."""
+    m = re.match(
+        r"^(?:const\s+)?(?:constexpr\s+)?"
+        r"((?:auto|[A-Za-z_][\w:]*)(?:\s*<[^;]*?>)?)"
+        r"(\s+|\s*(?:\*|&&|&)\s*)"
+        r"([A-Za-z_]\w*)\s*(?:(=|\{|\()\s*(.*))?$", stmt_text, re.S)
+    if not m:
+        return None
+    type_text = (m.group(1) + m.group(2)).strip()
+    head = m.group(1).split("<")[0].split("::")[-1].strip()
+    if head in KEYWORD_HEADS or head in ("using", "namespace", "template",
+                                         "typedef", "goto", "break",
+                                         "continue", "public", "private",
+                                         "protected", "else"):
+        return None
+    return (type_text, m.group(3), m.group(5) or "")
+
+
+def check_view_escape(ir, pragmas, findings):
+    # (a) view-typed data members.
+    for field in ir.fields:
+        if VIEW_TYPE_RE.search(field.type_text) and \
+                not field.type_text.rstrip().endswith("&"):
+            if pragmas.allows("view-escape", field.line):
+                continue
+            findings.append(Finding(
+                ir.relpath, field.line, "view-escape",
+                "data member '%s::%s' stores a borrowed view (%s); views "
+                "are function-parameter and stack objects — either own the "
+                "bytes alongside the view or document the co-ownership "
+                "with an allow pragma" % (field.class_name, field.name,
+                                          field.type_text)))
+    for fn in ir.functions:
+        locals_owner = {}
+        for stmt in fn.stmts:
+            decl = _decl_of(stmt.text)
+            if decl and OWNER_TYPE_RE.match(decl[0]):
+                locals_owner[decl[1]] = decl[0]
+            # (c) by-reference capture stored into a deferred callback slot.
+            m = CALLBACK_SLOT_RE.search(stmt.text)
+            if m and not pragmas.allows("view-escape", stmt.line):
+                findings.append(Finding(
+                    ir.relpath, stmt.line, "view-escape",
+                    "by-reference lambda capture stored into deferred "
+                    "callback slot; capture what the callback needs "
+                    "explicitly (by value) so it cannot dangle"))
+            # (b) returning a view rooted at a function-local owner.
+            if RETURN_VIEW_TYPE_RE.match(fn.return_type) and \
+                    stmt.text.startswith("return"):
+                rm = RETURN_VIEW_ROOT_RE.match(stmt.text)
+                if rm and rm.group(1) in locals_owner and \
+                        not pragmas.allows("view-escape", stmt.line):
+                    findings.append(Finding(
+                        ir.relpath, stmt.line, "view-escape",
+                        "returns a view into function-local owner '%s' "
+                        "(%s), which is destroyed when the function "
+                        "returns" % (rm.group(1),
+                                     locals_owner[rm.group(1)])))
+
+
+def check_arena_escape(ir, pragmas, findings):
+    for fn in ir.functions:
+        derived = {}   # var -> (arena_path, stmt_index)
+        dead = {}      # arena_path -> stmt index of Reset()
+        for idx, stmt in enumerate(fn.stmts):
+            text = stmt.text
+            # A swap or move transfers the chunks between arenas; stop
+            # tracking both sides rather than guessing the alias flow.
+            if re.search(r"\bswap\s*\(", text) or "std::move" in text:
+                involved = set(re.findall(r"[A-Za-z_]\w*(?:(?:\.|->)"
+                                          r"[A-Za-z_]\w*)*", text))
+                involved = {p.replace("->", ".") for p in involved}
+                dead = {a: i for a, i in dead.items() if a not in involved}
+                derived = {v: (a, i) for v, (a, i) in derived.items()
+                           if a not in involved}
+            for m in CALL_RE.finditer(text):
+                recv = m.group(1).replace("->", ".")
+                method = m.group(2)
+                if method == "Reset":
+                    dead[recv] = idx
+                if method in ARENA_DERIVE_METHODS:
+                    decl = _decl_of(text)
+                    assigned = None
+                    if decl and decl[2]:
+                        assigned = decl[1]
+                    else:
+                        am = re.match(r"^([A-Za-z_]\w*)\s*=", text)
+                        if am:
+                            assigned = am.group(1)
+                    if assigned:
+                        derived[assigned] = (recv, idx)
+            # Uses of derived pointers after their arena died.
+            for var, (arena, bind_idx) in list(derived.items()):
+                died = dead.get(arena)
+                if died is None or bind_idx > died:
+                    continue
+                if idx > died and _word_re(var).search(text):
+                    if not pragmas.allows("arena-escape", stmt.line):
+                        findings.append(Finding(
+                            ir.relpath, stmt.line, "arena-escape",
+                            "'%s' was derived from arena '%s' before its "
+                            "Reset(); every address the arena handed out "
+                            "is invalidated (and poisoned under "
+                            "SPCUBE_LIFETIME_CHECKS) by Reset"
+                            % (var, arena)))
+                    del derived[var]
+
+
+def check_emit_borrow(ir, pragmas, findings):
+    for fn in ir.functions:
+        bindings = {}   # view var -> (buffer path, stmt index)
+        last_mut = {}   # buffer path -> stmt index
+        for idx, stmt in enumerate(fn.stmts):
+            text = stmt.text
+            bm = VIEW_BIND_RE.match(text)
+            if bm:
+                bindings[bm.group(1)] = (bm.group(2).replace("->", "."),
+                                         idx)
+            for m in CALL_RE.finditer(text):
+                recv = m.group(1).replace("->", ".")
+                method = m.group(2)
+                if BUFFER_MUTATORS_RE.match(method):
+                    last_mut[recv] = idx
+                if method in EMIT_METHODS:
+                    args_start = text.index("(", m.end(2))
+                    args_end = _match_balanced(text, args_start, "(", ")")
+                    args = text[args_start + 1:
+                                args_end - 1 if args_end > 0 else len(text)]
+                    for var, (buf, bind_idx) in bindings.items():
+                        mut_idx = last_mut.get(buf)
+                        if mut_idx is None or not (bind_idx < mut_idx <=
+                                                   idx):
+                            continue
+                        if _word_re(var).search(args) and \
+                                not pragmas.allows("emit-borrow", stmt.line):
+                            findings.append(Finding(
+                                ir.relpath, stmt.line, "emit-borrow",
+                                "'%s' views buffer '%s', which was "
+                                "mutated after the view was bound; the "
+                                "emit reads reused bytes — re-take the "
+                                "view at the call site or copy before "
+                                "mutating" % (var, buf)))
+
+
+def check_status_flow(ir, pragmas, findings):
+    for fn in ir.functions:
+        for_result = {}  # var -> decl stmt index
+        guarded = set()
+        reported = set()
+        for idx, stmt in enumerate(fn.stmts):
+            text = stmt.text
+            rm = RESULT_DECL_RE.match(text)
+            is_decl_stmt = rm is not None
+            if rm:
+                for_result[rm.group(1)] = idx
+            for var in list(for_result):
+                if var in reported:
+                    continue
+                if re.search(r"\b%s\s*\.\s*(ok|status)\s*\(" %
+                             re.escape(var), text):
+                    guarded.add(var)
+                    continue
+                if is_decl_stmt and rm.group(1) == var:
+                    continue
+                unwrap = re.search(
+                    r"\b%s\s*\.\s*value\s*\(|\b%s\s*->|"
+                    r"\*\s*%s\b|move\s*\(\s*%s\s*\)\s*\.\s*value" %
+                    ((re.escape(var),) * 4), text)
+                if unwrap and var not in guarded:
+                    reported.add(var)
+                    if not pragmas.allows("status-flow", stmt.line):
+                        findings.append(Finding(
+                            ir.relpath, stmt.line, "status-flow",
+                            "Result '%s' is unwrapped before any ok() "
+                            "check on it; an error here aborts the "
+                            "process — check ok() first or use "
+                            "SPCUBE_ASSIGN_OR_RETURN" % var))
+
+
+def run_rules(ir, pragmas, findings):
+    check_view_escape(ir, pragmas, findings)
+    check_arena_escape(ir, pragmas, findings)
+    check_emit_borrow(ir, pragmas, findings)
+    check_status_flow(ir, pragmas, findings)
+
+
+# ---------------------------------------------------------------------------
+# Backends.
+# ---------------------------------------------------------------------------
+
+class InternalBackend:
+    name = "internal"
+
+    def analyze(self, abspath, relpath):
+        with open(abspath, "r", encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        code = _strip_comments_and_strings(raw)
+        pragmas = PragmaIndex(raw.split("\n"), relpath)
+        ir = build_ir_internal(code, relpath)
+        findings = list(pragmas.pragma_findings)
+        run_rules(ir, pragmas, findings)
+        return findings
+
+
+class LibclangBackend:
+    """AST-accurate extents and types from clang.cindex; statement-level
+    events still flow through the shared micro-IR, so findings line up with
+    the internal backend."""
+
+    name = "libclang"
+
+    def __init__(self, compile_commands_path):
+        import clang.cindex as cindex  # noqa: F401 (availability probe)
+        self._cindex = cindex
+        self._ensure_library()
+        self._index = cindex.Index.create()
+        self._args_by_file = {}
+        if compile_commands_path and os.path.isfile(compile_commands_path):
+            with open(compile_commands_path, "r", encoding="utf-8") as f:
+                for entry in json.load(f):
+                    args = entry.get("arguments")
+                    if not args and "command" in entry:
+                        args = entry["command"].split()
+                    filtered = self._filter_args(args or [])
+                    path = os.path.normpath(os.path.join(
+                        entry.get("directory", "."), entry["file"]))
+                    self._args_by_file[path] = (filtered,
+                                                entry.get("directory", "."))
+
+    def _ensure_library(self):
+        cindex = self._cindex
+        try:
+            cindex.conf.lib  # probes that a libclang shared object loads
+            return
+        except Exception:
+            pass
+        import ctypes.util
+        for candidate in (os.environ.get("SPCUBE_LIBCLANG"),
+                          ctypes.util.find_library("clang"),
+                          "libclang.so", "libclang.so.1"):
+            if not candidate:
+                continue
+            try:
+                cindex.Config.set_library_file(candidate)
+                cindex.conf.lib
+                return
+            except Exception:
+                cindex.Config.loaded = False
+                continue
+        raise RuntimeError("no loadable libclang shared library")
+
+    @staticmethod
+    def _filter_args(args):
+        out = []
+        skip_next = False
+        for a in args[1:]:  # drop the compiler executable
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", "-o"):
+                skip_next = a == "-o"
+                continue
+            if a.endswith((".cc", ".cpp", ".cxx", ".o")):
+                continue
+            out.append(a)
+        return out
+
+    def analyze(self, abspath, relpath):
+        cindex = self._cindex
+        args, workdir = self._args_by_file.get(
+            os.path.normpath(abspath), (["-std=c++20", "-xc++"], None))
+        if workdir:
+            args = list(args) + ["-working-directory=" + workdir]
+        tu = self._index.parse(
+            abspath, args=args,
+            options=cindex.TranslationUnit.PARSE_INCOMPLETE |
+            cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+        with open(abspath, "r", encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        code = _strip_comments_and_strings(raw)
+        pragmas = PragmaIndex(raw.split("\n"), relpath)
+        ir = FileIR(relpath)
+        self._walk(tu.cursor, abspath, code, ir)
+        findings = list(pragmas.pragma_findings)
+        run_rules(ir, pragmas, findings)
+        return findings
+
+    def _walk(self, cursor, abspath, code, ir):
+        cindex = self._cindex
+        K = cindex.CursorKind
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is not None and \
+                    os.path.normpath(loc.file.name) != \
+                    os.path.normpath(abspath):
+                continue
+            kind = child.kind
+            if kind in (K.NAMESPACE, K.UNEXPOSED_DECL, K.LINKAGE_SPEC):
+                self._walk(child, abspath, code, ir)
+            elif kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                for member in child.get_children():
+                    if member.kind == K.FIELD_DECL:
+                        ir.fields.append(Field(
+                            child.spelling, member.type.spelling,
+                            member.spelling, member.location.line))
+                self._walk(child, abspath, code, ir)
+            elif kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                          K.DESTRUCTOR, K.FUNCTION_TEMPLATE):
+                if not child.is_definition():
+                    continue
+                body = None
+                for sub in child.get_children():
+                    if sub.kind == K.COMPOUND_STMT:
+                        body = sub
+                if body is None:
+                    continue
+                start = body.extent.start.offset
+                end = body.extent.end.offset
+                text = code[start + 1:max(start + 1, end - 1)]
+                stmts = split_statements(text, body.extent.start.line)
+                params = [(a.type.spelling, a.spelling)
+                          for a in child.get_arguments()]
+                ir.functions.append(Function(
+                    child.spelling, child.result_type.spelling, params,
+                    stmts, child.location.line))
+
+
+def make_backend(requested, compile_commands):
+    if requested in ("auto", "libclang"):
+        try:
+            return LibclangBackend(compile_commands)
+        except Exception as e:  # ImportError or missing shared library
+            if requested == "libclang":
+                print("spcube_analyzer: libclang backend unavailable: %s"
+                      % e, file=sys.stderr)
+                return None
+            print("spcube_analyzer: libclang unavailable (%s); "
+                  "using the internal backend" % e, file=sys.stderr)
+    return InternalBackend()
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def collect_paths(args_paths, root):
+    paths = []
+    if not args_paths:
+        args_paths = [os.path.join(root, d) for d in DEFAULT_SCAN_DIRS]
+    for p in args_paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = [d for d in dirnames
+                               if d not in ("build", ".git")]
+                for name in sorted(filenames):
+                    if name.endswith(CXX_EXTENSIONS):
+                        paths.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            paths.append(p)
+        else:
+            print("spcube_analyzer: no such path: %s" % p, file=sys.stderr)
+            return None
+    return paths
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Lifetime & borrow checking for the zero-copy core.")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "script)")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "internal", "libclang"],
+                        help="AST backend (auto: libclang when available)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile database for the libclang backend "
+                             "(default: <root>/build/compile_commands.json)")
+    parser.add_argument("--fast", action="store_true",
+                        help="clean-tree-only mode: force the internal "
+                             "backend (no translation-unit parsing)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule IDs and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/ under "
+                             "--root)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+
+    root = args.root or os.path.normpath(os.path.join(_HERE, "..", ".."))
+    compile_commands = args.compile_commands or os.path.join(
+        root, "build", "compile_commands.json")
+    backend = make_backend("internal" if args.fast else args.backend,
+                           compile_commands)
+    if backend is None:
+        return 2
+    paths = collect_paths(args.paths, root)
+    if paths is None:
+        return 2
+
+    findings = []
+    for p in sorted(paths):
+        rel = os.path.relpath(p, root)
+        findings.extend(backend.analyze(p, rel))
+    findings.sort(key=lambda x: (x.path, x.line, x.rule))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("spcube_analyzer[%s]: %d finding(s) in %d file(s) scanned"
+              % (backend.name, len(findings), len(paths)), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

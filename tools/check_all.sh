@@ -2,13 +2,18 @@
 # Single entry point for every machine-checked gate in the repo:
 #
 #   1. build + unit/differential tests   (primary tree, RelWithDebInfo)
-#   2. static analysis                   (tools/run_static_analysis.sh)
-#   3. sanitizers                        (tools/run_sanitizers.sh)
+#   2. static analysis                   (tools/run_static_analysis.sh:
+#                                         spcube_lint, spcube-analyzer,
+#                                         clang-tidy)
+#   3. bench JSON smoke                  (--emit-json output validates
+#                                         against tools/validate_bench_json.py)
+#   4. sanitizers                        (tools/run_sanitizers.sh)
 #
 # Runs all stages even after a failure and finishes with a summary table,
 # so one broken gate doesn't hide the state of the others. Exits nonzero
 # if any stage failed. Pass --fast to skip the sanitizer stage (it
-# rebuilds the tree twice and dominates wall time).
+# rebuilds the tree twice and dominates wall time); --fast also pins the
+# analyzer to its dependency-free internal backend.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,8 +45,20 @@ build_and_test() {
     ctest --test-dir build --output-on-failure -j "$(nproc)"
 }
 
+bench_json_smoke() {
+  local out="build/bench_smoke.json"
+  ./build/bench/bench_shuffle --scale=0.05 --emit-json="${out}" \
+    >/dev/null &&
+    python3 tools/validate_bench_json.py "${out}"
+}
+
 run_stage "build+test" build_and_test
-run_stage "static-analysis" tools/run_static_analysis.sh
+if [[ ${fast} -eq 1 ]]; then
+  run_stage "static-analysis" tools/run_static_analysis.sh --fast
+else
+  run_stage "static-analysis" tools/run_static_analysis.sh
+fi
+run_stage "bench-json-smoke" bench_json_smoke
 if [[ ${fast} -eq 0 ]]; then
   run_stage "sanitizers" tools/run_sanitizers.sh
 else

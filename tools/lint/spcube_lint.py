@@ -33,6 +33,12 @@ CMake target) instead of silently compiling:
                       zero-copy RelationViews (relation/relation_view.h);
                       deliberate copies (e.g. Bernoulli sampling) carry an
                       allow pragma.
+  ignore-error-has-reason
+                      SPCUBE_IGNORE_ERROR's reason must be a real audit
+                      trail: a missing/empty string literal, or one under
+                      10 characters, defeats the deliberate-discard
+                      contract (the status.h static_assert only rejects
+                      the empty literal).
 
 Suppression is explicit and greppable:
 
@@ -401,6 +407,61 @@ def check_no_owning_copy(f, findings):
                 % m.group(0).strip()))
 
 
+IGNORE_ERROR_RE = re.compile(r"\bSPCUBE_IGNORE_ERROR\s*\(")
+STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+MIN_IGNORE_REASON_CHARS = 10
+
+
+def _balanced_call_text(raw_lines, line_idx, start_col):
+    """Raw text of a macro call from its '(' to the matching ')', spanning
+    lines; empty string if unbalanced (truncated file)."""
+    depth = 0
+    collected = []
+    for j in range(line_idx, len(raw_lines)):
+        segment = raw_lines[j][start_col if j == line_idx else 0:]
+        for k, c in enumerate(segment):
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    collected.append(segment[:k + 1])
+                    return "\n".join(collected)
+        collected.append(segment)
+    return ""
+
+
+def check_ignore_error_has_reason(f, findings):
+    for i, (code, raw) in enumerate(
+            zip(f.code_lines, f.raw_lines), start=1):
+        m = IGNORE_ERROR_RE.search(code)
+        if m is None:
+            continue
+        # The macro's own definition (and doc mentions of its signature)
+        # carry no string literal and are not call sites.
+        if re.match(r"\s*#\s*define\b", raw):
+            continue
+        call = _balanced_call_text(f.raw_lines, i - 1,
+                                   raw.index("(", m.start()))
+        # The reason is the trailing string-literal argument (adjacent
+        # literals concatenate).
+        literals = STRING_LITERAL_RE.findall(call)
+        reason = "".join(literals)
+        if f.allows("ignore-error-has-reason", i):
+            continue
+        if not literals:
+            findings.append(Finding(
+                f.relpath, i, "ignore-error-has-reason",
+                "SPCUBE_IGNORE_ERROR needs a string-literal reason as its "
+                "last argument"))
+        elif len(reason) < MIN_IGNORE_REASON_CHARS:
+            findings.append(Finding(
+                f.relpath, i, "ignore-error-has-reason",
+                "SPCUBE_IGNORE_ERROR reason \"%s\" is too short (< %d "
+                "chars) to be an audit trail; say why discarding this "
+                "error is safe" % (reason, MIN_IGNORE_REASON_CHARS)))
+
+
 RULES = [
     "no-raw-random",
     "no-exceptions",
@@ -409,6 +470,7 @@ RULES = [
     "include-guard-name",
     "nodiscard-on-status",
     "no-owning-copy-in-hot-path",
+    "ignore-error-has-reason",
 ]
 
 
@@ -428,6 +490,7 @@ def lint_files(paths, root):
         check_include_guard(f, findings)
         check_nodiscard_on_status(f, findings, marked)
         check_no_owning_copy(f, findings)
+        check_ignore_error_has_reason(f, findings)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
 

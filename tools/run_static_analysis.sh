@@ -1,19 +1,44 @@
 #!/usr/bin/env bash
-# Static-analysis gate: spcube_lint (the repo's conventions as code) plus
-# clang-tidy over the compile database. Exits nonzero on any finding.
+# Static-analysis gate: spcube_lint (the repo's conventions as code),
+# spcube-analyzer (lifetime & borrow contracts of the zero-copy core,
+# docs/INTERNALS.md §10), plus clang-tidy over the compile database.
+# Exits nonzero on any finding.
 #
 # clang-tidy is optional equipment: on machines without it (the minimal CI
 # image, for instance) that half is skipped with a visible notice so the
 # gate still runs the convention linter and ctest stays green. Set
-# SPCUBE_REQUIRE_CLANG_TIDY=1 to turn the skip into a failure.
+# SPCUBE_REQUIRE_CLANG_TIDY=1 to turn the skip into a failure. The
+# analyzer has no such escape hatch — its internal backend is
+# self-contained — but with --fast it pins that backend instead of probing
+# for libclang, keeping the quick gate dependency-free and deterministic.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) fast=1 ;;
+    *) echo "usage: tools/run_static_analysis.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
 
 failures=0
 
 echo "=== spcube_lint (src/ tools/ bench/) ==="
 if python3 tools/lint/spcube_lint.py; then
   echo "spcube_lint: clean"
+else
+  failures=$((failures + 1))
+fi
+
+echo
+echo "=== spcube-analyzer (lifetime & borrow contracts, src/) ==="
+analyzer_args=()
+if [[ ${fast} -eq 1 ]]; then
+  analyzer_args+=(--fast)
+fi
+if python3 tools/analyzer/spcube_analyzer.py "${analyzer_args[@]}"; then
+  echo "spcube-analyzer: clean"
 else
   failures=$((failures + 1))
 fi

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Schema validator for the benchmark --emit-json output.
+
+Benchmarks that accept --emit-json=<path> (see bench/bench_util.h,
+ParseEmitJsonPath) write a small machine-readable summary next to their
+stdout tables. This validator is the contract for that file, so CI and
+downstream plotting scripts can rely on its shape:
+
+  * the top level is a JSON object;
+  * it has a "bench" key: a non-empty string naming the binary;
+  * it has a "results" key: a non-empty array of objects, each with a
+    non-empty string "name" and at least one finite numeric field;
+  * every other top-level key is a scalar (string / number / bool) —
+    run parameters like record counts, never nested structure;
+  * every numeric value anywhere is finite (NaN/Infinity are invalid
+    JSON anyway, but a divide-by-zero in a bench can sneak them into a
+    hand-rolled writer; Python's parser accepts them, so check).
+
+Usage: validate_bench_json.py <file.json> [<file.json> ...]
+Exit 0 when every file validates; 1 with one line per problem otherwise.
+"""
+
+import json
+import math
+import sys
+
+
+def _problems(doc):
+    """Yields human-readable schema violations for one parsed document."""
+    if not isinstance(doc, dict):
+        yield "top level is %s, expected an object" % type(doc).__name__
+        return
+
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        yield '"bench" missing or not a non-empty string'
+
+    for key, value in doc.items():
+        if key == "results":
+            continue
+        if isinstance(value, (dict, list)):
+            yield 'top-level "%s" is nested; only scalars allowed' % key
+        if isinstance(value, float) and not math.isfinite(value):
+            yield 'top-level "%s" is not finite' % key
+
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        yield '"results" missing or not a non-empty array'
+        return
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            yield "results[%d] is not an object" % i
+            continue
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            yield 'results[%d] "name" missing or not a non-empty string' % i
+        numeric = 0
+        for key, value in row.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                if isinstance(value, float) and not math.isfinite(value):
+                    yield 'results[%d] "%s" is not finite' % (i, key)
+                else:
+                    numeric += 1
+        if numeric == 0:
+            yield "results[%d] has no numeric field" % i
+
+
+def validate_file(path):
+    """Returns a list of problem strings (empty when the file is valid)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        return ["cannot read: %s" % err]
+    except json.JSONDecodeError as err:
+        return ["not valid JSON: %s" % err]
+    return list(_problems(doc))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_bench_json.py <file.json> [...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        problems = validate_file(path)
+        for problem in problems:
+            print("%s: %s" % (path, problem))
+            failed = True
+        if not problems:
+            print("%s: OK" % path)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,8 +6,20 @@
 // recovery share of it, and the recovery event counters; a final check
 // re-runs one chaotic point to confirm the fault schedule is a pure
 // function of the seed.
+//
+// A second, degradation axis exercises adaptive skew recovery (docs/
+// INTERNALS.md §11): SP-Cube under strict reducer memory with a sketch
+// built on batch 0 of a drifting Zipf stream but cubing the aged final
+// batch, while OOM pressure (budget shrink) is injected into reduce
+// attempts at increasing rates. Reports partitions split, recovery
+// rounds, bytes re-shuffled and the simulated recovery time.
+//
+// Results go to stdout and, with --emit-json=<path> (legacy --json=), to a
+// JSON file matching the tools/validate_bench_json.py schema.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "baselines/mrcube.h"
@@ -91,14 +103,94 @@ std::string FormatEvents(const FaultOutcome& r) {
   return buf;
 }
 
+// ---- Degradation axis: strict memory + drift + OOM pressure ----------------
+
+struct DegradationOutcome {
+  bool failed = false;
+  std::string failure;
+  double total_seconds = 0;
+  int64_t partitions_split = 0;
+  int64_t recovery_rounds = 0;
+  int64_t bytes_reshuffled = 0;
+  double recovery_seconds = 0;
+  int64_t output_records = 0;
+};
+
+DegradationOutcome RunOomPressure(const Relation& sketch_batch,
+                                  const Relation& cube_batch, int k,
+                                  double pressure) {
+  EngineConfig cluster = bench::MakeClusterConfig(cube_batch.num_rows(),
+                                                  cube_batch.num_dims(), k);
+  FaultConfig chaos;
+  chaos.seed = 1207;
+  chaos.oom_pressure_rate = pressure;
+  chaos.oom_budget_factor = 0.25;
+  FaultPlan plan(chaos);
+  if (pressure > 0) {
+    cluster.fault_plan = &plan;
+    cluster.min_task_attempts = 3;
+    cluster.retry_backoff_seconds = 0.05;
+  }
+  DistributedFileSystem dfs;
+  Engine engine(cluster, &dfs);
+
+  SpCubeOptions sp_options;
+  sp_options.strict_reducer_memory = true;
+  SpCubeAlgorithm sp(sp_options);
+  CubeRunOptions options;
+  options.collect_output = false;
+  auto output = sp.RunWithSketchFrom(engine, sketch_batch, cube_batch,
+                                     options);
+
+  DegradationOutcome out;
+  if (!output.ok()) {
+    out.failed = true;
+    out.failure = output.status().ToString();
+    return out;
+  }
+  const RunMetrics& metrics = output->metrics;
+  out.total_seconds = metrics.TotalSeconds();
+  out.partitions_split = metrics.ReducePartitionsSplit();
+  out.recovery_rounds = metrics.RecoveryRounds();
+  out.bytes_reshuffled = metrics.RecoveryBytesReshuffled();
+  out.recovery_seconds = metrics.RecoverySeconds();
+  out.output_records = metrics.OutputRecords();
+  return out;
+}
+
+// ---- JSON emission ---------------------------------------------------------
+
+struct JsonRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+void WriteJson(const std::string& path, int64_t n,
+               const std::vector<JsonRow>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"bench_faults\",\n";
+  out << "  \"records\": " << n << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"name\": \"" << rows[i].name << "\"";
+    for (const auto& [key, value] : rows[i].fields) {
+      out << ", \"" << key << "\": " << value;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int k = 8;
   const int64_t n = bench::Scaled(40000, scale);
   const Relation rel = GenZipfPaper(n, /*seed=*/1207);
   const std::vector<double> rates = {0.0, 0.01, 0.05, 0.15};
+  std::vector<JsonRow> json_rows;
 
   std::printf("Fault recovery | gen-zipf paper mix, n=%lld, k=%d | "
               "events = retries/crash-redo/speculative/cksum-mismatch\n",
@@ -150,6 +242,18 @@ int main(int argc, char** argv) {
                         : 0.0);
       recovery_cells.push_back(cell);
       event_cells.push_back(FormatEvents(r));
+      char row_name[64];
+      std::snprintf(row_name, sizeof(row_name), "faults_r%.2f_%s", rate,
+                    algorithm->name().c_str());
+      json_rows.push_back(JsonRow{
+          row_name,
+          {{"total_s", r.total_seconds},
+           {"recovery_s", r.recovery_seconds},
+           {"retries", static_cast<double>(r.retries)},
+           {"crash_reexecutions", static_cast<double>(r.crash_reexecutions)},
+           {"speculative", static_cast<double>(r.speculative)},
+           {"checksum_mismatches",
+            static_cast<double>(r.checksum_mismatches)}}});
       ++algo_index;
     }
     char x[32];
@@ -163,6 +267,65 @@ int main(int argc, char** argv) {
   recovery.Print();
   events.Print();
 
+  // ---- Degradation axis: strict memory, stale sketch, OOM pressure --------
+  DriftSpec drift;
+  drift.num_batches = 3;
+  drift.start_exponent = 0.3;
+  drift.end_exponent = 1.5;
+  drift.churn_step = 311;
+  const Relation old_batch = GenDriftBatch(drift, 0, n, 1207);
+  const Relation new_batch =
+      GenDriftBatch(drift, drift.num_batches - 1, n, 1207);
+  const std::vector<double> pressures = {0.0, 0.3, 0.6};
+
+  std::printf("\nAdaptive skew recovery | sp-cube strict memory, sketch "
+              "from batch 0 of a drifting zipf stream, cubing the aged "
+              "final batch, OOM pressure injected per reduce attempt\n");
+  bench::SeriesTable degradation(
+      "Degradation under OOM pressure", "pressure",
+      {"total", "splits", "rounds", "re-shuffled", "recovery time"});
+  bool degradation_failed = false;
+  bool degradation_splits_seen = false;
+  int64_t degradation_outputs = -1;
+  bool degradation_exact = true;
+  for (const double pressure : pressures) {
+    const DegradationOutcome r =
+        RunOomPressure(old_batch, new_batch, k, pressure);
+    if (r.failed) {
+      std::printf("  pressure %.1f FAILED: %s\n", pressure,
+                  r.failure.c_str());
+      degradation_failed = true;
+      continue;
+    }
+    if (degradation_outputs < 0) {
+      degradation_outputs = r.output_records;
+    } else if (r.output_records != degradation_outputs) {
+      // Splitting must be invisible in the output: same cube cardinality
+      // at every pressure level.
+      degradation_exact = false;
+    }
+    if (r.partitions_split > 0) degradation_splits_seen = true;
+    char x[32];
+    std::snprintf(x, sizeof(x), "%.1f", pressure);
+    degradation.AddRow(
+        x, {bench::FormatSeconds(r.total_seconds),
+            bench::FormatCount(r.partitions_split),
+            bench::FormatCount(r.recovery_rounds),
+            bench::FormatBytes(r.bytes_reshuffled),
+            bench::FormatSeconds(r.recovery_seconds)});
+    char row_name[64];
+    std::snprintf(row_name, sizeof(row_name), "oom_pressure_p%.1f_sp-cube",
+                  pressure);
+    json_rows.push_back(JsonRow{
+        row_name,
+        {{"total_s", r.total_seconds},
+         {"partitions_split", static_cast<double>(r.partitions_split)},
+         {"recovery_rounds", static_cast<double>(r.recovery_rounds)},
+         {"bytes_reshuffled", static_cast<double>(r.bytes_reshuffled)},
+         {"recovery_s", r.recovery_seconds}}});
+  }
+  degradation.Print();
+
   // Determinism: the same seed must yield the same fault schedule, hence
   // identical recovery counters (times are host-measured and may jitter).
   SpCubeAlgorithm sp_a, sp_b;
@@ -175,12 +338,40 @@ int main(int argc, char** argv) {
       a.speculative == b.speculative &&
       a.checksum_mismatches == b.checksum_mismatches &&
       a.output_records == b.output_records;
+  // And the degradation axis replays identically too.
+  const DegradationOutcome da = RunOomPressure(old_batch, new_batch, k, 0.6);
+  const DegradationOutcome db = RunOomPressure(old_batch, new_batch, k, 0.6);
+  const bool degradation_deterministic =
+      !da.failed && !db.failed &&
+      da.partitions_split == db.partitions_split &&
+      da.recovery_rounds == db.recovery_rounds &&
+      da.bytes_reshuffled == db.bytes_reshuffled &&
+      da.output_records == db.output_records;
   std::printf("\nSame-seed replay at rate 0.15: %s\n",
               deterministic ? "deterministic (counters identical)"
                             : "MISMATCH — fault schedule is not a pure "
                               "function of the seed!");
+  std::printf("Same-seed replay at pressure 0.6: %s\n",
+              degradation_deterministic
+                  ? "deterministic (recovery counters identical)"
+                  : "MISMATCH — recovery is not a pure function of the "
+                    "seed!");
   std::printf("Output cardinality under faults: %s\n",
               exactness_ok ? "matches fault-free runs"
                            : "MISMATCH vs fault-free runs!");
-  return (deterministic && exactness_ok && !any_run_failed) ? 0 : 1;
+  std::printf("Output cardinality under OOM pressure: %s\n",
+              degradation_exact ? "identical at every pressure level"
+                                : "MISMATCH across pressure levels!");
+  std::printf("Partition splitting engaged: %s\n",
+              degradation_splits_seen ? "yes" : "NO — axis is inert!");
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, n, json_rows);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return (deterministic && degradation_deterministic && exactness_ok &&
+          degradation_exact && degradation_splits_seen && !any_run_failed &&
+          !degradation_failed)
+             ? 0
+             : 1;
 }

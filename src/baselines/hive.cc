@@ -98,6 +98,14 @@ Result<CubeRunOutput> HiveCubeAlgorithm::Run(Engine& engine,
   spec.memory_policy = options_.strict_reducer_memory
                            ? MemoryPolicy::kStrict
                            : MemoryPolicy::kSpill;
+  if (options_.strict_reducer_memory && options_.allow_split_recovery) {
+    // Hive's reduce output follows the shared cube wire format (GroupKey ->
+    // final double), so the generic split-recovery merge applies; avg and
+    // iceberg thresholds are rejected with a reason, preserving the paper's
+    // reducer-OOM failure mode for the non-distributive cases.
+    spec.recovery =
+        MakeCubeRecoverySpec(options.aggregate, options.iceberg_min_count);
+  }
 
   CubeRunOutput out;
   out.metrics.algorithm = name();

@@ -22,6 +22,13 @@ struct HiveCubeOptions {
   /// ResourceExhausted, modeling the reducer OOMs the paper reports for
   /// Hive under heavy skew (gen-binomial p >= 0.4).
   bool strict_reducer_memory = false;
+
+  /// Opt-in: pair strict_reducer_memory with the engine's adaptive split
+  /// recovery (MakeCubeRecoverySpec). Off by default — real Hive has no
+  /// such mechanism, and the paper's reducer-OOM failure mode is part of
+  /// what this baseline reproduces. Chaos tests flip this on to check the
+  /// recovery path generalizes beyond SP-Cube's reducers.
+  bool allow_split_recovery = false;
 };
 
 /// Hive-style cube baseline: the query plan Hive compiles for

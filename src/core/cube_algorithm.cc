@@ -1,9 +1,63 @@
 #include "core/cube_algorithm.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "common/bytes.h"
 #include "cube/group_key.h"
 
 namespace spcube {
+namespace {
+
+/// Merge round of adaptive split recovery: re-aggregates one output cell's
+/// partial final doubles (one per sub-partition that saw the cell) back
+/// into the exact unsplit value. Only constructed for distributive kinds —
+/// MakeCubeRecoverySpec rejects the rest.
+class MergeFinalCellsReducer : public Reducer {
+ public:
+  explicit MergeFinalCellsReducer(AggregateKind kind) : kind_(kind) {}
+
+  Status Reduce(const std::string& key, ValueStream& values,
+                ReduceContext& context) override {
+    double merged = 0.0;
+    bool first = true;
+    std::string raw;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&raw));
+      if (!more) break;
+      SPCUBE_ASSIGN_OR_RETURN(double value, DecodeCubeValue(raw));
+      if (first) {
+        merged = value;
+        first = false;
+        continue;
+      }
+      switch (kind_) {
+        case AggregateKind::kCount:
+        case AggregateKind::kSum:
+          merged += value;
+          break;
+        case AggregateKind::kMin:
+          merged = std::min(merged, value);
+          break;
+        case AggregateKind::kMax:
+          merged = std::max(merged, value);
+          break;
+        case AggregateKind::kAvg:
+          return Status::Internal(
+              "avg partials reached the merge reducer; "
+              "MakeCubeRecoverySpec must reject avg");
+      }
+    }
+    if (first) return Status::OK();  // empty group cannot occur, but be safe
+    return context.Output(key, EncodeCubeValueTo(merged, encode_));
+  }
+
+ private:
+  AggregateKind kind_;
+  ByteWriter encode_;
+};
+
+}  // namespace
 
 Status ValidateCubeRunOptions(const CubeRunOptions& options) {
   if (options.iceberg_min_count < 1) {
@@ -48,6 +102,29 @@ Result<CubeResult> CollectCube(const VectorOutputCollector& collector,
     SPCUBE_RETURN_IF_ERROR(cube.AddGroup(std::move(key), value));
   }
   return cube;
+}
+
+RecoverySpec MakeCubeRecoverySpec(AggregateKind kind,
+                                  int64_t iceberg_min_count) {
+  RecoverySpec recovery;
+  if (kind == AggregateKind::kAvg) {
+    recovery.reject_reason =
+        "the avg aggregate finalizes to a non-mergeable quotient, so "
+        "sub-partition partial outputs cannot be recombined exactly";
+    return recovery;
+  }
+  if (iceberg_min_count > 1) {
+    recovery.reject_reason =
+        "iceberg thresholds are defined on whole-group cardinality; "
+        "filtering sub-partition partial counts would drop cells that "
+        "globally pass the threshold";
+    return recovery;
+  }
+  recovery.allow_partition_split = true;
+  recovery.merge_reducer_factory = [kind]() -> std::unique_ptr<Reducer> {
+    return std::make_unique<MergeFinalCellsReducer>(kind);
+  };
+  return recovery;
 }
 
 }  // namespace spcube

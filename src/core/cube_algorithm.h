@@ -66,6 +66,17 @@ Result<double> DecodeCubeValue(std::string_view bytes);
 Result<CubeResult> CollectCube(const VectorOutputCollector& collector,
                                int num_dims);
 
+/// The RecoverySpec shared by every cube job whose reduce output follows
+/// the wire format above (encoded GroupKey -> encoded double, one record
+/// per cell per partition). Splitting is enabled for the distributive
+/// aggregates — count/sum merge by addition, min/max by min/max over the
+/// partial final doubles — and rejected with an explanatory reason for avg
+/// (the finalized quotient is not mergeable) and for iceberg thresholds
+/// above 1 (a threshold on sub-partition partial counts would mis-filter).
+/// See docs/INTERNALS.md §11 for the legality argument.
+RecoverySpec MakeCubeRecoverySpec(AggregateKind kind,
+                                  int64_t iceberg_min_count);
+
 }  // namespace spcube
 
 #endif  // SPCUBE_CORE_CUBE_ALGORITHM_H_

@@ -101,6 +101,15 @@ Result<CubeRunOutput> SpCubeAlgorithm::RunCubeRound(
                                              options_.tuning,
                                              options.iceberg_min_count);
     };
+    if (options_.strict_reducer_memory) {
+      // In-memory reduce processing; a partition that outgrows the budget
+      // (stale sketch under drift, injected pressure) degrades through the
+      // engine's split recovery instead of failing — except for holistic
+      // aggregates, which the spec rejects with an explanation.
+      spec.memory_policy = MemoryPolicy::kStrict;
+      spec.recovery =
+          MakeCubeRecoverySpec(options.aggregate, options.iceberg_min_count);
+    }
     OutputCollector* sink =
         options.collect_output
             ? static_cast<OutputCollector*>(&cube_collector)
@@ -135,6 +144,32 @@ Result<CubeRunOutput> SpCubeAlgorithm::Run(Engine& engine,
   SPCUBE_ASSIGN_OR_RETURN(
       JobMetrics sketch_round,
       RunSketchRound(engine, input, sketch_config, sketch_path));
+  SPCUBE_ASSIGN_OR_RETURN(
+      CubeRunOutput out, RunCubeRound(engine, input, options, sketch_path));
+  out.metrics.rounds.insert(out.metrics.rounds.begin(),
+                            std::move(sketch_round));
+  return out;
+}
+
+Result<CubeRunOutput> SpCubeAlgorithm::RunWithSketchFrom(
+    Engine& engine, const Relation& sketch_input, const Relation& input,
+    const CubeRunOptions& options) {
+  SPCUBE_RETURN_IF_ERROR(ValidateCubeRunOptions(options));
+  if (sketch_input.num_dims() != input.num_dims()) {
+    return Status::InvalidArgument(
+        "sketch batch has " + std::to_string(sketch_input.num_dims()) +
+        " dims but the cube batch has " + std::to_string(input.num_dims()));
+  }
+  // The sketch models the *old* batch: sample rate and memory bound are
+  // resolved against sketch_input, as they were when it was built.
+  const SketchBuildConfig sketch_config =
+      ResolveSketchConfig(options_, engine, sketch_input.num_rows());
+  const std::string sketch_path =
+      "spcube/sketch/run_" + std::to_string(run_counter_++);
+
+  SPCUBE_ASSIGN_OR_RETURN(
+      JobMetrics sketch_round,
+      RunSketchRound(engine, sketch_input, sketch_config, sketch_path));
   SPCUBE_ASSIGN_OR_RETURN(
       CubeRunOutput out, RunCubeRound(engine, input, options, sketch_path));
   out.metrics.rounds.insert(out.metrics.rounds.begin(),

@@ -23,6 +23,15 @@ struct SpCubeOptions {
   /// Use the sketch's range partitioner (paper) vs hash partitioning of
   /// non-skewed keys (ablation).
   bool use_range_partitioner = true;
+
+  /// Run the cube round's reducers under MemoryPolicy::kStrict, modeling
+  /// fully in-memory reduce-side processing: with an accurate sketch the
+  /// range partitions fit the budget by construction, but a stale sketch
+  /// (distribution drift, see RunWithSketchFrom) or injected memory
+  /// pressure can overflow one. Paired with the engine's adaptive split
+  /// recovery (MakeCubeRecoverySpec) so an overflow degrades instead of
+  /// failing, for the distributive aggregates.
+  bool strict_reducer_memory = false;
 };
 
 /// The paper's algorithm (§5): round 1 builds the SP-Sketch from a Bernoulli
@@ -49,6 +58,19 @@ class SpCubeAlgorithm : public CubeAlgorithm {
   Result<std::vector<CubeRunOutput>> RunManyAggregates(
       Engine& engine, const Relation& input,
       const std::vector<CubeRunOptions>& options);
+
+  /// Distribution-drift scenario (ROADMAP item 5): builds the sketch from
+  /// `sketch_input` (an earlier batch of the stream) but cubes `input` (the
+  /// current, drifted batch). A stale sketch misclassifies the new heavy
+  /// hitters, so range partitions can be badly imbalanced — exactly the
+  /// regime the reducer-imbalance alert and strict-memory split recovery
+  /// exist for. The cube stays exact for `input` regardless of sketch
+  /// quality (the sketch only steers partitioning). Both relations must
+  /// have the same dimensionality.
+  Result<CubeRunOutput> RunWithSketchFrom(Engine& engine,
+                                          const Relation& sketch_input,
+                                          const Relation& input,
+                                          const CubeRunOptions& options);
 
   /// Size in bytes of the sketch built by the last Run (Figures 5c, 6c).
   int64_t last_sketch_bytes() const { return last_sketch_bytes_; }

@@ -233,6 +233,42 @@ enum class MemoryPolicy : int8_t {
   kStrict = 1,
 };
 
+/// Opt-in adaptive recovery from reduce-side memory pressure. When a
+/// kStrict reduce attempt's grouped input exceeds the (possibly
+/// fault-shrunk) budget, the engine can split the partition into
+/// `split_fanout` sub-partitions by seeded hash-salting of (group key,
+/// record ordinal) — the ordinal term scatters even a single oversized
+/// group — reduce each sub-partition independently, and merge the partial
+/// outputs with `merge_reducer_factory` in a follow-up merge round.
+///
+/// Splitting is only exact when (a) every reduce output key is emitted by
+/// at most one group per partition and (b) the merge reducer is associative
+/// and closed over final values (count/sum/min/max over encoded doubles
+/// qualify; avg and iceberg thresholds do not — see docs/INTERNALS.md §11).
+/// Jobs whose aggregates are holistic must leave splitting disabled and
+/// set `reject_reason` so the fail-fast Status explains why.
+struct RecoverySpec {
+  /// Master switch; requires a merge_reducer_factory to take effect.
+  bool allow_partition_split = false;
+  /// Sub-partitions per split, >= 2.
+  int split_fanout = 2;
+  /// Recursive re-splits allowed when a sub-partition still overflows;
+  /// beyond this depth the OOM becomes terminal again. Recursion stops as
+  /// soon as a sub-partition fits, so a generous cap only matters for
+  /// pathologically overloaded partitions (with fanout 2 this allows up to
+  /// 2^8 = 256 leaves — enough for a partition ~256x over budget, e.g.
+  /// a full-budget overflow retried under injected 0.25x pressure).
+  int max_split_depth = 8;
+  /// Builds the reducer of the merge round over sub-partition outputs.
+  /// Receives (output key, all partial final values) groups in ascending
+  /// key order, exactly like a normal reducer.
+  std::function<std::unique_ptr<Reducer>()> merge_reducer_factory;
+  /// Appended to the ResourceExhausted Status when splitting is disabled,
+  /// explaining why this job cannot degrade (e.g. "avg finalizes to a
+  /// non-mergeable value").
+  std::string reject_reason;
+};
+
 /// Everything the engine needs to run one MapReduce round.
 struct JobSpec {
   std::string name = "job";
@@ -249,9 +285,15 @@ struct JobSpec {
   /// Fault tolerance, Hadoop-style: a failed task is re-executed from
   /// scratch (fresh Mapper/Reducer instance, discarded partial output) up
   /// to this many times before the job fails. Tasks must therefore be
-  /// idempotent — true for every task in this library. kStrict memory
-  /// failures are not retried (re-running cannot shrink the input).
+  /// idempotent — true for every task in this library. A kStrict memory
+  /// failure at full budget is not retried (re-running cannot shrink the
+  /// input): it either fails the job or, when `recovery` permits, enters
+  /// adaptive partition splitting. An OOM under injected budget pressure
+  /// (TaskFault::budget_factor < 1) is transient and is retried normally.
   int max_task_attempts = 1;
+
+  /// Adaptive reduce-side OOM recovery (kStrict only); disabled by default.
+  RecoverySpec recovery;
 };
 
 }  // namespace spcube

@@ -1,0 +1,30 @@
+#ifndef SPCUBE_MAPREDUCE_BACKOFF_H_
+#define SPCUBE_MAPREDUCE_BACKOFF_H_
+
+#include <cstdint>
+
+#include "mapreduce/fault.h"
+
+namespace spcube {
+
+/// Simulated re-scheduling delay of the `attempt`-th retry of a task:
+/// capped exponential with optional seeded jitter,
+///
+///   delay = min(cap_seconds, base_seconds * 2^attempt) * jitter_factor
+///
+/// where jitter_factor is drawn uniformly from
+/// [1 - jitter_fraction, 1 + jitter_fraction) by a `spcube::Rng` seeded
+/// purely from (jitter_seed, job, kind, task, attempt) — never from call
+/// order or host state — so threaded and sequential runs charge identical
+/// backoff and same-seed reruns are bit-reproducible. `jitter_fraction`
+/// must be in [0, 1] (0 disables jitter); `cap_seconds` <= 0 disables the
+/// cap. The first two retries (attempts 0 and 1) cost base and 2*base, the
+/// same as the old linear schedule, so defaults are drop-in; later retries
+/// grow exponentially instead of linearly.
+double RetryBackoffSeconds(double base_seconds, double cap_seconds,
+                           double jitter_fraction, uint64_t jitter_seed,
+                           int64_t job, TaskKind kind, int task, int attempt);
+
+}  // namespace spcube
+
+#endif  // SPCUBE_MAPREDUCE_BACKOFF_H_

@@ -11,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/logging.h"
+#include "mapreduce/backoff.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
 
@@ -112,6 +114,11 @@ class EngineReduceContext : public ReduceContext {
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }
 
+  /// Hands over the buffered output without committing — the split-recovery
+  /// path collects sub-attempt outputs for a later merge round instead of
+  /// publishing them.
+  std::vector<Record> TakePending() { return std::move(pending_); }
+
   Status Commit(OutputCollector* collector, int reducer_id,
                 int64_t* output_records) {
     *output_records += static_cast<int64_t>(pending_.size());
@@ -151,6 +158,31 @@ struct ReduceTaskState {
   double penalty_seconds = 0.0;
   double slowdown_factor = 1.0;
   int64_t retries = 0;
+  // Adaptive split recovery (folded into JobMetrics after the phase joins).
+  int64_t recovery_rounds = 0;
+  int64_t bytes_reshuffled = 0;
+  double recovery_seconds = 0.0;
+};
+
+/// ValueStream over a contiguous [begin, end) range of Records — feeds the
+/// merge reducer one key's partial final values during split recovery.
+class RecordRangeValueStream : public ValueStream {
+ public:
+  RecordRangeValueStream(const std::vector<Record>& records, size_t begin,
+                         size_t end)
+      : records_(records), pos_(begin), end_(end) {}
+
+  Result<bool> Next(std::string* value) override {
+    if (pos_ >= end_) return false;
+    value->assign(records_[pos_].value);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  const std::vector<Record>& records_;
+  size_t pos_;
+  size_t end_;
 };
 
 }  // namespace
@@ -159,6 +191,14 @@ Engine::Engine(EngineConfig config, DistributedFileSystem* dfs)
     : config_(config), dfs_(dfs), temp_files_("engine") {
   SPCUBE_CHECK(config_.num_workers >= 1);
   SPCUBE_CHECK(config_.memory_budget_bytes > 0);
+  SPCUBE_CHECK(config_.combine_headroom_fraction > 0.0 &&
+               config_.combine_headroom_fraction <= 1.0)
+      << "combine_headroom_fraction must be in (0, 1], got "
+      << config_.combine_headroom_fraction;
+  SPCUBE_CHECK(config_.retry_backoff_jitter >= 0.0 &&
+               config_.retry_backoff_jitter <= 1.0)
+      << "retry_backoff_jitter must be in [0, 1], got "
+      << config_.retry_backoff_jitter;
   if (config_.fault_plan != nullptr && dfs_ != nullptr) {
     dfs_->SetFaultInjector(config_.fault_plan);
   }
@@ -212,6 +252,25 @@ Result<JobMetrics> Engine::RunImpl(
   const int64_t job_id = plan != nullptr ? plan->BeginJob(spec.name) : 0;
   const int max_attempts =
       std::max({1, spec.max_task_attempts, config_.min_task_attempts});
+
+  // One shared backoff schedule for every retry/recovery site: capped
+  // exponential, jitter seeded purely from stable coordinates so charged
+  // times never depend on threading or call order.
+  const uint64_t backoff_seed =
+      plan != nullptr ? plan->config().seed : 0;
+  auto backoff_seconds = [&](TaskKind kind, int task, int attempt) {
+    return RetryBackoffSeconds(config_.retry_backoff_seconds,
+                               config_.retry_backoff_cap_seconds,
+                               config_.retry_backoff_jitter, backoff_seed,
+                               job_id, kind, task, attempt);
+  };
+
+  // Adaptive split recovery is opt-in per job and only meaningful under
+  // kStrict (kSpill never OOMs): see RecoverySpec in mapreduce/api.h.
+  const bool recovery_enabled =
+      spec.memory_policy == MemoryPolicy::kStrict &&
+      spec.recovery.allow_partition_split &&
+      spec.recovery.merge_reducer_factory != nullptr;
 
   JobMetrics metrics;
   metrics.job_name = spec.name;
@@ -269,7 +328,8 @@ Result<JobMetrics> Engine::RunImpl(
       ShuffleCounters attempt_counters;
       auto buffer = std::make_unique<ShuffleBuffer>(
           num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
-          &temp_files_, &attempt_counters);
+          &temp_files_, &attempt_counters,
+          config_.combine_headroom_fraction);
       // Logical run identity for fault injection: independent of host temp
       // paths, so a fixed seed replays the same corruptions.
       buffer->SetSpillResourcePrefix(
@@ -309,8 +369,7 @@ Result<JobMetrics> Engine::RunImpl(
         state.buffer = std::move(buffer);
       } else if (attempt + 1 < max_attempts) {
         ++state.retries;
-        state.penalty_seconds +=
-            config_.retry_backoff_seconds * (attempt + 1);
+        state.penalty_seconds += backoff_seconds(TaskKind::kMap, w, attempt);
       }
       // A failed attempt's `buffer` dies here; its destructor reclaims any
       // spill files the attempt wrote.
@@ -406,7 +465,7 @@ Result<JobMetrics> Engine::RunImpl(
     SPCUBE_CHECK(host >= 0) << "no surviving worker to re-execute on";
     const double charged = redo.busy_seconds * redo.slowdown_factor +
                            redo.penalty_seconds +
-                           config_.retry_backoff_seconds;
+                           backoff_seconds(TaskKind::kMap, w, 0);
     map_seconds[static_cast<size_t>(host)] += charged;
     metrics.fault_recovery_seconds += charged;
     metrics.task_retries += redo.retries;
@@ -430,7 +489,8 @@ Result<JobMetrics> Engine::RunImpl(
       // Defensive: unfinished tasks cannot reach this point.
       task.buffer = std::make_unique<ShuffleBuffer>(
           num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
-          &temp_files_, &task.shuffle_counters);
+          &temp_files_, &task.shuffle_counters,
+          config_.combine_headroom_fraction);
     }
   }
 
@@ -466,6 +526,15 @@ Result<JobMetrics> Engine::RunImpl(
           ? static_cast<double>(metrics.MaxReducerInputBytes()) /
                 config_.network_bandwidth_bytes_per_sec
           : 0.0;
+
+  // Drift observable: flag the round when the reducer-input skew crosses
+  // the configured alert threshold (the trigger a deployment would use to
+  // schedule a re-sketch; see EngineConfig).
+  if (config_.reducer_imbalance_alert_threshold > 0.0 &&
+      metrics.ReducerImbalance() >
+          config_.reducer_imbalance_alert_threshold) {
+    metrics.reducer_imbalance_alerts = 1;
+  }
 
   // ---- Reduce phase --------------------------------------------------------
   // Assign reduce tasks to the surviving machines with a
@@ -507,6 +576,162 @@ Result<JobMetrics> Engine::RunImpl(
   std::vector<ReduceTaskState> reduce_tasks(
       static_cast<size_t>(num_reducers));
 
+  // ---- Adaptive split recovery (RecoverySpec, docs/INTERNALS.md §11) ------
+  // Runs a (sub-)partition's grouped stream through a reducer built by
+  // `factory`, collecting output records and counters instead of
+  // committing: nothing is published until the whole partition succeeds.
+  auto run_reducer_collect =
+      [&](int p, int machine, GroupedRecordStream* stream,
+          const std::function<std::unique_ptr<Reducer>()>& factory,
+          std::map<std::string, int64_t>* counters,
+          std::vector<Record>* out) -> Status {
+    std::unique_ptr<Reducer> reducer = factory();
+    if (reducer == nullptr) return Status::Internal("reducer factory failed");
+    TaskContext task{machine, num_workers, num_reducers,
+                     /*reduce_partition=*/p, config_.memory_budget_bytes,
+                     dfs_};
+    SPCUBE_RETURN_IF_ERROR(reducer->Setup(task));
+    EngineReduceContext context;
+    std::string key;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, stream->NextGroup(&key));
+      if (!more) break;
+      GroupValueStream values(stream);
+      SPCUBE_RETURN_IF_ERROR(reducer->Reduce(key, values, context));
+    }
+    SPCUBE_RETURN_IF_ERROR(reducer->Finish(context));
+    for (const auto& [name, delta] : context.counters()) {
+      (*counters)[name] += delta;
+    }
+    std::vector<Record> pending = context.TakePending();
+    out->insert(out->end(), std::make_move_iterator(pending.begin()),
+                std::make_move_iterator(pending.end()));
+    return Status::OK();
+  };
+
+  // Reduces `input` under `budget`; on a strict OOM splits it into salted
+  // sub-partitions (recursively, up to max_split_depth), reduces each, and
+  // merges the partial final outputs with the job's merge reducer — legal
+  // only under the RecoverySpec contract (unique output keys per group,
+  // associative merge closed over final values). Degradation cost (one
+  // backoff per split plus the re-scatter transfer) is charged to `state`.
+  std::function<Status(int, int, const ReduceInput&, int64_t, int,
+                       ReduceTaskState*, std::map<std::string, int64_t>*,
+                       std::vector<Record>*)>
+      reduce_with_split =
+          [&](int p, int machine, const ReduceInput& input, int64_t budget,
+              int depth, ReduceTaskState* state,
+              std::map<std::string, int64_t>* counters,
+              std::vector<Record>* out) -> Status {
+    const std::string resource_prefix =
+        "recover/j" + std::to_string(job_id) + "/red" + std::to_string(p) +
+        "/d" + std::to_string(depth);
+    // Cheap retry-safe copy: segments are shared refs, runs are path infos.
+    ReduceInput attempt_input = input;
+    auto stream_result = MakeGroupedStream(
+        std::move(attempt_input), budget, MemoryPolicy::kStrict,
+        &temp_files_, &reduce_counters[static_cast<size_t>(machine)], plan,
+        resource_prefix);
+    if (stream_result.ok()) {
+      std::unique_ptr<GroupedRecordStream> stream =
+          std::move(stream_result).value();
+      return run_reducer_collect(p, machine, stream.get(),
+                                 spec.reducer_factory, counters, out);
+    }
+    if (!stream_result.status().IsResourceExhausted()) {
+      return stream_result.status();
+    }
+    if (depth >= spec.recovery.max_split_depth) {
+      return Status(stream_result.status().code(),
+                    "split recovery exhausted max_split_depth=" +
+                        std::to_string(spec.recovery.max_split_depth) +
+                        ": " + stream_result.status().message());
+    }
+
+    // Still over budget: scatter into sub-partitions. The salt depends only
+    // on stable coordinates, so threaded and sequential runs (and same-seed
+    // reruns) split identically.
+    const int fanout = std::max(2, spec.recovery.split_fanout);
+    uint64_t salt = HashCombine(Mix64(backoff_seed ^ 0x5917ull),
+                                static_cast<uint64_t>(job_id));
+    salt = HashCombine(salt, HashCombine(static_cast<uint64_t>(p),
+                                         static_cast<uint64_t>(depth)));
+    auto split_result = SplitReduceInput(
+        input, fanout, salt, &temp_files_,
+        &reduce_counters[static_cast<size_t>(machine)], plan,
+        resource_prefix);
+    if (!split_result.ok()) return split_result.status();
+    std::vector<ReduceInput> subs = std::move(split_result).value();
+
+    int64_t reshuffled = 0;
+    for (const ReduceInput& sub : subs) reshuffled += sub.total_bytes;
+    ++state->recovery_rounds;
+    state->bytes_reshuffled += reshuffled;
+    // Charge the degradation to simulated time: a backoff before the split
+    // round (the depth extends the task's retry chain) plus the re-scatter
+    // transfer at the modeled bandwidth.
+    double charge =
+        backoff_seconds(TaskKind::kReduce, p, max_attempts + depth);
+    if (config_.network_bandwidth_bytes_per_sec > 0) {
+      charge += static_cast<double>(reshuffled) /
+                config_.network_bandwidth_bytes_per_sec;
+    }
+    state->penalty_seconds += charge;
+    state->recovery_seconds += charge;
+
+    std::vector<Record> sub_outputs;
+    Status sub_status = Status::OK();
+    for (const ReduceInput& sub : subs) {
+      if (sub.total_records == 0) continue;
+      sub_status = reduce_with_split(p, machine, sub, budget, depth + 1,
+                                     state, counters, &sub_outputs);
+      if (!sub_status.ok()) break;
+    }
+    // The sub-partition run files are recovery-private; reclaim the disk
+    // now whether or not the sub-attempts succeeded.
+    for (const ReduceInput& sub : subs) {
+      for (const RunInfo& run : sub.spill_runs) RemoveFileIfExists(run.path);
+    }
+    if (!sub_status.ok()) return sub_status;
+
+    // Merge round: partial outputs of the same key re-group and the merge
+    // reducer restores the unsplit value. The stable sort keeps values in
+    // sub-partition order within a key, so merge input order (and thus any
+    // floating-point evaluation order) is deterministic.
+    std::stable_sort(
+        sub_outputs.begin(), sub_outputs.end(),
+        [](const Record& a, const Record& b) { return a.key < b.key; });
+    std::unique_ptr<Reducer> merger = spec.recovery.merge_reducer_factory();
+    if (merger == nullptr) {
+      return Status::Internal("merge reducer factory failed");
+    }
+    TaskContext task{machine, num_workers, num_reducers,
+                     /*reduce_partition=*/p, config_.memory_budget_bytes,
+                     dfs_};
+    SPCUBE_RETURN_IF_ERROR(merger->Setup(task));
+    EngineReduceContext merge_context;
+    size_t i = 0;
+    while (i < sub_outputs.size()) {
+      size_t j = i + 1;
+      while (j < sub_outputs.size() &&
+             sub_outputs[j].key == sub_outputs[i].key) {
+        ++j;
+      }
+      RecordRangeValueStream values(sub_outputs, i, j);
+      SPCUBE_RETURN_IF_ERROR(
+          merger->Reduce(sub_outputs[i].key, values, merge_context));
+      i = j;
+    }
+    SPCUBE_RETURN_IF_ERROR(merger->Finish(merge_context));
+    for (const auto& [name, delta] : merge_context.counters()) {
+      (*counters)[name] += delta;
+    }
+    std::vector<Record> merged = merge_context.TakePending();
+    out->insert(out->end(), std::make_move_iterator(merged.begin()),
+                std::make_move_iterator(merged.end()));
+    return Status::OK();
+  };
+
   auto run_reduce_partition = [&](int p) -> Status {
     const int machine = machine_of[static_cast<size_t>(p)];
     ReduceTaskState& state = reduce_tasks[static_cast<size_t>(p)];
@@ -532,11 +757,20 @@ Result<JobMetrics> Engine::RunImpl(
       if (fault.slowdown_factor > state.slowdown_factor) {
         state.slowdown_factor = fault.slowdown_factor;
       }
+      // Injected memory pressure shrinks this attempt's effective budget
+      // (a co-tenant eating the heap); drawn per attempt, so pressure is
+      // transient.
+      const double budget_factor = std::clamp(fault.budget_factor, 1e-6, 1.0);
+      const int64_t attempt_budget = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 static_cast<double>(config_.memory_budget_bytes) *
+                 budget_factor));
 
-      // With retries enabled, later attempts need the input again, so the
-      // in-memory part is copied; spill-run files survive attempts.
+      // With retries or split recovery enabled, a failed attempt needs the
+      // input again, so the in-memory part is copied (segments are cheap
+      // shared refs); spill-run files survive attempts either way.
       ReduceInput attempt_input;
-      if (attempt + 1 < max_attempts) {
+      if (attempt + 1 < max_attempts || recovery_enabled) {
         attempt_input = reduce_inputs[static_cast<size_t>(p)];
       } else {
         attempt_input = std::move(reduce_inputs[static_cast<size_t>(p)]);
@@ -544,7 +778,7 @@ Result<JobMetrics> Engine::RunImpl(
 
       auto run_attempt = [&]() -> Status {
         auto stream_result = MakeGroupedStream(
-            std::move(attempt_input), config_.memory_budget_bytes,
+            std::move(attempt_input), attempt_budget,
             spec.memory_policy, &temp_files_,
             &reduce_counters[static_cast<size_t>(machine)], plan,
             "run/j" + std::to_string(job_id) + "/red" + std::to_string(p) +
@@ -590,10 +824,50 @@ Result<JobMetrics> Engine::RunImpl(
       if (last_error.ok()) {
         succeeded = true;
       } else if (last_error.IsResourceExhausted()) {
-        break;  // kStrict OOM: re-running cannot shrink the input.
+        if (recovery_enabled) {
+          // Degrade instead of dying: split the partition, reduce the
+          // sub-partitions, merge — then commit exactly like a normal
+          // successful attempt.
+          std::map<std::string, int64_t> recovery_counters;
+          std::vector<Record> recovered;
+          last_error = reduce_with_split(
+              p, machine, reduce_inputs[static_cast<size_t>(p)],
+              attempt_budget, /*depth=*/0, &state, &recovery_counters,
+              &recovered);
+          if (!last_error.ok()) break;
+          metrics.reducer_output_records[static_cast<size_t>(p)] +=
+              static_cast<int64_t>(recovered.size());
+          if (collector != nullptr) {
+            for (const Record& record : recovered) {
+              last_error = collector->Collect(p, record.key, record.value);
+              if (!last_error.ok()) break;
+            }
+            if (!last_error.ok()) break;
+          }
+          merge_counters(recovery_counters);
+          succeeded = true;
+        } else if (budget_factor < 1.0 && attempt + 1 < max_attempts) {
+          // The OOM came from injected budget pressure, which is
+          // transient: a retried attempt may draw its full budget back.
+          ++state.retries;
+          state.penalty_seconds +=
+              backoff_seconds(TaskKind::kReduce, p, attempt);
+        } else {
+          // A full-budget kStrict OOM is permanent — re-running cannot
+          // shrink the input — and this job does not permit splitting;
+          // explain why so the failure is actionable.
+          last_error = Status(
+              last_error.code(),
+              last_error.message() + " (adaptive partition splitting " +
+                  (spec.recovery.reject_reason.empty()
+                       ? std::string("is not enabled for this job")
+                       : "was rejected: " + spec.recovery.reject_reason) +
+                  ")");
+          break;
+        }
       } else if (attempt + 1 < max_attempts) {
         ++state.retries;
-        state.penalty_seconds += config_.retry_backoff_seconds * (attempt + 1);
+        state.penalty_seconds += backoff_seconds(TaskKind::kReduce, p, attempt);
       }
     }
     state.busy_seconds = config_.use_threads
@@ -654,6 +928,10 @@ Result<JobMetrics> Engine::RunImpl(
                                     charged + state.penalty_seconds);
     metrics.fault_recovery_seconds += state.penalty_seconds;
     metrics.task_retries += state.retries;
+    if (state.recovery_rounds > 0) ++metrics.reduce_partitions_split;
+    metrics.recovery_rounds += state.recovery_rounds;
+    metrics.recovery_bytes_reshuffled += state.bytes_reshuffled;
+    metrics.recovery_seconds += state.recovery_seconds;
   }
 
   // Spill bytes and fetch mismatches from reduce-side merging were

@@ -52,10 +52,37 @@ struct EngineConfig {
   /// inside an algorithm) default to one attempt.
   int min_task_attempts = 1;
 
-  /// Simulated delay before re-scheduling a failed attempt, charged to the
-  /// machine's busy time (linear backoff: the i-th retry of a task waits
-  /// i times this long). Modeled time, not wall-clock sleeping.
+  /// Base of the capped-exponential re-scheduling delay charged to a
+  /// machine's busy time when a failed attempt is retried: the i-th retry
+  /// (i = 0, 1, ...) waits min(retry_backoff_cap_seconds, base * 2^i),
+  /// optionally jittered (see retry_backoff_jitter). Modeled time, not
+  /// wall-clock sleeping. Also the base of the per-split backoff charged by
+  /// adaptive partition-split recovery (JobSpec::recovery).
   double retry_backoff_seconds = 0.0;
+
+  /// Ceiling on a single backoff delay so deep retry/split chains cannot
+  /// charge unbounded simulated time. <= 0 disables the cap.
+  double retry_backoff_cap_seconds = 60.0;
+
+  /// Jitter fraction in [0, 1]: each backoff delay is scaled by a factor
+  /// drawn uniformly from [1 - jitter, 1 + jitter) with a seeded spcube::Rng
+  /// keyed purely on (fault seed, job, task kind, task, attempt), so charged
+  /// times stay bit-identical across same-seed reruns and across
+  /// threaded/sequential execution. 0 (default) disables jitter.
+  double retry_backoff_jitter = 0.0;
+
+  /// Map-side combine headroom: after combining, the shuffle buffer only
+  /// spills if it is still holding more than this fraction of
+  /// memory_budget_bytes. Below that, the freed headroom is kept so the
+  /// next combine window can batch more duplicates (higher combine ratio at
+  /// the cost of a fuller buffer). Must be in (0, 1].
+  double combine_headroom_fraction = 0.75;
+
+  /// When > 0 and a round's reducer-input imbalance (max/avg input records,
+  /// JobMetrics::ReducerImbalance) exceeds this factor, the round's metrics
+  /// flag a reducer_imbalance_alert — the observable a production deployment
+  /// would use to trigger re-sketching when the data drifts. 0 disables.
+  double reducer_imbalance_alert_threshold = 0.0;
 
   /// Re-execute injected stragglers speculatively: the slow original is
   /// charged at most twice its measured time (it is killed when the backup

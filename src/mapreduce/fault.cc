@@ -17,6 +17,7 @@ enum DecisionTag : uint64_t {
   kTagForcedCrash = 4,
   kTagDfsReadError = 5,
   kTagCorruption = 6,
+  kTagOomPressure = 7,
 };
 
 uint64_t DecisionKey(uint64_t seed, uint64_t tag, uint64_t a, uint64_t b,
@@ -68,6 +69,19 @@ TaskFault FaultPlan::PlanTaskAttempt(int64_t job, TaskKind kind, int task,
                   static_cast<uint64_t>(kind), coords);
   if (Bernoulli(straggle_key, config_.straggler_rate)) {
     fault.slowdown_factor = std::max(1.0, config_.straggler_factor);
+  }
+  if (kind == TaskKind::kReduce) {
+    // Memory pressure only makes sense on the reduce side, where the budget
+    // gates the grouped-input assembly. Drawn per attempt: a retry may get
+    // its full budget back, which is what makes strict-policy OOMs
+    // transient rather than terminal.
+    const uint64_t oom_key =
+        DecisionKey(config_.seed, kTagOomPressure, static_cast<uint64_t>(job),
+                    static_cast<uint64_t>(kind), coords);
+    if (Bernoulli(oom_key, config_.oom_pressure_rate)) {
+      fault.budget_factor =
+          std::clamp(config_.oom_budget_factor, 1e-6, 1.0);
+    }
   }
   return fault;
 }

@@ -29,6 +29,13 @@ struct TaskFault {
   /// is the measured time scaled by this factor (a slow disk or a busy
   /// neighbor, not extra work).
   double slowdown_factor = 1.0;
+
+  /// < 1 injects memory pressure into a reduce attempt: the effective
+  /// memory budget for assembling the attempt's grouped input is the
+  /// configured budget times this factor (a co-tenant eating the heap).
+  /// Under MemoryPolicy::kSpill the attempt just spills more; under kStrict
+  /// it OOMs and exercises retry / adaptive partition-split recovery.
+  double budget_factor = 1.0;
 };
 
 /// Fault rates of one chaos scenario. All probabilities are per decision
@@ -55,6 +62,13 @@ struct FaultConfig {
   /// measured.
   double straggler_rate = 0.0;
   double straggler_factor = 6.0;
+
+  /// Probability, per reduce task attempt, that the attempt suffers
+  /// injected memory pressure: its effective budget is the configured
+  /// budget times `oom_budget_factor` (clamped to (0, 1]). Drawn per
+  /// attempt, so a retried attempt may get its full budget back.
+  double oom_pressure_rate = 0.0;
+  double oom_budget_factor = 0.5;
 
   /// Probability that the first read of a DFS path fails transiently
   /// (injected only on the first read so a retried attempt can succeed).

@@ -92,6 +92,17 @@ std::string JobMetrics::ToString() const {
         fault_recovery_seconds);
     out += buf;
   }
+  if (reduce_partitions_split > 0 || reducer_imbalance_alerts > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " recovery(split_partitions=%lld rounds=%lld reshuffled=%lld B "
+        "time=%.3fs imbalance_alerts=%lld)",
+        static_cast<long long>(reduce_partitions_split),
+        static_cast<long long>(recovery_rounds),
+        static_cast<long long>(recovery_bytes_reshuffled), recovery_seconds,
+        static_cast<long long>(reducer_imbalance_alerts));
+    out += buf;
+  }
   return out;
 }
 
@@ -191,6 +202,42 @@ double RunMetrics::FaultRecoverySeconds() const {
   double total = 0.0;
   for (const JobMetrics& round : rounds) {
     total += round.fault_recovery_seconds;
+  }
+  return total;
+}
+
+int64_t RunMetrics::ReducePartitionsSplit() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.reduce_partitions_split;
+  }
+  return total;
+}
+
+int64_t RunMetrics::RecoveryRounds() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) total += round.recovery_rounds;
+  return total;
+}
+
+int64_t RunMetrics::RecoveryBytesReshuffled() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.recovery_bytes_reshuffled;
+  }
+  return total;
+}
+
+double RunMetrics::RecoverySeconds() const {
+  double total = 0.0;
+  for (const JobMetrics& round : rounds) total += round.recovery_seconds;
+  return total;
+}
+
+int64_t RunMetrics::ReducerImbalanceAlerts() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.reducer_imbalance_alerts;
   }
   return total;
 }

@@ -66,10 +66,31 @@ struct JobMetrics {
   int64_t tasks_speculatively_reexecuted = 0;
   /// Shuffle-fetch checksum mismatches detected and recovered by re-fetch.
   int64_t shuffle_checksum_mismatches = 0;
-  /// Simulated time spent on recovery: retry backoff, crash re-execution
-  /// and speculative copies. Already included in the phase times; reported
-  /// separately so overhead is visible.
+  /// Simulated time spent on recovery: retry backoff, crash re-execution,
+  /// speculative copies and adaptive split recovery. Already included in
+  /// the phase times; reported separately so overhead is visible.
   double fault_recovery_seconds = 0.0;
+
+  // -- Adaptive split recovery (mapreduce/api.h, RecoverySpec) ---------------
+
+  /// Reduce partitions whose strict-policy OOM was survived by splitting
+  /// into sub-partitions and merging the partial outputs.
+  int64_t reduce_partitions_split = 0;
+  /// Split operations performed during recovery (recursive re-splits of a
+  /// still-oversized sub-partition count individually).
+  int64_t recovery_rounds = 0;
+  /// Payload bytes re-scattered into sub-partition runs by those splits —
+  /// the extra "shuffle" the degraded path pays.
+  int64_t recovery_bytes_reshuffled = 0;
+  /// Simulated time charged for split recovery (per-split backoff plus the
+  /// re-scatter transfer at the configured network bandwidth). A subset of
+  /// fault_recovery_seconds, reported separately so degradation cost is
+  /// attributable.
+  double recovery_seconds = 0.0;
+  /// 1 when ReducerImbalance() exceeded
+  /// EngineConfig::reducer_imbalance_alert_threshold (> 0) this round — the
+  /// drift signal a deployment would use to trigger re-sketching.
+  int64_t reducer_imbalance_alerts = 0;
 
   /// User counters incremented by tasks via the contexts (only successful
   /// attempts contribute), keyed by name.
@@ -120,6 +141,13 @@ struct RunMetrics {
   int64_t TasksSpeculativelyReexecuted() const;
   int64_t ShuffleChecksumMismatches() const;
   double FaultRecoverySeconds() const;
+
+  // Adaptive split-recovery totals over all rounds.
+  int64_t ReducePartitionsSplit() const;
+  int64_t RecoveryRounds() const;
+  int64_t RecoveryBytesReshuffled() const;
+  double RecoverySeconds() const;
+  int64_t ReducerImbalanceAlerts() const;
 
   /// Sum of one named user counter over all rounds.
   int64_t CustomCounter(const std::string& name) const;

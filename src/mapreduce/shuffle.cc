@@ -110,14 +110,23 @@ ShuffleBuffer::ShuffleBuffer(int num_partitions,
                              int64_t memory_budget_bytes,
                              const Combiner* combiner,
                              TempFileManager* temp_files,
-                             ShuffleCounters* counters)
+                             ShuffleCounters* counters,
+                             double combine_headroom_fraction)
     : num_partitions_(num_partitions),
       memory_budget_bytes_(memory_budget_bytes),
+      combine_headroom_bytes_(static_cast<int64_t>(
+          static_cast<double>(memory_budget_bytes) *
+          combine_headroom_fraction)),
       combiner_(combiner),
       temp_files_(temp_files),
       counters_(counters),
       partitions_(static_cast<size_t>(num_partitions)),
-      spill_runs_(static_cast<size_t>(num_partitions)) {}
+      spill_runs_(static_cast<size_t>(num_partitions)) {
+  SPCUBE_DCHECK(combine_headroom_fraction > 0.0 &&
+                combine_headroom_fraction <= 1.0)
+      << "combine_headroom_fraction must be in (0, 1], got "
+      << combine_headroom_fraction;
+}
 
 ShuffleBuffer::~ShuffleBuffer() {
   // Any run still here belongs to an attempt whose output was never
@@ -289,8 +298,9 @@ Status ShuffleBuffer::Overflow() {
     SPCUBE_RETURN_IF_ERROR(CombineInMemory());
     // Keep the buffer only if combining freed real headroom; a buffer that
     // hovers near the budget would otherwise re-combine after every few
-    // records (quadratic). Hadoop applies the same spill-anyway rule.
-    if (buffered_bytes_ <= memory_budget_bytes_ * 3 / 4) {
+    // records (quadratic). Hadoop applies the same spill-anyway rule. The
+    // threshold is EngineConfig::combine_headroom_fraction of the budget.
+    if (buffered_bytes_ <= combine_headroom_bytes_) {
       return Status::OK();
     }
   }
@@ -635,6 +645,75 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
       injector, mismatch_counter);
   SPCUBE_RETURN_IF_ERROR(merging->Init());
   return {std::unique_ptr<GroupedRecordStream>(std::move(merging))};
+}
+
+Result<std::vector<ReduceInput>> SplitReduceInput(
+    const ReduceInput& input, int fanout, uint64_t salt,
+    TempFileManager* temp_files, ShuffleCounters* counters,
+    IoFaultInjector* injector, const std::string& resource_prefix) {
+  SPCUBE_CHECK(fanout >= 2) << "split fanout must be >= 2, got " << fanout;
+  int64_t* mismatch_counter =
+      counters != nullptr ? &counters->checksum_mismatches : nullptr;
+  // Gather every record as refs: in-memory sources directly, spill runs
+  // parsed into a local arena. Records are scattered, not merged, so source
+  // order does not affect correctness — but the global ordinal feeding the
+  // scatter hash must be stable, and it is: memory records, then segments,
+  // then runs, all in their stored order.
+  std::vector<ShuffleRecordRef> entries;
+  Arena absorbed;
+  AppendRecordEntries(input.memory_records, input.memory_segments, &entries);
+  for (const RunInfo& run : input.spill_runs) {
+    SpillReader reader(run.path);
+    SPCUBE_RETURN_IF_ERROR(reader.Open());
+    reader.SetFaultInjection(injector, mismatch_counter, run.resource);
+    std::string raw;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
+      if (!more) break;
+      std::string_view key;
+      std::string_view value;
+      SPCUBE_RETURN_IF_ERROR(ParseSpillRecord(raw, &key, &value));
+      const char* data = absorbed.AppendPair(key, value);
+      entries.push_back(ShuffleRecordRef{
+          data, data + key.size(), static_cast<uint32_t>(key.size()),
+          static_cast<uint32_t>(value.size())});
+    }
+  }
+  // Salted scatter over (key, ordinal). Including the ordinal is what lets
+  // one oversized group shrink: its records spread across every sub-input
+  // and partial-aggregate there (legal only under the RecoverySpec
+  // contract; see docs/INTERNALS.md §11).
+  std::vector<std::vector<ShuffleRecordRef>> sub_refs(
+      static_cast<size_t>(fanout));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const uint64_t h = HashCombine(
+        HashCombine(Mix64(salt ^ 0x5ca7ull), HashBytes(entries[i].key())),
+        static_cast<uint64_t>(i));
+    sub_refs[h % static_cast<uint64_t>(fanout)].push_back(entries[i]);
+  }
+  // One sorted run file per sub-input: the result must not reference
+  // `input`'s arenas (the OOMed attempt's storage is reclaimed before the
+  // sub-attempts run), and runs keep the "each sorted by key" invariant.
+  std::vector<ReduceInput> subs(static_cast<size_t>(fanout));
+  std::vector<ShuffleSortItem> order;
+  ByteWriter encode;
+  for (int k = 0; k < fanout; ++k) {
+    const std::vector<ShuffleRecordRef>& refs =
+        sub_refs[static_cast<size_t>(k)];
+    if (refs.empty()) continue;
+    SortRefs(refs, &order);
+    SPCUBE_ASSIGN_OR_RETURN(
+        RunInfo run,
+        WriteSortedRun(refs, order, temp_files, counters, &encode));
+    if (!resource_prefix.empty()) {
+      run.resource = resource_prefix + "/s" + std::to_string(k);
+    }
+    ReduceInput& sub = subs[static_cast<size_t>(k)];
+    sub.total_bytes = run.payload_bytes;
+    sub.total_records = run.records;
+    sub.spill_runs.push_back(std::move(run));
+  }
+  return subs;
 }
 
 }  // namespace spcube

@@ -146,9 +146,15 @@ class ShuffleSegment {
 class ShuffleBuffer {
  public:
   /// `combiner` may be null. `temp_files` outlives the buffer.
+  /// `combine_headroom_fraction` (in (0, 1], see
+  /// EngineConfig::combine_headroom_fraction) is the post-combine fill level
+  /// above which the buffer still spills: combining that frees at least
+  /// 1 - fraction of the budget defers the spill so the next combine window
+  /// batches more duplicates.
   ShuffleBuffer(int num_partitions, int64_t memory_budget_bytes,
                 const Combiner* combiner, TempFileManager* temp_files,
-                ShuffleCounters* counters);
+                ShuffleCounters* counters,
+                double combine_headroom_fraction = 0.75);
 
   /// Deletes the files of any spill runs that were never taken — the
   /// eager cleanup of a failed (and retried) map attempt's private output.
@@ -237,6 +243,9 @@ class ShuffleBuffer {
 
   int num_partitions_;
   int64_t memory_budget_bytes_;
+  /// Post-combine spill threshold in bytes:
+  /// memory_budget_bytes_ * combine_headroom_fraction.
+  int64_t combine_headroom_bytes_;
   const Combiner* combiner_;
   TempFileManager* temp_files_;
   ShuffleCounters* counters_;
@@ -304,6 +313,23 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
     ReduceInput input, int64_t memory_budget_bytes, MemoryPolicy policy,
     TempFileManager* temp_files, ShuffleCounters* counters,
     IoFaultInjector* injector = nullptr, std::string resource_prefix = "");
+
+/// Adaptive-recovery scatter (mapreduce/api.h, RecoverySpec): splits
+/// `input` into `fanout` sub-inputs by a seeded hash of (key, record
+/// ordinal) — the ordinal term spreads even one giant group across every
+/// sub-partition, which plain key hashing never could. Each sub-input is
+/// written as a single sorted run file under `temp_files` (so the result
+/// holds no references into `input`'s arenas — split sub-inputs outlive the
+/// attempt that OOMed), accounted to `counters->spill_bytes`, and named
+/// `<resource_prefix>/s<k>` for fault injection. The caller owns the run
+/// files and must delete them after the sub-attempts finish. Spill runs in
+/// `input` are re-read through `injector` (may be null) with checksum
+/// recovery, like any reduce-side fetch. Deterministic in `salt`: same
+/// input + salt => identical scatter, regardless of threading.
+Result<std::vector<ReduceInput>> SplitReduceInput(
+    const ReduceInput& input, int fanout, uint64_t salt,
+    TempFileManager* temp_files, ShuffleCounters* counters,
+    IoFaultInjector* injector, const std::string& resource_prefix);
 
 }  // namespace spcube
 

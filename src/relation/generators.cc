@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/random.h"
 
@@ -148,6 +149,51 @@ Relation GenUsaGovLike(int64_t num_rows, uint64_t seed) {
   for (int i = 4; i < 15; ++i) domains.push_back(8 + i);
   return GenPlantedSkew(num_rows, /*num_dims=*/15, {0.25, 0.08}, domains,
                         seed);
+}
+
+Relation GenDriftBatch(const DriftSpec& spec, int batch, int64_t num_rows,
+                       uint64_t seed) {
+  SPCUBE_CHECK(spec.num_batches >= 1 && batch >= 0 &&
+               batch < spec.num_batches);
+  const int num_dims = spec.num_zipf_dims + spec.num_uniform_dims;
+  SPCUBE_CHECK(num_dims >= 1 && spec.domain >= 1);
+
+  // Linear exponent ramp across the stream; a single batch sits at the
+  // start of the ramp.
+  const double t = spec.num_batches > 1
+                       ? static_cast<double>(batch) /
+                             static_cast<double>(spec.num_batches - 1)
+                       : 0.0;
+  const double exponent =
+      spec.start_exponent + t * (spec.end_exponent - spec.start_exponent);
+  // Hot-key churn: rotating the rank -> value mapping moves the head of the
+  // distribution to fresh keys without changing the rank frequencies.
+  const int64_t rotations =
+      spec.churn_period > 0 ? batch / spec.churn_period : 0;
+  const int64_t offset =
+      ((rotations * spec.churn_step) % spec.domain + spec.domain) %
+      spec.domain;
+
+  Relation out(MakeAnonymousSchema(num_dims));
+  out.Reserve(num_rows);
+  // Per-batch stream derived from the shared seed: batches differ row-wise
+  // but the whole stream replays from one number.
+  Rng rng(HashCombine(Mix64(seed ^ 0xd21f7ull), static_cast<uint64_t>(batch)));
+  const ZipfDistribution zipf(spec.domain, exponent);
+  std::vector<int64_t> row(static_cast<size_t>(num_dims));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    int d = 0;
+    for (int z = 0; z < spec.num_zipf_dims; ++z, ++d) {
+      row[static_cast<size_t>(d)] =
+          (zipf.Sample(rng) + offset) % spec.domain;
+    }
+    for (int u = 0; u < spec.num_uniform_dims; ++u, ++d) {
+      row[static_cast<size_t>(d)] = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(spec.domain)));
+    }
+    out.AppendRow(row, RandomMeasure(rng));
+  }
+  return out;
 }
 
 Relation ProjectDims(const Relation& input, const std::vector<int>& dims) {

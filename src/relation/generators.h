@@ -58,6 +58,38 @@ Relation GenWikiLike(int64_t num_rows, uint64_t seed);
 /// Two heavy patterns at 25%/8% give ≈ 30 skewed c-groups at 6%-25% of n.
 Relation GenUsaGovLike(int64_t num_rows, uint64_t seed);
 
+/// A drifting batched stream (ROADMAP item 5): the workload is a sequence
+/// of batches whose distribution ages between batches, so a sketch built on
+/// batch b misclassifies the heavy hitters of batch b' > b. Two drift
+/// mechanisms compose:
+///   * Zipf-exponent ramp — the zipf dimensions' exponent interpolates
+///     linearly from start_exponent (batch 0) to end_exponent (batch
+///     num_batches-1), sharpening (or flattening) the skew over time;
+///   * hot-key churn — every churn_period batches the rank -> value mapping
+///     rotates by churn_step, so *which* keys are hot changes even when the
+///     rank distribution does not.
+/// Layout matches GenZipf (zipf dims first, then uniform dims).
+struct DriftSpec {
+  int num_batches = 2;
+  int num_zipf_dims = 2;
+  int num_uniform_dims = 2;
+  int64_t domain = 1000;
+  double start_exponent = 0.6;
+  double end_exponent = 1.4;
+  /// Rotate the rank -> value mapping every this many batches; <= 0
+  /// disables churn.
+  int churn_period = 1;
+  /// Offset added to every value per rotation (mod domain).
+  int64_t churn_step = 17;
+};
+
+/// Generates batch `batch` (in [0, spec.num_batches)) of the drifting
+/// stream. Deterministic in (spec, batch, seed); batches are independent
+/// row-wise but share the seed so the whole stream is reproducible from one
+/// number.
+Relation GenDriftBatch(const DriftSpec& spec, int batch, int64_t num_rows,
+                       uint64_t seed);
+
 /// Projects a relation onto a subset of its dimensions (used to cube over 4
 /// of USAGOV's 15 attributes, as the paper does).
 Relation ProjectDims(const Relation& input, const std::vector<int>& dims);

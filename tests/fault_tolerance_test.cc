@@ -341,8 +341,9 @@ TEST(FaultPlanTest, InjectedMapFailuresRecoverWithBackoffCharged) {
   EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
 
   // All 4 map tasks fail attempts 0 and 1 and succeed on the spared final
-  // attempt: 8 retries, each charged its linear backoff (0.5 + 1.0 per
-  // task) into both the phase time and the recovery total.
+  // attempt: 8 retries, each charged its capped-exponential backoff
+  // (0.5 * 2^0 + 0.5 * 2^1 = 1.5 per task, jitter disabled by default)
+  // into both the phase time and the recovery total.
   EXPECT_EQ(metrics->task_retries, 8);
   EXPECT_DOUBLE_EQ(metrics->fault_recovery_seconds, 4 * 1.5);
   EXPECT_GE(metrics->map_phase.MaxSeconds(), 1.5);

@@ -1,0 +1,463 @@
+// Adaptive skew-recovery tests (docs/INTERNALS.md §11): a reduce partition
+// that overflows the strict memory budget is deterministically split into
+// sub-partitions, partial-aggregated, and merged back exactly; every
+// degradation is visible in RunMetrics and reproducible per fault seed.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/hive.h"
+#include "common/logging.h"
+#include "core/sp_cube.h"
+#include "cube/cube_result.h"
+#include "io/dfs.h"
+#include "mapreduce/backoff.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/fault.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.num_workers = 4;
+  config.memory_budget_bytes = 1 << 20;
+  config.network_bandwidth_bytes_per_sec = 0;
+  return config;
+}
+
+class TokenMapper : public Mapper {
+  Status Map(const RelationView& input, int64_t row,
+             MapContext& context) override {
+    return context.Emit(std::to_string(input.dim(row, 0)), "1");
+  }
+};
+
+/// Sums decimal-string values — both the first-pass reducer (counting
+/// tokens) and the merge reducer (summing sub-partition partial counts).
+class SumReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key, ValueStream& values,
+                ReduceContext& context) override {
+    int64_t sum = 0;
+    std::string value;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      sum += std::stoll(value);
+    }
+    return context.Output(key, std::to_string(sum));
+  }
+};
+
+class SumCombiner : public Combiner {
+ public:
+  Status Combine(const std::string&, const std::vector<std::string>& values,
+                 std::vector<std::string>* combined) const override {
+    int64_t sum = 0;
+    for (const std::string& value : values) sum += std::stoll(value);
+    combined->push_back(std::to_string(sum));
+    return Status::OK();
+  }
+};
+
+/// The count job whose strict-memory failure mode the recovery subsystem
+/// exists to survive: identical to the one in
+/// FaultToleranceTest.StrictMemoryFailureIsNotRetried, plus a RecoverySpec.
+JobSpec RecoverableCountSpec() {
+  JobSpec spec;
+  spec.name = "recoverable-count";
+  spec.memory_policy = MemoryPolicy::kStrict;
+  spec.mapper_factory = [] { return std::make_unique<TokenMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  spec.recovery.allow_partition_split = true;
+  spec.recovery.merge_reducer_factory = [] {
+    return std::make_unique<SumReducer>();
+  };
+  return spec;
+}
+
+std::map<std::string, int64_t> DirectCounts(const Relation& rel) {
+  std::map<std::string, int64_t> counts;
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    ++counts[std::to_string(rel.dim(r, 0))];
+  }
+  return counts;
+}
+
+std::map<std::string, int64_t> CollectorCounts(
+    const VectorOutputCollector& collector) {
+  std::map<std::string, int64_t> counts;
+  for (const auto& entry : collector.entries()) {
+    counts[entry.key] += std::stoll(entry.value);
+  }
+  return counts;
+}
+
+// ---- Engine-level split recovery -------------------------------------------
+
+TEST(RecoveryTest, SplitRecoversStrictOomExactly) {
+  // The exact configuration StrictMemoryFailureIsNotRetried proves is fatal
+  // without recovery: 3000 rows into a 256-byte strict budget.
+  Relation rel = GenUniform(3000, 1, 50, 75);
+  EngineConfig config = TestConfig();
+  config.memory_budget_bytes = 256;
+  config.retry_backoff_seconds = 0.05;  // else the modeled charge is zero
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(RecoverableCountSpec(), rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(CollectorCounts(collector), DirectCounts(rel));
+  // The degradation is visible: partitions split, rounds and re-shuffled
+  // bytes counted, simulated time charged.
+  EXPECT_GT(metrics->reduce_partitions_split, 0);
+  EXPECT_GT(metrics->recovery_rounds, 0);
+  EXPECT_GT(metrics->recovery_bytes_reshuffled, 0);
+  EXPECT_GT(metrics->recovery_seconds, 0.0);
+  // Recovery time is part of the fault-recovery total.
+  EXPECT_LE(metrics->recovery_seconds, metrics->fault_recovery_seconds);
+}
+
+TEST(RecoveryTest, RecoveryMetricsAreDeterministicAcrossReruns) {
+  Relation rel = GenUniform(3000, 1, 50, 75);
+  auto run = [&rel]() {
+    EngineConfig config = TestConfig();
+    config.memory_budget_bytes = 256;
+    DistributedFileSystem dfs;
+    Engine engine(config, &dfs);
+    VectorOutputCollector collector;
+    auto metrics = engine.Run(RecoverableCountSpec(), rel, &collector);
+    SPCUBE_CHECK_OK(metrics.status());
+    return *metrics;
+  };
+  const JobMetrics a = run();
+  const JobMetrics b = run();
+  EXPECT_EQ(a.reduce_partitions_split, b.reduce_partitions_split);
+  EXPECT_EQ(a.recovery_rounds, b.recovery_rounds);
+  EXPECT_EQ(a.recovery_bytes_reshuffled, b.recovery_bytes_reshuffled);
+  EXPECT_DOUBLE_EQ(a.recovery_seconds, b.recovery_seconds);
+}
+
+TEST(RecoveryTest, DepthExhaustionSurfacesExplanatoryStatus) {
+  // A budget so small that even max-depth sub-partitions overflow: the job
+  // must fail with ResourceExhausted and name the exhausted knob.
+  Relation rel = GenUniform(3000, 1, 50, 75);
+  EngineConfig config = TestConfig();
+  config.memory_budget_bytes = 64;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+
+  JobSpec spec = RecoverableCountSpec();
+  spec.recovery.max_split_depth = 1;
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_TRUE(metrics.status().IsResourceExhausted());
+  EXPECT_NE(metrics.status().message().find("max_split_depth"),
+            std::string::npos)
+      << metrics.status();
+}
+
+TEST(RecoveryTest, DisabledRecoveryStatusExplainsWhy) {
+  Relation rel = GenUniform(3000, 1, 50, 75);
+  EngineConfig config = TestConfig();
+  config.memory_budget_bytes = 256;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+
+  JobSpec spec = RecoverableCountSpec();
+  spec.recovery = RecoverySpec{};  // back to the default: no recovery
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_TRUE(metrics.status().IsResourceExhausted());
+  EXPECT_NE(metrics.status().message().find("not enabled"),
+            std::string::npos)
+      << metrics.status();
+}
+
+TEST(RecoveryTest, RejectedRecoveryStatusCarriesReason) {
+  // A holistic aggregate: MakeCubeRecoverySpec refuses to split and the
+  // failure Status must carry its reason.
+  Relation rel = GenUniform(3000, 1, 50, 75);
+  EngineConfig config = TestConfig();
+  config.memory_budget_bytes = 256;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+
+  JobSpec spec = RecoverableCountSpec();
+  spec.recovery = MakeCubeRecoverySpec(AggregateKind::kAvg, 1);
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_TRUE(metrics.status().IsResourceExhausted());
+  EXPECT_NE(metrics.status().message().find("non-mergeable quotient"),
+            std::string::npos)
+      << metrics.status();
+}
+
+TEST(RecoveryTest, ImbalanceAlertFiresOnSkewedPartitions) {
+  // One dominant key under hash partitioning: the max/mean reduce-input
+  // ratio far exceeds a threshold just above perfect balance.
+  Relation rel = GenMonotonicSkew(4000, 1, 0.7, 1000, 83);
+  EngineConfig config = TestConfig();
+  config.reducer_imbalance_alert_threshold = 1.5;
+  DistributedFileSystem dfs;
+  Engine engine(config, &dfs);
+
+  JobSpec spec;
+  spec.mapper_factory = [] { return std::make_unique<TokenMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  VectorOutputCollector collector;
+  auto metrics = engine.Run(spec, rel, &collector);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->reducer_imbalance_alerts, 1);
+  EXPECT_GT(metrics->ReducerImbalance(), 1.5);
+}
+
+// ---- Backoff helper --------------------------------------------------------
+
+TEST(BackoffTest, GrowsExponentiallyAndClampsAtCap) {
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(0.5, 60.0, 0.0, 1, 1,
+                                       TaskKind::kMap, 0, 0),
+                   0.5);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(0.5, 60.0, 0.0, 1, 1,
+                                       TaskKind::kMap, 0, 1),
+                   1.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(0.5, 60.0, 0.0, 1, 1,
+                                       TaskKind::kMap, 0, 4),
+                   8.0);
+  // 0.5 * 2^10 = 512 clamps to the 60 s cap; cap <= 0 disables clamping.
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(0.5, 60.0, 0.0, 1, 1,
+                                       TaskKind::kMap, 0, 10),
+                   60.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(0.5, 0.0, 0.0, 1, 1,
+                                       TaskKind::kMap, 0, 10),
+                   512.0);
+  // Non-positive base disables backoff entirely.
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(0.0, 60.0, 0.5, 1, 1,
+                                       TaskKind::kMap, 0, 3),
+                   0.0);
+}
+
+TEST(BackoffTest, JitterStaysInBandAndIsDeterministic) {
+  const double base = 1.0;
+  bool any_off_center = false;
+  for (int task = 0; task < 32; ++task) {
+    const double delay = RetryBackoffSeconds(base, 60.0, 0.25, 99, 7,
+                                             TaskKind::kReduce, task, 0);
+    EXPECT_GE(delay, base * 0.75);
+    EXPECT_LT(delay, base * 1.25);
+    if (delay != base) any_off_center = true;
+    // Same coordinates, same jitter draw.
+    EXPECT_DOUBLE_EQ(delay,
+                     RetryBackoffSeconds(base, 60.0, 0.25, 99, 7,
+                                         TaskKind::kReduce, task, 0));
+  }
+  EXPECT_TRUE(any_off_center);
+}
+
+// ---- OOM-pressure injection grid -------------------------------------------
+
+struct OomGridConfig {
+  bool strict = true;
+  bool combiner = false;
+  bool speculative = false;
+  std::string Name() const {
+    std::string name = strict ? "strict" : "spill";
+    name += combiner ? "_comb" : "_nocomb";
+    name += speculative ? "_spec" : "_nospec";
+    return name;
+  }
+};
+
+class OomInjectionTest : public ::testing::TestWithParam<OomGridConfig> {};
+
+TEST_P(OomInjectionTest, InjectedPressureRecoversExactlyAndDeterministically) {
+  const OomGridConfig& grid = GetParam();
+  Relation rel = GenZipf(3000, 1, 1, 60, 1.2, 87);
+
+  auto run = [&](JobMetrics* out) {
+    EngineConfig config = TestConfig();
+    config.memory_budget_bytes = 1 << 12;
+    config.speculative_execution = grid.speculative;
+    config.min_task_attempts = 3;
+    config.retry_backoff_seconds = 0.01;
+    FaultConfig chaos;
+    chaos.seed = 29;
+    chaos.oom_pressure_rate = 0.6;
+    chaos.oom_budget_factor = 0.25;
+    chaos.straggler_rate = grid.speculative ? 0.3 : 0.0;
+    FaultPlan plan(chaos);
+    config.fault_plan = &plan;
+    DistributedFileSystem dfs;
+    Engine engine(config, &dfs);
+
+    JobSpec spec = RecoverableCountSpec();
+    if (!grid.strict) spec.memory_policy = MemoryPolicy::kSpill;
+    if (grid.combiner) spec.combiner = std::make_shared<SumCombiner>();
+    VectorOutputCollector collector;
+    auto metrics = engine.Run(spec, rel, &collector);
+    SPCUBE_CHECK_OK(metrics.status());
+    if (out != nullptr) *out = *metrics;
+    return CollectorCounts(collector);
+  };
+
+  JobMetrics first_metrics;
+  JobMetrics second_metrics;
+  EXPECT_EQ(run(&first_metrics), DirectCounts(rel));
+  EXPECT_EQ(run(&second_metrics), DirectCounts(rel));
+  // Same fault seed, same degradation accounting.
+  EXPECT_EQ(first_metrics.reduce_partitions_split,
+            second_metrics.reduce_partitions_split);
+  EXPECT_EQ(first_metrics.recovery_rounds, second_metrics.recovery_rounds);
+  EXPECT_EQ(first_metrics.recovery_bytes_reshuffled,
+            second_metrics.recovery_bytes_reshuffled);
+  EXPECT_EQ(first_metrics.task_retries, second_metrics.task_retries);
+  // Spill mode absorbs the shrunken budget by spilling: no splits ever.
+  if (!grid.strict) {
+    EXPECT_EQ(first_metrics.reduce_partitions_split, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OomInjectionTest,
+    ::testing::Values(OomGridConfig{true, false, false},
+                      OomGridConfig{true, true, false},
+                      OomGridConfig{true, false, true},
+                      OomGridConfig{true, true, true},
+                      OomGridConfig{false, false, false},
+                      OomGridConfig{false, true, true}),
+    [](const ::testing::TestParamInfo<OomGridConfig>& info) {
+      return info.param.Name();
+    });
+
+// ---- Distribution drift ----------------------------------------------------
+
+TEST(DriftTest, GenDriftBatchIsDeterministicAndActuallyDrifts) {
+  DriftSpec spec;
+  spec.num_batches = 4;
+  spec.start_exponent = 0.4;
+  spec.end_exponent = 1.6;
+  const Relation a = GenDriftBatch(spec, 0, 500, 123);
+  const Relation b = GenDriftBatch(spec, 0, 500, 123);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int d = 0; d < a.num_dims(); ++d) {
+      ASSERT_EQ(a.dim(r, d), b.dim(r, d));
+    }
+    ASSERT_EQ(a.measure(r), b.measure(r));
+  }
+  // The last batch is sharper: its top key covers far more rows. Compare
+  // the modal frequency of dim 0.
+  auto modal_count = [](const Relation& rel) {
+    std::map<int64_t, int64_t> freq;
+    int64_t best = 0;
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      best = std::max(best, ++freq[rel.dim(r, 0)]);
+    }
+    return best;
+  };
+  const Relation last = GenDriftBatch(spec, 3, 500, 123);
+  EXPECT_GT(modal_count(last), modal_count(a));
+  for (int64_t r = 0; r < last.num_rows(); ++r) {
+    for (int d = 0; d < last.num_dims(); ++d) {
+      ASSERT_GE(last.dim(r, d), 0);
+      ASSERT_LT(last.dim(r, d), spec.domain);
+    }
+  }
+}
+
+TEST(DriftTest, StaleSketchStrictMemoryRecoversExactly) {
+  // The acceptance scenario: sketch built on batch 0 of a drifting Zipf
+  // stream, cube computed on the aged final batch under strict reducer
+  // memory. The stale sketch misplaces the new heavy hitters, a partition
+  // overflows, and split recovery completes the job exactly.
+  DriftSpec drift;
+  drift.num_batches = 3;
+  drift.start_exponent = 0.3;
+  drift.end_exponent = 1.5;
+  drift.churn_period = 1;
+  drift.churn_step = 311;
+  const Relation old_batch = GenDriftBatch(drift, 0, 4000, 2026);
+  const Relation new_batch = GenDriftBatch(drift, 2, 4000, 2026);
+  const CubeResult reference =
+      ComputeCubeReference(new_batch, AggregateKind::kCount);
+
+  auto run = [&](RunMetrics* out) {
+    EngineConfig cluster;
+    cluster.num_workers = 4;
+    cluster.memory_budget_bytes = 1 << 14;
+    cluster.network_bandwidth_bytes_per_sec = 0;
+    cluster.retry_backoff_seconds = 0.01;
+    DistributedFileSystem dfs;
+    Engine engine(cluster, &dfs);
+    SpCubeOptions options;
+    options.strict_reducer_memory = true;
+    SpCubeAlgorithm algorithm(options);
+    CubeRunOptions cube_options;
+    cube_options.aggregate = AggregateKind::kCount;
+    auto output =
+        algorithm.RunWithSketchFrom(engine, old_batch, new_batch,
+                                    cube_options);
+    SPCUBE_CHECK_OK(output.status());
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+        << diff;
+    if (out != nullptr) *out = std::move(output->metrics);
+  };
+
+  RunMetrics first;
+  RunMetrics second;
+  run(&first);
+  run(&second);
+  // The stale sketch must actually hurt: recovery engaged and is visible.
+  EXPECT_GT(first.ReducePartitionsSplit(), 0);
+  EXPECT_GT(first.RecoveryRounds(), 0);
+  EXPECT_GT(first.RecoverySeconds(), 0.0);
+  // And deterministically so.
+  EXPECT_EQ(first.ReducePartitionsSplit(), second.ReducePartitionsSplit());
+  EXPECT_EQ(first.RecoveryRounds(), second.RecoveryRounds());
+  EXPECT_EQ(first.RecoveryBytesReshuffled(),
+            second.RecoveryBytesReshuffled());
+}
+
+TEST(DriftTest, HiveOptInRecoverySurvivesStrictSkew) {
+  // The baselines_test asserts Hive *dies* here by default; with the
+  // opt-in recovery knob the same configuration completes exactly.
+  Relation rel = GenBinomial(4000, 3, 0.5, 301);
+  const CubeResult reference =
+      ComputeCubeReference(rel, AggregateKind::kSum);
+
+  EngineConfig cluster;
+  cluster.num_workers = 4;
+  cluster.memory_budget_bytes = 1 << 14;
+  cluster.network_bandwidth_bytes_per_sec = 0;
+  DistributedFileSystem dfs;
+  Engine engine(cluster, &dfs);
+
+  HiveCubeOptions options;
+  options.strict_reducer_memory = true;
+  options.allow_split_recovery = true;
+  HiveCubeAlgorithm hive(options);
+  CubeRunOptions cube_options;
+  cube_options.aggregate = AggregateKind::kSum;
+  auto output = hive.Run(engine, rel, cube_options);
+  ASSERT_TRUE(output.ok()) << output.status();
+  std::string diff;
+  EXPECT_TRUE(
+      CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+      << diff;
+  EXPECT_GT(output->metrics.ReducePartitionsSplit(), 0);
+}
+
+}  // namespace
+}  // namespace spcube

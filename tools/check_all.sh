@@ -7,7 +7,10 @@
 #                                         clang-tidy)
 #   3. bench JSON smoke                  (--emit-json output validates
 #                                         against tools/validate_bench_json.py)
-#   4. sanitizers                        (tools/run_sanitizers.sh)
+#   4. chaos                             (OOM-injection / drift / recovery
+#                                         grid under the asan-ubsan preset
+#                                         with lifetime checks forced on)
+#   5. sanitizers                        (tools/run_sanitizers.sh)
 #
 # Runs all stages even after a failure and finishes with a summary table,
 # so one broken gate doesn't hide the state of the others. Exits nonzero
@@ -47,9 +50,23 @@ build_and_test() {
 
 bench_json_smoke() {
   local out="build/bench_smoke.json"
+  local faults_out="build/bench_faults_smoke.json"
   ./build/bench/bench_shuffle --scale=0.05 --emit-json="${out}" \
     >/dev/null &&
-    python3 tools/validate_bench_json.py "${out}"
+    python3 tools/validate_bench_json.py "${out}" &&
+    ./build/bench/bench_faults --scale=0.1 --emit-json="${faults_out}" \
+      >/dev/null &&
+    python3 tools/validate_bench_json.py "${faults_out}"
+}
+
+# The adaptive-recovery grid (tests/recovery_test.cc) under address+UB
+# sanitizers: the split/merge path churns arenas, spill runs and views, so
+# it runs with SPCUBE_LIFETIME_CHECKS poisoning on top of asan.
+chaos_grid() {
+  cmake --preset asan-ubsan >/dev/null &&
+    cmake --build build-asan -j "$(nproc)" --target recovery_test &&
+    ctest --test-dir build-asan -R 'Recovery|Backoff|OomInjection|Drift' \
+      --output-on-failure -j "$(nproc)"
 }
 
 run_stage "build+test" build_and_test
@@ -60,8 +77,10 @@ else
 fi
 run_stage "bench-json-smoke" bench_json_smoke
 if [[ ${fast} -eq 0 ]]; then
+  run_stage "chaos" chaos_grid
   run_stage "sanitizers" tools/run_sanitizers.sh
 else
+  stage_names+=("chaos"); stage_results+=("SKIP (--fast)")
   stage_names+=("sanitizers"); stage_results+=("SKIP (--fast)")
 fi
 

@@ -22,6 +22,13 @@
 //                       payload corruption at rate R (0 disables; output
 //                       stays exact — recovery is reported after the run)
 //   --fault-seed=S      seed of the deterministic fault schedule (default 1)
+//   --strict-memory     run reducers fully in memory (MemoryPolicy::kStrict)
+//                       with adaptive partition-split recovery; supported by
+//                       the spcube and hive algorithms
+//   --oom-pressure-rate=R
+//                       inject memory pressure (shrunken budget) into reduce
+//                       attempts at rate R; pair with --strict-memory to
+//                       exercise split recovery
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +68,8 @@ struct Flags {
   bool metrics = false;
   double fault_rate = 0.0;
   uint64_t fault_seed = 1;
+  bool strict_memory = false;
+  double oom_pressure_rate = 0.0;
 };
 
 std::optional<std::string> FlagValue(const char* arg, const char* name) {
@@ -98,6 +107,10 @@ Result<Flags> ParseFlags(int argc, char** argv) {
     } else if (auto v = FlagValue(arg, "--fault-seed")) {
       flags.fault_seed =
           static_cast<uint64_t>(std::strtoull(v->c_str(), nullptr, 10));
+    } else if (std::strcmp(arg, "--strict-memory") == 0) {
+      flags.strict_memory = true;
+    } else if (auto v = FlagValue(arg, "--oom-pressure-rate")) {
+      flags.oom_pressure_rate = std::atof(v->c_str());
     } else if (std::strcmp(arg, "--help") == 0) {
       return Status::Cancelled("help");
     } else {
@@ -113,6 +126,9 @@ Result<Flags> ParseFlags(int argc, char** argv) {
   }
   if (flags.fault_rate < 0.0 || flags.fault_rate >= 1.0) {
     return Status::InvalidArgument("--fault-rate must be in [0, 1)");
+  }
+  if (flags.oom_pressure_rate < 0.0 || flags.oom_pressure_rate > 1.0) {
+    return Status::InvalidArgument("--oom-pressure-rate must be in [0, 1]");
   }
   return flags;
 }
@@ -153,11 +169,25 @@ Result<Relation> Generate(const std::string& spec) {
 }
 
 Result<std::unique_ptr<CubeAlgorithm>> MakeAlgorithm(
-    const std::string& name) {
-  if (name == "spcube") return {std::make_unique<SpCubeAlgorithm>()};
+    const std::string& name, bool strict_memory) {
+  if (name == "spcube") {
+    SpCubeOptions options;
+    options.strict_reducer_memory = strict_memory;
+    return {std::make_unique<SpCubeAlgorithm>(options)};
+  }
+  if (name == "hive") {
+    HiveCubeOptions options;
+    options.strict_reducer_memory = strict_memory;
+    options.allow_split_recovery = strict_memory;
+    return {std::make_unique<HiveCubeAlgorithm>(options)};
+  }
+  if (strict_memory) {
+    return Status::InvalidArgument(
+        "--strict-memory is only supported by the spcube and hive "
+        "algorithms");
+  }
   if (name == "naive") return {std::make_unique<NaiveCubeAlgorithm>()};
   if (name == "mrcube") return {std::make_unique<MrCubeAlgorithm>()};
-  if (name == "hive") return {std::make_unique<HiveCubeAlgorithm>()};
   if (name == "topdown") return {std::make_unique<TopDownCubeAlgorithm>()};
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
@@ -248,7 +278,8 @@ int RealMain(int argc, char** argv) {
                  "usage: spcube_cli (--input=FILE | --generate=SPEC) "
                  "[--algorithm=A] [--aggregate=F] [--workers=K] "
                  "[--iceberg=N] [--output=DIR] [--top=N] [--metrics] "
-                 "[--fault-rate=R] [--fault-seed=S]\n");
+                 "[--fault-rate=R] [--fault-seed=S] [--strict-memory] "
+                 "[--oom-pressure-rate=R]\n");
     return flags_or.status().code() == StatusCode::kCancelled ? 0 : 2;
   }
   const Flags& flags = *flags_or;
@@ -295,7 +326,7 @@ int RealMain(int argc, char** argv) {
                  aggregate.status().ToString().c_str());
     return 2;
   }
-  auto algorithm = MakeAlgorithm(flags.algorithm);
+  auto algorithm = MakeAlgorithm(flags.algorithm, flags.strict_memory);
   if (!algorithm.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  algorithm.status().ToString().c_str());
@@ -317,8 +348,9 @@ int RealMain(int argc, char** argv) {
   chaos.payload_corruption_rate = flags.fault_rate;
   chaos.forced_worker_crashes =
       flags.fault_rate >= 0.05 && flags.workers > 1 ? 1 : 0;
+  chaos.oom_pressure_rate = flags.oom_pressure_rate;
   FaultPlan plan(chaos);
-  if (flags.fault_rate > 0.0) {
+  if (flags.fault_rate > 0.0 || flags.oom_pressure_rate > 0.0) {
     cluster.fault_plan = &plan;
     cluster.min_task_attempts = 3;
     cluster.retry_backoff_seconds = 0.05;
@@ -354,6 +386,20 @@ int RealMain(int argc, char** argv) {
         static_cast<long long>(m.TasksSpeculativelyReexecuted()),
         static_cast<long long>(m.ShuffleChecksumMismatches()),
         m.FaultRecoverySeconds());
+  }
+
+  {
+    const RunMetrics& m = output->metrics;
+    if (m.ReducePartitionsSplit() > 0 || m.ReducerImbalanceAlerts() > 0) {
+      std::printf(
+          "recovery: %lld partitions split (%lld rounds, %lld bytes "
+          "re-shuffled, %.3f s), %lld imbalance alerts\n",
+          static_cast<long long>(m.ReducePartitionsSplit()),
+          static_cast<long long>(m.RecoveryRounds()),
+          static_cast<long long>(m.RecoveryBytesReshuffled()),
+          m.RecoverySeconds(),
+          static_cast<long long>(m.ReducerImbalanceAlerts()));
+    }
   }
 
   if (flags.metrics) {

@@ -7,6 +7,10 @@
 namespace spcube {
 namespace {
 
+/// Ordering contract: relaxed loads/stores everywhere. The level is a
+/// standalone filter knob — no other memory is published through it, so a
+/// worker thread observing a level change "late" merely logs (or skips) a
+/// few more lines; it can never see torn or otherwise invalid state.
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 const char* LevelName(LogLevel level) {

@@ -1,0 +1,47 @@
+#ifndef SPCUBE_COMMON_MUTEX_H_
+#define SPCUBE_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace spcube {
+
+/// std::mutex wrapped as a Clang thread-safety *capability*, so that
+/// `SPCUBE_GUARDED_BY(mu_)` declarations are actually checkable:
+/// libstdc++'s std::mutex / std::lock_guard carry no capability
+/// attributes, which would make every annotated access a false positive.
+/// Same cost as the raw mutex; use it for any member that guards state
+/// shared with the engine's worker threads.
+class SPCUBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SPCUBE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SPCUBE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated as a scoped capability — the moral
+/// equivalent of std::lock_guard<std::mutex>, but visible to
+/// -Wthread-safety (and to spcube_analyzer's lock-discipline rule, which
+/// recognizes `MutexLock` statements textually).
+class SPCUBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SPCUBE_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SPCUBE_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_MUTEX_H_

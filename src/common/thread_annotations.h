@@ -1,0 +1,67 @@
+#ifndef SPCUBE_COMMON_THREAD_ANNOTATIONS_H_
+#define SPCUBE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (-Wthread-safety), in the style
+/// of absl/base/thread_annotations.h. They declare which mutex guards which
+/// member and which capabilities a function needs, so Clang can prove lock
+/// discipline at compile time; `tools/analyzer/spcube_analyzer.py` reads the
+/// same annotations textually for its `lock-discipline` rule, and the TSan
+/// threaded grid (tests/threading_test.cc) checks the claims dynamically.
+/// On compilers without the attributes (GCC) every macro expands to nothing.
+///
+/// Use `spcube::Mutex` / `spcube::MutexLock` (common/mutex.h) rather than
+/// raw std::mutex for annotated state: libstdc++'s std::mutex carries no
+/// capability attributes, so Clang cannot see std::lock_guard acquisitions.
+///
+/// See docs/INTERNALS.md §12 for the shared-state inventory and the rules.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SPCUBE_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define SPCUBE_THREAD_ANNOTATION_IMPL(x)  // no-op outside Clang
+#endif
+
+/// On a data member: reads/writes require holding mutex `x`.
+#define SPCUBE_GUARDED_BY(x) SPCUBE_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// On a pointer member: dereferences require holding mutex `x` (the pointer
+/// itself may be read freely, e.g. when set once in the constructor).
+#define SPCUBE_PT_GUARDED_BY(x) \
+  SPCUBE_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// On a function: callers must hold the listed mutexes.
+#define SPCUBE_REQUIRES(...) \
+  SPCUBE_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// On a function: callers must NOT hold the listed mutexes (the function
+/// acquires them itself; prevents self-deadlock).
+#define SPCUBE_EXCLUDES(...) \
+  SPCUBE_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// On a function: acquires / releases the listed mutexes.
+#define SPCUBE_ACQUIRE(...) \
+  SPCUBE_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define SPCUBE_RELEASE(...) \
+  SPCUBE_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// On a type: instances are lockable capabilities (a mutex).
+#define SPCUBE_CAPABILITY(x) SPCUBE_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// On a type: RAII object that holds a capability for its lifetime.
+#define SPCUBE_SCOPED_CAPABILITY \
+  SPCUBE_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// On a function: returns a reference to the mutex guarding the returned or
+/// passed object (not currently used; kept for API completeness).
+#define SPCUBE_RETURN_CAPABILITY(x) \
+  SPCUBE_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// On a function definition: turn the analysis off. Reserve this for
+/// deliberate, documented contracts the analysis cannot express — e.g. a
+/// read-after-join accessor of data that is quiescent once worker threads
+/// are joined. `spcube_analyzer` skips such functions too, so keep the
+/// justifying comment next to the annotation.
+#define SPCUBE_NO_THREAD_SAFETY_ANALYSIS \
+  SPCUBE_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // SPCUBE_COMMON_THREAD_ANNOTATIONS_H_

@@ -29,7 +29,7 @@ Status DfsCubeWriter::Collect(int reducer_id, std::string_view key,
   record.PutBytes(key);
   record.PutBytes(value);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dfs_->Append(PartPath(root_, group.mask, reducer_id),
                       record.data());
 }

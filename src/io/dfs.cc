@@ -15,7 +15,7 @@ constexpr int kMaxFetchAttempts = 6;
 
 Status DistributedFileSystem::Write(const std::string& path,
                                     std::string contents) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint32_t crc = Crc32c(contents);
   auto [it, inserted] = files_.try_emplace(path, Blob{std::move(contents), crc});
   (void)it;
@@ -25,7 +25,7 @@ Status DistributedFileSystem::Write(const std::string& path,
 
 Status DistributedFileSystem::Overwrite(const std::string& path,
                                         std::string contents) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint32_t crc = Crc32c(contents);
   files_[path] = Blob{std::move(contents), crc};
   return Status::OK();
@@ -33,7 +33,7 @@ Status DistributedFileSystem::Overwrite(const std::string& path,
 
 Status DistributedFileSystem::Append(const std::string& path,
                                      std::string_view contents) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Blob& blob = files_[path];
   blob.data.append(contents);
   blob.crc = Crc32c(blob.data);
@@ -42,7 +42,7 @@ Status DistributedFileSystem::Append(const std::string& path,
 
 Result<std::string> DistributedFileSystem::Read(const std::string& path)
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (injector_ != nullptr) {
     SPCUBE_RETURN_IF_ERROR(injector_->OnDfsRead(path));
   }
@@ -84,12 +84,12 @@ Result<std::string> DistributedFileSystem::ReadWithRetry(
 }
 
 bool DistributedFileSystem::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) > 0;
 }
 
 Status DistributedFileSystem::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) {
     return Status::NotFound("dfs file not found: " + path);
   }
@@ -97,7 +97,7 @@ Status DistributedFileSystem::Delete(const std::string& path) {
 }
 
 int64_t DistributedFileSystem::DeletePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.lower_bound(prefix);
   int64_t removed = 0;
   while (it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -109,7 +109,7 @@ int64_t DistributedFileSystem::DeletePrefix(const std::string& prefix) {
 
 std::vector<std::string> DistributedFileSystem::List(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix);
        it != files_.end() &&
@@ -121,7 +121,7 @@ std::vector<std::string> DistributedFileSystem::List(
 }
 
 int64_t DistributedFileSystem::TotalBytes(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (auto it = files_.lower_bound(prefix);
        it != files_.end() &&
@@ -133,22 +133,22 @@ int64_t DistributedFileSystem::TotalBytes(const std::string& prefix) const {
 }
 
 int64_t DistributedFileSystem::file_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(files_.size());
 }
 
 void DistributedFileSystem::SetFaultInjector(IoFaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   injector_ = injector;
 }
 
 int64_t DistributedFileSystem::checksum_mismatches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return checksum_mismatches_;
 }
 
 int64_t DistributedFileSystem::reads_recovered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return reads_recovered_;
 }
 

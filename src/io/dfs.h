@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/io_fault.h"
 
 namespace spcube {
@@ -86,11 +87,11 @@ class DistributedFileSystem {
     uint32_t crc = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Blob> files_;
-  IoFaultInjector* injector_ = nullptr;
-  mutable int64_t checksum_mismatches_ = 0;
-  mutable int64_t reads_recovered_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Blob> files_ SPCUBE_GUARDED_BY(mu_);
+  IoFaultInjector* injector_ SPCUBE_GUARDED_BY(mu_) = nullptr;
+  mutable int64_t checksum_mismatches_ SPCUBE_GUARDED_BY(mu_) = 0;
+  mutable int64_t reads_recovered_ SPCUBE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace spcube

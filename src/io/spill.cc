@@ -21,7 +21,9 @@ constexpr int kMaxFetchAttempts = 6;
 }  // namespace
 
 TempFileManager::TempFileManager(const std::string& tag) {
-  const int64_t id = g_temp_dir_counter.fetch_add(1);
+  // Relaxed: a pure uniqueness counter — no memory is published through it,
+  // the distinct id is all that matters (docs/INTERNALS.md §12).
+  const int64_t id = g_temp_dir_counter.fetch_add(1, std::memory_order_relaxed);
   std::error_code ec;
   std::filesystem::path base = std::filesystem::temp_directory_path(ec);
   if (ec) base = ".";
@@ -38,7 +40,8 @@ TempFileManager::~TempFileManager() {
 }
 
 std::string TempFileManager::NextPath() {
-  const int64_t id = counter_.fetch_add(1);
+  // Relaxed, same contract as g_temp_dir_counter: uniqueness only.
+  const int64_t id = counter_.fetch_add(1, std::memory_order_relaxed);
   return dir_ + "/spill_" + std::to_string(id) + ".bin";
 }
 

@@ -12,7 +12,7 @@ int HashPartitioner::Partition(std::string_view key,
 
 Status VectorOutputCollector::Collect(int reducer_id, std::string_view key,
                                       std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.push_back(Entry{reducer_id, std::string(key), std::string(value)});
   return Status::OK();
 }

@@ -6,13 +6,14 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mapreduce/backoff.h"
 #include "mapreduce/fault.h"
 #include "mapreduce/shuffle.h"
@@ -41,6 +42,50 @@ double ThreadCpuSeconds() {
   return static_cast<double>(ts.tv_sec) +
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
+
+/// Thread-safe accumulator for JobMetrics::custom_counters, the one piece
+/// of job state that reduce worker threads write while running (map tasks
+/// merge after the phase join). Annotated so -Wthread-safety and the
+/// analyzer's lock-discipline rule can prove the locking.
+class CounterMerger {
+ public:
+  explicit CounterMerger(std::map<std::string, int64_t>* totals)
+      : totals_(totals) {}
+
+  void Merge(const std::map<std::string, int64_t>& deltas)
+      SPCUBE_EXCLUDES(mu_) {
+    if (deltas.empty()) return;
+    MutexLock lock(&mu_);
+    for (const auto& [name, delta] : deltas) {
+      (*totals_)[name] += delta;
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::map<std::string, int64_t>* const totals_ SPCUBE_PT_GUARDED_BY(mu_);
+};
+
+/// Per-partition staging buffer for threaded reduce output. Each instance
+/// is written by exactly one worker thread (the partition's owner machine)
+/// and read only after the phase join, so it needs no lock; the replay into
+/// the user collector then happens in partition order, keeping thread
+/// completion order unobservable.
+class StagingCollector : public OutputCollector {
+ public:
+  Status Collect(int reducer_id, std::string_view key,
+                 std::string_view value) override {
+    (void)reducer_id;
+    // spcube-lint: allow(no-owning-copy-in-hot-path): staged records must outlive the reduce attempt whose buffers back these views
+    records_.push_back(Record{std::string(key), std::string(value)});
+    return Status::OK();
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
 
 /// MapContext wired to a ShuffleBuffer and the job's partitioner.
 class EngineMapContext : public MapContext {
@@ -283,14 +328,7 @@ Result<JobMetrics> Engine::RunImpl(
   metrics.map_input_records = num_input_rows;
 
   // Custom-counter totals may be merged from several task threads.
-  std::mutex counters_mutex;
-  auto merge_counters = [&](const std::map<std::string, int64_t>& deltas) {
-    if (deltas.empty()) return;
-    std::lock_guard<std::mutex> lock(counters_mutex);
-    for (const auto& [name, delta] : deltas) {
-      metrics.custom_counters[name] += delta;
-    }
-  };
+  CounterMerger counter_merger(&metrics.custom_counters);
 
   // ---- Map phase ----------------------------------------------------------
   const int64_t n = num_input_rows;
@@ -391,9 +429,15 @@ Result<JobMetrics> Engine::RunImpl(
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(num_workers));
     for (int w = 0; w < num_workers; ++w) {
-      threads.emplace_back([&, w]() {
-        map_tasks[static_cast<size_t>(w)] = run_map_task(w, 0);
-      });
+      // Explicit init-captures: everything crossing the thread boundary is
+      // named (thread-capture-escape rule). `tasks` is shared mutably under
+      // the sanctioned disjoint-write contract — worker `w` writes only
+      // slot `tasks[w]`, and the join below publishes the slots to this
+      // thread (docs/INTERNALS.md §12).
+      threads.emplace_back(
+          [w, &tasks = map_tasks, &run_task = run_map_task]() {
+            tasks[static_cast<size_t>(w)] = run_task(w, 0);
+          });
     }
     for (std::thread& thread : threads) thread.join();
   } else {
@@ -484,7 +528,7 @@ Result<JobMetrics> Engine::RunImpl(
     metrics.combine_input_records += c.combine_input_records;
     metrics.combine_output_records += c.combine_output_records;
     metrics.shuffle_checksum_mismatches += c.checksum_mismatches;
-    merge_counters(task.custom_counters);
+    counter_merger.Merge(task.custom_counters);
     if (task.buffer == nullptr) {
       // Defensive: unfinished tasks cannot reach this point.
       task.buffer = std::make_unique<ShuffleBuffer>(
@@ -732,7 +776,10 @@ Result<JobMetrics> Engine::RunImpl(
     return Status::OK();
   };
 
-  auto run_reduce_partition = [&](int p) -> Status {
+  // `sink` receives partition p's reduce output: the real collector when
+  // running sequentially, a per-partition staging buffer when threaded (so
+  // delivery order is partition order, not thread completion order).
+  auto run_reduce_partition = [&](int p, OutputCollector* sink) -> Status {
     const int machine = machine_of[static_cast<size_t>(p)];
     ReduceTaskState& state = reduce_tasks[static_cast<size_t>(p)];
     // spcube-lint: allow(no-host-time): reduce-task busy-time measurement
@@ -815,9 +862,9 @@ Result<JobMetrics> Engine::RunImpl(
         }
         SPCUBE_RETURN_IF_ERROR(reducer->Finish(reduce_context));
         SPCUBE_RETURN_IF_ERROR(reduce_context.Commit(
-            collector, p,
+            sink, p,
             &metrics.reducer_output_records[static_cast<size_t>(p)]));
-        merge_counters(reduce_context.counters());
+        counter_merger.Merge(reduce_context.counters());
         return Status::OK();
       };
       last_error = run_attempt();
@@ -837,14 +884,14 @@ Result<JobMetrics> Engine::RunImpl(
           if (!last_error.ok()) break;
           metrics.reducer_output_records[static_cast<size_t>(p)] +=
               static_cast<int64_t>(recovered.size());
-          if (collector != nullptr) {
+          if (sink != nullptr) {
             for (const Record& record : recovered) {
-              last_error = collector->Collect(p, record.key, record.value);
+              last_error = sink->Collect(p, record.key, record.value);
               if (!last_error.ok()) break;
             }
             if (!last_error.ok()) break;
           }
-          merge_counters(recovery_counters);
+          counter_merger.Merge(recovery_counters);
           succeeded = true;
         } else if (budget_factor < 1.0 && attempt + 1 < max_attempts) {
           // The OOM came from injected budget pressure, which is
@@ -884,16 +931,31 @@ Result<JobMetrics> Engine::RunImpl(
 
   if (config_.use_threads) {
     // One thread per machine; each runs its assigned partitions in order.
+    // Output is staged per partition and replayed into the collector in
+    // partition order after the join: thread completion order must not be
+    // observable downstream (a multi-round algorithm feeds this round's
+    // collector straight into the next round's mappers).
+    std::vector<StagingCollector> staged(
+        collector != nullptr ? static_cast<size_t>(num_reducers) : 0u);
     std::vector<Status> machine_status(static_cast<size_t>(num_workers));
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(num_workers));
     for (int machine = 0; machine < num_workers; ++machine) {
-      threads.emplace_back([&, machine]() {
+      // Explicit init-captures (thread-capture-escape rule). Disjoint-write
+      // contract: each partition `p` is owned by exactly one machine
+      // (`owner_of[p]`), so `run_partition` writes distinct ReduceTaskState /
+      // reduce_counters / reducer-output / staging slots per thread, and
+      // `status_of` is written only at index `machine`; the join publishes
+      // everything.
+      threads.emplace_back([machine, num_reducers, &owner_of = machine_of,
+                            &status_of = machine_status, &sinks = staged,
+                            &run_partition = run_reduce_partition]() {
         for (int p = 0; p < num_reducers; ++p) {
-          if (machine_of[static_cast<size_t>(p)] != machine) continue;
-          Status status = run_reduce_partition(p);
+          if (owner_of[static_cast<size_t>(p)] != machine) continue;
+          Status status = run_partition(
+              p, sinks.empty() ? nullptr : &sinks[static_cast<size_t>(p)]);
           if (!status.ok()) {
-            machine_status[static_cast<size_t>(machine)] = status;
+            status_of[static_cast<size_t>(machine)] = status;
             return;
           }
         }
@@ -903,9 +965,16 @@ Result<JobMetrics> Engine::RunImpl(
     for (const Status& status : machine_status) {
       SPCUBE_RETURN_IF_ERROR(status);
     }
+    for (int p = 0; p < num_reducers; ++p) {
+      if (staged.empty()) break;
+      for (const Record& record : staged[static_cast<size_t>(p)].records()) {
+        SPCUBE_RETURN_IF_ERROR(
+            collector->Collect(p, record.key, record.value));
+      }
+    }
   } else {
     for (int p = 0; p < num_reducers; ++p) {
-      SPCUBE_RETURN_IF_ERROR(run_reduce_partition(p));
+      SPCUBE_RETURN_IF_ERROR(run_reduce_partition(p, collector));
     }
   }
 

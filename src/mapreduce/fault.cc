@@ -43,7 +43,8 @@ FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {}
 
 int64_t FaultPlan::BeginJob(std::string_view job_name) {
   (void)job_name;  // the ordinal, not the name, namespaces decisions
-  return next_job_.fetch_add(1);
+  // Relaxed: only the returned ordinal matters, nothing is published.
+  return next_job_.fetch_add(1, std::memory_order_relaxed);
 }
 
 TaskFault FaultPlan::PlanTaskAttempt(int64_t job, TaskKind kind, int task,
@@ -120,7 +121,7 @@ Status FaultPlan::OnDfsRead(const std::string& path) {
   if (config_.dfs_read_error_rate <= 0.0) return Status::OK();
   int64_t occurrence = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     occurrence = ++dfs_reads_seen_[path];
   }
   // Only the first read of a path can fail: the error models a transient
@@ -130,7 +131,7 @@ Status FaultPlan::OnDfsRead(const std::string& path) {
   const uint64_t key =
       DecisionKey(config_.seed, kTagDfsReadError, HashBytes(path), 0, 0);
   if (!Bernoulli(key, config_.dfs_read_error_rate)) return Status::OK();
-  injected_read_errors_.fetch_add(1);
+  injected_read_errors_.fetch_add(1, std::memory_order_relaxed);
   return Status::IoError("injected transient dfs read error: " + path);
 }
 
@@ -156,7 +157,7 @@ bool FaultPlan::MaybeCorrupt(std::string_view resource, uint64_t item,
                                        HashBytes(resource), item, 1);
   const uint64_t bit = Mix64(bit_key) % (payload->size() * 8);
   (*payload)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
-  injected_corruptions_.fetch_add(1);
+  injected_corruptions_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/io_fault.h"
 
 namespace spcube {
@@ -118,21 +119,29 @@ class FaultPlan : public IoFaultInjector {
                     int fetch_attempt, std::string* payload) override;
 
   /// Totals of io-level injections actually performed (task-level injections
-  /// are counted by the engine in JobMetrics).
-  int64_t injected_read_errors() const { return injected_read_errors_; }
-  int64_t injected_corruptions() const { return injected_corruptions_; }
+  /// are counted by the engine in JobMetrics). Relaxed loads: callers read
+  /// these after the engine joins its workers, so the join provides the
+  /// happens-before edge; the atomics only make concurrent bumps lossless.
+  int64_t injected_read_errors() const {
+    return injected_read_errors_.load(std::memory_order_relaxed);
+  }
+  int64_t injected_corruptions() const {
+    return injected_corruptions_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultConfig config_;
 
+  /// Pure counters: no other memory is published through them, so every
+  /// access is std::memory_order_relaxed (see docs/INTERNALS.md §12).
   std::atomic<int64_t> next_job_{0};
   std::atomic<int64_t> injected_read_errors_{0};
   std::atomic<int64_t> injected_corruptions_{0};
 
   /// Per-path read counts backing the "first read only" rule for transient
   /// DFS errors.
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> dfs_reads_seen_;
+  mutable Mutex mu_;
+  std::map<std::string, int64_t> dfs_reads_seen_ SPCUBE_GUARDED_BY(mu_);
 };
 
 }  // namespace spcube

@@ -1,0 +1,54 @@
+// Golden fixture: every guarded-field access holds the declared mutex —
+// in-line methods, out-of-line method definitions (the header-annotation /
+// .cc-definition split), SPCUBE_REQUIRES preludes, and constructors (which
+// run before any sharing). Must produce zero findings under every backend.
+#define SPCUBE_GUARDED_BY(x)
+#define SPCUBE_REQUIRES(x)
+#define SPCUBE_NO_THREAD_SAFETY_ANALYSIS
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock() {}
+  void Unlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() { mu_->Unlock(); }
+
+ private:
+  Mutex* mu_;
+};
+
+class Tally {
+ public:
+  explicit Tally(long start) : value_(start) {}
+
+  void Bump(long delta);
+  long Total();
+
+  long TotalLocked() SPCUBE_REQUIRES(mu_) { return value_; }
+
+  long TotalAfterJoin() const SPCUBE_NO_THREAD_SAFETY_ANALYSIS {
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  long value_ SPCUBE_GUARDED_BY(mu_);
+};
+
+void Tally::Bump(long delta) {
+  MutexLock lock(&mu_);
+  value_ += delta;
+}
+
+long Tally::Total() {
+  MutexLock lock(&mu_);
+  return value_;
+}
+
+}  // namespace fixture

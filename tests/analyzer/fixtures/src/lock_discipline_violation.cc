@@ -1,0 +1,59 @@
+// Golden fixture: SPCUBE_GUARDED_BY fields touched without their mutex.
+// The macros are defined away so the libclang backend parses this file
+// without the repo's include paths; both backends re-read the annotations
+// textually from the declaration lines, so the spellings below are what
+// matters. Expected findings are pinned by spcube_analyzer_test.py.
+#define SPCUBE_GUARDED_BY(x)
+#define SPCUBE_REQUIRES(x)
+#define SPCUBE_NO_THREAD_SAFETY_ANALYSIS
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void Lock() {}
+  void Unlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() { mu_->Unlock(); }
+
+ private:
+  Mutex* mu_;
+};
+
+class Accumulator {
+ public:
+  void Add(long delta) {
+    total_ += delta;  // lock-discipline: no mu_ acquisition in scope
+  }
+
+  long PeekUnsynchronized() const {
+    return total_;  // lock-discipline: unlocked read, no annotation
+  }
+
+  long Drain() {
+    MutexLock lock(&mu_);
+    const long out = total_;
+    total_ = 0;
+    return out;
+  }
+
+  long DrainLocked() SPCUBE_REQUIRES(mu_) {
+    const long out = total_;
+    total_ = 0;
+    return out;
+  }
+
+  long PeekAfterJoin() const SPCUBE_NO_THREAD_SAFETY_ANALYSIS {
+    return total_;  // sanctioned: annotated read-after-join accessor
+  }
+
+ private:
+  Mutex mu_;
+  long total_ SPCUBE_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

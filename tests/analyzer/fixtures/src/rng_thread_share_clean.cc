@@ -1,0 +1,40 @@
+// Golden fixture: the sanctioned RNG shapes — a per-worker Rng constructed
+// inside the worker lambda from stable coordinates (seed, worker index),
+// and serial single-thread use. Must produce zero findings under every
+// backend.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  unsigned long long Next() { return state_ *= 6364136223846793005ULL; }
+
+ private:
+  unsigned long long state_;
+};
+
+// Per-worker stream derived from (seed, w): deterministic regardless of
+// scheduling, no sharing.
+void SampleInWorkers(int workers, unsigned long long seed) {
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([w, seed]() {
+      Rng rng(seed + static_cast<unsigned long long>(w) * 1000003ULL);
+      (void)rng.Next();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Serial draws: no spawn in scope, an outside-the-lambda Rng is fine.
+unsigned long long SerialDraws(int n, unsigned long long seed) {
+  Rng rng(seed);
+  unsigned long long acc = 0;
+  for (int i = 0; i < n; ++i) acc += rng.Next();
+  return acc;
+}
+
+}  // namespace fixture

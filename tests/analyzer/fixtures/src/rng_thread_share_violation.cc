@@ -1,0 +1,45 @@
+// Golden fixture: one seeded Rng reachable from worker lambdas. Shared
+// draws depend on thread interleaving, so same-seed runs stop being
+// reproducible — the determinism contract (CLAUDE.md) silently breaks.
+// Self-contained Rng stub; expected findings pinned by
+// spcube_analyzer_test.py.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  unsigned long long Next() { return state_ *= 6364136223846793005ULL; }
+
+ private:
+  unsigned long long state_;
+};
+
+// (a) One stream handed to every worker through an init-capture: the
+// capture list itself references the outside Rng.
+void SampleInWorkers(int workers) {
+  Rng rng(42);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([w, &gen = rng]() {  // rng-thread-share
+      (void)w;
+      (void)gen.Next();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// (b) Blanket capture smuggles the outside Rng into the worker body: the
+// draw inside the lambda is the shared use (and the [&] itself is a
+// thread-capture-escape).
+void DrawInsideWorker(unsigned long long* out) {
+  Rng shared(7);
+  std::thread worker([&]() {
+    *out = shared.Next();  // rng-thread-share: declared outside the lambda
+  });
+  worker.join();
+}
+
+}  // namespace fixture

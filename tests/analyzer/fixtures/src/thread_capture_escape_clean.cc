@@ -1,0 +1,36 @@
+// Golden fixture: the sanctioned spawn shapes — explicit init-captures name
+// everything crossing the thread boundary, and `[&]` into a non-thread
+// container (a same-scope callable) is not a spawn. Must produce zero
+// findings under every backend.
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void RunWorkers(int workers) {
+  std::vector<int> results(static_cast<size_t>(workers));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    // Each capture is named: w by value, the results slot disjoint per w.
+    threads.emplace_back([w, &out = results]() {
+      out[static_cast<size_t>(w)] = w;
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// `[&]` into a vector of closures invoked before scope exit: same-thread,
+// same-scope — the capture-escape rule must not fire on non-thread
+// containers.
+int SameScopeClosures(int n) {
+  int acc = 0;
+  std::vector<std::function<void()>> steps;
+  for (int i = 0; i < n; ++i) {
+    steps.push_back([&]() { acc += 1; });
+  }
+  for (const auto& step : steps) step();
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Golden fixture: blanket by-reference captures crossing a thread spawn.
+// Self-contained stubs so the libclang backend can parse it without the
+// repo's include paths; the internal backend only needs the spellings.
+// Expected findings are pinned by tests/analyzer/spcube_analyzer_test.py.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+// (a) Worker lambda enqueued onto a declared thread container with `[&]`.
+void RunWorkers(int workers) {
+  std::vector<int> results(static_cast<size_t>(workers));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&]() {  // thread-capture-escape: blanket [&]
+      results[static_cast<size_t>(w)] = w;
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// (b) Direct std::thread construction with `[&, ...]` default capture.
+void DetachedSum(const std::vector<int>& values, long* out) {
+  std::thread worker([&, out]() {  // thread-capture-escape: [&, out]
+    long sum = 0;
+    for (int v : values) sum += v;
+    *out = sum;
+  });
+  worker.join();
+}
+
+}  // namespace fixture

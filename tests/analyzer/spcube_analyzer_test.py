@@ -57,6 +57,23 @@ EXPECTATIONS = {
     "src/pragma_without_reason.cc": [
         (9, "allow-without-reason"),
     ],
+    # Concurrency-contract rules (docs/INTERNALS.md §12).
+    "src/thread_capture_escape_violation.cc": [
+        (15, "thread-capture-escape"),
+        (24, "thread-capture-escape"),
+    ],
+    "src/thread_capture_escape_clean.cc": [],
+    "src/lock_discipline_violation.cc": [
+        (30, "lock-discipline"),
+        (34, "lock-discipline"),
+    ],
+    "src/lock_discipline_clean.cc": [],
+    "src/rng_thread_share_violation.cc": [
+        (26, "rng-thread-share"),
+        (39, "thread-capture-escape"),
+        (40, "rng-thread-share"),
+    ],
+    "src/rng_thread_share_clean.cc": [],
 }
 
 
@@ -126,7 +143,8 @@ def main():
         capture_output=True, text=True)
     rules = proc.stdout.split()
     for rule in ("view-escape", "arena-escape", "emit-borrow",
-                 "status-flow"):
+                 "status-flow", "thread-capture-escape", "lock-discipline",
+                 "rng-thread-share"):
         if rule not in rules:
             failures.append("--list-rules missing %s" % rule)
 

@@ -1,0 +1,334 @@
+// The threaded half of the concurrency contracts (docs/INTERNALS.md §12):
+// with EngineConfig::use_threads the simulated machines run on real host
+// threads, and (a) every algorithm must still reproduce the in-memory
+// reference cube bit-for-bit, fault plan or not, and (b) a threaded run
+// must be indistinguishable from the same-seed serial run in everything
+// the model reports — cube bytes on the DFS, user counters, and all
+// modeled (non-measured) metrics. This binary is the TSan payload of
+// tools/check_all.sh's tsan-threaded-grid stage: any data race in the
+// engine's spawn/join paths, the shared collectors, or the DFS surfaces
+// here under -fsanitize=thread.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/hive.h"
+#include "baselines/mrcube.h"
+#include "baselines/naive.h"
+#include "baselines/topdown.h"
+#include "common/random.h"
+#include "core/sp_cube.h"
+#include "cube/cube_result.h"
+#include "mapreduce/fault.h"
+#include "relation/generators.h"
+
+namespace spcube {
+namespace {
+
+struct Config {
+  int distribution;   // 0..2
+  int num_dims;       // 1..4
+  int workers;        // 2..6
+  int budget_shift;   // memory budget = 1 << (10 + 2*shift)
+  int aggregate;      // AggregateKind
+  uint64_t seed;
+
+  std::string Name() const {
+    static const char* kDistributions[] = {"uniform", "zipf", "planted"};
+    static const char* kAggregates[] = {"count", "sum", "min", "max", "avg"};
+    return std::string(kDistributions[distribution]) + "_d" +
+           std::to_string(num_dims) + "_k" + std::to_string(workers) +
+           "_b" + std::to_string(budget_shift) + "_" +
+           kAggregates[aggregate] + "_s" + std::to_string(seed);
+  }
+};
+
+Relation MakeRelation(const Config& config) {
+  const int64_t n = 900;
+  switch (config.distribution) {
+    case 0:
+      return GenUniform(n, config.num_dims, 10, config.seed);
+    case 1:
+      return GenZipf(n, std::min(2, config.num_dims),
+                     std::max(0, config.num_dims - 2), 40, 1.1, config.seed);
+    default:
+      return GenPlantedSkew(
+          n, config.num_dims, {0.35, 0.2},
+          std::vector<int64_t>(static_cast<size_t>(config.num_dims), 8),
+          config.seed);
+  }
+}
+
+/// A deterministic grid, deliberately smaller than differential_test's:
+/// under TSan every memory access is instrumented and the host may have a
+/// single core, so this sweep favors breadth of shapes over volume.
+std::vector<Config> MakeGrid() {
+  std::vector<Config> grid;
+  Rng rng(0x7EADED);
+  for (int i = 0; i < 8; ++i) {
+    Config config;
+    config.distribution = static_cast<int>(rng.NextBounded(3));
+    config.num_dims = 1 + static_cast<int>(rng.NextBounded(4));
+    config.workers = 2 + static_cast<int>(rng.NextBounded(5));
+    config.budget_shift = static_cast<int>(rng.NextBounded(4));
+    config.aggregate = static_cast<int>(rng.NextBounded(5));
+    config.seed = 7000 + i;
+    grid.push_back(config);
+  }
+  return grid;
+}
+
+EngineConfig MakeCluster(const Config& config, bool use_threads) {
+  EngineConfig cluster;
+  cluster.num_workers = config.workers;
+  cluster.memory_budget_bytes = int64_t{1} << (10 + 2 * config.budget_shift);
+  cluster.network_bandwidth_bytes_per_sec = 0;
+  cluster.use_threads = use_threads;
+  return cluster;
+}
+
+/// Every algorithm under study, including the combiner variant whose
+/// map-side merge path exercises the shuffle buffers concurrently.
+struct AlgorithmSet {
+  SpCubeAlgorithm sp;
+  NaiveCubeAlgorithm naive;
+  NaiveCubeAlgorithm naive_combiner{NaiveCubeOptions{true}};
+  MrCubeAlgorithm mrcube;
+  HiveCubeAlgorithm hive;
+  TopDownCubeAlgorithm topdown;
+
+  std::vector<CubeAlgorithm*> All() {
+    return {&sp, &naive, &naive_combiner, &mrcube, &hive, &topdown};
+  }
+};
+
+class ThreadedDifferentialTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ThreadedDifferentialTest, ThreadedRunsMatchReference) {
+  const Config& config = GetParam();
+  const Relation rel = MakeRelation(config);
+  const AggregateKind kind = static_cast<AggregateKind>(config.aggregate);
+  const CubeResult reference = ComputeCubeReference(rel, kind);
+
+  AlgorithmSet algorithms;
+  for (CubeAlgorithm* algorithm : algorithms.All()) {
+    DistributedFileSystem dfs;
+    Engine engine(MakeCluster(config, /*use_threads=*/true), &dfs);
+    CubeRunOptions options;
+    options.aggregate = kind;
+    auto output = algorithm->Run(engine, rel, options);
+    ASSERT_TRUE(output.ok())
+        << config.Name() << " / " << algorithm->name() << ": "
+        << output.status();
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+        << config.Name() << " / " << algorithm->name() << ":\n"
+        << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadedGrid, ThreadedDifferentialTest,
+                         ::testing::ValuesIn(MakeGrid()),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           return info.param.Name();
+                         });
+
+/// Threads plus a deterministic chaos plan: the retry/crash/speculation
+/// machinery runs concurrently with the fault bookkeeping, which is where
+/// unsynchronized counters would race. Exactness must survive.
+class ThreadedFaultedTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ThreadedFaultedTest, ThreadedRecoveryIsExact) {
+  const Config& config = GetParam();
+  const Relation rel = MakeRelation(config);
+  const AggregateKind kind = static_cast<AggregateKind>(config.aggregate);
+  const CubeResult reference = ComputeCubeReference(rel, kind);
+
+  FaultConfig chaos;
+  chaos.seed = config.seed;
+  chaos.map_failure_rate = 0.25;
+  chaos.reduce_failure_rate = 0.25;
+  chaos.straggler_rate = 0.2;
+  chaos.dfs_read_error_rate = 0.2;
+  chaos.payload_corruption_rate = 0.25;
+  chaos.forced_worker_crashes = 1;
+
+  SpCubeAlgorithm sp;
+  MrCubeAlgorithm mrcube;
+  for (CubeAlgorithm* algorithm :
+       std::initializer_list<CubeAlgorithm*>{&sp, &mrcube}) {
+    FaultPlan plan(chaos);
+    EngineConfig cluster = MakeCluster(config, /*use_threads=*/true);
+    cluster.fault_plan = &plan;
+    cluster.min_task_attempts = 3;
+    cluster.retry_backoff_seconds = 0.01;
+    DistributedFileSystem dfs;
+    Engine engine(cluster, &dfs);
+    CubeRunOptions options;
+    options.aggregate = kind;
+    auto output = algorithm->Run(engine, rel, options);
+    ASSERT_TRUE(output.ok())
+        << config.Name() << " / " << algorithm->name() << ": "
+        << output.status();
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *output->cube, 1e-6, &diff))
+        << config.Name() << " / " << algorithm->name() << ":\n"
+        << diff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadedGrid, ThreadedFaultedTest,
+                         ::testing::ValuesIn(MakeGrid()),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           return info.param.Name();
+                         });
+
+/// The modeled (deterministic) slice of a round's metrics. Measured
+/// per-machine phase seconds are excluded on purpose: serial runs measure
+/// steady-clock time, threaded runs per-thread CPU time, so their values
+/// legitimately differ — everything else must not.
+std::string ModeledMetricsFingerprint(const RunMetrics& metrics) {
+  std::string fp;
+  for (const JobMetrics& round : metrics.rounds) {
+    fp += round.job_name + "{";
+    fp += "mi=" + std::to_string(round.map_input_records);
+    fp += ",mo=" + std::to_string(round.map_output_records);
+    fp += ",mob=" + std::to_string(round.map_output_bytes);
+    fp += ",sr=" + std::to_string(round.shuffle_records);
+    fp += ",sb=" + std::to_string(round.shuffle_bytes);
+    fp += ",ci=" + std::to_string(round.combine_input_records);
+    fp += ",co=" + std::to_string(round.combine_output_records);
+    fp += ",sp=" + std::to_string(round.spill_bytes);
+    fp += ",out=" + std::to_string(round.output_records);
+    fp += ",retry=" + std::to_string(round.task_retries);
+    fp += ",reexec=" + std::to_string(round.tasks_reexecuted_after_crash);
+    fp += ",crash=" + std::to_string(round.workers_crashed);
+    fp += ",spec=" + std::to_string(round.tasks_speculatively_reexecuted);
+    fp += ",ck=" + std::to_string(round.shuffle_checksum_mismatches);
+    fp += ",split=" + std::to_string(round.reduce_partitions_split);
+    fp += ",rr=" + std::to_string(round.recovery_rounds);
+    fp += ",rb=" + std::to_string(round.recovery_bytes_reshuffled);
+    fp += ",alerts=" + std::to_string(round.reducer_imbalance_alerts);
+    for (size_t r = 0; r < round.reducer_input_records.size(); ++r) {
+      fp += ",r" + std::to_string(r) + "=" +
+            std::to_string(round.reducer_input_records[r]) + "/" +
+            std::to_string(round.reducer_input_bytes[r]) + "/" +
+            std::to_string(round.reducer_output_records[r]);
+    }
+    for (const auto& [name, value] : round.custom_counters) {
+      fp += "," + name + "=" + std::to_string(value);
+    }
+    fp += "}";
+  }
+  return fp;
+}
+
+/// Byte-exact snapshot of the cube the run laid out on the DFS
+/// (cuboid_<mask>/part-<reducer>): path -> contents, in path order.
+std::string DfsCubeFingerprint(const DistributedFileSystem& dfs,
+                               const std::string& root) {
+  std::string fp;
+  for (const std::string& path : dfs.List(root)) {
+    auto contents = dfs.Read(path);
+    EXPECT_TRUE(contents.ok()) << path << ": " << contents.status();
+    if (!contents.ok()) continue;
+    fp += path + "#" + std::to_string(contents->size()) + ":" + *contents +
+          "\n";
+  }
+  return fp;
+}
+
+struct DeterminismProbe {
+  std::unique_ptr<CubeResult> cube;
+  std::string metrics_fp;
+  std::string dfs_fp;
+};
+
+Result<DeterminismProbe> RunProbe(CubeAlgorithm* algorithm,
+                                  const Config& config, const Relation& rel,
+                                  bool use_threads, FaultConfig* chaos) {
+  EngineConfig cluster = MakeCluster(config, use_threads);
+  FaultPlan plan(chaos != nullptr ? *chaos : FaultConfig{});
+  if (chaos != nullptr) {
+    cluster.fault_plan = &plan;
+    cluster.min_task_attempts = 3;
+    cluster.retry_backoff_seconds = 0.01;
+    cluster.retry_backoff_jitter = 0.3;
+  }
+  DistributedFileSystem dfs;
+  Engine engine(cluster, &dfs);
+  CubeRunOptions options;
+  options.aggregate = static_cast<AggregateKind>(config.aggregate);
+  options.dfs_output_root = "determinism/cube";
+  auto output = algorithm->Run(engine, rel, options);
+  if (!output.ok()) return output.status();
+  // The run is over: read the cube back without chaos so the fingerprint
+  // reflects the committed bytes, not the test's own injected read luck.
+  dfs.SetFaultInjector(nullptr);
+  DeterminismProbe probe;
+  probe.cube = std::move(output->cube);
+  probe.metrics_fp = ModeledMetricsFingerprint(output->metrics);
+  probe.dfs_fp = DfsCubeFingerprint(dfs, options.dfs_output_root);
+  return probe;
+}
+
+/// Same seed, same config: a threaded run and a serial run must agree on
+/// the cube (as text), the bytes written to the DFS, the user counters and
+/// every modeled metric — scheduling must be unobservable (CLAUDE.md's
+/// determinism convention). Checked clean and under chaos with backoff
+/// jitter, whose Rng is keyed on (seed, job, task, attempt) exactly so
+/// this holds.
+TEST(ThreadedDeterminismTest, SerialAndThreadedRunsAreIndistinguishable) {
+  Config config;
+  config.distribution = 2;
+  config.num_dims = 3;
+  config.workers = 5;
+  config.budget_shift = 1;
+  config.aggregate = 1;  // sum
+  config.seed = 4242;
+  const Relation rel = MakeRelation(config);
+
+  FaultConfig chaos;
+  chaos.seed = config.seed;
+  chaos.map_failure_rate = 0.2;
+  chaos.reduce_failure_rate = 0.2;
+  chaos.straggler_rate = 0.2;
+  chaos.dfs_read_error_rate = 0.15;
+  chaos.payload_corruption_rate = 0.2;
+  chaos.forced_worker_crashes = 1;
+
+  AlgorithmSet algorithms;
+  for (CubeAlgorithm* algorithm : algorithms.All()) {
+    for (FaultConfig* plan :
+         std::initializer_list<FaultConfig*>{nullptr, &chaos}) {
+      auto serial = RunProbe(algorithm, config, rel,
+                             /*use_threads=*/false, plan);
+      ASSERT_TRUE(serial.ok()) << algorithm->name() << ": "
+                               << serial.status();
+      auto threaded = RunProbe(algorithm, config, rel,
+                               /*use_threads=*/true, plan);
+      ASSERT_TRUE(threaded.ok()) << algorithm->name() << ": "
+                                 << threaded.status();
+      const char* mode = plan == nullptr ? "clean" : "chaos";
+      std::string diff;
+      EXPECT_TRUE(CubeResult::ApproxEqual(*serial->cube, *threaded->cube,
+                                          /*tolerance=*/0.0, &diff))
+          << algorithm->name() << " (" << mode << "): cube diverged:\n"
+          << diff;
+      EXPECT_EQ(serial->dfs_fp, threaded->dfs_fp)
+          << algorithm->name() << " (" << mode << "): DFS bytes diverged";
+      EXPECT_EQ(serial->metrics_fp, threaded->metrics_fp)
+          << algorithm->name() << " (" << mode
+          << "): modeled metrics diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spcube

@@ -30,6 +30,32 @@ as named, fixture-tested rules over a per-function statement stream:
                 deeper than the [[nodiscard]] sweep, which only sees
                 discarded returns.
 
+Concurrency contracts (docs/INTERNALS.md §12) ride on the same machinery:
+
+  thread-capture-escape
+                A lambda handed to std::thread / std::async (or
+                emplace_back'd into a declared thread container) must not
+                use a blanket by-reference capture ([&] / [&, x]): every
+                object crossing the thread boundary must be named with an
+                explicit init-capture, so reviewers and the analyzer can
+                check it is mutex-guarded, atomic, or indexed disjointly
+                per worker.
+  lock-discipline
+                A field annotated SPCUBE_GUARDED_BY(mu) /
+                SPCUBE_PT_GUARDED_BY(mu) is touched in a method of its
+                class with no prior MutexLock/lock_guard-style acquisition
+                of `mu` in scope and no SPCUBE_REQUIRES(mu) on the
+                function. The annotations are read textually from the
+                declaration line, so both backends agree; guarded fields
+                of classes seen earlier in the same scan are visible to
+                out-of-line method definitions in sibling .cc files.
+  rng-thread-share
+                A seeded spcube::Rng local declared outside a worker
+                lambda is referenced inside one: shared RNG state makes
+                draws depend on thread interleaving, breaking the repo's
+                determinism contract. Construct a per-worker Rng inside
+                the lambda from stable coordinates instead.
+
 Two backends produce the same findings:
 
   * libclang (python clang.cindex), when importable and a libclang shared
@@ -81,6 +107,9 @@ RULES = [
     "arena-escape",
     "emit-borrow",
     "status-flow",
+    "thread-capture-escape",
+    "lock-discipline",
+    "rng-thread-share",
 ]
 
 ALLOW_LINE_RE = re.compile(
@@ -117,12 +146,19 @@ class Stmt:
 
 
 class Function:
-    def __init__(self, name, return_type, params, stmts, line):
+    def __init__(self, name, return_type, params, stmts, line,
+                 class_name=None, prelude=""):
         self.name = name
         self.return_type = return_type
         self.params = params  # list of (type, name)
         self.stmts = stmts
         self.line = line
+        # Enclosing class for inline methods (None for free functions;
+        # out-of-line methods carry the class in their qualified name).
+        self.class_name = class_name
+        # Text between the parameter list and the body '{': cv-qualifiers
+        # and thread-safety annotations (SPCUBE_REQUIRES etc.) live here.
+        self.prelude = prelude
 
 
 class Field:
@@ -131,6 +167,8 @@ class Field:
         self.type_text = type_text
         self.name = name
         self.line = line
+        # Mutex named by SPCUBE_[PT_]GUARDED_BY on the declaration line.
+        self.guarded_by = None
 
 
 class FileIR:
@@ -138,6 +176,9 @@ class FileIR:
         self.relpath = relpath
         self.fields = []
         self.functions = []
+        # (class_name, body_start_offset, body_end_offset) of every class
+        # in this file — used to assign inline methods to their class.
+        self.class_extents = []
 
 
 class PragmaIndex:
@@ -241,6 +282,14 @@ FIELD_SKIP_RE = re.compile(
     r"\b(using|typedef|friend|return|public|private|protected|operator|"
     r"template|explicit|virtual|enum|namespace)\b|[({]")
 
+# Thread-safety annotation macros (common/thread_annotations.h). They are
+# stripped before field matching — a trailing SPCUBE_GUARDED_BY(mu_) must
+# not make the declaration unparseable — and recorded separately from the
+# raw declaration line by annotate_guarded_fields().
+ANNOTATION_MACRO_RE = re.compile(r"\bSPCUBE_[A-Z_]+\s*(?:\([^()]*\))?")
+GUARDED_BY_SRC_RE = re.compile(
+    r"\bSPCUBE_(?:PT_)?GUARDED_BY\s*\(\s*([A-Za-z_]\w*)\s*\)")
+
 FUNC_NAME_RE = re.compile(
     r"((?:[A-Za-z_]\w*\s*(?:<[^<>]*>)?\s*::\s*)*~?[A-Za-z_]\w*|"
     r"operator\s*(?:\(\)|\[\]|[^\s(]+))\s*$")
@@ -258,6 +307,7 @@ def extract_classes(code, relpath, ir):
         if body_end < 0:
             continue
         class_name = m.group(2)
+        ir.class_extents.append((class_name, body_start, body_end))
         body = code[body_start + 1:body_end - 1]
         # Only depth-0 segments of the class body are this class's own
         # members; nested classes re-match CLASS_RE themselves.
@@ -272,7 +322,10 @@ def extract_classes(code, relpath, ir):
             if label:
                 stmt.line += text.count("\n", 0, label.end())
                 text = text[label.end():]
-            text = text.strip()
+            # Annotation macros would otherwise trip FIELD_SKIP_RE's
+            # parenthesis guard; the guarded_by info is re-read from the
+            # raw declaration line by annotate_guarded_fields().
+            text = ANNOTATION_MACRO_RE.sub("", text).strip()
             if not text or FIELD_SKIP_RE.search(text):
                 continue
             fm = FIELD_RE.match(text)
@@ -295,6 +348,19 @@ def _skip_function_prelude(code, i):
         if code[i] == "{":
             return i
         tail = code[i:]
+        # Thread-safety annotation macros (SPCUBE_REQUIRES(mu_), ...)
+        # qualify function definitions; step over them like cv-qualifiers.
+        am = re.match(r"SPCUBE_[A-Z_]+\b", tail)
+        if am:
+            i += am.end()
+            while i < n and code[i] in " \t\n":
+                i += 1
+            if i < n and code[i] == "(":
+                close = _match_balanced(code, i, "(", ")")
+                if close < 0:
+                    return -1
+                i = close
+            continue
         m = re.match(r"(const|noexcept|override|final|mutable)\b|&&|&", tail)
         if m and m.group(0):
             i += m.end()
@@ -413,8 +479,16 @@ def extract_functions(code, relpath, ir):
         params = _parse_params(code[open_paren + 1:close_paren - 1])
         body = code[body_open + 1:body_close - 1]
         stmts = split_statements(body, _line_of(code, body_open + 1))
+        # Innermost class whose body extent contains this definition: that
+        # is the class of an inline (unqualified) method.
+        class_name = None
+        for cname, cstart, cend in ir.class_extents:
+            if cstart < open_paren < cend:
+                class_name = cname
         ir.functions.append(Function(name, ret, params, stmts,
-                                     _line_of(code, open_paren)))
+                                     _line_of(code, open_paren),
+                                     class_name=class_name,
+                                     prelude=code[close_paren:body_open]))
         i = body_close
     return ir
 
@@ -423,7 +497,32 @@ def build_ir_internal(code, relpath):
     ir = FileIR(relpath)
     extract_classes(code, relpath, ir)
     extract_functions(code, relpath, ir)
+    annotate_guarded_fields(ir, code)
     return ir
+
+
+def annotate_guarded_fields(ir, code):
+    """Reads SPCUBE_[PT_]GUARDED_BY(mu) off each field's declaration line.
+    Textual on purpose: macro expansion differs between the backends (Clang
+    sees attributes, GCC sees nothing), but the source line is the same, so
+    both backends derive identical guarded-field sets."""
+    lines = code.split("\n")
+    for field in ir.fields:
+        if 1 <= field.line <= len(lines):
+            m = GUARDED_BY_SRC_RE.search(lines[field.line - 1])
+            if m:
+                field.guarded_by = m.group(1)
+
+
+def guarded_field_map(irs):
+    """(class, field) -> mutex across every file of the scan, so methods
+    defined out-of-line in a .cc see annotations from the class's header."""
+    guarded = {}
+    for ir in irs:
+        for field in ir.fields:
+            if field.guarded_by:
+                guarded[(field.class_name, field.name)] = field.guarded_by
+    return guarded
 
 
 # ---------------------------------------------------------------------------
@@ -467,6 +566,53 @@ VIEW_BIND_RE = re.compile(
 RESULT_DECL_RE = re.compile(
     r"^(?:const\s+)?(?:spcube\s*::\s*)?Result\s*<[^;]*>\s*&?\s*"
     r"([A-Za-z_]\w*)\s*[=({]")
+
+# --- concurrency-contract rules (docs/INTERNALS.md §12) --------------------
+# A declared local whose type spawns or holds threads.
+THREAD_TYPE_RE = re.compile(r"\b(?:std\s*::\s*)?j?thread\b")
+# Direct thread/async construction handed a lambda in the same statement.
+THREAD_CTOR_LAMBDA_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:thread|jthread|async)\b[^;=]*?\(\s*\[")
+# Lambda appended to a container (checked against declared thread locals).
+CONTAINER_SPAWN_RE = re.compile(
+    r"^(?:[\w.]+\s*=\s*)?([A-Za-z_]\w*)\s*\.\s*"
+    r"(?:emplace_back|push_back)\s*\(\s*\[")
+# Blanket by-reference default capture: `[&]` or `[&, ...]`.
+BLANKET_CAPTURE_RE = re.compile(r"\[\s*&\s*[,\]]")
+# Seeded RNG local (common/random.h).
+RNG_TYPE_RE = re.compile(r"^(?:spcube\s*::\s*)?Rng\b")
+# Scoped lock acquisitions the lock-discipline rule recognizes.
+LOCK_ACQ_RE = re.compile(
+    r"\b(?:MutexLock|lock_guard|scoped_lock|unique_lock|shared_lock)\b")
+REQUIRES_RE = re.compile(r"\bSPCUBE_REQUIRES\s*\(([^)]*)\)")
+NO_TSA_RE = re.compile(r"\bSPCUBE_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+def _is_thread_spawn(text, thread_vars):
+    """True when this statement constructs a thread (or enqueues onto a
+    declared thread container) with an inline lambda."""
+    if THREAD_CTOR_LAMBDA_RE.search(text):
+        return True
+    m = CONTAINER_SPAWN_RE.match(text)
+    return bool(m and m.group(1) in thread_vars)
+
+
+def _spawn_regions(fn):
+    """[(start_idx, end_idx)) statement ranges of worker-lambda bodies: the
+    spawn statement itself (whose text holds the capture list) plus every
+    following statement nested deeper than the spawn."""
+    thread_vars = set()
+    regions = []
+    for idx, stmt in enumerate(fn.stmts):
+        decl = _decl_of(stmt.text)
+        if decl and THREAD_TYPE_RE.search(decl[0]):
+            thread_vars.add(decl[1])
+        if _is_thread_spawn(stmt.text, thread_vars):
+            end = idx + 1
+            while end < len(fn.stmts) and fn.stmts[end].depth > stmt.depth:
+                end += 1
+            regions.append((idx, end))
+    return regions
 
 
 def _word_re(name):
@@ -655,11 +801,118 @@ def check_status_flow(ir, pragmas, findings):
                             "SPCUBE_ASSIGN_OR_RETURN" % var))
 
 
-def run_rules(ir, pragmas, findings):
+def check_thread_capture_escape(ir, pragmas, findings):
+    for fn in ir.functions:
+        thread_vars = set()
+        for stmt in fn.stmts:
+            decl = _decl_of(stmt.text)
+            if decl and THREAD_TYPE_RE.search(decl[0]):
+                thread_vars.add(decl[1])
+            if not _is_thread_spawn(stmt.text, thread_vars):
+                continue
+            if BLANKET_CAPTURE_RE.search(stmt.text) and \
+                    not pragmas.allows("thread-capture-escape", stmt.line):
+                findings.append(Finding(
+                    ir.relpath, stmt.line, "thread-capture-escape",
+                    "blanket by-reference capture into a worker thread; "
+                    "name everything crossing the thread boundary with "
+                    "explicit init-captures so each shared object is "
+                    "visibly mutex-guarded, atomic, or indexed disjointly "
+                    "per worker (docs/INTERNALS.md §12)"))
+
+
+def check_lock_discipline(ir, pragmas, findings, guarded):
+    by_class = {}
+    for (cls, fname), mu in guarded.items():
+        by_class.setdefault(cls, {})[fname] = mu
+    for fn in ir.functions:
+        cls = fn.class_name
+        if "::" in fn.name:
+            cls = fn.name.split("::")[-2].strip()
+        if cls not in by_class:
+            continue
+        bare = fn.name.split("::")[-1].strip()
+        if bare == cls or bare.startswith("~"):
+            # Constructors/destructors run before/after any sharing.
+            continue
+        if NO_TSA_RE.search(fn.prelude):
+            # Deliberate, annotated opt-out (e.g. a read-after-join
+            # accessor); Clang skips these functions too.
+            continue
+        fields = by_class[cls]
+        held = set()
+        req = REQUIRES_RE.search(fn.prelude)
+        if req:
+            held.update(re.findall(r"[A-Za-z_]\w*", req.group(1)))
+        reported = set()
+        for stmt in fn.stmts:
+            if LOCK_ACQ_RE.search(stmt.text):
+                # Precision-first: any scoped acquisition naming the mutex
+                # counts from here on (scope exits are not tracked).
+                for mu in set(fields.values()):
+                    if _word_re(mu).search(stmt.text):
+                        held.add(mu)
+                continue
+            for fname, mu in fields.items():
+                if mu in held or fname in reported:
+                    continue
+                if _word_re(fname).search(stmt.text):
+                    reported.add(fname)
+                    if not pragmas.allows("lock-discipline", stmt.line):
+                        findings.append(Finding(
+                            ir.relpath, stmt.line, "lock-discipline",
+                            "'%s::%s' is SPCUBE_GUARDED_BY(%s) but is "
+                            "touched with no %s acquisition in scope; "
+                            "take a MutexLock first or annotate the "
+                            "function SPCUBE_REQUIRES(%s)"
+                            % (cls, fname, mu, mu, mu)))
+
+
+def check_rng_thread_share(ir, pragmas, findings):
+    for fn in ir.functions:
+        rng_decl_idx = {}
+        for idx, stmt in enumerate(fn.stmts):
+            decl = _decl_of(stmt.text)
+            if decl and RNG_TYPE_RE.match(decl[0]):
+                rng_decl_idx[decl[1]] = idx
+        if not rng_decl_idx:
+            continue
+        reported = set()
+        for start, end in _spawn_regions(fn):
+            for rng, decl_idx in rng_decl_idx.items():
+                if start <= decl_idx < end or rng in reported:
+                    # Declared inside the worker lambda: per-worker state,
+                    # the sanctioned shape.
+                    continue
+                for j in range(start, end):
+                    if j == decl_idx:
+                        continue
+                    stmt = fn.stmts[j]
+                    if _word_re(rng).search(stmt.text):
+                        reported.add(rng)
+                        if not pragmas.allows("rng-thread-share",
+                                              stmt.line):
+                            findings.append(Finding(
+                                ir.relpath, stmt.line, "rng-thread-share",
+                                "seeded Rng '%s' is declared outside this "
+                                "worker lambda but used inside it; shared "
+                                "RNG draws depend on thread interleaving "
+                                "and break determinism — construct a "
+                                "per-worker Rng inside the lambda from "
+                                "stable coordinates" % rng))
+                        break
+
+
+def run_rules(ir, pragmas, findings, guarded=None):
+    if guarded is None:
+        guarded = guarded_field_map([ir])
     check_view_escape(ir, pragmas, findings)
     check_arena_escape(ir, pragmas, findings)
     check_emit_borrow(ir, pragmas, findings)
     check_status_flow(ir, pragmas, findings)
+    check_thread_capture_escape(ir, pragmas, findings)
+    check_lock_discipline(ir, pragmas, findings, guarded)
+    check_rng_thread_share(ir, pragmas, findings)
 
 
 # ---------------------------------------------------------------------------
@@ -669,15 +922,15 @@ def run_rules(ir, pragmas, findings):
 class InternalBackend:
     name = "internal"
 
-    def analyze(self, abspath, relpath):
+    def build(self, abspath, relpath):
+        """(FileIR, PragmaIndex) of one file; rules run later so that
+        cross-file guarded-field annotations are visible to every file."""
         with open(abspath, "r", encoding="utf-8", errors="replace") as f:
             raw = f.read()
         code = _strip_comments_and_strings(raw)
         pragmas = PragmaIndex(raw.split("\n"), relpath)
         ir = build_ir_internal(code, relpath)
-        findings = list(pragmas.pragma_findings)
-        run_rules(ir, pragmas, findings)
-        return findings
+        return ir, pragmas
 
 
 class LibclangBackend:
@@ -743,7 +996,7 @@ class LibclangBackend:
             out.append(a)
         return out
 
-    def analyze(self, abspath, relpath):
+    def build(self, abspath, relpath):
         cindex = self._cindex
         args, workdir = self._args_by_file.get(
             os.path.normpath(abspath), (["-std=c++20", "-xc++"], None))
@@ -759,11 +1012,10 @@ class LibclangBackend:
         pragmas = PragmaIndex(raw.split("\n"), relpath)
         ir = FileIR(relpath)
         self._walk(tu.cursor, abspath, code, ir)
-        findings = list(pragmas.pragma_findings)
-        run_rules(ir, pragmas, findings)
-        return findings
+        annotate_guarded_fields(ir, code)
+        return ir, pragmas
 
-    def _walk(self, cursor, abspath, code, ir):
+    def _walk(self, cursor, abspath, code, ir, class_name=None):
         cindex = self._cindex
         K = cindex.CursorKind
         for child in cursor.get_children():
@@ -774,14 +1026,14 @@ class LibclangBackend:
                 continue
             kind = child.kind
             if kind in (K.NAMESPACE, K.UNEXPOSED_DECL, K.LINKAGE_SPEC):
-                self._walk(child, abspath, code, ir)
+                self._walk(child, abspath, code, ir, class_name)
             elif kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
                 for member in child.get_children():
                     if member.kind == K.FIELD_DECL:
                         ir.fields.append(Field(
                             child.spelling, member.type.spelling,
                             member.spelling, member.location.line))
-                self._walk(child, abspath, code, ir)
+                self._walk(child, abspath, code, ir, child.spelling)
             elif kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
                           K.DESTRUCTOR, K.FUNCTION_TEMPLATE):
                 if not child.is_definition():
@@ -798,9 +1050,25 @@ class LibclangBackend:
                 stmts = split_statements(text, body.extent.start.line)
                 params = [(a.type.spelling, a.spelling)
                           for a in child.get_arguments()]
+                # Prelude: source text between the function's start and its
+                # body — holds cv-qualifiers and the (unexpanded, textual)
+                # SPCUBE_ thread-safety annotations, same as the internal
+                # backend sees.
+                fn_start = child.extent.start.offset
+                prelude = code[fn_start:start]
+                # Out-of-line method definitions (`void Tally::Bump(...)`)
+                # sit under the namespace in the AST; the semantic parent
+                # recovers the class, matching the internal backend's
+                # qualified-name parse.
+                fn_class = class_name
+                sem = child.semantic_parent
+                if sem is not None and sem.kind in (
+                        K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE):
+                    fn_class = sem.spelling
                 ir.functions.append(Function(
                     child.spelling, child.result_type.spelling, params,
-                    stmts, child.location.line))
+                    stmts, child.location.line, class_name=fn_class,
+                    prelude=prelude))
 
 
 def make_backend(requested, compile_commands):
@@ -858,6 +1126,8 @@ def main(argv):
                              "backend (no translation-unit parsing)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule IDs and exit")
+    parser.add_argument("--summary", action="store_true",
+                        help="print a per-rule finding-count table to stderr")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: src/ under "
                              "--root)")
@@ -879,13 +1149,31 @@ def main(argv):
     if paths is None:
         return 2
 
+    # Two phases so cross-file contracts work: first lower every file to the
+    # micro-IR (collecting SPCUBE_GUARDED_BY annotations from headers), then
+    # run the rules per file against the scan-wide guarded-field map — a .cc
+    # method sees the mutex contract its header declares.
+    built = []
     findings = []
     for p in sorted(paths):
         rel = os.path.relpath(p, root)
-        findings.extend(backend.analyze(p, rel))
+        ir, pragmas = backend.build(p, rel)
+        findings.extend(pragmas.pragma_findings)
+        built.append((ir, pragmas))
+    guarded = guarded_field_map([ir for ir, _ in built])
+    for ir, pragmas in built:
+        run_rules(ir, pragmas, findings, guarded)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     for finding in findings:
         print(finding)
+    if args.summary:
+        counts = {rule: 0 for rule in RULES}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        print("spcube_analyzer[%s] per-rule summary:" % backend.name,
+              file=sys.stderr)
+        for rule in sorted(counts):
+            print("  %-24s %d" % (rule, counts[rule]), file=sys.stderr)
     if findings:
         print("spcube_analyzer[%s]: %d finding(s) in %d file(s) scanned"
               % (backend.name, len(findings), len(paths)), file=sys.stderr)

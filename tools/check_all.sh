@@ -10,7 +10,10 @@
 #   4. chaos                             (OOM-injection / drift / recovery
 #                                         grid under the asan-ubsan preset
 #                                         with lifetime checks forced on)
-#   5. sanitizers                        (tools/run_sanitizers.sh)
+#   5. tsan-threaded-grid                (threaded differential grid +
+#                                         serial-vs-threaded determinism
+#                                         probe under the tsan preset)
+#   6. sanitizers                        (tools/run_sanitizers.sh)
 #
 # Runs all stages even after a failure and finishes with a summary table,
 # so one broken gate doesn't hide the state of the others. Exits nonzero
@@ -69,6 +72,18 @@ chaos_grid() {
       --output-on-failure -j "$(nproc)"
 }
 
+# The concurrency-contracts gate (docs/INTERNALS.md §12): the threaded
+# differential grid and the serial-vs-threaded determinism probe
+# (tests/threading_test.cc) under ThreadSanitizer. Any data race in the
+# engine's spawn/join paths, the shared collectors or the DFS fails here;
+# under --fast only this dynamic half is skipped — the analyzer's
+# concurrency rules still run in the static-analysis stage.
+tsan_threaded_grid() {
+  cmake --preset tsan >/dev/null &&
+    cmake --build build-tsan -j "$(nproc)" --target threading_test &&
+    ctest --test-dir build-tsan -R 'Threaded' --output-on-failure
+}
+
 run_stage "build+test" build_and_test
 if [[ ${fast} -eq 1 ]]; then
   run_stage "static-analysis" tools/run_static_analysis.sh --fast
@@ -78,9 +93,11 @@ fi
 run_stage "bench-json-smoke" bench_json_smoke
 if [[ ${fast} -eq 0 ]]; then
   run_stage "chaos" chaos_grid
+  run_stage "tsan-threaded-grid" tsan_threaded_grid
   run_stage "sanitizers" tools/run_sanitizers.sh
 else
   stage_names+=("chaos"); stage_results+=("SKIP (--fast)")
+  stage_names+=("tsan-threaded-grid"); stage_results+=("SKIP (--fast)")
   stage_names+=("sanitizers"); stage_results+=("SKIP (--fast)")
 fi
 

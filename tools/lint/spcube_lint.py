@@ -523,6 +523,8 @@ def main(argv):
                              "script)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule IDs and exit")
+    parser.add_argument("--summary", action="store_true",
+                        help="print a per-rule finding-count table to stderr")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: src/ tools/ "
                              "bench/ under --root)")
@@ -541,6 +543,13 @@ def main(argv):
     findings = lint_files(paths, root)
     for finding in findings:
         print(finding)
+    if args.summary:
+        counts = {rule: 0 for rule in RULES}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        print("spcube_lint per-rule summary:", file=sys.stderr)
+        for rule in sorted(counts):
+            print("  %-28s %d" % (rule, counts[rule]), file=sys.stderr)
     if findings:
         print("spcube_lint: %d finding(s) in %d file(s) scanned"
               % (len(findings), len(paths)), file=sys.stderr)

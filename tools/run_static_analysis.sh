@@ -25,7 +25,7 @@ done
 failures=0
 
 echo "=== spcube_lint (src/ tools/ bench/) ==="
-if python3 tools/lint/spcube_lint.py; then
+if python3 tools/lint/spcube_lint.py --summary; then
   echo "spcube_lint: clean"
 else
   failures=$((failures + 1))
@@ -37,7 +37,7 @@ analyzer_args=()
 if [[ ${fast} -eq 1 ]]; then
   analyzer_args+=(--fast)
 fi
-if python3 tools/analyzer/spcube_analyzer.py "${analyzer_args[@]}"; then
+if python3 tools/analyzer/spcube_analyzer.py --summary "${analyzer_args[@]}"; then
   echo "spcube-analyzer: clean"
 else
   failures=$((failures + 1))
@@ -63,7 +63,13 @@ else
     cmake -B build -S . >/dev/null
   fi
   mapfile -t sources < <(find src bench tools -name '*.cc' | sort)
-  if "${CLANG_TIDY}" -p build --quiet "${sources[@]}"; then
+  # Clang's thread-safety analysis rides along with the tidy pass: the
+  # SPCUBE_GUARDED_BY / REQUIRES / EXCLUDES contracts
+  # (src/common/thread_annotations.h) are checked as errors here even when
+  # the compile database was produced by GCC.
+  if "${CLANG_TIDY}" -p build --quiet \
+      --extra-arg=-Wthread-safety --extra-arg=-Werror=thread-safety \
+      "${sources[@]}"; then
     echo "clang-tidy: clean (${#sources[@]} files)"
   else
     failures=$((failures + 1))

@@ -21,13 +21,22 @@ namespace bench = spcube::bench;
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
+  const int threads = bench::ParseThreads(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int k = 16;
   const std::vector<int64_t> sizes = {
       bench::Scaled(25000, scale), bench::Scaled(50000, scale),
       bench::Scaled(100000, scale), bench::Scaled(200000, scale)};
 
-  std::printf("Figure 4 | Wikipedia-like traffic dataset | k=%d workers\n",
-              k);
+  std::printf(
+      "Figure 4 | Wikipedia-like traffic dataset | k=%d workers | "
+      "%d host threads\n",
+      k, threads);
+
+  bench::BenchJson json("bench_fig4_wikipedia");
+  json.AddParam("scale", scale);
+  json.AddParam("threads", static_cast<int64_t>(threads));
+  json.AddParam("k", static_cast<int64_t>(k));
 
   const std::vector<std::string> columns = {"sp-cube", "mr-cube(pig)",
                                             "hive", "naive"};
@@ -43,8 +52,11 @@ int main(int argc, char** argv) {
   for (const int64_t n : sizes) {
     const Relation rel = GenWikiLike(n, /*seed=*/1204);
     const std::vector<bench::AlgoResult> results =
-        bench::RunCompetitors(rel, k);
+        bench::RunCompetitors(rel, k, threads);
     audit.NoteAll(results);
+    for (const bench::AlgoResult& r : results) {
+      json.AddResult(r.algorithm + "/n=" + std::to_string(n), r);
+    }
     std::vector<std::string> total_cells;
     std::vector<std::string> reduce_cells;
     std::vector<std::string> map_cells;
@@ -72,5 +84,6 @@ int main(int argc, char** argv) {
       "\nPaper shape to match: SP-Cube fastest (Hive ~1.2x, Pig ~3-4x "
       "slower at the largest size); SP-Cube's intermediate data ~5-6x "
       "smaller than Pig/Hive.\n");
+  if (!json.WriteTo(json_path)) return 1;
   return audit.ExitCode();
 }

@@ -18,13 +18,22 @@ namespace bench = spcube::bench;
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
+  const int threads = bench::ParseThreads(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int k = 16;
   const std::vector<int64_t> sizes = {
       bench::Scaled(12500, scale), bench::Scaled(25000, scale),
       bench::Scaled(50000, scale), bench::Scaled(100000, scale)};
 
   std::printf(
-      "Figure 5 | USAGOV-like click log (15 dims, cube over 4) | k=%d\n", k);
+      "Figure 5 | USAGOV-like click log (15 dims, cube over 4) | k=%d | "
+      "%d host threads\n",
+      k, threads);
+
+  bench::BenchJson json("bench_fig5_usagov");
+  json.AddParam("scale", scale);
+  json.AddParam("threads", static_cast<int64_t>(threads));
+  json.AddParam("k", static_cast<int64_t>(k));
 
   const std::vector<std::string> columns = {"sp-cube", "mr-cube(pig)",
                                             "hive", "naive"};
@@ -40,8 +49,11 @@ int main(int argc, char** argv) {
     const Relation full = GenUsaGovLike(n, /*seed=*/1205);
     const Relation rel = ProjectDims(full, {0, 1, 2, 3});
     const std::vector<bench::AlgoResult> results =
-        bench::RunCompetitors(rel, k);
+        bench::RunCompetitors(rel, k, threads);
     audit.NoteAll(results);
+    for (const bench::AlgoResult& r : results) {
+      json.AddResult(r.algorithm + "/n=" + std::to_string(n), r);
+    }
     std::vector<std::string> total_cells;
     std::vector<std::string> map_cells;
     int64_t sketch_bytes = 0;
@@ -74,5 +86,6 @@ int main(int argc, char** argv) {
       "\nPaper shape to match: SP-Cube fastest (30%% over Pig, ~3x over "
       "Hive, whose map time dominates); sketch grows slowly and stays "
       "orders of magnitude below the input size.\n");
+  if (!json.WriteTo(json_path)) return 1;
   return audit.ExitCode();
 }

@@ -22,13 +22,21 @@ namespace bench = spcube::bench;
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
+  const int threads = bench::ParseThreads(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int k = 50;  // small m = n/k so the 20 heavy groups are skewed
   const int64_t n = bench::Scaled(100000, scale);
   const std::vector<double> skews = {0.0, 0.1, 0.25, 0.4, 0.6, 0.75};
 
   std::printf("Figure 6 | gen-binomial, n=%lld fixed, varying skewness | "
-              "k=%d\n",
-              static_cast<long long>(n), k);
+              "k=%d | %d host threads\n",
+              static_cast<long long>(n), k, threads);
+
+  bench::BenchJson json("bench_fig6_binomial_skew");
+  json.AddParam("scale", scale);
+  json.AddParam("threads", static_cast<int64_t>(threads));
+  json.AddParam("k", static_cast<int64_t>(k));
+  json.AddParam("tuples", n);
 
   const std::vector<std::string> columns = {"sp-cube", "mr-cube(pig)",
                                             "hive", "naive"};
@@ -43,8 +51,13 @@ int main(int argc, char** argv) {
   for (const double p : skews) {
     const Relation rel = GenBinomial(n, 4, p, /*seed=*/1206);
     const std::vector<bench::AlgoResult> results =
-        bench::RunCompetitors(rel, k);
+        bench::RunCompetitors(rel, k, threads);
     audit.NoteAll(results);
+    char x_json[16];
+    std::snprintf(x_json, sizeof(x_json), "%.2f", p);
+    for (const bench::AlgoResult& r : results) {
+      json.AddResult(r.algorithm + "/p=" + x_json, r);
+    }
     std::vector<std::string> total_cells;
     std::vector<std::string> map_cells;
     int64_t sketch_bytes = 0;
@@ -78,5 +91,6 @@ int main(int argc, char** argv) {
       "as p grows from 0 to 0.75; intermediate data shrinks with p for "
       "SP-Cube and Pig; paper's Hive OOMs for p >= 0.4 (our surrogate "
       "degrades to spilling instead).\n");
+  if (!json.WriteTo(json_path)) return 1;
   return audit.ExitCode();
 }

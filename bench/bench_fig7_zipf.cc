@@ -16,13 +16,21 @@ namespace bench = spcube::bench;
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
+  const int threads = bench::ParseThreads(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int k = 16;
   const std::vector<int64_t> sizes = {
       bench::Scaled(12500, scale), bench::Scaled(25000, scale),
       bench::Scaled(50000, scale), bench::Scaled(100000, scale)};
 
   std::printf("Figure 7 | gen-zipf (2 x Zipf(1000,1.1) + 2 x uniform) | "
-              "k=%d\n", k);
+              "k=%d | %d host threads\n",
+              k, threads);
+
+  bench::BenchJson json("bench_fig7_zipf");
+  json.AddParam("scale", scale);
+  json.AddParam("threads", static_cast<int64_t>(threads));
+  json.AddParam("k", static_cast<int64_t>(k));
 
   const std::vector<std::string> columns = {"sp-cube", "mr-cube(pig)",
                                             "hive", "naive"};
@@ -37,8 +45,11 @@ int main(int argc, char** argv) {
   for (const int64_t n : sizes) {
     const Relation rel = GenZipfPaper(n, /*seed=*/1207);
     const std::vector<bench::AlgoResult> results =
-        bench::RunCompetitors(rel, k);
+        bench::RunCompetitors(rel, k, threads);
     audit.NoteAll(results);
+    for (const bench::AlgoResult& r : results) {
+      json.AddResult(r.algorithm + "/n=" + std::to_string(n), r);
+    }
     std::vector<std::string> total_cells;
     std::vector<std::string> reduce_cells;
     std::vector<std::string> map_cells;
@@ -66,5 +77,6 @@ int main(int argc, char** argv) {
       "\nPaper shape to match: SP-Cube ~2x faster than Hive and ~2.5x "
       "faster than Pig at scale; the win is driven by a 4-6x smaller map "
       "output (panel c), while reduce times are comparable (panel b).\n");
+  if (!json.WriteTo(json_path)) return 1;
   return audit.ExitCode();
 }

@@ -15,6 +15,8 @@ namespace bench = spcube::bench;
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
+  const int threads = bench::ParseThreads(argc, argv);
+  const std::string json_path = bench::ParseEmitJsonPath(argc, argv);
   const int k = 50;  // same cluster shape as the Figure 6 sweep
   const double p = 0.1;
   const std::vector<int64_t> sizes = {
@@ -22,8 +24,15 @@ int main(int argc, char** argv) {
       bench::Scaled(50000, scale), bench::Scaled(100000, scale),
       bench::Scaled(200000, scale)};
 
-  std::printf("Figure 8 | gen-binomial, p=%.1f, varying data size | k=%d\n",
-              p, k);
+  std::printf("Figure 8 | gen-binomial, p=%.1f, varying data size | k=%d | "
+              "%d host threads\n",
+              p, k, threads);
+
+  bench::BenchJson json("bench_fig8_binomial_size");
+  json.AddParam("scale", scale);
+  json.AddParam("threads", static_cast<int64_t>(threads));
+  json.AddParam("k", static_cast<int64_t>(k));
+  json.AddParam("p", p);
 
   const std::vector<std::string> columns = {"sp-cube", "mr-cube(pig)",
                                             "hive", "naive"};
@@ -38,8 +47,11 @@ int main(int argc, char** argv) {
   for (const int64_t n : sizes) {
     const Relation rel = GenBinomial(n, 4, p, /*seed=*/1208);
     const std::vector<bench::AlgoResult> results =
-        bench::RunCompetitors(rel, k);
+        bench::RunCompetitors(rel, k, threads);
     audit.NoteAll(results);
+    for (const bench::AlgoResult& r : results) {
+      json.AddResult(r.algorithm + "/n=" + std::to_string(n), r);
+    }
     std::vector<std::string> total_cells;
     std::vector<std::string> map_time_cells;
     std::vector<std::string> map_out_cells;
@@ -67,5 +79,6 @@ int main(int argc, char** argv) {
       "\nPaper shape to match: gaps grow with data size; at the largest "
       "size SP-Cube is ~2x faster than Hive and ~3x faster than Pig, with "
       "correspondingly smaller map output and shorter map times.\n");
+  if (!json.WriteTo(json_path)) return 1;
   return audit.ExitCode();
 }

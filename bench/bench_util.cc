@@ -1,12 +1,17 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <utility>
 
 #include "baselines/hive.h"
 #include "baselines/mrcube.h"
 #include "baselines/naive.h"
+#include "common/task_pool.h"
 #include "core/sp_cube.h"
 
 namespace spcube {
@@ -30,9 +35,20 @@ AlgoResult RunOne(CubeAlgorithm& algorithm, Engine& engine,
                   const Relation& input) {
   AlgoResult result;
   result.algorithm = algorithm.name();
+  const int configured = engine.config().host_threads;
+  result.threads = configured == EngineConfig::kHostThreadsAuto
+                       ? TaskPool::HostThreads()
+                       : std::max(1, configured);
   CubeRunOptions options;
   options.collect_output = false;
+  // Wall-clock brackets the algorithm run alone — input generation, engine
+  // construction and result conversion are deliberately outside it.
+  const auto wall_start = std::chrono::steady_clock::now();
   auto output = algorithm.Run(engine, input, options);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   if (!output.ok()) {
     result.failed = true;
     result.failure = output.status().ToString();
@@ -61,9 +77,11 @@ AlgoResult RunOne(CubeAlgorithm& algorithm, Engine& engine,
   return result;
 }
 
-std::vector<AlgoResult> RunCompetitors(const Relation& input, int k) {
-  const EngineConfig config =
+std::vector<AlgoResult> RunCompetitors(const Relation& input, int k,
+                                       int host_threads) {
+  EngineConfig config =
       MakeClusterConfig(input.num_rows(), input.num_dims(), k);
+  config.host_threads = host_threads;
   std::vector<AlgoResult> results;
 
   {
@@ -187,12 +205,92 @@ double ParseScale(int argc, char** argv) {
   return 1.0;
 }
 
+int ParseThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int threads = std::atoi(argv[i] + 10);
+      if (threads >= 0) return threads;
+    }
+  }
+  return TaskPool::HostThreads();
+}
+
 std::string ParseEmitJsonPath(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--emit-json=", 12) == 0) return argv[i] + 12;
     if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
   }
   return "";
+}
+
+namespace {
+
+std::string JsonNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJson::AddParam(const std::string& key, double value) {
+  params_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchJson::AddParam(const std::string& key, int64_t value) {
+  params_.emplace_back(key, std::to_string(value));
+}
+
+void BenchJson::AddResult(const std::string& name, const AlgoResult& result) {
+  Row row;
+  row.name = name;
+  row.fields.emplace_back("failed", result.failed ? "true" : "false");
+  row.fields.emplace_back("threads", std::to_string(result.threads));
+  if (!result.failed) {
+    row.fields.emplace_back("sim_total_seconds",
+                            JsonNumber(result.total_seconds));
+    row.fields.emplace_back("wall_seconds", JsonNumber(result.wall_seconds));
+    row.fields.emplace_back("shuffle_bytes",
+                            std::to_string(result.shuffle_bytes));
+    row.fields.emplace_back("spill_bytes",
+                            std::to_string(result.spill_bytes));
+    row.fields.emplace_back("output_records",
+                            std::to_string(result.output_records));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void BenchJson::AddResultField(const std::string& key, double value) {
+  if (rows_.empty()) return;
+  rows_.back().fields.emplace_back(key, JsonNumber(value));
+}
+
+bool BenchJson::WriteTo(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << bench_name_ << "\",\n";
+  for (const auto& [key, literal] : params_) {
+    out << "  \"" << key << "\": " << literal << ",\n";
+  }
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out << "    {\"name\": \"" << rows_[i].name << "\"";
+    for (const auto& [key, literal] : rows_[i].fields) {
+      out << ", \"" << key << "\": " << literal;
+    }
+    out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: failed to write bench JSON to %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bench

@@ -25,6 +25,14 @@ struct AlgoResult {
   bool failed = false;        // e.g. Hive OOM under strict memory
   std::string failure;        // status text when failed
   StatusCode failure_code = StatusCode::kOk;  // code behind `failure`
+  /// Real host wall-clock of the algorithm run alone — no generation or
+  /// setup cost — as opposed to `total_seconds`, the *simulated* cluster
+  /// time. Reported side by side in the emitted JSON so threading speedups
+  /// (wall) can be read against the cost model (simulated), which is
+  /// bit-identical at any thread count.
+  double wall_seconds = 0;
+  /// Host threads the engine's work-stealing pool actually used.
+  int threads = 1;
   double total_seconds = 0;
   double map_max_seconds = 0;
   double map_avg_seconds = 0;
@@ -46,8 +54,12 @@ AlgoResult RunOne(CubeAlgorithm& algorithm, Engine& engine,
 
 /// The paper's competitor set: SP-Cube, MR-Cube (Pig) and Hive, plus the
 /// naive Algorithm 1 as an extra reference series. Each run uses a fresh
-/// engine over a fresh DFS with the standard cluster config.
-std::vector<AlgoResult> RunCompetitors(const Relation& input, int k);
+/// engine over a fresh DFS with the standard cluster config, executed on
+/// `host_threads` pool threads (kHostThreadsAuto: one per host core — the
+/// default fast path; pass ParseThreads' result to honor --threads=N).
+std::vector<AlgoResult> RunCompetitors(
+    const Relation& input, int k,
+    int host_threads = EngineConfig::kHostThreadsAuto);
 
 /// Pretty-printing helpers: one table per figure panel, one column per
 /// algorithm, one row per sweep point.
@@ -93,6 +105,46 @@ std::string FormatCount(int64_t count);
 /// Parses "--scale=<float>" from argv (default 1.0); benchmark sizes are
 /// multiplied by it so users can cheaply smoke-test or crank up fidelity.
 double ParseScale(int argc, char** argv);
+
+/// Parses "--threads=<N>" from argv: the number of host threads the
+/// engine's work-stealing pool runs on. Default (flag absent or invalid):
+/// one thread per host core. 0 and 1 both mean fully serial.
+int ParseThreads(int argc, char** argv);
+
+/// Accumulates one benchmark's machine-readable summary in the shape
+/// tools/validate_bench_json.py checks: top-level scalars for run
+/// parameters, one results row per (algorithm, sweep point). Shared by the
+/// figure benches so each main doesn't hand-roll a JSON writer.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// Top-level run parameter (scale, threads, host cores, ...).
+  void AddParam(const std::string& key, double value);
+  void AddParam(const std::string& key, int64_t value);
+
+  /// One result row: `name` must be unique per row (convention:
+  /// "<algorithm>/<x-label>=<x>"). Failed runs are recorded with
+  /// failed=true and no timing fields.
+  void AddResult(const std::string& name, const AlgoResult& result);
+
+  /// Extra numeric field on the most recently added result row (e.g. a
+  /// speedup computed against another row).
+  void AddResultField(const std::string& key, double value);
+
+  /// Writes the document; returns false (with a stderr note) on I/O error.
+  /// No-op returning true when `path` is empty (no --emit-json given).
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> fields;  // key, literal
+  };
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> params_;  // key, literal
+  std::vector<Row> rows_;
+};
 
 /// Parses "--emit-json=<path>" (or the legacy "--json=<path>" spelling)
 /// from argv; empty string when absent. The emitted file must satisfy

@@ -1,0 +1,165 @@
+#include "common/task_pool.h"
+
+// spcube-lint: allow-file(no-raw-thread-outside-pool): this file IS the pool
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace spcube {
+namespace {
+
+/// Identity of the pool worker running on this thread, so a task can tell
+/// `RunNested` which deque to push its sub-batch onto. Null/-1 off-pool.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+}  // namespace
+
+TaskPool::TaskPool(int num_threads, uint64_t seed)
+    : num_threads_(std::max(1, num_threads)),
+      queues_(static_cast<size_t>(num_threads_)),
+      victims_(static_cast<size_t>(num_threads_)) {
+  // Each worker's victim order is a Fisher-Yates permutation of the other
+  // workers, drawn from a forked child of the pool seed: policy is a pure
+  // function of (seed, num_threads), independent of host entropy.
+  Rng pool_rng(seed);
+  for (int w = 0; w < num_threads_; ++w) {
+    Rng worker_rng = pool_rng.Fork();
+    std::vector<int>& order = victims_[static_cast<size_t>(w)];
+    order.reserve(static_cast<size_t>(num_threads_ - 1));
+    for (int v = 0; v < num_threads_; ++v) {
+      if (v != w) order.push_back(v);
+    }
+    for (size_t i = order.size(); i > 1; --i) {
+      const size_t j =
+          static_cast<size_t>(worker_rng.NextBounded(static_cast<uint64_t>(i)));
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+}
+
+int TaskPool::HostThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool TaskPool::PopOwn(int worker, QueuedTask* out) {
+  WorkerQueue& q = queues_[static_cast<size_t>(worker)];
+  MutexLock lock(&q.mu);
+  if (q.tasks.empty()) return false;
+  *out = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  return true;
+}
+
+bool TaskPool::Steal(int worker, QueuedTask* out) {
+  for (int victim : victims_[static_cast<size_t>(worker)]) {
+    WorkerQueue& q = queues_[static_cast<size_t>(victim)];
+    MutexLock lock(&q.mu);
+    if (q.tasks.empty()) continue;
+    *out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::HelpUntil(int worker, std::atomic<int64_t>* remaining) {
+  while (remaining->load(std::memory_order_acquire) > 0) {
+    QueuedTask task;
+    if (PopOwn(worker, &task) || Steal(worker, &task)) {
+      // Execute outside any queue lock; the task may itself call RunNested.
+      *task.slot = task.fn();
+      // Release edge: the slot write above happens-before any thread that
+      // acquire-loads this counter at zero.
+      task.remaining->fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void TaskPool::WorkerLoop(int worker, std::atomic<int64_t>* remaining) {
+  tls_pool = this;
+  tls_worker = worker;
+  HelpUntil(worker, remaining);
+  tls_pool = nullptr;
+  tls_worker = -1;
+}
+
+std::vector<Status> TaskPool::Run(std::vector<std::function<Status()>> tasks) {
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  if (n == 0) return statuses;
+  if (tls_pool == this) {
+    // Re-entrant use from one of our own tasks: fork-join, never a second
+    // thread complement.
+    return RunNested(std::move(tasks));
+  }
+  if (num_threads_ <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      statuses[static_cast<size_t>(i)] = tasks[static_cast<size_t>(i)]();
+    }
+    return statuses;
+  }
+
+  std::atomic<int64_t> remaining(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t q = static_cast<size_t>(i % num_threads_);
+    MutexLock lock(&queues_[q].mu);
+    queues_[q].tasks.push_back(QueuedTask{std::move(tasks[static_cast<size_t>(i)]),
+                                          &statuses[static_cast<size_t>(i)],
+                                          &remaining});
+  }
+
+  const int spawned = static_cast<int>(std::min<int64_t>(num_threads_, n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(spawned));
+  for (int w = 0; w < spawned; ++w) {
+    // Explicit init-captures (thread-capture-escape rule): the pool and the
+    // batch counter are the only state crossing the thread boundary; result
+    // slots are reached only through the queued tasks.
+    threads.emplace_back([w, pool = this, batch_remaining = &remaining]() {
+      pool->WorkerLoop(w, batch_remaining);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SPCUBE_CHECK(remaining.load(std::memory_order_acquire) == 0)
+      << "task pool batch ended with unexecuted tasks";
+  return statuses;
+}
+
+std::vector<Status> TaskPool::RunNested(
+    std::vector<std::function<Status()>> tasks) {
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  if (n == 0) return statuses;
+  const int worker = tls_pool == this ? tls_worker : -1;
+  if (worker < 0 || num_threads_ <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      statuses[static_cast<size_t>(i)] = tasks[static_cast<size_t>(i)]();
+    }
+    return statuses;
+  }
+
+  std::atomic<int64_t> remaining(n);
+  {
+    WorkerQueue& q = queues_[static_cast<size_t>(worker)];
+    MutexLock lock(&q.mu);
+    // Front-pushed in reverse, so the owner pops its sub-tasks in index
+    // order while thieves take from the back.
+    for (int64_t i = n - 1; i >= 0; --i) {
+      q.tasks.push_front(QueuedTask{std::move(tasks[static_cast<size_t>(i)]),
+                                    &statuses[static_cast<size_t>(i)],
+                                    &remaining});
+    }
+  }
+  HelpUntil(worker, &remaining);
+  return statuses;
+}
+
+}  // namespace spcube

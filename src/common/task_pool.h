@@ -1,0 +1,112 @@
+#ifndef SPCUBE_COMMON_TASK_POOL_H_
+#define SPCUBE_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace spcube {
+
+/// A seeded work-stealing task pool — the one sanctioned way to put work on
+/// real host threads (spcube_lint's `no-raw-thread-outside-pool` rule keeps
+/// raw `std::thread` out of everything else under src/).
+///
+/// Design (docs/INTERNALS.md §12):
+///  * One deque per worker, guarded by its own `Mutex`. A worker pops its
+///    own deque at the front; a thief steals from the victim's back, so
+///    owner and thief rarely contend on the same end.
+///  * The steal-victim visiting order of each worker is a permutation drawn
+///    once, at construction, from a seeded `spcube::Rng` — never from host
+///    entropy — so scheduling policy is a pure function of (seed,
+///    num_threads) and reruns probe the same orders.
+///  * Determinism contract: scheduling (which host thread runs which task,
+///    and when) is *not* deterministic — only the victim policy is. Tasks
+///    therefore must write disjoint result slots; `Run` publishes them to
+///    the caller via the thread join / the batch counter's release-acquire
+///    edge, and returns statuses in task index order. Callers that need
+///    ordered side effects stage per-task output and replay it in index
+///    order after `Run` returns (see engine.cc's reduce phase).
+///  * Nested fork-join: a task may call `RunNested` to fan out sub-tasks.
+///    The calling worker pushes them onto its own deque (front, so they are
+///    its next pops), then *helps* — executing pending tasks from any deque
+///    — until its sub-batch completes. Other workers can steal the
+///    sub-tasks, which is what makes unbalanced splits stealable; the help
+///    loop is what makes nesting deadlock-free on a fixed-size pool.
+///
+/// With `num_threads <= 1` (or a single task) everything runs inline on the
+/// calling thread in index order: the serial path spawns no threads and is
+/// the behavior reference the threaded paths must match bit-for-bit.
+///
+/// Tasks return `Status`; a failing task never stops the batch (callers own
+/// retry/abort policy) and there are no exceptions anywhere — shutdown is a
+/// plain join.
+class TaskPool {
+ public:
+  /// `num_threads` host threads (clamped to >= 1); `seed` drives only the
+  /// steal-victim permutations.
+  TaskPool(int num_threads, uint64_t seed);
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Runs `tasks` to completion and returns their statuses in task index
+  /// order. Blocking; threads live only for the duration of the call.
+  /// Called from inside one of this pool's tasks it degrades to
+  /// `RunNested` (fork-join with helping) instead of spawning threads.
+  std::vector<Status> Run(std::vector<std::function<Status()>> tasks);
+
+  /// Fork-join a sub-batch from inside a running task: the calling worker
+  /// executes/helps until every sub-task is done. Outside a worker (or on
+  /// a serial pool) the sub-tasks run inline in index order.
+  std::vector<Status> RunNested(std::vector<std::function<Status()>> tasks);
+
+  int num_threads() const { return num_threads_; }
+
+  /// The seeded order in which `worker` visits steal victims — a
+  /// permutation of the other workers. Exposed so tests can pin the
+  /// policy's determinism (same seed ⇒ same orders).
+  const std::vector<int>& victim_order(int worker) const {
+    return victims_[static_cast<size_t>(worker)];
+  }
+
+  /// Host hardware concurrency, clamped to >= 1.
+  static int HostThreads();
+
+ private:
+  /// One unit of queued work: the task body, its result slot (disjoint per
+  /// task), and its batch's outstanding-task counter.
+  struct QueuedTask {
+    std::function<Status()> fn;
+    Status* slot = nullptr;
+    std::atomic<int64_t>* remaining = nullptr;
+  };
+
+  struct WorkerQueue {
+    Mutex mu;
+    std::deque<QueuedTask> tasks SPCUBE_GUARDED_BY(mu);
+  };
+
+  /// Entry point of a spawned worker thread.
+  void WorkerLoop(int worker, std::atomic<int64_t>* remaining);
+
+  /// Pop-or-steal-or-yield until `remaining` (some batch's counter, not
+  /// necessarily one this worker contributes to) reaches zero.
+  void HelpUntil(int worker, std::atomic<int64_t>* remaining);
+
+  bool PopOwn(int worker, QueuedTask* out);
+  bool Steal(int worker, QueuedTask* out);
+
+  int num_threads_;
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::vector<int>> victims_;
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_TASK_POOL_H_

@@ -5,14 +5,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <map>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "common/task_pool.h"
 #include "common/thread_annotations.h"
 #include "mapreduce/backoff.h"
 #include "mapreduce/fault.h"
@@ -182,11 +183,25 @@ class EngineReduceContext : public ReduceContext {
   std::map<std::string, int64_t> counters_;
 };
 
+/// Everything one producer sub-task of a map task produced. A machine's
+/// split is cut into `EngineConfig::map_producers_per_machine` contiguous
+/// sub-ranges; each producer maps its sub-range through its own mapper
+/// instance into its own arena-backed ShuffleBuffer (its share of the
+/// machine budget), so concurrent producers never touch a shared arena or
+/// combiner index. Results merge in producer-index order.
+struct ProducerResult {
+  std::unique_ptr<ShuffleBuffer> buffer;
+  ShuffleCounters counters;
+  std::map<std::string, int64_t> custom_counters;
+  double busy_seconds = 0.0;  // measured by the executing host thread
+};
+
 /// Everything one map task produced, isolated so that worker-crash recovery
 /// can discard and replace a task's contribution wholesale (output, shuffle
 /// counters and user counters all come from exactly one successful attempt).
+/// `buffers` holds one ShuffleBuffer per producer, in producer-index order.
 struct MapTaskState {
-  std::unique_ptr<ShuffleBuffer> buffer;
+  std::vector<std::unique_ptr<ShuffleBuffer>> buffers;
   ShuffleCounters shuffle_counters;
   std::map<std::string, int64_t> custom_counters;
   double busy_seconds = 0.0;     // measured across all attempts
@@ -236,6 +251,9 @@ Engine::Engine(EngineConfig config, DistributedFileSystem* dfs)
     : config_(config), dfs_(dfs), temp_files_("engine") {
   SPCUBE_CHECK(config_.num_workers >= 1);
   SPCUBE_CHECK(config_.memory_budget_bytes > 0);
+  SPCUBE_CHECK(config_.map_producers_per_machine >= 1)
+      << "map_producers_per_machine must be >= 1, got "
+      << config_.map_producers_per_machine;
   SPCUBE_CHECK(config_.combine_headroom_fraction > 0.0 &&
                config_.combine_headroom_fraction <= 1.0)
       << "combine_headroom_fraction must be in (0, 1], got "
@@ -310,6 +328,26 @@ Result<JobMetrics> Engine::RunImpl(
                                job_id, kind, task, attempt);
   };
 
+  // Real execution resources: a seeded work-stealing pool sized to
+  // host_threads (host cores under kHostThreadsAuto). The pool seed only
+  // steers steal-victim orders — results are identical for any thread
+  // count, which tests/threading_test.cc's determinism probe enforces.
+  const int host_threads = config_.host_threads < 0
+                               ? TaskPool::HostThreads()
+                               : std::max(1, config_.host_threads);
+  const bool threaded = host_threads > 1;
+  TaskPool pool(host_threads, backoff_seed ^ 0x9e3779b97f4a7c15ull);
+  // Busy time is the model's input: per-thread CPU time when real threads
+  // share the host's cores (immune to preemption by the other simulated
+  // machines), wall time when serial. Charged to the owning simulated
+  // machine after the phase joins, regardless of which host thread ran.
+  // spcube-lint: allow(no-host-time): measures task busy time for the model
+  auto busy_since = [threaded](std::chrono::steady_clock::time_point wall,
+                               double cpu) {
+    return threaded ? ThreadCpuSeconds() - cpu : SecondsSince(wall);
+  };
+  const int producers = std::max(1, config_.map_producers_per_machine);
+
   // Adaptive split recovery is opt-in per job and only meaningful under
   // kStrict (kSpill never OOMs): see RecoverySpec in mapreduce/api.h.
   const bool recovery_enabled =
@@ -337,17 +375,28 @@ Result<JobMetrics> Engine::RunImpl(
   // Runs map task `w` to completion (with retries). `attempt_base` offsets
   // the fault plan's attempt coordinate so a crash re-execution draws fresh
   // — but reproducible — luck instead of replaying its original faults.
+  // The machine's split is cut into `producers` contiguous sub-ranges, each
+  // a stealable pool sub-task, so an unbalanced split no longer serializes
+  // behind one host thread.
   auto run_map_task = [&](int w, int attempt_base) -> MapTaskState {
     MapTaskState state;
     const int64_t begin = n * w / num_workers;
     const int64_t end = n * (w + 1) / num_workers;
+    const int64_t split_rows = end - begin;
+    // Fixed per-producer share of the machine budget: the *sum* of live
+    // producer buffers can never exceed the machine budget, and the combine
+    // headroom fraction applies to each share — spill triggers stay a pure
+    // function of (config, seed), independent of thread interleaving.
+    const int64_t producer_budget =
+        std::max<int64_t>(1, config_.memory_budget_bytes / producers);
 
-    // spcube-lint: allow(no-host-time): map-task busy-time measurement
-    const auto start = std::chrono::steady_clock::now();
-    const double cpu_start = ThreadCpuSeconds();
     Status last_error = Status::OK();
     bool succeeded = false;
     for (int attempt = 0; attempt < max_attempts && !succeeded; ++attempt) {
+      // spcube-lint: allow(no-host-time): map-task busy-time measurement
+      auto machine_wall = std::chrono::steady_clock::now();
+      double machine_cpu = ThreadCpuSeconds();
+
       TaskFault fault;
       if (plan != nullptr) {
         fault = plan->PlanTaskAttempt(job_id, TaskKind::kMap, w,
@@ -360,61 +409,162 @@ Result<JobMetrics> Engine::RunImpl(
       if (fault.slowdown_factor > state.slowdown_factor) {
         state.slowdown_factor = fault.slowdown_factor;
       }
-
-      // Fresh task state per attempt; a failed attempt's partial shuffle
-      // output and counters are discarded wholesale.
-      ShuffleCounters attempt_counters;
-      auto buffer = std::make_unique<ShuffleBuffer>(
-          num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
-          &temp_files_, &attempt_counters,
-          config_.combine_headroom_fraction);
-      // Logical run identity for fault injection: independent of host temp
-      // paths, so a fixed seed replays the same corruptions.
-      buffer->SetSpillResourcePrefix(
-          "run/j" + std::to_string(job_id) + "/m" + std::to_string(w) +
-          "/a" + std::to_string(attempt_base + attempt));
-      EngineMapContext map_context(buffer.get(), partitioner, num_reducers);
-
-      std::unique_ptr<Mapper> mapper = spec.mapper_factory();
-      if (mapper == nullptr) {
-        state.status = Status::Internal("mapper factory failed");
-        return state;
-      }
-      TaskContext task{w, num_workers, num_reducers, /*reduce_partition=*/-1,
-                       config_.memory_budget_bytes, dfs_};
-      auto run_attempt = [&]() -> Status {
-        SPCUBE_RETURN_IF_ERROR(mapper->Setup(task));
-        int64_t items = 0;
-        for (int64_t row = begin; row < end; ++row) {
-          SPCUBE_RETURN_IF_ERROR(
-              map_row(mapper.get(), begin, end, row, map_context));
-          ++items;
-          if (inject_failure && items >= fault.fail_after_items) {
-            return Status::IoError("injected map task failure");
+      // Map the plan's serial-order fail_after_items onto producers: the
+      // failure strikes the producer whose sub-range contains that item
+      // (after the equivalent number of *its own* items); counts beyond the
+      // split — "at finish" failures — land on the last producer. Exactly
+      // one producer dies, whatever the thread count.
+      int fail_producer = producers - 1;
+      int64_t fail_after_local = -1;  // < 0: fail at the producer's finish
+      if (inject_failure && split_rows > 0 &&
+          fault.fail_after_items <= split_rows) {
+        const int64_t fail_row =
+            begin + std::max<int64_t>(1, fault.fail_after_items) - 1;
+        for (int j = 0; j < producers; ++j) {
+          const int64_t sub_begin = begin + split_rows * j / producers;
+          const int64_t sub_end = begin + split_rows * (j + 1) / producers;
+          if (fail_row >= sub_begin && fail_row < sub_end) {
+            fail_producer = j;
+            fail_after_local = fail_row - sub_begin + 1;
+            break;
           }
         }
-        if (inject_failure) {
-          return Status::IoError("injected map task failure (at finish)");
-        }
-        SPCUBE_RETURN_IF_ERROR(mapper->Finish(map_context));
-        return buffer->FinalizeMapOutput();
+      }
+
+      // Fresh per-producer state per attempt; a failed attempt's partial
+      // shuffle output and counters are discarded wholesale.
+      std::vector<ProducerResult> parts(static_cast<size_t>(producers));
+
+      // One producer's whole pipeline: own mapper instance, own buffer, own
+      // busy clock — measured on whichever host thread executes it (stolen
+      // or not) and summed into the owning machine's time after the join.
+      auto run_producer = [&](int j) -> Status {
+        ProducerResult& part = parts[static_cast<size_t>(j)];
+        // spcube-lint: allow(no-host-time): producer busy-time measurement
+        const auto start_wall = std::chrono::steady_clock::now();
+        const double start_cpu = ThreadCpuSeconds();
+        auto body = [&]() -> Status {
+          const int64_t sub_begin = begin + split_rows * j / producers;
+          const int64_t sub_end = begin + split_rows * (j + 1) / producers;
+          part.buffer = std::make_unique<ShuffleBuffer>(
+              num_reducers, producer_budget, spec.combiner.get(),
+              &temp_files_, &part.counters,
+              config_.combine_headroom_fraction);
+          // Logical run identity for fault injection: independent of host
+          // temp paths, so a fixed seed replays the same corruptions. The
+          // single-producer prefix matches the pre-pool engine exactly.
+          std::string prefix = "run/j" + std::to_string(job_id) + "/m" +
+                               std::to_string(w) + "/a" +
+                               std::to_string(attempt_base + attempt);
+          if (producers > 1) prefix += "/p" + std::to_string(j);
+          part.buffer->SetSpillResourcePrefix(prefix);
+          EngineMapContext map_context(part.buffer.get(), partitioner,
+                                       num_reducers);
+
+          std::unique_ptr<Mapper> mapper = spec.mapper_factory();
+          if (mapper == nullptr) {
+            return Status::Internal("mapper factory failed");
+          }
+          TaskContext task{w, num_workers, num_reducers,
+                           /*reduce_partition=*/-1,
+                           config_.memory_budget_bytes, dfs_};
+          SPCUBE_RETURN_IF_ERROR(mapper->Setup(task));
+          const bool my_failure = inject_failure && j == fail_producer;
+          int64_t items = 0;
+          for (int64_t row = sub_begin; row < sub_end; ++row) {
+            SPCUBE_RETURN_IF_ERROR(
+                map_row(mapper.get(), begin, end, row, map_context));
+            ++items;
+            if (my_failure && fail_after_local >= 0 &&
+                items >= fail_after_local) {
+              return Status::IoError("injected map task failure");
+            }
+          }
+          if (my_failure) {
+            return Status::IoError("injected map task failure (at finish)");
+          }
+          SPCUBE_RETURN_IF_ERROR(mapper->Finish(map_context));
+          part.custom_counters = map_context.TakeCounters();
+          return part.buffer->FinalizeMapOutput();
+        };
+        Status status = body();
+        part.busy_seconds = busy_since(start_wall, start_cpu);
+        return status;
       };
-      last_error = run_attempt();
+
+      Status attempt_status = Status::OK();
+      if (threaded && producers > 1) {
+        // Producer sub-tasks are stealable pool units. Explicit
+        // init-captures: the sub-task closure names everything crossing the
+        // worker boundary; `run_producer` writes only `parts[j]` — the
+        // disjoint-write contract (docs/INTERNALS.md §12). Errors surface
+        // in producer-index order, so failure attribution is deterministic.
+        std::vector<std::function<Status()>> sub_tasks;
+        sub_tasks.reserve(static_cast<size_t>(producers));
+        for (int j = 0; j < producers; ++j) {
+          sub_tasks.emplace_back(
+              [j, &produce = run_producer]() { return produce(j); });
+        }
+        // Bracket the machine task's own (non-nested) work so CPU this
+        // worker spends helping with *other* pool tasks while waiting is
+        // never charged to this machine.
+        const double setup_busy = busy_since(machine_wall, machine_cpu);
+        std::vector<Status> sub_statuses =
+            pool.RunNested(std::move(sub_tasks));
+        // spcube-lint: allow(no-host-time): map-task busy-time measurement
+        machine_wall = std::chrono::steady_clock::now();
+        machine_cpu = ThreadCpuSeconds();
+        for (const Status& status : sub_statuses) {
+          if (!status.ok()) {
+            attempt_status = status;
+            break;
+          }
+        }
+        double producer_busy = 0.0;
+        for (const ProducerResult& part : parts) {
+          producer_busy += part.busy_seconds;
+        }
+        state.busy_seconds += setup_busy + producer_busy +
+                              busy_since(machine_wall, machine_cpu);
+      } else {
+        // Serial pool (or a single producer): run inline in producer-index
+        // order; the outer bracket covers the whole attempt, exactly like
+        // the pre-pool engine.
+        for (int j = 0; j < producers; ++j) {
+          Status status = run_producer(j);
+          if (!status.ok() && attempt_status.ok()) attempt_status = status;
+        }
+        state.busy_seconds += busy_since(machine_wall, machine_cpu);
+      }
+
+      last_error = attempt_status;
       if (last_error.ok()) {
         succeeded = true;
-        state.shuffle_counters = attempt_counters;
-        state.custom_counters = map_context.TakeCounters();
-        state.buffer = std::move(buffer);
+        state.buffers.clear();
+        state.buffers.reserve(static_cast<size_t>(producers));
+        // Merge in producer-index order: counters sum and segments hand
+        // off deterministically however the sub-tasks were scheduled.
+        for (ProducerResult& part : parts) {
+          ShuffleCounters& total = state.shuffle_counters;
+          total.map_output_records += part.counters.map_output_records;
+          total.map_output_bytes += part.counters.map_output_bytes;
+          total.combine_input_records += part.counters.combine_input_records;
+          total.combine_output_records +=
+              part.counters.combine_output_records;
+          total.spill_bytes += part.counters.spill_bytes;
+          total.checksum_mismatches += part.counters.checksum_mismatches;
+          for (const auto& [name, delta] : part.custom_counters) {
+            state.custom_counters[name] += delta;
+          }
+          state.buffers.push_back(std::move(part.buffer));
+        }
       } else if (attempt + 1 < max_attempts) {
         ++state.retries;
         state.penalty_seconds += backoff_seconds(TaskKind::kMap, w, attempt);
       }
-      // A failed attempt's `buffer` dies here; its destructor reclaims any
-      // spill files the attempt wrote.
+      // A failed attempt's buffers die with `parts` here; their destructors
+      // reclaim any spill files the attempt wrote.
     }
-    state.busy_seconds = config_.use_threads
-                             ? ThreadCpuSeconds() - cpu_start
-                             : SecondsSince(start);
     if (!succeeded) {
       state.status =
           Status(last_error.code(),
@@ -425,28 +575,25 @@ Result<JobMetrics> Engine::RunImpl(
     return state;
   };
 
-  if (config_.use_threads) {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(num_workers));
+  {
+    // One stealable pool task per simulated machine (serial pools run them
+    // inline in machine order). Explicit init-captures: everything crossing
+    // the worker boundary is named (thread-capture-escape rule). `tasks` is
+    // shared mutably under the sanctioned disjoint-write contract — the
+    // task for machine `w` writes only slot `tasks[w]`, and Run's join
+    // publishes the slots to this thread (docs/INTERNALS.md §12).
+    std::vector<std::function<Status()>> batch;
+    batch.reserve(static_cast<size_t>(num_workers));
     for (int w = 0; w < num_workers; ++w) {
-      // Explicit init-captures: everything crossing the thread boundary is
-      // named (thread-capture-escape rule). `tasks` is shared mutably under
-      // the sanctioned disjoint-write contract — worker `w` writes only
-      // slot `tasks[w]`, and the join below publishes the slots to this
-      // thread (docs/INTERNALS.md §12).
-      threads.emplace_back(
-          [w, &tasks = map_tasks, &run_task = run_map_task]() {
+      batch.emplace_back(
+          [w, &tasks = map_tasks, &run_task = run_map_task]() -> Status {
             tasks[static_cast<size_t>(w)] = run_task(w, 0);
+            return tasks[static_cast<size_t>(w)].status;
           });
     }
-    for (std::thread& thread : threads) thread.join();
-  } else {
-    for (int w = 0; w < num_workers; ++w) {
-      map_tasks[static_cast<size_t>(w)] = run_map_task(w, 0);
+    for (const Status& status : pool.Run(std::move(batch))) {
+      SPCUBE_RETURN_IF_ERROR(status);
     }
-  }
-  for (const MapTaskState& task : map_tasks) {
-    SPCUBE_RETURN_IF_ERROR(task.status);
   }
 
   // ---- Worker crashes & charging ------------------------------------------
@@ -495,7 +642,7 @@ Result<JobMetrics> Engine::RunImpl(
   // survivors; their results replace the lost ones wholesale so no counter
   // is double-counted.
   for (int w : crashed) {
-    map_tasks[static_cast<size_t>(w)].buffer.reset();  // lost with the disk
+    map_tasks[static_cast<size_t>(w)].buffers.clear();  // lost with the disk
     MapTaskState redo = run_map_task(w, max_attempts);
     SPCUBE_RETURN_IF_ERROR(redo.status);
     int host = -1;
@@ -529,13 +676,6 @@ Result<JobMetrics> Engine::RunImpl(
     metrics.combine_output_records += c.combine_output_records;
     metrics.shuffle_checksum_mismatches += c.checksum_mismatches;
     counter_merger.Merge(task.custom_counters);
-    if (task.buffer == nullptr) {
-      // Defensive: unfinished tasks cannot reach this point.
-      task.buffer = std::make_unique<ShuffleBuffer>(
-          num_reducers, config_.memory_budget_bytes, spec.combiner.get(),
-          &temp_files_, &task.shuffle_counters,
-          config_.combine_headroom_fraction);
-    }
   }
 
   // ---- Shuffle: assemble per-reducer inputs -------------------------------
@@ -543,20 +683,26 @@ Result<JobMetrics> Engine::RunImpl(
   for (int p = 0; p < num_reducers; ++p) {
     ReduceInput& in = reduce_inputs[static_cast<size_t>(p)];
     for (int w = 0; w < num_workers; ++w) {
-      ShuffleBuffer& buffer = *map_tasks[static_cast<size_t>(w)].buffer;
-      // Zero-copy hand-off: the segment keeps the map task's arena alive;
-      // no Record materialization between map output and reduce input.
-      ShuffleSegment segment = buffer.TakeMemorySegment(p);
-      in.total_bytes += segment.payload_bytes();
-      in.total_records += segment.num_records();
-      if (!segment.empty()) {
-        in.memory_segments.push_back(std::move(segment));
-      }
-      std::vector<RunInfo> runs = buffer.TakeSpillRuns(p);
-      for (RunInfo& run : runs) {
-        in.total_bytes += run.payload_bytes;
-        in.total_records += run.records;
-        in.spill_runs.push_back(std::move(run));
+      // Machine-major, producer-minor: segments merge on hand-off in
+      // producer-index order, so reduce input order is identical however
+      // the producer sub-tasks were scheduled.
+      for (const std::unique_ptr<ShuffleBuffer>& buffer_ptr :
+           map_tasks[static_cast<size_t>(w)].buffers) {
+        ShuffleBuffer& buffer = *buffer_ptr;
+        // Zero-copy hand-off: the segment keeps the producer's arena alive;
+        // no Record materialization between map output and reduce input.
+        ShuffleSegment segment = buffer.TakeMemorySegment(p);
+        in.total_bytes += segment.payload_bytes();
+        in.total_records += segment.num_records();
+        if (!segment.empty()) {
+          in.memory_segments.push_back(std::move(segment));
+        }
+        std::vector<RunInfo> runs = buffer.TakeSpillRuns(p);
+        for (RunInfo& run : runs) {
+          in.total_bytes += run.payload_bytes;
+          in.total_records += run.records;
+          in.spill_runs.push_back(std::move(run));
+        }
       }
     }
     metrics.reducer_input_records[static_cast<size_t>(p)] = in.total_records;
@@ -613,10 +759,12 @@ Result<JobMetrics> Engine::RunImpl(
     }
   }
 
-  // Reduce-side spill/fetch accounting, one slot per machine so machine
-  // threads never share a counter.
+  // Reduce-side spill/fetch accounting, one slot per *partition*: partition
+  // tasks are independent pool units (two partitions owned by the same
+  // simulated machine may run on different host threads concurrently), so
+  // counters must be disjoint per task, not per machine.
   std::vector<ShuffleCounters> reduce_counters(
-      static_cast<size_t>(num_workers));
+      static_cast<size_t>(num_reducers));
   std::vector<ReduceTaskState> reduce_tasks(
       static_cast<size_t>(num_reducers));
 
@@ -674,7 +822,7 @@ Result<JobMetrics> Engine::RunImpl(
     ReduceInput attempt_input = input;
     auto stream_result = MakeGroupedStream(
         std::move(attempt_input), budget, MemoryPolicy::kStrict,
-        &temp_files_, &reduce_counters[static_cast<size_t>(machine)], plan,
+        &temp_files_, &reduce_counters[static_cast<size_t>(p)], plan,
         resource_prefix);
     if (stream_result.ok()) {
       std::unique_ptr<GroupedRecordStream> stream =
@@ -702,7 +850,7 @@ Result<JobMetrics> Engine::RunImpl(
                                          static_cast<uint64_t>(depth)));
     auto split_result = SplitReduceInput(
         input, fanout, salt, &temp_files_,
-        &reduce_counters[static_cast<size_t>(machine)], plan,
+        &reduce_counters[static_cast<size_t>(p)], plan,
         resource_prefix);
     if (!split_result.ok()) return split_result.status();
     std::vector<ReduceInput> subs = std::move(split_result).value();
@@ -827,7 +975,7 @@ Result<JobMetrics> Engine::RunImpl(
         auto stream_result = MakeGroupedStream(
             std::move(attempt_input), attempt_budget,
             spec.memory_policy, &temp_files_,
-            &reduce_counters[static_cast<size_t>(machine)], plan,
+            &reduce_counters[static_cast<size_t>(p)], plan,
             "run/j" + std::to_string(job_id) + "/red" + std::to_string(p) +
                 "/a" + std::to_string(attempt));
         if (!stream_result.ok()) return stream_result.status();
@@ -917,9 +1065,7 @@ Result<JobMetrics> Engine::RunImpl(
         state.penalty_seconds += backoff_seconds(TaskKind::kReduce, p, attempt);
       }
     }
-    state.busy_seconds = config_.use_threads
-                             ? ThreadCpuSeconds() - cpu_start
-                             : SecondsSince(start);
+    state.busy_seconds = busy_since(start, cpu_start);
     if (!succeeded) {
       return Status(last_error.code(),
                     "reduce task " + std::to_string(p) + " of job '" +
@@ -929,52 +1075,43 @@ Result<JobMetrics> Engine::RunImpl(
     return Status::OK();
   };
 
-  if (config_.use_threads) {
-    // One thread per machine; each runs its assigned partitions in order.
-    // Output is staged per partition and replayed into the collector in
-    // partition order after the join: thread completion order must not be
-    // observable downstream (a multi-round algorithm feeds this round's
-    // collector straight into the next round's mappers).
+  {
+    // One stealable pool task per partition — partitions no longer queue
+    // behind their owner machine's single thread, so a skewed partition
+    // list keeps every host core busy. Simulated ownership is untouched:
+    // busy time is still charged to `machine_of[p]` after the join.
+    //
+    // When threaded, output is staged per partition and replayed into the
+    // collector in partition order after the join: task completion order
+    // must not be observable downstream (a multi-round algorithm feeds
+    // this round's collector straight into the next round's mappers). A
+    // serial pool runs the tasks inline in partition order, so it writes
+    // to the collector directly — the behavior reference.
+    //
+    // Explicit init-captures (thread-capture-escape rule). Disjoint-write
+    // contract: each pool task owns partition `p` exclusively, writing
+    // distinct ReduceTaskState / reduce_counters / reducer-output /
+    // staging slots; Run's join publishes everything.
     std::vector<StagingCollector> staged(
-        collector != nullptr ? static_cast<size_t>(num_reducers) : 0u);
-    std::vector<Status> machine_status(static_cast<size_t>(num_workers));
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(num_workers));
-    for (int machine = 0; machine < num_workers; ++machine) {
-      // Explicit init-captures (thread-capture-escape rule). Disjoint-write
-      // contract: each partition `p` is owned by exactly one machine
-      // (`owner_of[p]`), so `run_partition` writes distinct ReduceTaskState /
-      // reduce_counters / reducer-output / staging slots per thread, and
-      // `status_of` is written only at index `machine`; the join publishes
-      // everything.
-      threads.emplace_back([machine, num_reducers, &owner_of = machine_of,
-                            &status_of = machine_status, &sinks = staged,
-                            &run_partition = run_reduce_partition]() {
-        for (int p = 0; p < num_reducers; ++p) {
-          if (owner_of[static_cast<size_t>(p)] != machine) continue;
-          Status status = run_partition(
-              p, sinks.empty() ? nullptr : &sinks[static_cast<size_t>(p)]);
-          if (!status.ok()) {
-            status_of[static_cast<size_t>(machine)] = status;
-            return;
-          }
-        }
+        threaded && collector != nullptr ? static_cast<size_t>(num_reducers)
+                                         : 0u);
+    std::vector<std::function<Status()>> batch;
+    batch.reserve(static_cast<size_t>(num_reducers));
+    for (int p = 0; p < num_reducers; ++p) {
+      OutputCollector* sink =
+          staged.empty() ? collector : &staged[static_cast<size_t>(p)];
+      batch.emplace_back([p, sink, &run_partition = run_reduce_partition]() {
+        return run_partition(p, sink);
       });
     }
-    for (std::thread& thread : threads) thread.join();
-    for (const Status& status : machine_status) {
+    for (const Status& status : pool.Run(std::move(batch))) {
       SPCUBE_RETURN_IF_ERROR(status);
     }
-    for (int p = 0; p < num_reducers; ++p) {
-      if (staged.empty()) break;
+    for (int p = 0; p < num_reducers && !staged.empty(); ++p) {
       for (const Record& record : staged[static_cast<size_t>(p)].records()) {
         SPCUBE_RETURN_IF_ERROR(
             collector->Collect(p, record.key, record.value));
       }
-    }
-  } else {
-    for (int p = 0; p < num_reducers; ++p) {
-      SPCUBE_RETURN_IF_ERROR(run_reduce_partition(p, collector));
     }
   }
 

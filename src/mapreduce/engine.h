@@ -34,12 +34,32 @@ struct EngineConfig {
   /// multi-round algorithms (MR-Cube) pay for their extra rounds.
   double round_overhead_seconds = 0.0;
 
-  /// Execute the simulated machines' tasks on real threads (one per
-  /// machine). Results are identical to sequential execution; per-machine
-  /// busy time is then measured with per-thread CPU clocks so that host
-  /// core contention does not distort the critical-path model. Default off:
-  /// sequential execution is deterministic in wall-clock accounting too.
-  bool use_threads = false;
+  /// Sentinel for `host_threads`: size the pool to the host's cores.
+  static constexpr int kHostThreadsAuto = -1;
+
+  /// Host threads executing the simulated machines' tasks through the
+  /// work-stealing TaskPool (common/task_pool.h). kHostThreadsAuto (the
+  /// default) uses one thread per host core — real multicore is the
+  /// default fast path; 0 or 1 runs everything serially on the calling
+  /// thread. Any setting produces bit-identical cubes, DFS bytes and
+  /// modeled metrics (tests/threading_test.cc's determinism probe); only
+  /// measured wall clock changes. With > 1 thread, per-task busy time is
+  /// measured with per-thread CPU clocks so host core contention cannot
+  /// distort the critical-path model, and is charged to the *owning*
+  /// simulated machine no matter which host thread ran (or stole) the task.
+  int host_threads = kHostThreadsAuto;
+
+  /// Stealable map sub-tasks ("producers") per simulated machine. Each
+  /// producer maps a contiguous sub-range of the machine's split into its
+  /// own arena-backed ShuffleBuffer sized memory_budget_bytes / producers —
+  /// so the *sum* of a machine's live producer buffers never exceeds its
+  /// budget, and combine_headroom_fraction applies to each producer's
+  /// share. Segments merge in producer-index order on shuffle hand-off.
+  /// This is simulated-cluster configuration, never derived from host
+  /// cores: the combine/spill schedule depends on it, so it must be equal
+  /// across serial/threaded runs for determinism. 1 (the default)
+  /// reproduces the single-buffer spill schedule bit-for-bit.
+  int map_producers_per_machine = 1;
 
   // -- Fault tolerance -------------------------------------------------------
 
@@ -91,11 +111,12 @@ struct EngineConfig {
   bool speculative_execution = true;
 };
 
-/// Executes MapReduce rounds over the simulated cluster. Tasks run
-/// sequentially on the host, but each simulated machine's busy time is
-/// measured separately and a round's cluster time is computed as the
-/// critical path (max map + modeled shuffle + max reduce + overhead), so
-/// reported times reflect a k-machine cluster regardless of host cores.
+/// Executes MapReduce rounds over the simulated cluster. Tasks run on a
+/// seeded work-stealing pool sized to `EngineConfig::host_threads` (host
+/// cores by default; serial with <= 1), but each simulated machine's busy
+/// time is measured separately and a round's cluster time is computed as
+/// the critical path (max map + modeled shuffle + max reduce + overhead),
+/// so reported times reflect a k-machine cluster regardless of host cores.
 class Engine {
  public:
   /// `dfs` must outlive the engine; it is shared with tasks via TaskContext.

@@ -72,7 +72,7 @@ TEST(CountersTest, ThreadedModeCountersIdentical) {
   Relation rel = GenUniform(1000, 1, 10, 151);
   DistributedFileSystem dfs;
   EngineConfig config = TestConfig();
-  config.use_threads = true;
+  config.host_threads = 4;
   Engine engine(config, &dfs);
   JobSpec spec;
   spec.mapper_factory = [] { return std::make_unique<CountingMapper>(); };

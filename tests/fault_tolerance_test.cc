@@ -496,7 +496,7 @@ TEST(FaultPlanTest, ThreadedChaosMatchesSequentialChaos) {
 
   auto run = [&](bool use_threads, int64_t* retries) {
     EngineConfig engine_config = config;
-    engine_config.use_threads = use_threads;
+    engine_config.host_threads = use_threads ? 4 : 0;
     FaultPlan plan(fault_config);
     engine_config.fault_plan = &plan;
     DistributedFileSystem dfs;

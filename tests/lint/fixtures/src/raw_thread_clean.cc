@@ -1,0 +1,40 @@
+// Fixture: concurrency done the sanctioned way — batches handed to the
+// pool, plus an annotated raw-thread escape hatch with a reason —
+// spcube_lint must report nothing here. (A stand-in pool type keeps the
+// fixture self-contained; the rule is textual.)
+#include <functional>
+// spcube-lint: allow(no-raw-thread-outside-pool): FFI handle typedef only
+#include <thread>
+#include <vector>
+
+namespace spcube {
+
+struct Status {
+  static Status OK() { return Status{}; }
+};
+
+struct TaskPool {
+  explicit TaskPool(int, unsigned long long) {}
+  std::vector<Status> Run(std::vector<std::function<Status()>> tasks) {
+    std::vector<Status> statuses;
+    for (auto& task : tasks) statuses.push_back(task());
+    return statuses;
+  }
+};
+
+void FanOut(int n) {
+  TaskPool pool(n, /*seed=*/42);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.emplace_back([] { return Status::OK(); });
+  }
+  pool.Run(std::move(tasks));
+}
+
+void Interop() {
+  // spcube-lint: allow(no-raw-thread-outside-pool): FFI thread handle only
+  using NativeHandle = std::thread::native_handle_type;
+  static_cast<void>(sizeof(NativeHandle*));
+}
+
+}  // namespace spcube

@@ -1,0 +1,21 @@
+// Fixture: hand-rolled threading that bypasses the work-stealing
+// TaskPool — exactly the engine.cc pattern the pool replaced.
+#include <thread>
+
+#include <vector>
+
+namespace spcube {
+
+void FanOut(int n) {
+  std::vector<std::thread> threads;  // line 10
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([] { std::this_thread::yield(); });  // line 12
+  }
+  for (auto& t : threads) t.join();
+}
+
+void FireAndForget() {
+  std::jthread worker([] {});  // line 18
+}
+
+}  // namespace spcube

@@ -80,6 +80,13 @@ EXPECTATIONS = {
         (13, "ignore-error-has-reason"),
     ],
     "src/ignore_error_clean.cc": [],
+    "src/raw_thread_violation.cc": [
+        (3, "no-raw-thread-outside-pool"),
+        (10, "no-raw-thread-outside-pool"),
+        (12, "no-raw-thread-outside-pool"),
+        (18, "no-raw-thread-outside-pool"),
+    ],
+    "src/raw_thread_clean.cc": [],
 }
 
 
@@ -133,7 +140,7 @@ def main():
     for rule in ("no-raw-random", "no-exceptions", "no-host-time",
                  "no-stdout-in-lib", "include-guard-name",
                  "nodiscard-on-status", "no-owning-copy-in-hot-path",
-                 "ignore-error-has-reason"):
+                 "ignore-error-has-reason", "no-raw-thread-outside-pool"):
         if rule not in rules:
             failures.append("--list-rules missing %s" % rule)
 

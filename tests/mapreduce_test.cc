@@ -457,8 +457,9 @@ TEST_F(MapReduceTest, SingleWorkerCluster) {
 TEST_F(MapReduceTest, ThreadedModeMatchesSequential) {
   Relation rel = GenUniform(3000, 1, 60, 41);
   EngineConfig sequential = DefaultConfig();
+  sequential.host_threads = 0;
   EngineConfig threaded = DefaultConfig();
-  threaded.use_threads = true;
+  threaded.host_threads = 4;
   threaded.num_workers = 6;
   sequential.num_workers = 6;
 
@@ -483,7 +484,7 @@ TEST_F(MapReduceTest, ThreadedModeMatchesSequential) {
 TEST_F(MapReduceTest, ThreadedModeWithSpills) {
   Relation rel = GenUniform(4000, 1, 300, 43);
   EngineConfig config = DefaultConfig();
-  config.use_threads = true;
+  config.host_threads = 4;
   config.memory_budget_bytes = 512;
   Engine engine(config, &dfs_);
   VectorOutputCollector collector;
@@ -496,7 +497,7 @@ TEST_F(MapReduceTest, ThreadedModeWithSpills) {
 TEST_F(MapReduceTest, ThreadedModePropagatesTaskFailures) {
   Relation rel = GenUniform(100, 1, 5, 45);
   EngineConfig config = DefaultConfig();
-  config.use_threads = true;
+  config.host_threads = 4;
   Engine engine(config, &dfs_);
   JobSpec spec;
   spec.mapper_factory = [] {

@@ -15,9 +15,14 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "io/dfs.h"
 #include "io/spill.h"
 #include "mapreduce/api.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/metrics.h"
 #include "mapreduce/shuffle.h"
+#include "relation/generators.h"
+#include "relation/relation.h"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter. Overriding the global operator new lets the
@@ -289,6 +294,109 @@ TEST(ShuffleFastPathTest, SegmentOutlivesSourceBufferAcrossCombinePass) {
     EXPECT_TRUE(key.rfind("early_key_", 0) == 0) << key;
     EXPECT_EQ(value, "250");  // 2000 emits of "1" over 8 keys, summed
   }
+}
+
+// ---------------------------------------------------------------------------
+// Per-producer budget shares (EngineConfig::map_producers_per_machine).
+//
+// With producer sub-tasks, each producer's ShuffleBuffer is sized
+// memory_budget_bytes / producers so the *sum* of a machine's live producer
+// buffers never exceeds its budget — the latent combine_headroom_fraction
+// interaction: sizing every producer at the full machine budget would let a
+// machine hold producers × budget in memory and silently skip spills the
+// cost model is supposed to charge. These tests pin that schedule.
+// ---------------------------------------------------------------------------
+
+/// Emits one record per row in the first half of the input, with a fat value
+/// and globally distinct keys (no combining possible); the second half emits
+/// nothing. With producers=2 the first sub-range carries all the bytes, so
+/// the spill schedule directly reveals which budget each producer was given.
+class FrontLoadedMapper : public Mapper {
+ public:
+  Status Map(const RelationView& input, int64_t row,
+             MapContext& context) override {
+    if (row >= input.num_rows() / 2) return Status::OK();
+    return context.Emit("front_key_" + std::to_string(row),
+                        std::string(80, 'v'));
+  }
+};
+
+class DrainReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key, ValueStream& values,
+                ReduceContext& context) override {
+    std::string value;
+    int64_t count = 0;
+    for (;;) {
+      SPCUBE_ASSIGN_OR_RETURN(bool more, values.Next(&value));
+      if (!more) break;
+      ++count;
+    }
+    return context.Output(key, std::to_string(count));
+  }
+};
+
+JobSpec FrontLoadedJob() {
+  JobSpec spec;
+  spec.mapper_factory = [] { return std::make_unique<FrontLoadedMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<DrainReducer>(); };
+  return spec;
+}
+
+Result<JobMetrics> RunFrontLoaded(int producers, int host_threads) {
+  // One machine, 1000 rows: ~500 × (key + 80 B) ≈ 45 KiB of map output, all
+  // of it in the first producer's sub-range.
+  Relation rel = GenUniform(1000, 1, 10, /*seed=*/771);
+  DistributedFileSystem dfs;
+  EngineConfig config;
+  config.num_workers = 1;
+  config.memory_budget_bytes = 64 << 10;
+  config.network_bandwidth_bytes_per_sec = 0;
+  config.map_producers_per_machine = producers;
+  config.host_threads = host_threads;
+  Engine engine(config, &dfs);
+  NullOutputCollector sink;
+  return engine.Run(FrontLoadedJob(), rel, &sink);
+}
+
+TEST(ProducerBudgetTest, ProducersShareTheMachineBudget) {
+  // The whole machine's output fits the machine budget: one producer, no
+  // spill.
+  auto whole = RunFrontLoaded(/*producers=*/1, /*host_threads=*/0);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->spill_bytes, 0)
+      << "test invalid: output no longer fits the machine budget";
+
+  // Split across two producers, the first sub-range's bytes exceed a *half*
+  // budget: the first producer must spill. If this stops spilling, producers
+  // are being sized at the full machine budget again — their live buffers
+  // would sum to 2× the machine's memory.
+  auto split = RunFrontLoaded(/*producers=*/2, /*host_threads=*/0);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GT(split->spill_bytes, 0)
+      << "producer buffers no longer share memory_budget_bytes";
+
+  // Whatever the schedule, the shuffled data itself is unchanged.
+  EXPECT_EQ(split->shuffle_records, whole->shuffle_records);
+  EXPECT_EQ(split->shuffle_bytes, whole->shuffle_bytes);
+  EXPECT_EQ(split->output_records, whole->output_records);
+}
+
+TEST(ProducerBudgetTest, SpillScheduleIsBitIdenticalAcrossHostThreads) {
+  // The spill/combine schedule is a pure function of (config, seed): the
+  // serial pool and a 4-thread pool with stealing must reproduce it
+  // byte-for-byte, spills included.
+  auto serial = RunFrontLoaded(/*producers=*/2, /*host_threads=*/0);
+  auto threaded = RunFrontLoaded(/*producers=*/2, /*host_threads=*/4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_GT(serial->spill_bytes, 0) << "test invalid: nothing spilled";
+  EXPECT_EQ(threaded->spill_bytes, serial->spill_bytes);
+  EXPECT_EQ(threaded->combine_input_records, serial->combine_input_records);
+  EXPECT_EQ(threaded->combine_output_records, serial->combine_output_records);
+  EXPECT_EQ(threaded->shuffle_records, serial->shuffle_records);
+  EXPECT_EQ(threaded->shuffle_bytes, serial->shuffle_bytes);
+  EXPECT_EQ(threaded->output_records, serial->output_records);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// The work-stealing TaskPool's own contracts (docs/INTERNALS.md §12): the
+// steal-victim policy is a pure function of (seed, num_threads); a batch
+// never loses or duplicates a task however it is scheduled; failing tasks
+// surface their Status without stopping the batch or throwing; and nested
+// fork-join sub-batches complete on a fixed-size pool (the help loop).
+// These tests name "TaskPool" so tools/check_all.sh's tsan-threaded-grid
+// stage (ctest -R 'Threaded|TaskPool') reruns them under -fsanitize=thread.
+
+#include "common/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spcube {
+namespace {
+
+TEST(TaskPoolTest, VictimOrderIsSeededAndDeterministic) {
+  TaskPool a(6, /*seed=*/0xFEEDu);
+  TaskPool b(6, /*seed=*/0xFEEDu);
+  TaskPool c(6, /*seed=*/0xBEEFu);
+  bool any_differs = false;
+  for (int w = 0; w < 6; ++w) {
+    // Same seed ⇒ same permutation, for every worker.
+    EXPECT_EQ(a.victim_order(w), b.victim_order(w)) << "worker " << w;
+    // Each order is a permutation of the other workers.
+    std::vector<int> sorted = a.victim_order(w);
+    EXPECT_EQ(sorted.size(), 5u);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> expected;
+    for (int v = 0; v < 6; ++v) {
+      if (v != w) expected.push_back(v);
+    }
+    EXPECT_EQ(sorted, expected) << "worker " << w;
+    if (a.victim_order(w) != c.victim_order(w)) any_differs = true;
+  }
+  // A different seed steers at least one worker differently (the point of
+  // seeding instead of hardcoding round-robin).
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(TaskPoolTest, NoTaskIsLostOrDuplicated) {
+  // Under TSan this is also the data-race gate for the deques: many more
+  // tasks than threads, every task bumps its own once-only slot.
+  const int kTasks = 512;
+  TaskPool pool(4, /*seed=*/1);
+  std::vector<std::atomic<int>> executed(kTasks);
+  for (auto& e : executed) e.store(0);
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([i, &slots = executed]() {
+      slots[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  }
+  std::vector<Status> statuses = pool.Run(std::move(tasks));
+  ASSERT_EQ(statuses.size(), static_cast<size_t>(kTasks));
+  for (const Status& status : statuses) EXPECT_TRUE(status.ok());
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(executed[static_cast<size_t>(i)].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskPoolTest, StatusFailuresSurfaceInSlotOrderWithoutStoppingTheBatch) {
+  const int kTasks = 64;
+  TaskPool pool(3, /*seed=*/2);
+  std::atomic<int> ran(0);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([i, &ran]() -> Status {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i % 5 == 0) {
+        return Status::IoError("task " + std::to_string(i) + " failed");
+      }
+      return Status::OK();
+    });
+  }
+  std::vector<Status> statuses = pool.Run(std::move(tasks));
+  // A failing task stops nothing: every task still runs exactly once, and
+  // each failure lands in its own slot (no exceptions anywhere).
+  EXPECT_EQ(ran.load(), kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    const Status& status = statuses[static_cast<size_t>(i)];
+    if (i % 5 == 0) {
+      EXPECT_TRUE(status.IsIoError()) << i;
+      EXPECT_EQ(status.message(), "task " + std::to_string(i) + " failed");
+    } else {
+      EXPECT_TRUE(status.ok()) << i << ": " << status;
+    }
+  }
+}
+
+TEST(TaskPoolTest, SerialPoolRunsInlineInIndexOrder) {
+  TaskPool pool(1, /*seed=*/3);
+  std::vector<int> order;
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.emplace_back([i, &order]() {
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  std::vector<Status> statuses = pool.Run(std::move(tasks));
+  for (const Status& status : statuses) EXPECT_TRUE(status.ok());
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  // The serial pool is the behavior reference: strict index order, no
+  // threads, so unsynchronized side effects (order) are safe here.
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskPoolTest, NestedForkJoinCompletesAndAggregates) {
+  // Fewer threads than outer tasks, and every outer task forks a sub-batch:
+  // without the help-while-waiting loop this deadlocks a fixed-size pool.
+  const int kOuter = 8;
+  const int kInner = 16;
+  TaskPool pool(2, /*seed=*/4);
+  std::vector<std::atomic<int64_t>> sums(kOuter);
+  for (auto& s : sums) s.store(0);
+  std::vector<std::function<Status()>> outer;
+  for (int o = 0; o < kOuter; ++o) {
+    outer.emplace_back([o, &sums, &pool]() -> Status {
+      std::vector<std::function<Status()>> inner;
+      for (int i = 0; i < kInner; ++i) {
+        inner.emplace_back([o, i, &sums]() {
+          sums[static_cast<size_t>(o)].fetch_add(i + 1,
+                                                 std::memory_order_relaxed);
+          return Status::OK();
+        });
+      }
+      for (const Status& status : pool.RunNested(std::move(inner))) {
+        SPCUBE_RETURN_IF_ERROR(status);
+      }
+      return Status::OK();
+    });
+  }
+  for (const Status& status : pool.Run(std::move(outer))) {
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  for (int o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[static_cast<size_t>(o)].load(), kInner * (kInner + 1) / 2)
+        << "outer " << o;
+  }
+}
+
+TEST(TaskPoolTest, NestedOutsideAWorkerRunsInline) {
+  TaskPool pool(4, /*seed=*/5);
+  std::vector<int> order;
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([i, &order]() {
+      order.push_back(i);
+      return Status::OK();
+    });
+  }
+  // Not called from a pool task ⇒ inline, index order, no threads.
+  for (const Status& status : pool.RunNested(std::move(tasks))) {
+    EXPECT_TRUE(status.ok());
+  }
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskPoolTest, HostThreadsIsAtLeastOne) {
+  EXPECT_GE(TaskPool::HostThreads(), 1);
+}
+
+TEST(TaskPoolTest, EmptyBatchIsANoOp) {
+  TaskPool pool(4, /*seed=*/6);
+  EXPECT_TRUE(pool.Run({}).empty());
+  EXPECT_TRUE(pool.RunNested({}).empty());
+}
+
+}  // namespace
+}  // namespace spcube

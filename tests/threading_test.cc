@@ -1,13 +1,15 @@
 // The threaded half of the concurrency contracts (docs/INTERNALS.md §12):
-// with EngineConfig::use_threads the simulated machines run on real host
-// threads, and (a) every algorithm must still reproduce the in-memory
-// reference cube bit-for-bit, fault plan or not, and (b) a threaded run
-// must be indistinguishable from the same-seed serial run in everything
-// the model reports — cube bytes on the DFS, user counters, and all
-// modeled (non-measured) metrics. This binary is the TSan payload of
-// tools/check_all.sh's tsan-threaded-grid stage: any data race in the
-// engine's spawn/join paths, the shared collectors, or the DFS surfaces
-// here under -fsanitize=thread.
+// with EngineConfig::host_threads > 1 the simulated machines' tasks run on
+// the seeded work-stealing TaskPool (common/task_pool.h) — including
+// stealable map producer sub-tasks when map_producers_per_machine > 1 —
+// and (a) every algorithm must still reproduce the in-memory reference
+// cube bit-for-bit, fault plan or not, and (b) a threaded or
+// work-stealing run must be indistinguishable from the same-seed serial
+// run in everything the model reports — cube bytes on the DFS, user
+// counters, and all modeled (non-measured) metrics. This binary is the
+// TSan payload of tools/check_all.sh's tsan-threaded-grid stage: any data
+// race in the pool's deques, the engine's fan-out paths, the shared
+// collectors, or the DFS surfaces here under -fsanitize=thread.
 
 #include <gtest/gtest.h>
 
@@ -82,12 +84,18 @@ std::vector<Config> MakeGrid() {
   return grid;
 }
 
-EngineConfig MakeCluster(const Config& config, bool use_threads) {
+/// `host_threads` 0 runs serial; > 1 runs the work-stealing pool (pinned
+/// to a fixed count so the grid behaves the same on any host).
+/// `producers` > 1 additionally splits each machine's map task into that
+/// many stealable sub-tasks — the "stolen" execution mode.
+EngineConfig MakeCluster(const Config& config, int host_threads,
+                         int producers = 1) {
   EngineConfig cluster;
   cluster.num_workers = config.workers;
   cluster.memory_budget_bytes = int64_t{1} << (10 + 2 * config.budget_shift);
   cluster.network_bandwidth_bytes_per_sec = 0;
-  cluster.use_threads = use_threads;
+  cluster.host_threads = host_threads;
+  cluster.map_producers_per_machine = producers;
   return cluster;
 }
 
@@ -117,7 +125,8 @@ TEST_P(ThreadedDifferentialTest, ThreadedRunsMatchReference) {
   AlgorithmSet algorithms;
   for (CubeAlgorithm* algorithm : algorithms.All()) {
     DistributedFileSystem dfs;
-    Engine engine(MakeCluster(config, /*use_threads=*/true), &dfs);
+    Engine engine(MakeCluster(config, /*host_threads=*/4, /*producers=*/2),
+                  &dfs);
     CubeRunOptions options;
     options.aggregate = kind;
     auto output = algorithm->Run(engine, rel, options);
@@ -163,7 +172,8 @@ TEST_P(ThreadedFaultedTest, ThreadedRecoveryIsExact) {
   for (CubeAlgorithm* algorithm :
        std::initializer_list<CubeAlgorithm*>{&sp, &mrcube}) {
     FaultPlan plan(chaos);
-    EngineConfig cluster = MakeCluster(config, /*use_threads=*/true);
+    EngineConfig cluster =
+        MakeCluster(config, /*host_threads=*/4, /*producers=*/2);
     cluster.fault_plan = &plan;
     cluster.min_task_attempts = 3;
     cluster.retry_backoff_seconds = 0.01;
@@ -252,8 +262,9 @@ struct DeterminismProbe {
 
 Result<DeterminismProbe> RunProbe(CubeAlgorithm* algorithm,
                                   const Config& config, const Relation& rel,
-                                  bool use_threads, FaultConfig* chaos) {
-  EngineConfig cluster = MakeCluster(config, use_threads);
+                                  int host_threads, int producers,
+                                  FaultConfig* chaos) {
+  EngineConfig cluster = MakeCluster(config, host_threads, producers);
   FaultPlan plan(chaos != nullptr ? *chaos : FaultConfig{});
   if (chaos != nullptr) {
     cluster.fault_plan = &plan;
@@ -278,13 +289,18 @@ Result<DeterminismProbe> RunProbe(CubeAlgorithm* algorithm,
   return probe;
 }
 
-/// Same seed, same config: a threaded run and a serial run must agree on
-/// the cube (as text), the bytes written to the DFS, the user counters and
-/// every modeled metric — scheduling must be unobservable (CLAUDE.md's
-/// determinism convention). Checked clean and under chaos with backoff
-/// jitter, whose Rng is keyed on (seed, job, task, attempt) exactly so
-/// this holds.
-TEST(ThreadedDeterminismTest, SerialAndThreadedRunsAreIndistinguishable) {
+/// Same seed, same config: serial, threaded, and work-stealing runs must
+/// agree on the cube (as text), the bytes written to the DFS, the user
+/// counters and every modeled metric — scheduling must be unobservable
+/// (CLAUDE.md's determinism convention). The sweep compares a serial run
+/// against a pool run at each producer count: producers=1 is the plain
+/// threaded mode (machine tasks stealable), producers=3 is the stolen mode
+/// (map sub-tasks fan out via RunNested and get stolen across machines).
+/// map_producers_per_machine is part of the simulated config — it changes
+/// the combine/spill schedule — so each comparison pins it on both sides.
+/// Checked clean and under chaos with backoff jitter, whose Rng is keyed
+/// on (seed, job, task, attempt) exactly so this holds.
+TEST(ThreadedDeterminismTest, SerialThreadedAndStolenRunsAreIndistinguishable) {
   Config config;
   config.distribution = 2;
   config.num_dims = 3;
@@ -307,26 +323,58 @@ TEST(ThreadedDeterminismTest, SerialAndThreadedRunsAreIndistinguishable) {
   for (CubeAlgorithm* algorithm : algorithms.All()) {
     for (FaultConfig* plan :
          std::initializer_list<FaultConfig*>{nullptr, &chaos}) {
-      auto serial = RunProbe(algorithm, config, rel,
-                             /*use_threads=*/false, plan);
-      ASSERT_TRUE(serial.ok()) << algorithm->name() << ": "
-                               << serial.status();
-      auto threaded = RunProbe(algorithm, config, rel,
-                               /*use_threads=*/true, plan);
-      ASSERT_TRUE(threaded.ok()) << algorithm->name() << ": "
-                                 << threaded.status();
       const char* mode = plan == nullptr ? "clean" : "chaos";
-      std::string diff;
-      EXPECT_TRUE(CubeResult::ApproxEqual(*serial->cube, *threaded->cube,
-                                          /*tolerance=*/0.0, &diff))
-          << algorithm->name() << " (" << mode << "): cube diverged:\n"
-          << diff;
-      EXPECT_EQ(serial->dfs_fp, threaded->dfs_fp)
-          << algorithm->name() << " (" << mode << "): DFS bytes diverged";
-      EXPECT_EQ(serial->metrics_fp, threaded->metrics_fp)
-          << algorithm->name() << " (" << mode
-          << "): modeled metrics diverged";
+      for (int producers : {1, 3}) {
+        auto serial = RunProbe(algorithm, config, rel, /*host_threads=*/0,
+                               producers, plan);
+        ASSERT_TRUE(serial.ok()) << algorithm->name() << ": "
+                                 << serial.status();
+        auto pooled = RunProbe(algorithm, config, rel, /*host_threads=*/4,
+                               producers, plan);
+        ASSERT_TRUE(pooled.ok()) << algorithm->name() << ": "
+                                 << pooled.status();
+        std::string diff;
+        EXPECT_TRUE(CubeResult::ApproxEqual(*serial->cube, *pooled->cube,
+                                            /*tolerance=*/0.0, &diff))
+            << algorithm->name() << " (" << mode << ", producers="
+            << producers << "): cube diverged:\n"
+            << diff;
+        EXPECT_EQ(serial->dfs_fp, pooled->dfs_fp)
+            << algorithm->name() << " (" << mode << ", producers="
+            << producers << "): DFS bytes diverged";
+        EXPECT_EQ(serial->metrics_fp, pooled->metrics_fp)
+            << algorithm->name() << " (" << mode << ", producers="
+            << producers << "): modeled metrics diverged";
+      }
     }
+  }
+}
+
+/// Splitting a machine's map task into producers must not change the cube
+/// itself (only the combine/spill schedule): the stolen run's cube still
+/// matches the single-producer serial cube to aggregation tolerance.
+TEST(ThreadedDeterminismTest, ProducerSplitPreservesTheCube) {
+  Config config;
+  config.distribution = 1;  // zipf
+  config.num_dims = 3;
+  config.workers = 4;
+  config.budget_shift = 1;
+  config.aggregate = 1;  // sum
+  config.seed = 1717;
+  const Relation rel = MakeRelation(config);
+  const CubeResult reference =
+      ComputeCubeReference(rel, static_cast<AggregateKind>(config.aggregate));
+
+  SpCubeAlgorithm sp;
+  for (int producers : {2, 4}) {
+    auto stolen = RunProbe(&sp, config, rel, /*host_threads=*/4, producers,
+                           /*chaos=*/nullptr);
+    ASSERT_TRUE(stolen.ok()) << stolen.status();
+    std::string diff;
+    EXPECT_TRUE(
+        CubeResult::ApproxEqual(reference, *stolen->cube, 1e-6, &diff))
+        << "producers=" << producers << ":\n"
+        << diff;
   }
 }
 

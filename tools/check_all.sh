@@ -6,12 +6,16 @@
 #                                         spcube_lint, spcube-analyzer,
 #                                         clang-tidy)
 #   3. bench JSON smoke                  (--emit-json output validates
-#                                         against tools/validate_bench_json.py)
+#                                         against tools/validate_bench_json.py;
+#                                         includes a --threads=2 figure-bench
+#                                         run whose measured wall-clock
+#                                         speedup is echoed in the summary)
 #   4. chaos                             (OOM-injection / drift / recovery
 #                                         grid under the asan-ubsan preset
 #                                         with lifetime checks forced on)
-#   5. tsan-threaded-grid                (threaded differential grid +
-#                                         serial-vs-threaded determinism
+#   5. tsan-threaded-grid                (work-stealing pool contracts +
+#                                         threaded differential grid +
+#                                         serial/threaded/stolen determinism
 #                                         probe under the tsan preset)
 #   6. sanitizers                        (tools/run_sanitizers.sh)
 #
@@ -51,15 +55,42 @@ build_and_test() {
     ctest --test-dir build --output-on-failure -j "$(nproc)"
 }
 
+# Filled in by bench_json_smoke from the threaded figure-bench run; echoed
+# next to the summary table so the wall-clock effect of the default
+# multicore path is visible in every full run.
+threading_speedup_line=""
+
 bench_json_smoke() {
   local out="build/bench_smoke.json"
   local faults_out="build/bench_faults_smoke.json"
+  local fig_out="build/bench_fig7_threads_smoke.json"
   ./build/bench/bench_shuffle --scale=0.05 --emit-json="${out}" \
     >/dev/null &&
     python3 tools/validate_bench_json.py "${out}" &&
     ./build/bench/bench_faults --scale=0.1 --emit-json="${faults_out}" \
       >/dev/null &&
-    python3 tools/validate_bench_json.py "${faults_out}"
+    python3 tools/validate_bench_json.py "${faults_out}" &&
+    ./build/bench/bench_fig7_zipf --scale=0.05 --threads=2 \
+      --emit-json="${fig_out}" >/dev/null &&
+    python3 tools/validate_bench_json.py "${fig_out}" || return 1
+  # Measured wall-clock speedup of the 2-thread run over a serial rerun of
+  # the same sweep (sp-cube rows only). Informational: on a single-core
+  # host this is expectedly <= 1x.
+  local serial_out="build/bench_fig7_serial_smoke.json"
+  ./build/bench/bench_fig7_zipf --scale=0.05 --threads=1 \
+    --emit-json="${serial_out}" >/dev/null || return 1
+  threading_speedup_line=$(python3 - "${serial_out}" "${fig_out}" <<'EOF'
+import json, sys
+def spcube_wall(path):
+    doc = json.load(open(path))
+    return sum(r["wall_seconds"] for r in doc["results"]
+               if r["name"].startswith("sp-cube/") and not r["failed"])
+serial, threaded = spcube_wall(sys.argv[1]), spcube_wall(sys.argv[2])
+if threaded > 0:
+    print("wall-clock speedup (fig7 sp-cube, 2 threads vs serial): "
+          "%.2fx (%.3fs -> %.3fs)" % (serial / threaded, serial, threaded))
+EOF
+  )
 }
 
 # The adaptive-recovery grid (tests/recovery_test.cc) under address+UB
@@ -72,16 +103,18 @@ chaos_grid() {
       --output-on-failure -j "$(nproc)"
 }
 
-# The concurrency-contracts gate (docs/INTERNALS.md §12): the threaded
-# differential grid and the serial-vs-threaded determinism probe
+# The concurrency-contracts gate (docs/INTERNALS.md §12): the work-stealing
+# pool's own contracts (tests/task_pool_test.cc), the threaded differential
+# grid and the serial/threaded/stolen determinism probe
 # (tests/threading_test.cc) under ThreadSanitizer. Any data race in the
-# engine's spawn/join paths, the shared collectors or the DFS fails here;
-# under --fast only this dynamic half is skipped — the analyzer's
-# concurrency rules still run in the static-analysis stage.
+# pool's deques, the engine's producer hand-off, the shared collectors or
+# the DFS fails here; under --fast only this dynamic half is skipped — the
+# analyzer's concurrency rules still run in the static-analysis stage.
 tsan_threaded_grid() {
   cmake --preset tsan >/dev/null &&
-    cmake --build build-tsan -j "$(nproc)" --target threading_test &&
-    ctest --test-dir build-tsan -R 'Threaded' --output-on-failure
+    cmake --build build-tsan -j "$(nproc)" \
+      --target threading_test task_pool_test &&
+    ctest --test-dir build-tsan -R 'Threaded|TaskPool' --output-on-failure
 }
 
 run_stage "build+test" build_and_test
@@ -110,5 +143,8 @@ for i in "${!stage_names[@]}"; do
   printf '%-18s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
   [[ "${stage_results[$i]}" == "FAIL" ]] && failed=1
 done
+if [[ -n "${threading_speedup_line}" ]]; then
+  echo "${threading_speedup_line}"
+fi
 echo "=============================="
 exit "${failed}"

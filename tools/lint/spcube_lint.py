@@ -39,6 +39,13 @@ CMake target) instead of silently compiling:
                       10 characters, defeats the deliberate-discard
                       contract (the status.h static_assert only rejects
                       the empty literal).
+  no-raw-thread-outside-pool
+                      std::thread/std::jthread/std::this_thread/std::async
+                      (or including <thread>/<future>) in src/ — concurrent
+                      execution goes through the seeded work-stealing
+                      spcube::TaskPool (common/task_pool.h), which owns the
+                      repo's determinism and shutdown contracts. The pool's
+                      own implementation carries an allow-file pragma.
 
 Suppression is explicit and greppable:
 
@@ -407,6 +414,26 @@ def check_no_owning_copy(f, findings):
                 % m.group(0).strip()))
 
 
+RAW_THREAD_RE = re.compile(
+    r"std::j?thread\b|std::this_thread\b|std::async\s*\(|"
+    r"\bpthread_create\s*\(")
+RAW_THREAD_INCLUDE_RE = re.compile(r"#\s*include\s*<(thread|future)>")
+
+
+def check_no_raw_thread(f, findings):
+    if not _in_src(f.relpath):
+        return
+    for i, (code, raw) in enumerate(
+            zip(f.code_lines, f.raw_lines), start=1):
+        m = RAW_THREAD_RE.search(code) or RAW_THREAD_INCLUDE_RE.search(raw)
+        if m and not f.allows("no-raw-thread-outside-pool", i):
+            findings.append(Finding(
+                f.relpath, i, "no-raw-thread-outside-pool",
+                "raw thread primitive '%s' in library code; run concurrent "
+                "work through the work-stealing spcube::TaskPool "
+                "(common/task_pool.h)" % m.group(0).strip()))
+
+
 IGNORE_ERROR_RE = re.compile(r"\bSPCUBE_IGNORE_ERROR\s*\(")
 STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 MIN_IGNORE_REASON_CHARS = 10
@@ -471,6 +498,7 @@ RULES = [
     "nodiscard-on-status",
     "no-owning-copy-in-hot-path",
     "ignore-error-has-reason",
+    "no-raw-thread-outside-pool",
 ]
 
 
@@ -491,6 +519,7 @@ def lint_files(paths, root):
         check_nodiscard_on_status(f, findings, marked)
         check_no_owning_copy(f, findings)
         check_ignore_error_has_reason(f, findings)
+        check_no_raw_thread(f, findings)
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
 

@@ -10,6 +10,10 @@ downstream plotting scripts can rely on its shape:
   * it has a "bench" key: a non-empty string naming the binary;
   * it has a "results" key: a non-empty array of objects, each with a
     non-empty string "name" and at least one finite numeric field;
+  * rows that carry the threaded-execution fields use them consistently:
+    "wall_seconds" is a non-negative finite number (real host wall clock
+    of the algorithm run alone) and "threads" is a positive integer (the
+    work-stealing pool's host thread count);
   * every other top-level key is a scalar (string / number / bool) —
     run parameters like record counts, never nested structure;
   * every numeric value anywhere is finite (NaN/Infinity are invalid
@@ -65,6 +69,19 @@ def _problems(doc):
                     numeric += 1
         if numeric == 0:
             yield "results[%d] has no numeric field" % i
+        if "wall_seconds" in row:
+            wall = row["wall_seconds"]
+            if (isinstance(wall, bool)
+                    or not isinstance(wall, (int, float))
+                    or not math.isfinite(wall) or wall < 0):
+                yield ('results[%d] "wall_seconds" must be a non-negative '
+                       "finite number" % i)
+        if "threads" in row:
+            threads = row["threads"]
+            if isinstance(threads, bool) or not isinstance(threads, int) \
+                    or threads < 1:
+                yield ('results[%d] "threads" must be a positive integer'
+                       % i)
 
 
 def validate_file(path):

@@ -118,6 +118,13 @@ struct BenchRow {
   const char* name;
   Measurement baseline;
   Measurement arena;
+  // Spill-run footprints of one rep (identical across reps: the schedule is
+  // deterministic). The baseline writes legacy [len][key][len][value]
+  // payloads; the arena path writes delta/varint runs (docs/INTERNALS.md
+  // §13) and also reports its uncompressed twin.
+  int64_t baseline_spill_bytes = 0;
+  int64_t arena_spill_bytes = 0;
+  int64_t arena_spill_bytes_uncompressed = 0;
 };
 
 void PrintRow(const BenchRow& row, int64_t records) {
@@ -147,8 +154,19 @@ void WriteJson(const std::string& path, int64_t records,
                static_cast<double>(records)
         << ", "
         << "\"arena_allocs_per_record\": "
-        << static_cast<double>(r.arena.allocs) / static_cast<double>(records)
-        << "}" << (i + 1 < table.size() ? "," : "") << "\n";
+        << static_cast<double>(r.arena.allocs) /
+               static_cast<double>(records);
+    if (r.arena_spill_bytes > 0) {
+      // Twin fields follow the validator's ordering rule: compressed never
+      // exceeds its uncompressed sibling.
+      out << ", \"baseline_bytes_spilled\": " << r.baseline_spill_bytes
+          << ", \"bytes_spilled_compressed\": " << r.arena_spill_bytes
+          << ", \"bytes_spilled_uncompressed\": "
+          << r.arena_spill_bytes_uncompressed << ", \"spill_reduction\": "
+          << static_cast<double>(r.arena_spill_bytes_uncompressed) /
+                 static_cast<double>(r.arena_spill_bytes);
+    }
+    out << "}" << (i + 1 < table.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -213,6 +231,7 @@ BenchRow RaceScenario(const char* name, const std::vector<EmitInput>& inputs,
     bench::StringShuffleBuffer buffer(num_partitions, budget, combiner, temp,
                                       &counters);
     Drive(buffer, inputs);
+    row.baseline_spill_bytes = counters.spill_bytes;
     g_sink = static_cast<uint64_t>(counters.map_output_bytes +
                                    counters.spill_bytes);
   });
@@ -220,6 +239,8 @@ BenchRow RaceScenario(const char* name, const std::vector<EmitInput>& inputs,
     ShuffleCounters counters;
     ShuffleBuffer buffer(num_partitions, budget, combiner, temp, &counters);
     Drive(buffer, inputs);
+    row.arena_spill_bytes = counters.spill_bytes;
+    row.arena_spill_bytes_uncompressed = counters.spill_bytes_uncompressed;
     g_sink = static_cast<uint64_t>(counters.map_output_bytes +
                                    counters.spill_bytes);
   });
@@ -269,6 +290,14 @@ int main(int argc, char** argv) {
                                  /*budget=*/256 << 10, nullptr, &temp,
                                  reps));
     PrintRow(table.back(), n);
+    const BenchRow& row = table.back();
+    std::printf("  spill runs: legacy %lld B -> delta %lld B "
+                "(%.2fx vs its uncompressed twin %lld B)\n",
+                static_cast<long long>(row.baseline_spill_bytes),
+                static_cast<long long>(row.arena_spill_bytes),
+                static_cast<double>(row.arena_spill_bytes_uncompressed) /
+                    static_cast<double>(row.arena_spill_bytes),
+                static_cast<long long>(row.arena_spill_bytes_uncompressed));
   }
 
   if (!json_path.empty()) {

@@ -1,0 +1,185 @@
+#include "common/block_codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace spcube {
+namespace {
+
+constexpr uint8_t kMethodStored = 0;
+constexpr uint8_t kMethodLz = 1;
+
+/// Hash-table size for the 4-byte match index (power of two). 1 << 14 slots
+/// keeps the table in cache while still finding the long repeats that
+/// dominate cube blobs (tuple streams, part files).
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSlots = size_t{1} << kHashBits;
+
+/// Longest backward distance a match may reference. Bounded so distances
+/// stay small varints; 1 MiB windows cover the repeats in DFS blobs, which
+/// are written whole.
+constexpr size_t kMaxDistance = size_t{1} << 20;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Fibonacci-hash of a 4-byte window into the match table.
+inline size_t Hash4(uint32_t v) {
+  return static_cast<size_t>((v * 2654435761u) >> (32 - kHashBits));
+}
+
+}  // namespace
+
+void BlockCodec::Compress(std::string_view input, std::string* out) {
+  out->clear();
+  const size_t n = input.size();
+
+  ByteWriter body;
+  if (n >= kMinMatch) {
+    // Greedy LZ parse: one candidate per hash slot, refreshed as the cursor
+    // advances. Deterministic — the table starts empty and every probe is a
+    // pure function of the input prefix.
+    std::vector<int64_t> table(kHashSlots, -1);
+    const char* base = input.data();
+    size_t pos = 0;
+    size_t literal_start = 0;
+    const size_t last_match_start = n - kMinMatch;
+    while (pos <= last_match_start) {
+      const uint32_t window = Load32(base + pos);
+      const size_t slot = Hash4(window);
+      const int64_t candidate = table[slot];
+      table[slot] = static_cast<int64_t>(pos);
+      if (candidate >= 0 &&
+          pos - static_cast<size_t>(candidate) <= kMaxDistance &&
+          Load32(base + candidate) == window) {
+        // Extend the match forward as far as the input allows.
+        size_t len = kMinMatch;
+        const size_t cand = static_cast<size_t>(candidate);
+        while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+        // Segment: pending literals, then the match.
+        body.PutVarint(pos - literal_start);
+        if (pos > literal_start) {
+          body.PutRawBytes(input.substr(literal_start, pos - literal_start));
+        }
+        body.PutVarint(len);
+        body.PutVarint(pos - cand);
+        // Index a couple of positions inside the match so the next repeat
+        // is still discoverable without hashing every byte (speed/ratio
+        // balance, still fully deterministic).
+        if (pos + len <= last_match_start) {
+          const size_t mid = pos + (len >> 1);
+          if (mid <= last_match_start) {
+            table[Hash4(Load32(base + mid))] = static_cast<int64_t>(mid);
+          }
+        }
+        pos += len;
+        literal_start = pos;
+      } else {
+        ++pos;
+      }
+    }
+    // Trailing literals + terminator segment (match_len 0, no distance).
+    body.PutVarint(n - literal_start);
+    if (n > literal_start) {
+      body.PutRawBytes(input.substr(literal_start));
+    }
+    body.PutVarint(0);
+  }
+
+  ByteWriter header;
+  const bool use_lz = n >= kMinMatch && body.size() < n;
+  header.PutU8(use_lz ? kMethodLz : kMethodStored);
+  header.PutVarint(n);
+  out->reserve(header.size() + (use_lz ? body.size() : n));
+  out->append(header.data());
+  if (use_lz) {
+    out->append(body.data());
+  } else {
+    out->append(input);
+  }
+}
+
+Status BlockCodec::Decompress(std::string_view block, std::string* out) {
+  out->clear();
+  ByteReader reader(block);
+  uint8_t method = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetU8(&method));
+  uint64_t raw_size = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&raw_size));
+
+  if (method == kMethodStored) {
+    if (reader.remaining() != raw_size) {
+      return Status::Corruption("stored block size mismatch");
+    }
+    out->assign(block.substr(reader.position()));
+    return Status::OK();
+  }
+  if (method != kMethodLz) {
+    return Status::Corruption("unknown block codec method " +
+                              std::to_string(method));
+  }
+
+  out->reserve(raw_size);
+  for (;;) {
+    uint64_t literal_len = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&literal_len));
+    if (literal_len > reader.remaining()) {
+      return Status::Corruption("block literal run overflows input");
+    }
+    if (out->size() + literal_len > raw_size) {
+      return Status::Corruption("block literal run overflows declared size");
+    }
+    out->append(block.substr(reader.position(), literal_len));
+    SPCUBE_RETURN_IF_ERROR(reader.Skip(literal_len));
+
+    uint64_t match_len = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&match_len));
+    if (match_len == 0) break;  // terminator segment
+    if (match_len < kMinMatch) {
+      return Status::Corruption("block match shorter than minimum");
+    }
+    uint64_t distance = 0;
+    SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&distance));
+    if (distance == 0 || distance > out->size()) {
+      return Status::Corruption("block match distance out of range");
+    }
+    if (out->size() + match_len > raw_size) {
+      return Status::Corruption("block match overflows declared size");
+    }
+    // Byte-at-a-time copy: overlapping matches (distance < match_len) must
+    // replicate already-copied bytes, RLE-style.
+    size_t from = out->size() - static_cast<size_t>(distance);
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[from + static_cast<size_t>(i)]);
+    }
+  }
+  if (out->size() != raw_size) {
+    return Status::Corruption("block decoded to " +
+                              std::to_string(out->size()) + " bytes, header "
+                              "declared " + std::to_string(raw_size));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after block body");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> BlockCodec::DecodedSize(std::string_view block) {
+  ByteReader reader(block);
+  uint8_t method = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetU8(&method));
+  if (method != kMethodStored && method != kMethodLz) {
+    return Status::Corruption("unknown block codec method " +
+                              std::to_string(method));
+  }
+  uint64_t raw_size = 0;
+  SPCUBE_RETURN_IF_ERROR(reader.GetVarint(&raw_size));
+  return static_cast<int64_t>(raw_size);
+}
+
+}  // namespace spcube

@@ -1,0 +1,56 @@
+#ifndef SPCUBE_COMMON_BLOCK_CODEC_H_
+#define SPCUBE_COMMON_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace spcube {
+
+/// Deterministic LZ-style byte-match block compressor for DFS blobs
+/// (docs/INTERNALS.md §13). No external dependencies, no host state: the
+/// greedy hash-table match search is a pure function of the input bytes, so
+/// same-seed runs store bit-identical blobs regardless of threading.
+///
+/// Wire format (all varints are LEB128):
+///
+///   [u8 method][varint raw_size][body]
+///
+///   method 0 (stored):     body is raw_size raw bytes, used whenever the
+///                          match encoding would not shrink the input.
+///   method 1 (lz-match):   body is a sequence of segments
+///                          [varint literal_len][literal bytes]
+///                          [varint match_len][varint match_distance],
+///                          where match_len == 0 terminates the body (its
+///                          distance is omitted) and a real match copies
+///                          match_len bytes from match_distance bytes back
+///                          in the decoded output (overlap allowed, so runs
+///                          compress like RLE). match_len >= kMinMatch.
+///
+/// Compression sits *under* the CRC32C layer and *above* fault injection:
+/// the DFS checksums the compressed bytes, corruption strikes the
+/// compressed bytes in flight, and decoding happens only after the checksum
+/// accepted a fetch. BlockDecompress still validates every length/distance
+/// so a hostile buffer yields Corruption, never UB.
+class BlockCodec {
+ public:
+  static constexpr size_t kMinMatch = 4;
+
+  /// Compresses `input`, appending the encoded block to `*out` (cleared
+  /// first). Falls back to the stored method when matching does not shrink
+  /// the input, so the result is never more than input.size() + header
+  /// bytes.
+  static void Compress(std::string_view input, std::string* out);
+
+  /// Decompresses a block produced by Compress into `*out` (cleared first).
+  static Status Decompress(std::string_view block, std::string* out);
+
+  /// Decoded size recorded in a block's header (cheap peek, no decode).
+  static Result<int64_t> DecodedSize(std::string_view block);
+};
+
+}  // namespace spcube
+
+#endif  // SPCUBE_COMMON_BLOCK_CODEC_H_

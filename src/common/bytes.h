@@ -37,6 +37,9 @@ class ByteWriter {
   /// Length-prefixed byte string.
   void PutBytes(std::string_view bytes);
 
+  /// Raw bytes with no length prefix, for codecs that frame themselves.
+  void PutRawBytes(std::string_view bytes) { PutRaw(bytes.data(), bytes.size()); }
+
   /// Length-prefixed vector of signed varints.
   void PutI64Vector(const std::vector<int64_t>& values);
 
@@ -75,7 +78,27 @@ class ByteReader {
   Status GetVarintSigned(int64_t* out);
   /// Returns a view into the underlying buffer (no copy).
   Status GetBytes(std::string_view* out);
+
+  /// Views `n` un-prefixed bytes at the cursor and advances past them — the
+  /// decode counterpart of ByteWriter::PutRawBytes.
+  Status GetRawBytes(size_t n, std::string_view* out) {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("byte reader truncated");
+    }
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
   Status GetI64Vector(std::vector<int64_t>* out);
+
+  /// Advances past `n` bytes without copying them.
+  Status Skip(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("byte reader truncated");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }

@@ -63,14 +63,24 @@ Status SpillWriter::Append(std::string_view record) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("spill writer not open");
   }
-  const uint64_t len = record.size();
+  uint64_t len = record.size();
+  uint8_t frame[10];
+  size_t frame_len = 0;
+  while (len >= 0x80) {
+    frame[frame_len++] = static_cast<uint8_t>(len) | 0x80;
+    len >>= 7;
+  }
+  frame[frame_len++] = static_cast<uint8_t>(len);
   const uint32_t crc = Crc32c(record);
-  if (std::fwrite(&len, sizeof(len), 1, file_) != 1 ||
+  if (std::fwrite(frame, 1, frame_len, file_) != frame_len ||
       std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
-      (len > 0 && std::fwrite(record.data(), 1, len, file_) != len)) {
+      (!record.empty() &&
+       std::fwrite(record.data(), 1, record.size(), file_) !=
+           record.size())) {
     return Status::IoError("short write to spill file: " + path_);
   }
-  bytes_written_ += static_cast<int64_t>(sizeof(len) + sizeof(crc) + len);
+  bytes_written_ +=
+      static_cast<int64_t>(frame_len + sizeof(crc) + record.size());
   ++record_count_;
   return Status::OK();
 }
@@ -111,11 +121,28 @@ Result<bool> SpillReader::Next(std::string* record) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("spill reader not open");
   }
-  uint64_t len = 0;
-  const size_t got = std::fread(&len, sizeof(len), 1, file_);
-  if (got != 1) {
+  // Frame length is a LEB128 varint, read byte-wise: EOF before the first
+  // byte is a clean end of run; EOF mid-varint is a truncated record.
+  int c = std::fgetc(file_);
+  if (c == EOF) {
     if (std::feof(file_)) return false;
     return Status::IoError("read failed for " + path_);
+  }
+  uint64_t len = 0;
+  int shift = 0;
+  for (int i = 0;; ++i) {
+    const auto byte = static_cast<uint8_t>(c);
+    len |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    if (i >= 9) {
+      return Status::Corruption("spill record length varint too long in " +
+                                path_);
+    }
+    shift += 7;
+    c = std::fgetc(file_);
+    if (c == EOF) {
+      return Status::Corruption("truncated spill record header in " + path_);
+    }
   }
   uint32_t crc = 0;
   if (std::fread(&crc, sizeof(crc), 1, file_) != 1) {

@@ -34,10 +34,13 @@ class TempFileManager {
   std::atomic<int64_t> counter_{0};
 };
 
-/// Writes records to a local file as [u64 length][u32 crc32c][payload].
-/// Used for shuffle spills when a worker's in-memory buffer exceeds its
-/// memory budget; the per-record checksum lets readers detect corruption of
-/// the run both at rest and in (simulated) transfer.
+/// Writes records to a local file as [varint length][u32 crc32c][payload]
+/// (docs/INTERNALS.md §13: the length is a LEB128 varint, so small payloads
+/// pay 1 frame length byte instead of 8). Spill runs hand this writer one
+/// *block* of delta-encoded records per Append (SpillBlockEncoder), so the
+/// frame + checksum amortize across the block; the per-payload checksum
+/// lets readers detect corruption of the run both at rest and in
+/// (simulated) transfer.
 class SpillWriter {
  public:
   explicit SpillWriter(std::string path);

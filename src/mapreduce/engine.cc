@@ -265,6 +265,9 @@ Engine::Engine(EngineConfig config, DistributedFileSystem* dfs)
   if (config_.fault_plan != nullptr && dfs_ != nullptr) {
     dfs_->SetFaultInjector(config_.fault_plan);
   }
+  if (dfs_ != nullptr) {
+    dfs_->SetCompression(config_.compress_dfs_blobs);
+  }
 }
 
 Result<JobMetrics> Engine::Run(const JobSpec& spec, const Relation& input,
@@ -361,6 +364,7 @@ Result<JobMetrics> Engine::RunImpl(
   metrics.reduce_phase.EnsureWorkers(num_workers);
   metrics.reducer_input_records.assign(static_cast<size_t>(num_reducers), 0);
   metrics.reducer_input_bytes.assign(static_cast<size_t>(num_reducers), 0);
+  metrics.reducer_wire_bytes.assign(static_cast<size_t>(num_reducers), 0);
   metrics.reducer_output_records.assign(static_cast<size_t>(num_reducers), 0);
   metrics.round_overhead_seconds = config_.round_overhead_seconds;
   metrics.map_input_records = num_input_rows;
@@ -552,6 +556,8 @@ Result<JobMetrics> Engine::RunImpl(
           total.combine_output_records +=
               part.counters.combine_output_records;
           total.spill_bytes += part.counters.spill_bytes;
+          total.spill_bytes_uncompressed +=
+              part.counters.spill_bytes_uncompressed;
           total.checksum_mismatches += part.counters.checksum_mismatches;
           for (const auto& [name, delta] : part.custom_counters) {
             state.custom_counters[name] += delta;
@@ -682,6 +688,12 @@ Result<JobMetrics> Engine::RunImpl(
   std::vector<ReduceInput> reduce_inputs(static_cast<size_t>(num_reducers));
   for (int p = 0; p < num_reducers; ++p) {
     ReduceInput& in = reduce_inputs[static_cast<size_t>(p)];
+    // Wire bytes: what actually crosses the network for this reducer —
+    // in-memory segment payloads plus the on-disk (delta/varint-encoded)
+    // bytes of spilled runs. The twin is what the legacy fixed-frame spill
+    // format would have shipped (docs/INTERNALS.md §13).
+    int64_t wire_bytes = 0;
+    int64_t wire_bytes_uncompressed = 0;
     for (int w = 0; w < num_workers; ++w) {
       // Machine-major, producer-minor: segments merge on hand-off in
       // producer-index order, so reduce input order is identical however
@@ -694,6 +706,8 @@ Result<JobMetrics> Engine::RunImpl(
         ShuffleSegment segment = buffer.TakeMemorySegment(p);
         in.total_bytes += segment.payload_bytes();
         in.total_records += segment.num_records();
+        wire_bytes += segment.payload_bytes();
+        wire_bytes_uncompressed += segment.payload_bytes();
         if (!segment.empty()) {
           in.memory_segments.push_back(std::move(segment));
         }
@@ -701,19 +715,27 @@ Result<JobMetrics> Engine::RunImpl(
         for (RunInfo& run : runs) {
           in.total_bytes += run.payload_bytes;
           in.total_records += run.records;
+          wire_bytes += run.file_bytes;
+          wire_bytes_uncompressed += run.uncompressed_file_bytes;
           in.spill_runs.push_back(std::move(run));
         }
       }
     }
     metrics.reducer_input_records[static_cast<size_t>(p)] = in.total_records;
     metrics.reducer_input_bytes[static_cast<size_t>(p)] = in.total_bytes;
+    metrics.reducer_wire_bytes[static_cast<size_t>(p)] = wire_bytes;
     metrics.shuffle_records += in.total_records;
     metrics.shuffle_bytes += in.total_bytes;
+    metrics.shuffle_bytes_compressed += wire_bytes;
+    metrics.shuffle_bytes_uncompressed += wire_bytes_uncompressed;
   }
 
+  // Transfer time charges the bytes that actually move: when nothing
+  // spills, wire bytes equal payload bytes and this is bit-identical to
+  // the historical MaxReducerInputBytes() charge.
   metrics.shuffle_seconds =
       config_.network_bandwidth_bytes_per_sec > 0
-          ? static_cast<double>(metrics.MaxReducerInputBytes()) /
+          ? static_cast<double>(metrics.MaxReducerWireBytes()) /
                 config_.network_bandwidth_bytes_per_sec
           : 0.0;
 
@@ -1144,14 +1166,18 @@ Result<JobMetrics> Engine::RunImpl(
   // accumulated into the per-machine counters; fold them in with the
   // map-side spills.
   int64_t total_spill = 0;
+  int64_t total_spill_uncompressed = 0;
   for (const MapTaskState& task : map_tasks) {
     total_spill += task.shuffle_counters.spill_bytes;
+    total_spill_uncompressed += task.shuffle_counters.spill_bytes_uncompressed;
   }
   for (const ShuffleCounters& c : reduce_counters) {
     total_spill += c.spill_bytes;
+    total_spill_uncompressed += c.spill_bytes_uncompressed;
     metrics.shuffle_checksum_mismatches += c.checksum_mismatches;
   }
   metrics.spill_bytes = total_spill;
+  metrics.spill_bytes_uncompressed = total_spill_uncompressed;
 
   for (int64_t out : metrics.reducer_output_records) {
     metrics.output_records += out;

@@ -50,6 +50,12 @@ int64_t JobMetrics::MaxReducerInputBytes() const {
                            reducer_input_bytes.end());
 }
 
+int64_t JobMetrics::MaxReducerWireBytes() const {
+  if (reducer_wire_bytes.empty()) return MaxReducerInputBytes();
+  return *std::max_element(reducer_wire_bytes.begin(),
+                           reducer_wire_bytes.end());
+}
+
 double JobMetrics::ReducerImbalance() const {
   if (reducer_input_records.empty()) return 1.0;
   const int64_t total = std::accumulate(reducer_input_records.begin(),
@@ -78,6 +84,14 @@ std::string JobMetrics::ToString() const {
       static_cast<long long>(spill_bytes),
       static_cast<long long>(output_records), ReducerImbalance());
   std::string out = buf;
+  if (spill_bytes_uncompressed > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " spill_raw=%lld B wire=%lld B (raw %lld B)",
+                  static_cast<long long>(spill_bytes_uncompressed),
+                  static_cast<long long>(shuffle_bytes_compressed),
+                  static_cast<long long>(shuffle_bytes_uncompressed));
+    out += buf;
+  }
   if (task_retries > 0 || workers_crashed > 0 ||
       tasks_speculatively_reexecuted > 0 || shuffle_checksum_mismatches > 0) {
     std::snprintf(
@@ -156,9 +170,33 @@ int64_t RunMetrics::ShuffleBytes() const {
   return total;
 }
 
+int64_t RunMetrics::ShuffleBytesCompressed() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.shuffle_bytes_compressed;
+  }
+  return total;
+}
+
+int64_t RunMetrics::ShuffleBytesUncompressed() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.shuffle_bytes_uncompressed;
+  }
+  return total;
+}
+
 int64_t RunMetrics::SpillBytes() const {
   int64_t total = 0;
   for (const JobMetrics& round : rounds) total += round.spill_bytes;
+  return total;
+}
+
+int64_t RunMetrics::SpillBytesUncompressed() const {
+  int64_t total = 0;
+  for (const JobMetrics& round : rounds) {
+    total += round.spill_bytes_uncompressed;
+  }
   return total;
 }
 

@@ -45,10 +45,26 @@ struct JobMetrics {
   int64_t combine_input_records = 0;
   int64_t combine_output_records = 0;
   /// Bytes written to local disk because a buffer exceeded its budget.
+  /// These are the bytes actually on disk — delta/varint-encoded per
+  /// docs/INTERNALS.md §13.
   int64_t spill_bytes = 0;
+  /// What the same spilled records would have occupied in the legacy
+  /// fixed-frame format; always >= spill_bytes. Zero when nothing spilled.
+  int64_t spill_bytes_uncompressed = 0;
+  /// Bytes that actually cross the (simulated) wire per reducer: in-memory
+  /// segment payloads plus the on-disk (compressed) bytes of spilled runs.
+  /// shuffle_bytes/reducer_input_bytes stay payload-denominated so record
+  /// accounting and scheduling are encoding-independent.
+  int64_t shuffle_bytes_compressed = 0;
+  /// The wire bytes the legacy spill format would have shipped; equals
+  /// shuffle_bytes_compressed when nothing spilled.
+  int64_t shuffle_bytes_uncompressed = 0;
 
   std::vector<int64_t> reducer_input_records;
   std::vector<int64_t> reducer_input_bytes;
+  /// Per-reducer wire bytes (segment payloads + spilled-run file bytes);
+  /// the bottleneck entry drives shuffle_seconds.
+  std::vector<int64_t> reducer_wire_bytes;
   std::vector<int64_t> reducer_output_records;
 
   int64_t output_records = 0;
@@ -108,6 +124,9 @@ struct JobMetrics {
 
   int64_t MaxReducerInputRecords() const;
   int64_t MaxReducerInputBytes() const;
+  /// Bottleneck reducer's inbound wire bytes (falls back to
+  /// MaxReducerInputBytes() when reducer_wire_bytes was never populated).
+  int64_t MaxReducerWireBytes() const;
 
   /// Ratio of the most-loaded to the average-loaded reducer input (1.0 is
   /// perfectly balanced). The paper's balance claim in §6.2 is about this.
@@ -131,7 +150,10 @@ struct RunMetrics {
   double AvgReduceSeconds() const;
   int64_t MapOutputBytes() const;
   int64_t ShuffleBytes() const;
+  int64_t ShuffleBytesCompressed() const;
+  int64_t ShuffleBytesUncompressed() const;
   int64_t SpillBytes() const;
+  int64_t SpillBytesUncompressed() const;
   int64_t OutputRecords() const;
 
   // Fault-tolerance totals over all rounds.

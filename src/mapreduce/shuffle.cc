@@ -12,20 +12,67 @@
 
 namespace spcube {
 
-void AppendSpillRecord(std::string_view key, std::string_view value,
-                       ByteWriter* out) {
-  out->PutBytes(key);
-  out->PutBytes(value);
+namespace {
+
+/// Bytes of a LEB128 varint for `v`.
+int64_t VarintLen(uint64_t v) {
+  int64_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
 }
 
-Status ParseSpillRecord(std::string_view raw, std::string_view* key,
-                        std::string_view* value) {
+}  // namespace
+
+int64_t LegacySpillRecordFileBytes(size_t key_len, size_t value_len) {
+  return static_cast<int64_t>(sizeof(uint64_t) + sizeof(uint32_t)) +
+         VarintLen(key_len) + static_cast<int64_t>(key_len) +
+         VarintLen(value_len) + static_cast<int64_t>(value_len);
+}
+
+void SpillRecordEncoder::Append(std::string_view key, std::string_view value,
+                                ByteWriter* out) {
+  size_t shared = 0;
+  const size_t limit = std::min(prev_key_.size(), key.size());
+  while (shared < limit && prev_key_[shared] == key[shared]) ++shared;
+  out->PutVarint(shared);
+  out->PutVarint(key.size() - shared);
+  out->PutRawBytes(key.substr(shared));
+  out->PutBytes(value);
+  prev_key_.assign(key);
+}
+
+Status SpillRecordDecoder::Parse(std::string_view raw, std::string_view* key,
+                                 std::string_view* value) {
   ByteReader reader(raw);
-  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(key));
-  SPCUBE_RETURN_IF_ERROR(reader.GetBytes(value));
+  SPCUBE_RETURN_IF_ERROR(ParseFrom(&reader, key, value));
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after spill record");
   }
+  return Status::OK();
+}
+
+Status SpillRecordDecoder::ParseFrom(ByteReader* reader, std::string_view* key,
+                                     std::string_view* value) {
+  uint64_t shared = 0;
+  uint64_t suffix_len = 0;
+  SPCUBE_RETURN_IF_ERROR(reader->GetVarint(&shared));
+  SPCUBE_RETURN_IF_ERROR(reader->GetVarint(&suffix_len));
+  if (shared > key_.size()) {
+    return Status::Corruption(
+        "spill record shares more key bytes than the previous key has");
+  }
+  if (suffix_len > reader->remaining()) {
+    return Status::Corruption("truncated spill record key suffix");
+  }
+  std::string_view suffix;
+  SPCUBE_RETURN_IF_ERROR(reader->GetRawBytes(suffix_len, &suffix));
+  key_.resize(shared);
+  key_.append(suffix);
+  *key = key_;
+  SPCUBE_RETURN_IF_ERROR(reader->GetBytes(value));
   return Status::OK();
 }
 
@@ -64,27 +111,43 @@ void SortRefs(const std::vector<ShuffleRecordRef>& refs,
             });
 }
 
-/// Streams refs in `order` as one spill run, encoding each record into the
-/// caller's reusable writer. Byte-identical to encoding owned Records.
+/// Streams refs in `order` as one spill run, delta-encoding records into
+/// §13 blocks through the caller's reusable encoder. The uncompressed twin
+/// (what the run would have cost in the legacy format) is accounted
+/// alongside the real file bytes so the compression win is measured, not
+/// assumed.
 Result<RunInfo> WriteSortedRun(const std::vector<ShuffleRecordRef>& refs,
                                const std::vector<ShuffleSortItem>& order,
                                TempFileManager* temp_files,
-                               ShuffleCounters* counters, ByteWriter* encode) {
+                               ShuffleCounters* counters,
+                               SpillBlockEncoder* encoder) {
   SpillWriter writer(temp_files->NextPath());
   SPCUBE_RETURN_IF_ERROR(writer.Open());
   RunInfo info;
+  encoder->Reset();
   for (const ShuffleSortItem& item : order) {
     const ShuffleRecordRef& ref = refs[item.index];
-    encode->Clear();
-    AppendSpillRecord(ref.key(), ref.value(), encode);
-    SPCUBE_RETURN_IF_ERROR(writer.Append(encode->data()));
+    encoder->Add(ref.key(), ref.value());
+    if (encoder->BlockFull()) {
+      SPCUBE_RETURN_IF_ERROR(writer.Append(encoder->block()));
+      encoder->NextBlock();
+    }
     info.payload_bytes += RecordBytes(ref.key(), ref.value());
+    info.uncompressed_file_bytes +=
+        LegacySpillRecordFileBytes(ref.key().size(), ref.value().size());
+  }
+  if (!encoder->BlockEmpty()) {
+    SPCUBE_RETURN_IF_ERROR(writer.Append(encoder->block()));
+    encoder->NextBlock();
   }
   SPCUBE_RETURN_IF_ERROR(writer.Close());
-  if (counters != nullptr) counters->spill_bytes += writer.bytes_written();
+  if (counters != nullptr) {
+    counters->spill_bytes += writer.bytes_written();
+    counters->spill_bytes_uncompressed += info.uncompressed_file_bytes;
+  }
   info.path = writer.path();
   info.file_bytes = writer.bytes_written();
-  info.records = writer.record_count();
+  info.records = static_cast<int64_t>(order.size());
   return info;
 }
 
@@ -382,7 +445,7 @@ Status ShuffleBuffer::SpillAll() {
     SortRefs(scratch_refs_, &sort_items_);
     SPCUBE_ASSIGN_OR_RETURN(
         RunInfo run, WriteSortedRun(scratch_refs_, sort_items_, temp_files_,
-                                    counters_, &encode_scratch_));
+                                    counters_, &block_scratch_));
     if (!resource_prefix_.empty()) {
       run.resource =
           resource_prefix_ + "/p" + std::to_string(p) + "/r" +
@@ -408,23 +471,30 @@ class InMemoryGroupedStream : public GroupedRecordStream {
     AppendRecordEntries(records_, segments_, &entries_);
   }
 
-  /// Reads one sorted run into the stream-private arena. Call before Seal.
+  /// Reads one sorted run into the stream-private arena, decoding each
+  /// fetched block's key deltas incrementally (one decoder per run). Call
+  /// before Seal.
   Status AbsorbRun(const RunInfo& run, IoFaultInjector* injector,
                    int64_t* mismatch_counter) {
     SpillReader reader(run.path);
     SPCUBE_RETURN_IF_ERROR(reader.Open());
     reader.SetFaultInjection(injector, mismatch_counter, run.resource);
+    SpillBlockDecoder decoder;
     std::string raw;
     for (;;) {
       SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
       if (!more) break;
-      std::string_view key;
-      std::string_view value;
-      SPCUBE_RETURN_IF_ERROR(ParseSpillRecord(raw, &key, &value));
-      const char* data = absorbed_.AppendPair(key, value);
-      entries_.push_back(ShuffleRecordRef{
-          data, data + key.size(), static_cast<uint32_t>(key.size()),
-          static_cast<uint32_t>(value.size())});
+      decoder.SetBlock(raw);
+      for (;;) {
+        std::string_view key;
+        std::string_view value;
+        SPCUBE_ASSIGN_OR_RETURN(bool record, decoder.Next(&key, &value));
+        if (!record) break;
+        const char* data = absorbed_.AppendPair(key, value);
+        entries_.push_back(ShuffleRecordRef{
+            data, data + key.size(), static_cast<uint32_t>(key.size()),
+            static_cast<uint32_t>(value.size())});
+      }
     }
     return Status::OK();
   }
@@ -502,6 +572,10 @@ class MergingGroupedStream : public GroupedRecordStream {
       readers_.push_back(std::move(reader));
     }
     heads_.resize(readers_.size());
+    // One block decoder and fetch buffer per run: a decoder's views point
+    // into its run's current block until the next fetch replaces it.
+    decoders_.resize(readers_.size());
+    blocks_.resize(readers_.size());
     for (size_t i = 0; i < readers_.size(); ++i) {
       SPCUBE_RETURN_IF_ERROR(Advance(i));
     }
@@ -547,18 +621,24 @@ class MergingGroupedStream : public GroupedRecordStream {
   };
 
   Status Advance(size_t run) {
-    SPCUBE_ASSIGN_OR_RETURN(bool more, readers_[run]->Next(&raw_));
-    if (!more) {
-      heads_[run].valid = false;
-      return Status::OK();
+    for (;;) {
+      std::string_view key;
+      std::string_view value;
+      SPCUBE_ASSIGN_OR_RETURN(bool record, decoders_[run].Next(&key, &value));
+      if (record) {
+        heads_[run].record.key.assign(key);
+        heads_[run].record.value.assign(value);
+        heads_[run].valid = true;
+        return Status::OK();
+      }
+      // Current block exhausted (or first call): fetch the run's next block.
+      SPCUBE_ASSIGN_OR_RETURN(bool more, readers_[run]->Next(&blocks_[run]));
+      if (!more) {
+        heads_[run].valid = false;
+        return Status::OK();
+      }
+      decoders_[run].SetBlock(blocks_[run]);
     }
-    std::string_view key;
-    std::string_view value;
-    SPCUBE_RETURN_IF_ERROR(ParseSpillRecord(raw_, &key, &value));
-    heads_[run].record.key.assign(key);
-    heads_[run].record.value.assign(value);
-    heads_[run].valid = true;
-    return Status::OK();
   }
 
   /// Index of the run whose head has the smallest key, or -1. Linear scan —
@@ -582,7 +662,8 @@ class MergingGroupedStream : public GroupedRecordStream {
   int64_t* mismatch_counter_;
   std::vector<std::unique_ptr<SpillReader>> readers_;
   std::vector<Head> heads_;
-  std::string raw_;  // reused fetch buffer; parsed records view into it
+  std::vector<SpillBlockDecoder> decoders_;  // parallel to readers_
+  std::vector<std::string> blocks_;  // per-run fetch buffers decoders view
   std::string current_key_;
   bool in_group_ = false;
 };
@@ -631,7 +712,7 @@ Result<std::unique_ptr<GroupedRecordStream>> MakeGroupedStream(
   if (!memory_refs.empty()) {
     std::vector<ShuffleSortItem> order;
     SortRefs(memory_refs, &order);
-    ByteWriter encode;
+    SpillBlockEncoder encode;
     SPCUBE_ASSIGN_OR_RETURN(RunInfo run,
                             WriteSortedRun(memory_refs, order, temp_files,
                                            counters, &encode));
@@ -666,17 +747,22 @@ Result<std::vector<ReduceInput>> SplitReduceInput(
     SpillReader reader(run.path);
     SPCUBE_RETURN_IF_ERROR(reader.Open());
     reader.SetFaultInjection(injector, mismatch_counter, run.resource);
+    SpillBlockDecoder decoder;
     std::string raw;
     for (;;) {
       SPCUBE_ASSIGN_OR_RETURN(bool more, reader.Next(&raw));
       if (!more) break;
-      std::string_view key;
-      std::string_view value;
-      SPCUBE_RETURN_IF_ERROR(ParseSpillRecord(raw, &key, &value));
-      const char* data = absorbed.AppendPair(key, value);
-      entries.push_back(ShuffleRecordRef{
-          data, data + key.size(), static_cast<uint32_t>(key.size()),
-          static_cast<uint32_t>(value.size())});
+      decoder.SetBlock(raw);
+      for (;;) {
+        std::string_view key;
+        std::string_view value;
+        SPCUBE_ASSIGN_OR_RETURN(bool record, decoder.Next(&key, &value));
+        if (!record) break;
+        const char* data = absorbed.AppendPair(key, value);
+        entries.push_back(ShuffleRecordRef{
+            data, data + key.size(), static_cast<uint32_t>(key.size()),
+            static_cast<uint32_t>(value.size())});
+      }
     }
   }
   // Salted scatter over (key, ordinal). Including the ordinal is what lets
@@ -696,7 +782,7 @@ Result<std::vector<ReduceInput>> SplitReduceInput(
   // sub-attempts run), and runs keep the "each sorted by key" invariant.
   std::vector<ReduceInput> subs(static_cast<size_t>(fanout));
   std::vector<ShuffleSortItem> order;
-  ByteWriter encode;
+  SpillBlockEncoder encode;
   for (int k = 0; k < fanout; ++k) {
     const std::vector<ShuffleRecordRef>& refs =
         sub_refs[static_cast<size_t>(k)];

@@ -28,8 +28,10 @@ namespace internal {
 void DebugExpireSegment(ShuffleSegment* segment);
 }  // namespace internal
 
-/// A sorted run file spilled to local disk, with both its on-disk size and
-/// the payload (key+value) bytes it carries for traffic accounting.
+/// A sorted run file spilled to local disk, with its on-disk size, the
+/// payload (key+value) bytes it carries, and the bytes the same records
+/// would occupy in the pre-§13 fixed-frame format — the honest uncompressed
+/// twin for traffic accounting.
 struct RunInfo {
   std::string path;
   /// Stable logical identity (job/task/attempt/partition/run) used for
@@ -39,6 +41,10 @@ struct RunInfo {
   std::string resource;
   int64_t file_bytes = 0;
   int64_t payload_bytes = 0;
+  /// File bytes the run would occupy in the legacy encoding ([u64 len]
+  /// [u32 crc] frames around non-delta payloads); see
+  /// LegacySpillRecordFileBytes. Always >= file_bytes.
+  int64_t uncompressed_file_bytes = 0;
   int64_t records = 0;
 };
 
@@ -50,19 +56,130 @@ struct ShuffleCounters {
   int64_t combine_input_records = 0;
   int64_t combine_output_records = 0;
   int64_t spill_bytes = 0;
+  /// What spill_bytes would have been in the legacy (pre-delta, fixed
+  /// frame) run format — the uncompressed twin of spill_bytes.
+  int64_t spill_bytes_uncompressed = 0;
   /// Fetches whose payload failed its CRC32C and was re-fetched.
   int64_t checksum_mismatches = 0;
 };
 
-/// Spill-record codec: `[varint key_len | key | varint value_len | value]`.
-/// AppendSpillRecord appends one record's encoding to `out` (callers reuse
-/// the writer across records); ParseSpillRecord yields views into `raw`
-/// without copying. The byte format is the wire contract of spill runs and
-/// must not change (checksummed by SpillWriter/SpillReader around it).
-void AppendSpillRecord(std::string_view key, std::string_view value,
-                       ByteWriter* out);
-Status ParseSpillRecord(std::string_view raw, std::string_view* key,
-                        std::string_view* value);
+/// On-disk bytes one record costs in the legacy spill format: an 8-byte
+/// length + 4-byte CRC frame around `[varint key_len | key | varint
+/// value_len | value]`. The uncompressed-twin accounting unit (§13).
+int64_t LegacySpillRecordFileBytes(size_t key_len, size_t value_len);
+
+/// Stateful spill-run record codec (docs/INTERNALS.md §13). Runs are
+/// written in key order, so adjacent records share key prefixes; each
+/// record's payload is
+///
+///   [varint shared_prefix_len | varint suffix_len | suffix bytes |
+///    varint value_len | value bytes]
+///
+/// where shared_prefix_len counts key bytes reused from the previous record
+/// of the same delta chain (0 for the first record). Encoder and decoder
+/// advance in lockstep: Reset at chain boundaries, and feed the decoder
+/// records strictly in write order. Production runs group records into
+/// blocks (SpillBlockEncoder below) so one CRC frame amortizes over many
+/// records; the chain resets at every block boundary, which keeps each
+/// block self-contained — a re-fetched block re-parses with no cross-block
+/// decoder state.
+class SpillRecordEncoder {
+ public:
+  /// Appends one record's delta encoding to `out` (callers reuse the writer
+  /// across records).
+  void Append(std::string_view key, std::string_view value, ByteWriter* out);
+
+  void Reset() { prev_key_.clear(); }
+
+ private:
+  std::string prev_key_;
+};
+
+class SpillRecordDecoder {
+ public:
+  /// Decodes the next record of the chain. `*key` views into decoder-owned
+  /// storage valid until the next Parse/Reset; `*value` views into `raw`.
+  /// Callers that keep either must copy first. `raw` must hold exactly one
+  /// record; use ParseFrom to decode out of a larger buffer.
+  Status Parse(std::string_view raw, std::string_view* key,
+               std::string_view* value);
+
+  /// Decodes one record at `reader`'s cursor, leaving the cursor on the
+  /// next record. Same view lifetimes as Parse.
+  Status ParseFrom(ByteReader* reader, std::string_view* key,
+                   std::string_view* value);
+
+  void Reset() { key_.clear(); }
+
+ private:
+  std::string key_;
+};
+
+/// Records per §13 run block: one SpillWriter CRC frame covers this many
+/// delta-encoded records (or kSpillBlockBytes of payload, whichever comes
+/// first), amortizing the frame + checksum to a fraction of a byte per
+/// record while keeping a corrupted block's re-fetch small.
+inline constexpr int kSpillBlockRecords = 32;
+inline constexpr size_t kSpillBlockBytes = size_t{8} << 10;
+
+/// Batches delta-encoded records into self-contained run blocks. Usage:
+/// Add each record in run order; whenever BlockFull, hand block() to
+/// SpillWriter::Append and call NextBlock; after the last record, flush the
+/// final partial block the same way. The delta chain restarts with every
+/// block, so blocks decode independently.
+class SpillBlockEncoder {
+ public:
+  void Add(std::string_view key, std::string_view value) {
+    records_.Append(key, value, &block_);
+    ++block_records_;
+  }
+
+  bool BlockFull() const {
+    return block_records_ >= kSpillBlockRecords ||
+           block_.size() >= kSpillBlockBytes;
+  }
+  bool BlockEmpty() const { return block_records_ == 0; }
+  std::string_view block() const { return block_.data(); }
+
+  /// Drops the open block's bytes and restarts the delta chain.
+  void NextBlock() {
+    block_.Clear();
+    records_.Reset();
+    block_records_ = 0;
+  }
+
+  /// Same as NextBlock; reads as "make this scratch encoder fresh".
+  void Reset() { NextBlock(); }
+
+ private:
+  SpillRecordEncoder records_;
+  ByteWriter block_;
+  int block_records_ = 0;
+};
+
+/// Streams the records back out of one run block (one SpillReader record).
+/// The block bytes must outlive the views Next returns and stay alive until
+/// the next SetBlock — callers keep the fetch buffer around per run.
+class SpillBlockDecoder {
+ public:
+  /// Starts decoding `block`; implicitly restarts the delta chain.
+  void SetBlock(std::string_view block) {
+    reader_ = ByteReader(block);
+    records_.Reset();
+  }
+
+  /// Decodes the next record of the current block; false at end of block.
+  /// `*key` views into decoder-owned storage, `*value` into the block.
+  Result<bool> Next(std::string_view* key, std::string_view* value) {
+    if (reader_.AtEnd()) return false;
+    SPCUBE_RETURN_IF_ERROR(records_.ParseFrom(&reader_, key, value));
+    return true;
+  }
+
+ private:
+  SpillRecordDecoder records_;
+  ByteReader reader_{std::string_view()};
+};
 
 /// One shuffle record as views into arena (or other stable) storage. Plain
 /// pointers + lengths so a vector of refs is trivially sortable.
@@ -140,9 +257,13 @@ class ShuffleSegment {
 ///    then emission order — equivalent to a stable sort by key) and stream
 ///    the run straight from arena bytes through the CRC32C spill writer.
 ///
-/// Wire formats, counter semantics, and the Take* contracts are identical
-/// to the original Record-based implementation; see docs/INTERNALS.md §9
-/// for what `buffered_bytes_` counts under the arena.
+/// Counter semantics and the Take* contracts are identical to the original
+/// Record-based implementation; see docs/INTERNALS.md §9 for what
+/// `buffered_bytes_` counts under the arena. Spill runs are written in the
+/// §13 delta/varint format, with the legacy-format cost accounted as the
+/// uncompressed twin (RunInfo::uncompressed_file_bytes) — spill *decisions*
+/// (when to overflow, what to combine) depend only on payload bytes, so the
+/// spill schedule is unchanged from the seed.
 class ShuffleBuffer {
  public:
   /// `combiner` may be null. `temp_files` outlives the buffer.
@@ -265,7 +386,7 @@ class ShuffleBuffer {
   // spcube-analyzer: allow(view-escape): per-call scratch; cleared and refilled inside each Take*/spill call, never escapes
   std::vector<ShuffleRecordRef> scratch_refs_;
   std::vector<ShuffleSortItem> sort_items_;
-  ByteWriter encode_scratch_;
+  SpillBlockEncoder block_scratch_;
 };
 
 /// Iterates the reduce input of one partition as (group, values) in

@@ -1,0 +1,380 @@
+// Property tests for the compression codecs of docs/INTERNALS.md §13:
+// varint/zigzag primitives at integer extremes, the delta spill-record
+// codec over adversarial key sequences, and the BlockCodec LZ format
+// (round-trip, stored fallback, determinism, corruption rejection).
+// All randomness flows through seeded spcube::Rng.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/block_codec.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "mapreduce/shuffle.h"
+
+namespace spcube {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag primitives.
+// ---------------------------------------------------------------------------
+
+TEST(VarintTest, UnsignedExtremesRoundTrip) {
+  const std::vector<uint64_t> extremes = {
+      0,
+      1,
+      127,
+      128,
+      (1ull << 14) - 1,
+      1ull << 14,
+      (1ull << 21) - 1,
+      (1ull << 32) - 1,
+      1ull << 32,
+      (1ull << 63) - 1,
+      1ull << 63,
+      std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t v : extremes) {
+    ByteWriter writer;
+    writer.PutVarint(v);
+    EXPECT_LE(writer.size(), 10u) << v;
+    ByteReader reader(writer.data());
+    uint64_t back = 0;
+    ASSERT_TRUE(reader.GetVarint(&back).ok()) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(VarintTest, SignedExtremesAndSignFlipsRoundTrip) {
+  const std::vector<int64_t> extremes = {
+      0,
+      1,
+      -1,
+      63,
+      64,
+      -64,
+      -65,
+      std::numeric_limits<int32_t>::max(),
+      std::numeric_limits<int32_t>::min(),
+      std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::min() + 1};
+  for (const int64_t v : extremes) {
+    ByteWriter writer;
+    writer.PutVarintSigned(v);
+    ByteReader reader(writer.data());
+    int64_t back = 0;
+    ASSERT_TRUE(reader.GetVarintSigned(&back).ok()) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(VarintTest, ZigzagKeepsSmallMagnitudesShort) {
+  // Zigzag's point: values near zero of either sign stay 1 byte, so a
+  // sign-flipping stream costs no more than its magnitudes warrant.
+  for (int64_t v = -64; v < 64; ++v) {
+    ByteWriter writer;
+    writer.PutVarintSigned(v);
+    EXPECT_EQ(writer.size(), 1u) << v;
+  }
+}
+
+TEST(VarintTest, RandomSignFlipStreamRoundTrips) {
+  Rng rng(20260808);
+  std::vector<int64_t> values;
+  ByteWriter writer;
+  for (int i = 0; i < 5000; ++i) {
+    // Mix magnitudes across the whole range, flipping signs, with the two
+    // extreme values planted periodically.
+    int64_t v;
+    switch (rng.NextBounded(5)) {
+      case 0:
+        v = std::numeric_limits<int64_t>::min();
+        break;
+      case 1:
+        v = std::numeric_limits<int64_t>::max();
+        break;
+      default:
+        v = rng.NextInRange(-1000000, 1000000);
+        break;
+    }
+    if (rng.NextBernoulli(0.5) && v != std::numeric_limits<int64_t>::min()) {
+      v = -v;
+    }
+    values.push_back(v);
+    writer.PutVarintSigned(v);
+  }
+  ByteReader reader(writer.data());
+  for (const int64_t expected : values) {
+    int64_t back = 0;
+    ASSERT_TRUE(reader.GetVarintSigned(&back).ok());
+    EXPECT_EQ(back, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, TruncatedVarintIsCorruptionNotCrash) {
+  ByteWriter writer;
+  writer.PutVarint(std::numeric_limits<uint64_t>::max());
+  const std::string full = writer.data();
+  for (size_t len = 0; len < full.size(); ++len) {
+    ByteReader reader(std::string_view(full).substr(0, len));
+    uint64_t out = 0;
+    EXPECT_FALSE(reader.GetVarint(&out).ok()) << "prefix " << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta spill-record codec (docs/INTERNALS.md §13).
+// ---------------------------------------------------------------------------
+
+std::string RandomKey(Rng& rng, size_t max_len) {
+  std::string out(rng.NextBounded(max_len + 1), '\0');
+  for (char& c : out) c = static_cast<char>(rng.NextBounded(256));
+  return out;
+}
+
+TEST(DeltaCodecTest, RunsOfEqualKeysRoundTripAndStayTiny) {
+  // A hot group's spill run: the same key thousands of times. Every record
+  // after the first must cost O(value) bytes, independent of key length.
+  Rng rng(71);
+  const std::string key = RandomKey(rng, 64) + std::string(64, 'K');
+  SpillRecordEncoder encoder;
+  SpillRecordDecoder decoder;
+  ByteWriter out;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string value = std::to_string(i);
+    out.Clear();
+    encoder.Append(key, value, &out);
+    if (i > 0) {
+      EXPECT_LE(out.size(), 4 + value.size()) << "record " << i;
+    }
+    std::string_view k;
+    std::string_view v;
+    ASSERT_TRUE(decoder.Parse(out.data(), &k, &v).ok());
+    EXPECT_EQ(k, key);
+    EXPECT_EQ(v, value);
+  }
+}
+
+TEST(DeltaCodecTest, SortedExtremeIntegerKeysRoundTrip) {
+  // Keys built from varint-signed extremes — INT64_MIN/MAX neighbours and
+  // sign flips — sorted bytewise, as a real run would be.
+  Rng rng(72);
+  std::vector<std::pair<std::string, std::string>> records;
+  const std::vector<int64_t> pool = {
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::min() + 1,
+      -1,
+      0,
+      1,
+      std::numeric_limits<int64_t>::max() - 1,
+      std::numeric_limits<int64_t>::max()};
+  for (int i = 0; i < 500; ++i) {
+    ByteWriter key;
+    for (int d = 0; d < 4; ++d) {
+      key.PutVarintSigned(pool[rng.NextBounded(pool.size())]);
+    }
+    records.emplace_back(key.TakeData(), RandomKey(rng, 16));
+  }
+  std::sort(records.begin(), records.end());
+
+  SpillRecordEncoder encoder;
+  SpillRecordDecoder decoder;
+  ByteWriter out;
+  for (const auto& [key, value] : records) {
+    out.Clear();
+    encoder.Append(key, value, &out);
+    std::string_view k;
+    std::string_view v;
+    ASSERT_TRUE(decoder.Parse(out.data(), &k, &v).ok());
+    EXPECT_EQ(k, key);
+    EXPECT_EQ(v, value);
+  }
+}
+
+TEST(DeltaCodecTest, UnsortedRandomRecordsRoundTrip) {
+  // The codec must be correct for ANY sequence, not just sorted ones (the
+  // merge path replays runs in run order, but nothing in the contract
+  // requires monotone keys).
+  Rng rng(73);
+  SpillRecordEncoder encoder;
+  SpillRecordDecoder decoder;
+  ByteWriter out;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = RandomKey(rng, 40);
+    const std::string value = RandomKey(rng, 40);
+    out.Clear();
+    encoder.Append(key, value, &out);
+    std::string_view k;
+    std::string_view v;
+    ASSERT_TRUE(decoder.Parse(out.data(), &k, &v).ok());
+    EXPECT_EQ(k, key);
+    EXPECT_EQ(v, value);
+  }
+}
+
+TEST(DeltaCodecTest, FileBytesNeverExceedLegacyTwin) {
+  // LegacySpillRecordFileBytes is the uncompressed-twin denominator the
+  // engine reports; the §13 guarantee is compressed <= uncompressed for
+  // every record, so totals can never cross.
+  Rng rng(74);
+  SpillRecordEncoder encoder;
+  ByteWriter out;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = RandomKey(rng, 100);
+    const std::string value = RandomKey(rng, 100);
+    out.Clear();
+    encoder.Append(key, value, &out);
+    // Actual frame: varint(len) + u32 crc + payload.
+    int64_t frame = 1 + 4 + static_cast<int64_t>(out.size());
+    if (out.size() >= 128) frame += 1;
+    EXPECT_LE(frame, LegacySpillRecordFileBytes(key.size(), value.size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockCodec (LZ with stored fallback).
+// ---------------------------------------------------------------------------
+
+TEST(BlockCodecTest, RoundTripsRepresentativeInputs) {
+  Rng rng(81);
+  std::vector<std::string> inputs;
+  inputs.push_back("");                          // empty
+  inputs.push_back("abc");                       // below kMinMatch
+  inputs.push_back(std::string(100000, 'z'));    // max-RLE
+  {
+    // Sorted cube-output-like bytes: repeated prefixes, varint tails.
+    ByteWriter writer;
+    for (int i = 0; i < 20000; ++i) {
+      writer.PutBytes("group_key_prefix|" + std::to_string(i / 16));
+      writer.PutVarintSigned(rng.NextInRange(-1000, 1000));
+    }
+    inputs.push_back(writer.TakeData());
+  }
+  {
+    // Incompressible: uniform random bytes must survive via stored blocks.
+    std::string noise(65536, '\0');
+    for (char& c : noise) c = static_cast<char>(rng.NextBounded(256));
+    inputs.push_back(std::move(noise));
+  }
+  for (const std::string& input : inputs) {
+    std::string compressed;
+    BlockCodec::Compress(input, &compressed);
+    // Never more than the stored header over the raw size.
+    EXPECT_LE(compressed.size(), input.size() + 11);
+    auto decoded_size = BlockCodec::DecodedSize(compressed);
+    ASSERT_TRUE(decoded_size.ok());
+    EXPECT_EQ(static_cast<size_t>(*decoded_size), input.size());
+    std::string back;
+    ASSERT_TRUE(BlockCodec::Decompress(compressed, &back).ok());
+    EXPECT_EQ(back, input);
+  }
+}
+
+TEST(BlockCodecTest, CompressesRedundantStreamsWell) {
+  // The honesty gate behind BENCH_compression's DFS rows: sorted, highly
+  // repetitive streams must shrink at least 2x.
+  ByteWriter writer;
+  for (int i = 0; i < 50000; ++i) {
+    writer.PutBytes("hot_group_key_" + std::to_string(i % 50));
+    writer.PutVarintSigned(i % 100);
+  }
+  const std::string input = writer.TakeData();
+  std::string compressed;
+  BlockCodec::Compress(input, &compressed);
+  EXPECT_LT(compressed.size() * 2, input.size());
+}
+
+TEST(BlockCodecTest, DeterministicAcrossCalls) {
+  // The simulation's byte metrics must be reproducible: same input, same
+  // compressed bytes, every time.
+  Rng rng(82);
+  ByteWriter writer;
+  for (int i = 0; i < 10000; ++i) {
+    writer.PutVarintSigned(rng.NextInRange(-500, 500));
+  }
+  const std::string input = writer.TakeData();
+  std::string first;
+  std::string second;
+  BlockCodec::Compress(input, &first);
+  BlockCodec::Compress(input, &second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(BlockCodecTest, RejectsTruncationAndGarbage) {
+  ByteWriter writer;
+  for (int i = 0; i < 5000; ++i) {
+    writer.PutBytes("payload_" + std::to_string(i % 7));
+  }
+  const std::string input = writer.TakeData();
+  std::string compressed;
+  BlockCodec::Compress(input, &compressed);
+  ASSERT_GT(compressed.size(), 2u);
+
+  std::string out;
+  // Every strict prefix must be rejected, not crash or return short data.
+  for (size_t len = 0; len < compressed.size(); len += 7) {
+    EXPECT_FALSE(
+        BlockCodec::Decompress(compressed.substr(0, len), &out).ok())
+        << "prefix " << len;
+  }
+  // Unknown method byte.
+  std::string bogus = compressed;
+  bogus[0] = '\x7f';
+  EXPECT_FALSE(BlockCodec::Decompress(bogus, &out).ok());
+  EXPECT_FALSE(BlockCodec::DecodedSize(bogus).ok());
+  // Trailing garbage after a valid stream.
+  std::string padded = compressed;
+  padded.push_back('\0');
+  EXPECT_FALSE(BlockCodec::Decompress(padded, &out).ok());
+}
+
+TEST(BlockCodecTest, SeededFuzzRoundTrip) {
+  // Structured random inputs across sizes: mixtures of runs, copies of
+  // earlier windows, and noise — the shapes real blobs are made of.
+  Rng rng(83);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string input;
+    const int pieces = 1 + static_cast<int>(rng.NextBounded(20));
+    for (int p = 0; p < pieces; ++p) {
+      switch (rng.NextBounded(3)) {
+        case 0:  // run
+          input.append(rng.NextBounded(500),
+                       static_cast<char>(rng.NextBounded(256)));
+          break;
+        case 1: {  // copy an earlier slice (self-similarity)
+          if (input.empty()) break;
+          const size_t start = rng.NextBounded(input.size());
+          const size_t len =
+              std::min(input.size() - start,
+                       static_cast<size_t>(rng.NextBounded(500)));
+          input.append(input, start, len);
+          break;
+        }
+        default:  // noise
+          for (uint64_t i = rng.NextBounded(200); i > 0; --i) {
+            input.push_back(static_cast<char>(rng.NextBounded(256)));
+          }
+          break;
+      }
+    }
+    std::string compressed;
+    BlockCodec::Compress(input, &compressed);
+    std::string back;
+    ASSERT_TRUE(BlockCodec::Decompress(compressed, &back).ok())
+        << "trial " << trial;
+    ASSERT_EQ(back, input) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace spcube

@@ -208,6 +208,98 @@ INSTANTIATE_TEST_SUITE_P(RandomGrid, FaultedDifferentialTest,
                            return info.param.Name();
                          });
 
+/// Compressed columnar storage (docs/INTERNALS.md §13) under the same grid:
+/// dictionary-encoded reducer partitions plus compressed DFS blobs must be
+/// bit-invisible — the cube matches the plain run exactly (tolerance 0) and
+/// every modeled record/byte metric is unchanged, because Relation::ByteSize
+/// is logical and wire bytes never see the encoding. The compressed/
+/// uncompressed twin counters must stay ordered, never silently diverge.
+class CompressedStorageDifferentialTest
+    : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CompressedStorageDifferentialTest, EncodingIsExactAndMetricInvisible) {
+  const Config& config = GetParam();
+  const Relation rel = MakeRelation(config);
+  const AggregateKind kind = static_cast<AggregateKind>(config.aggregate);
+  const CubeResult reference = ComputeCubeReference(rel, kind);
+
+  EngineConfig cluster;
+  cluster.num_workers = config.workers;
+  cluster.memory_budget_bytes = int64_t{1} << (10 + 2 * config.budget_shift);
+  cluster.network_bandwidth_bytes_per_sec = 0;
+
+  CubeRunOptions options;
+  options.aggregate = kind;
+
+  SpCubeAlgorithm plain;
+  DistributedFileSystem plain_dfs;
+  Engine plain_engine(cluster, &plain_dfs);
+  auto plain_output = plain.Run(plain_engine, rel, options);
+  ASSERT_TRUE(plain_output.ok()) << config.Name() << ": "
+                                 << plain_output.status();
+
+  SpCubeOptions compressed_options;
+  compressed_options.tuning.dictionary_encode_partitions = true;
+  SpCubeAlgorithm compressed(compressed_options);
+  EngineConfig compressed_cluster = cluster;
+  compressed_cluster.compress_dfs_blobs = true;
+  DistributedFileSystem compressed_dfs;
+  Engine compressed_engine(compressed_cluster, &compressed_dfs);
+  auto compressed_output = compressed.Run(compressed_engine, rel, options);
+  ASSERT_TRUE(compressed_output.ok())
+      << config.Name() << ": " << compressed_output.status();
+
+  std::string diff;
+  EXPECT_TRUE(CubeResult::ApproxEqual(reference, *compressed_output->cube,
+                                      1e-6, &diff))
+      << config.Name() << " vs reference:\n" << diff;
+  // Same arithmetic in the same order: bit-exact against the plain run,
+  // even for avg.
+  EXPECT_TRUE(CubeResult::ApproxEqual(*plain_output->cube,
+                                      *compressed_output->cube,
+                                      /*tolerance=*/0.0, &diff))
+      << config.Name() << " vs plain run:\n" << diff;
+
+  ASSERT_EQ(compressed_output->metrics.rounds.size(),
+            plain_output->metrics.rounds.size());
+  for (size_t r = 0; r < plain_output->metrics.rounds.size(); ++r) {
+    const JobMetrics& p = plain_output->metrics.rounds[r];
+    const JobMetrics& c = compressed_output->metrics.rounds[r];
+    EXPECT_EQ(c.map_input_records, p.map_input_records) << config.Name();
+    EXPECT_EQ(c.map_output_records, p.map_output_records) << config.Name();
+    EXPECT_EQ(c.map_output_bytes, p.map_output_bytes) << config.Name();
+    EXPECT_EQ(c.shuffle_records, p.shuffle_records) << config.Name();
+    EXPECT_EQ(c.shuffle_bytes, p.shuffle_bytes) << config.Name();
+    EXPECT_EQ(c.output_records, p.output_records) << config.Name();
+    EXPECT_EQ(c.spill_bytes, p.spill_bytes) << config.Name();
+    EXPECT_EQ(c.reducer_input_records, p.reducer_input_records)
+        << config.Name();
+    EXPECT_EQ(c.reducer_input_bytes, p.reducer_input_bytes) << config.Name();
+    EXPECT_EQ(c.custom_counters, p.custom_counters) << config.Name();
+    // Twin counters stay ordered (docs/INTERNALS.md §13): the compressed
+    // side never exceeds its uncompressed twin, and spilling implies both
+    // twins are populated — accounted, not silent.
+    EXPECT_LE(c.spill_bytes, c.spill_bytes_uncompressed) << config.Name();
+    EXPECT_LE(c.shuffle_bytes_compressed, c.shuffle_bytes_uncompressed)
+        << config.Name();
+    if (c.spill_bytes > 0) {
+      EXPECT_GT(c.spill_bytes_uncompressed, 0) << config.Name();
+    }
+    // When nothing spilled, every reducer's wire bytes are plain segment
+    // payloads and the twins collapse to equality.
+    if (c.spill_bytes_uncompressed == 0) {
+      EXPECT_EQ(c.shuffle_bytes_compressed, c.shuffle_bytes_uncompressed)
+          << config.Name() << " round " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrid, CompressedStorageDifferentialTest,
+                         ::testing::ValuesIn(MakeGrid()),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           return info.param.Name();
+                         });
+
 TEST(SketchDegradationTest, CorruptedBroadcastDegradesToExactHashFallback) {
   // Persistently corrupt the SP-Sketch broadcast: every fetch by every
   // reader is damaged, so no retry can recover it. SP-Cube must fall back

@@ -4,11 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
-
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/random.h"
@@ -103,30 +104,43 @@ TEST(ShuffleBufferTest, OverflowSpillsSortedRuns) {
   }
   ASSERT_TRUE(buffer.FinalizeMapOutput().ok());
   EXPECT_GT(counters.spill_bytes, 0);
+  // The on-disk delta/varint bytes never exceed what the legacy fixed-frame
+  // format would have written for the same records (§13's twin invariant).
+  EXPECT_GT(counters.spill_bytes_uncompressed, 0);
+  EXPECT_LE(counters.spill_bytes, counters.spill_bytes_uncompressed);
 
   int64_t spilled_records = 0;
   for (int p = 0; p < 2; ++p) {
     for (const RunInfo& run : buffer.TakeSpillRuns(p)) {
       EXPECT_GT(run.records, 0);
       EXPECT_GT(run.file_bytes, 0);
+      EXPECT_LE(run.file_bytes, run.uncompressed_file_bytes);
       spilled_records += run.records;
-      // Each run is sorted by key.
+      // Each run is sorted by key (delta-encoded records in CRC-framed
+      // blocks, §13).
       SpillReader reader(run.path);
       ASSERT_TRUE(reader.Open().ok());
+      SpillBlockDecoder decoder;
       std::string raw;
       std::string last_key;
+      int64_t decoded = 0;
       for (;;) {
         auto more = reader.Next(&raw);
         ASSERT_TRUE(more.ok());
         if (!more.value()) break;
-        ByteReader record_reader(raw);
-        std::string_view key;
-        std::string_view value;
-        ASSERT_TRUE(record_reader.GetBytes(&key).ok());
-        ASSERT_TRUE(record_reader.GetBytes(&value).ok());
-        EXPECT_GE(std::string(key), last_key);
-        last_key = std::string(key);
+        decoder.SetBlock(raw);
+        for (;;) {
+          std::string_view key;
+          std::string_view value;
+          auto record = decoder.Next(&key, &value);
+          ASSERT_TRUE(record.ok());
+          if (!record.value()) break;
+          EXPECT_GE(std::string(key), last_key);
+          last_key = std::string(key);
+          ++decoded;
+        }
       }
+      EXPECT_EQ(decoded, run.records);
     }
   }
   int64_t memory_records =
@@ -320,16 +334,17 @@ TEST(SpillChecksumTest, OnDiskCorruptionIsDetected) {
   ASSERT_TRUE(writer.Append("record two").ok());
   ASSERT_TRUE(writer.Close().ok());
 
-  // Flip one payload byte on disk: [u64 len][u32 crc] precede the payload.
+  // Flip one payload byte on disk: [varint len][u32 crc] precede the
+  // payload — 5 header bytes for a record shorter than 128.
   {
     std::fstream file(path,
                       std::ios::in | std::ios::out | std::ios::binary);
     ASSERT_TRUE(file.good());
-    file.seekp(12 + 4);
+    file.seekp(5 + 4);
     char byte = 0;
-    file.seekg(12 + 4);
+    file.seekg(5 + 4);
     file.get(byte);
-    file.seekp(12 + 4);
+    file.seekp(5 + 4);
     file.put(static_cast<char>(byte ^ 0x20));
   }
 
@@ -439,66 +454,204 @@ std::string RandomBytes(Rng& rng, size_t max_len) {
   return out;
 }
 
-TEST(SpillCodecTest, MatchesManualEncodingAndRoundTrips) {
-  // Property: AppendSpillRecord is bit-identical to the historical
-  // `PutBytes(key); PutBytes(value)` pair, and ParseSpillRecord inverts it.
+TEST(SpillCodecTest, DeltaCodecRoundTripsSortedRuns) {
+  // Property: a SpillRecordDecoder fed a SpillRecordEncoder's payloads in
+  // order reproduces every (key, value) exactly — including runs of equal
+  // keys (shared prefix = whole key, empty suffix) and arbitrary binary
+  // values (docs/INTERNALS.md §13).
   Rng rng(191);
-  for (int trial = 0; trial < 300; ++trial) {
-    const std::string key = RandomBytes(rng, 48);
-    const std::string value = RandomBytes(rng, 160);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::pair<std::string, std::string>> records;
+    for (int i = 0; i < 40; ++i) {
+      std::string key = RandomBytes(rng, 48);
+      // Duplicate the previous key every third record: sorted runs of a
+      // skewed workload are mostly repeated keys.
+      if (!records.empty() && i % 3 == 0) key = records.back().first;
+      records.emplace_back(std::move(key), RandomBytes(rng, 160));
+    }
+    std::sort(records.begin(), records.end());
 
-    ByteWriter codec;
-    AppendSpillRecord(key, value, &codec);
-    ByteWriter manual;
-    manual.PutBytes(key);
-    manual.PutBytes(value);
-    ASSERT_EQ(codec.data(), manual.data());
+    SpillRecordEncoder encoder;
+    std::vector<std::string> payloads;
+    ByteWriter out;
+    for (const auto& [key, value] : records) {
+      out.Clear();
+      encoder.Append(key, value, &out);
+      payloads.emplace_back(out.data());
+    }
 
-    std::string_view parsed_key;
-    std::string_view parsed_value;
-    ASSERT_TRUE(
-        ParseSpillRecord(codec.data(), &parsed_key, &parsed_value).ok());
-    EXPECT_EQ(parsed_key, key);
-    EXPECT_EQ(parsed_value, value);
+    SpillRecordDecoder decoder;
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      std::string_view key;
+      std::string_view value;
+      ASSERT_TRUE(decoder.Parse(payloads[i], &key, &value).ok());
+      EXPECT_EQ(key, records[i].first);
+      EXPECT_EQ(value, records[i].second);
+    }
   }
 }
 
-TEST(SpillCodecTest, AppendsWithoutClearingTheWriter) {
-  // Callers stream many records through one writer; each record's encoding
-  // must be self-delimiting and independent of what came before.
-  ByteWriter out;
-  AppendSpillRecord("alpha", "1", &out);
-  const size_t first = out.size();
-  AppendSpillRecord("bee", "22", &out);
-
-  std::string_view key;
-  std::string_view value;
-  ASSERT_TRUE(ParseSpillRecord(std::string_view(out.data()).substr(0, first),
-                               &key, &value)
-                  .ok());
-  EXPECT_EQ(key, "alpha");
-  EXPECT_EQ(value, "1");
-  ASSERT_TRUE(ParseSpillRecord(std::string_view(out.data()).substr(first),
-                               &key, &value)
-                  .ok());
-  EXPECT_EQ(key, "bee");
-  EXPECT_EQ(value, "22");
+TEST(SpillCodecTest, DeltaNeverExceedsLegacyFileBytes) {
+  // The uncompressed-twin invariant: frame (varint length + u32 crc) plus
+  // delta payload never exceeds LegacySpillRecordFileBytes — the 12-byte
+  // fixed frame plus PutBytes(key)+PutBytes(value) the seed wrote — for any
+  // record sequence, sorted or not.
+  Rng rng(193);
+  for (int trial = 0; trial < 50; ++trial) {
+    SpillRecordEncoder encoder;
+    ByteWriter out;
+    std::string prev;
+    for (int i = 0; i < 20; ++i) {
+      const std::string key = RandomBytes(rng, 64);
+      const std::string value = RandomBytes(rng, 64);
+      out.Clear();
+      encoder.Append(key, value, &out);
+      // Frame: <= 2 varint bytes for any payload this size, + 4 crc bytes.
+      const int64_t framed =
+          static_cast<int64_t>((out.size() < 128 ? 1 : 2) + 4 + out.size());
+      EXPECT_LE(framed, LegacySpillRecordFileBytes(key.size(), value.size()))
+          << "key_len=" << key.size() << " value_len=" << value.size();
+      prev = key;
+    }
+  }
 }
 
-TEST(SpillCodecTest, RejectsTruncationAndTrailingBytes) {
-  ByteWriter out;
-  AppendSpillRecord("some_key", "some_value", &out);
-  const std::string_view raw = out.data();
+TEST(SpillCodecTest, EqualKeysEncodeToEmptySuffix) {
+  // The payoff case: a repeated key costs 2 varint bytes (shared=len,
+  // suffix=0) regardless of key length.
+  const std::string key(40, 'k');
+  SpillRecordEncoder encoder;
+  ByteWriter first;
+  encoder.Append(key, "v", &first);
+  ByteWriter second;
+  encoder.Append(key, "v", &second);
+  EXPECT_GT(first.size(), key.size());  // first record carries the full key
+  EXPECT_EQ(second.size(), 2 + 1 + 1);  // shared, suffix_len=0, value_len, v
 
-  std::string_view key;
-  std::string_view value;
+  SpillRecordDecoder decoder;
+  std::string_view k;
+  std::string_view v;
+  ASSERT_TRUE(decoder.Parse(first.data(), &k, &v).ok());
+  EXPECT_EQ(k, key);
+  ASSERT_TRUE(decoder.Parse(second.data(), &k, &v).ok());
+  EXPECT_EQ(k, key);
+  EXPECT_EQ(v, "v");
+}
+
+TEST(SpillCodecTest, ResetRestartsTheDeltaChain) {
+  // Run boundaries: after Reset, the next record must carry its whole key
+  // (a fresh decoder has no prior-key state to resolve a shared prefix
+  // against).
+  SpillRecordEncoder encoder;
+  ByteWriter first;
+  encoder.Append("shared_prefix_key", "1", &first);
+  encoder.Reset();
+  ByteWriter second;
+  encoder.Append("shared_prefix_key", "2", &second);
+  // Identical framing and full key both times; only the value byte differs.
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first.data().substr(0, first.size() - 1),
+            second.data().substr(0, second.size() - 1));
+
+  SpillRecordDecoder decoder;  // fresh, as a new run's reader would be
+  std::string_view k;
+  std::string_view v;
+  ASSERT_TRUE(decoder.Parse(second.data(), &k, &v).ok());
+  EXPECT_EQ(k, "shared_prefix_key");
+  EXPECT_EQ(v, "2");
+}
+
+TEST(SpillCodecTest, BlockCodecRoundTripsAndSelfContains) {
+  // Property: SpillBlockEncoder's blocks, decoded in order, reproduce every
+  // record; and each block decodes with a *fresh* decoder too — blocks are
+  // self-contained (the delta chain resets per block), which is what lets a
+  // re-fetched block re-parse without cross-block state (§13).
+  Rng rng(197);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<std::string, std::string>> records;
+    const int n = 1 + static_cast<int>(rng.NextBounded(3 * kSpillBlockRecords));
+    for (int i = 0; i < n; ++i) {
+      std::string key = RandomBytes(rng, 32);
+      if (!records.empty() && i % 2 == 0) key = records.back().first;
+      records.emplace_back(std::move(key), RandomBytes(rng, 64));
+    }
+    std::sort(records.begin(), records.end());
+
+    SpillBlockEncoder encoder;
+    std::vector<std::string> blocks;
+    for (const auto& [key, value] : records) {
+      encoder.Add(key, value);
+      if (encoder.BlockFull()) {
+        blocks.emplace_back(encoder.block());
+        encoder.NextBlock();
+      }
+    }
+    if (!encoder.BlockEmpty()) {
+      blocks.emplace_back(encoder.block());
+      encoder.NextBlock();
+    }
+    EXPECT_EQ(blocks.size(),
+              (records.size() + kSpillBlockRecords - 1) / kSpillBlockRecords);
+
+    // Sequential decode with one decoder, and per-block decode with a fresh
+    // decoder, must both reproduce the stream exactly.
+    for (const bool fresh_decoder_per_block : {false, true}) {
+      SpillBlockDecoder decoder;
+      size_t i = 0;
+      for (const std::string& block : blocks) {
+        if (fresh_decoder_per_block) decoder = SpillBlockDecoder();
+        decoder.SetBlock(block);
+        for (;;) {
+          std::string_view key;
+          std::string_view value;
+          auto record = decoder.Next(&key, &value);
+          ASSERT_TRUE(record.ok());
+          if (!record.value()) break;
+          ASSERT_LT(i, records.size());
+          EXPECT_EQ(key, records[i].first);
+          EXPECT_EQ(value, records[i].second);
+          ++i;
+        }
+      }
+      EXPECT_EQ(i, records.size());
+    }
+  }
+}
+
+TEST(SpillCodecTest, RejectsTruncationAndBogusSharedPrefix) {
+  SpillRecordEncoder encoder;
+  ByteWriter out;
+  encoder.Append("some_key", "some_value", &out);
+  const std::string raw(out.data());
+
   for (size_t len = 0; len < raw.size(); ++len) {
-    EXPECT_FALSE(ParseSpillRecord(raw.substr(0, len), &key, &value).ok())
+    SpillRecordDecoder decoder;
+    std::string_view key;
+    std::string_view value;
+    EXPECT_FALSE(decoder.Parse(raw.substr(0, len), &key, &value).ok())
         << "prefix of length " << len << " parsed as a whole record";
   }
-  std::string padded(raw);
-  padded.push_back('\0');
-  EXPECT_FALSE(ParseSpillRecord(padded, &key, &value).ok());
+  {
+    // Trailing garbage is corruption, not silently ignored.
+    SpillRecordDecoder decoder;
+    std::string padded(raw);
+    padded.push_back('\0');
+    std::string_view key;
+    std::string_view value;
+    EXPECT_FALSE(decoder.Parse(padded, &key, &value).ok());
+  }
+  {
+    // A shared-prefix length exceeding the decoder's current key state is
+    // corruption: a fresh decoder has no bytes to share.
+    ByteWriter bogus;
+    bogus.PutVarint(5);   // shared prefix of 5 against an empty prior key
+    bogus.PutVarint(0);   // no suffix
+    bogus.PutBytes("v");
+    SpillRecordDecoder decoder;
+    std::string_view key;
+    std::string_view value;
+    EXPECT_FALSE(decoder.Parse(bogus.data(), &key, &value).ok());
+  }
 }
 
 // ---------------------------------------------------------------------------

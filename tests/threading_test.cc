@@ -215,6 +215,9 @@ std::string ModeledMetricsFingerprint(const RunMetrics& metrics) {
     fp += ",ci=" + std::to_string(round.combine_input_records);
     fp += ",co=" + std::to_string(round.combine_output_records);
     fp += ",sp=" + std::to_string(round.spill_bytes);
+    fp += ",spu=" + std::to_string(round.spill_bytes_uncompressed);
+    fp += ",swc=" + std::to_string(round.shuffle_bytes_compressed);
+    fp += ",swu=" + std::to_string(round.shuffle_bytes_uncompressed);
     fp += ",out=" + std::to_string(round.output_records);
     fp += ",retry=" + std::to_string(round.task_retries);
     fp += ",reexec=" + std::to_string(round.tasks_reexecuted_after_crash);
@@ -230,6 +233,10 @@ std::string ModeledMetricsFingerprint(const RunMetrics& metrics) {
             std::to_string(round.reducer_input_records[r]) + "/" +
             std::to_string(round.reducer_input_bytes[r]) + "/" +
             std::to_string(round.reducer_output_records[r]);
+    }
+    for (size_t r = 0; r < round.reducer_wire_bytes.size(); ++r) {
+      fp += ",w" + std::to_string(r) + "=" +
+            std::to_string(round.reducer_wire_bytes[r]);
     }
     for (const auto& [name, value] : round.custom_counters) {
       fp += "," + name + "=" + std::to_string(value);
@@ -263,8 +270,10 @@ struct DeterminismProbe {
 Result<DeterminismProbe> RunProbe(CubeAlgorithm* algorithm,
                                   const Config& config, const Relation& rel,
                                   int host_threads, int producers,
-                                  FaultConfig* chaos) {
+                                  FaultConfig* chaos,
+                                  bool compress_dfs = false) {
   EngineConfig cluster = MakeCluster(config, host_threads, producers);
+  cluster.compress_dfs_blobs = compress_dfs;
   FaultPlan plan(chaos != nullptr ? *chaos : FaultConfig{});
   if (chaos != nullptr) {
     cluster.fault_plan = &plan;
@@ -345,6 +354,66 @@ TEST(ThreadedDeterminismTest, SerialThreadedAndStolenRunsAreIndistinguishable) {
         EXPECT_EQ(serial->metrics_fp, pooled->metrics_fp)
             << algorithm->name() << " (" << mode << ", producers="
             << producers << "): modeled metrics diverged";
+      }
+    }
+  }
+}
+
+/// The compressed columnar path (docs/INTERNALS.md §13) under the same
+/// probe: dictionary-encoded reducer partitions plus compressed DFS blobs
+/// must be invisible to scheduling AND to the model — serial, threaded and
+/// stolen runs agree with each other, and with the *plain* serial run, in
+/// the cube bytes, user counters and every modeled metric. The deflate work
+/// happens on worker threads; TSan covers it via this test.
+TEST(ThreadedDeterminismTest, CompressedStorageIsScheduleAndModelInvisible) {
+  Config config;
+  config.distribution = 1;  // zipf: hot groups make spills + redundancy
+  config.num_dims = 3;
+  config.workers = 5;
+  config.budget_shift = 0;  // tight budget so the spill path engages
+  config.aggregate = 4;     // avg: order-sensitive if anything reorders
+  config.seed = 1313;
+  const Relation rel = MakeRelation(config);
+
+  FaultConfig chaos;
+  chaos.seed = config.seed;
+  chaos.map_failure_rate = 0.2;
+  chaos.reduce_failure_rate = 0.2;
+  chaos.dfs_read_error_rate = 0.15;
+  chaos.payload_corruption_rate = 0.2;
+
+  SpCubeOptions compressed_options;
+  compressed_options.tuning.dictionary_encode_partitions = true;
+  SpCubeAlgorithm plain_algorithm;
+  SpCubeAlgorithm compressed_algorithm(compressed_options);
+
+  for (FaultConfig* plan :
+       std::initializer_list<FaultConfig*>{nullptr, &chaos}) {
+    const char* mode = plan == nullptr ? "clean" : "chaos";
+    // Producer count is part of the simulated config (it changes the
+    // combine/spill schedule, and with avg the low-order float bits), so
+    // each comparison pins it on both sides.
+    for (int producers : {1, 3}) {
+      auto plain = RunProbe(&plain_algorithm, config, rel,
+                            /*host_threads=*/0, producers, plan);
+      ASSERT_TRUE(plain.ok()) << mode << ": " << plain.status();
+      for (int host_threads : {0, 4}) {
+        auto probe = RunProbe(&compressed_algorithm, config, rel,
+                              host_threads, producers, plan,
+                              /*compress_dfs=*/true);
+        ASSERT_TRUE(probe.ok()) << mode << ": " << probe.status();
+        std::string diff;
+        EXPECT_TRUE(CubeResult::ApproxEqual(*plain->cube, *probe->cube,
+                                            /*tolerance=*/0.0, &diff))
+            << mode << " threads=" << host_threads << " producers="
+            << producers << ": cube diverged from plain serial run:\n"
+            << diff;
+        EXPECT_EQ(plain->dfs_fp, probe->dfs_fp)
+            << mode << " threads=" << host_threads << " producers="
+            << producers << ": decoded DFS bytes diverged";
+        EXPECT_EQ(plain->metrics_fp, probe->metrics_fp)
+            << mode << " threads=" << host_threads << " producers="
+            << producers << ": modeled metrics saw the encoding";
       }
     }
   }

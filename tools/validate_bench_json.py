@@ -14,6 +14,11 @@ downstream plotting scripts can rely on its shape:
     "wall_seconds" is a non-negative finite number (real host wall clock
     of the algorithm run alone) and "threads" is a positive integer (the
     work-stealing pool's host thread count);
+  * compressed/uncompressed twin fields stay ordered: any numeric
+    "*_compressed" field whose "*_uncompressed" sibling is present in the
+    same row must not exceed it (e.g. "bytes_spilled_compressed" <=
+    "bytes_spilled_uncompressed" — docs/INTERNALS.md §13's honest
+    accounting: compression may only shrink the stored bytes);
   * every other top-level key is a scalar (string / number / bool) —
     run parameters like record counts, never nested structure;
   * every numeric value anywhere is finite (NaN/Infinity are invalid
@@ -82,6 +87,23 @@ def _problems(doc):
                     or threads < 1:
                 yield ('results[%d] "threads" must be a positive integer'
                        % i)
+        for key, value in row.items():
+            if not key.endswith("_compressed"):
+                continue
+            twin_key = key[: -len("_compressed")] + "_uncompressed"
+            twin = row.get(twin_key)
+            if twin is None:
+                continue
+            ordered = (not isinstance(value, bool)
+                       and not isinstance(twin, bool)
+                       and isinstance(value, (int, float))
+                       and isinstance(twin, (int, float))
+                       and math.isfinite(value) and math.isfinite(twin)
+                       and value <= twin)
+            if not ordered:
+                yield ('results[%d] "%s" must be a finite number <= "%s" '
+                       "(compression may only shrink stored bytes)"
+                       % (i, key, twin_key))
 
 
 def validate_file(path):

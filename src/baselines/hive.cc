@@ -1,7 +1,10 @@
 #include "baselines/hive.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "baselines/combiners.h"
 #include "core/cube_output.h"
@@ -55,11 +58,23 @@ class HiveMapper : public Mapper {
 
  private:
   Status Flush(MapContext& context) {
-    for (const auto& [key, state] : hash_) {
+    // Key order, not hash-table order: flushed records reach spill runs
+    // and the shuffle wire, and modeled bytes must not depend on the hash
+    // function or insertion history (docs/INTERNALS.md §14).
+    std::vector<std::pair<const GroupKey*, const AggState*>> ordered;
+    ordered.reserve(hash_.size());
+    for (const auto& entry : hash_) {
+      ordered.emplace_back(&entry.first, &entry.second);
+    }
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a,
+                                                 const auto& b) {
+      return *a.first < *b.first;
+    });
+    for (const auto& [key, state] : ordered) {
       key_writer_.Clear();
-      key.EncodeTo(key_writer_);
+      key->EncodeTo(key_writer_);
       value_writer_.Clear();
-      state.EncodeTo(value_writer_);
+      state->EncodeTo(value_writer_);
       SPCUBE_RETURN_IF_ERROR(
           context.Emit(key_writer_.data(), value_writer_.data()));
     }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <unordered_map>
 
 #include "baselines/combiners.h"
 #include "core/cube_output.h"

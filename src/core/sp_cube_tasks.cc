@@ -1,6 +1,8 @@
 #include "core/sp_cube_tasks.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/hash.h"
@@ -155,11 +157,21 @@ Status SpCubeMapper::Map(const RelationView& input, int64_t row,
 
 Status SpCubeMapper::Finish(MapContext& context) {
   // Ship the per-mapper partial aggregates of skewed groups (lines 16-20);
-  // the partitioner routes them to the skew reducer.
-  for (const auto& [key, state] : skew_partials_) {
+  // the partitioner routes them to the skew reducer. Emitted in key order,
+  // not hash-table order: the emitted sequence reaches spill runs and the
+  // shuffle wire, and modeled bytes must not depend on the hash function
+  // or insertion history (docs/INTERNALS.md §14).
+  std::vector<std::pair<const GroupKey*, const AggState*>> ordered;
+  ordered.reserve(skew_partials_.size());
+  for (const auto& entry : skew_partials_) {
+    ordered.emplace_back(&entry.first, &entry.second);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (const auto& [key, state] : ordered) {
     value_writer_.Clear();
-    state.EncodeTo(value_writer_);
-    SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(key, key_writer_),
+    state->EncodeTo(value_writer_);
+    SPCUBE_RETURN_IF_ERROR(context.Emit(EncodeGroupKey(*key, key_writer_),
                                         value_writer_.data()));
   }
   skew_partials_.clear();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/hash.h"
@@ -141,12 +142,22 @@ std::string SpSketch::Serialize() const {
   body.PutVarint(static_cast<uint64_t>(num_dims_));
   body.PutVarint(static_cast<uint64_t>(num_partitions_));
   body.PutVarint(static_cast<uint64_t>(TotalSkewedGroups()));
+  // Key order, not bucket order: the serialized sketch is a broadcast DFS
+  // blob, and its bytes must not depend on the hash function or insertion
+  // history (docs/INTERNALS.md §14). Deserialize rebuilds the index by
+  // re-hashing keys, so the flat entry order is free to be canonical.
+  std::vector<const SkewEntry*> ordered;
   for (const auto& [hash, bucket] : skew_index_) {
     (void)hash;
-    for (const SkewEntry& entry : bucket) {
-      entry.key.EncodeTo(body);
-      body.PutVarintSigned(entry.estimated_count);
-    }
+    for (const SkewEntry& entry : bucket) ordered.push_back(&entry);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SkewEntry* a, const SkewEntry* b) {
+              return a->key < b->key;
+            });
+  for (const SkewEntry* entry : ordered) {
+    entry->key.EncodeTo(body);
+    body.PutVarintSigned(entry->estimated_count);
   }
   for (const std::vector<GroupKey>& elements : partition_elements_) {
     body.PutVarint(elements.size());

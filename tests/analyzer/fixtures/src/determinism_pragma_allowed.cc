@@ -1,0 +1,28 @@
+// Golden fixture (clean): a documented, reviewed opt-out of the §14
+// family. The pragma carries a reason, so neither the determinism rule
+// nor allow-without-reason fires.
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fixture {
+
+class MapContext {
+ public:
+  void Emit(std::string_view key, std::string_view value);
+};
+
+class Probe {
+ public:
+  void DumpUnordered(MapContext& context) {
+    // spcube-analyzer: allow(unordered-iteration-escape): debug-only dump
+    for (const auto& entry : table_) {
+      context.Emit(entry.first, "1");
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, long> table_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Golden fixture (clean): the sanctioned FP-reduction shapes. Index-order
+// accumulation over a vector is canonical, and the staged per-partition
+// pattern (each worker writes its own slot, the merge runs after the
+// join, in index order) keeps modeled seconds schedule-independent.
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+struct Metrics {
+  double shuffle_seconds = 0.0;
+};
+
+// Index order: the vector's order is the canonical one.
+double SumInIndexOrder(const std::vector<double>& per_round) {
+  double total = 0.0;
+  for (double cost : per_round) {
+    total += cost;
+  }
+  return total;
+}
+
+// Staged per-partition slots, merged after the join.
+void StagedAccumulate(Metrics* metrics, int workers) {
+  std::vector<double> slot(static_cast<unsigned>(workers), 0.0);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([w, out = &slot[static_cast<unsigned>(w)]]() {
+      *out = 0.125 * w;  // disjoint per-worker slot, plain store
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (double s : slot) {
+    metrics->shuffle_seconds += s;  // after the join, index order
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Golden fixture: floating-point += reductions whose order is decided by
+// a hash table or by thread completion. FP addition is not associative,
+// so the resulting double (and any modeled metric built from it) differs
+// between same-seed runs.
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Metrics {
+  double shuffle_seconds = 0.0;
+};
+
+// (a) FP total accumulated in hash-table iteration order.
+double SumCosts(const std::unordered_map<std::string, double>& costs) {
+  double total = 0.0;
+  for (const auto& entry : costs) {
+    total += entry.second;  // float-accumulation-order
+  }
+  return total;
+}
+
+// (b) A worker accumulates straight into the modeled metric: the final
+// double depends on completion order against other writers.
+void AccumulateInWorker(Metrics* metrics) {
+  std::thread worker([m = metrics]() {
+    m->shuffle_seconds += 0.125;  // float-accumulation-order
+  });
+  worker.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Golden fixture (clean): the value-keyed shapes that replace pointer
+// order. Keying containers by the pointee's stable id and comparing
+// pointees (not pointers) in sort comparators are both reproducible.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Task {
+  int id;
+};
+
+class Scheduler {
+ public:
+  void Track(Task* task) { by_id_[task->id] = task; }
+
+ private:
+  std::map<int, Task*> by_id_;  // pointer as mapped value: fine
+};
+
+void OrderById(std::vector<Task*>& tasks) {
+  std::sort(tasks.begin(), tasks.end(), [](const Task* a, const Task* b) {
+    return a->id < b->id;  // compares the pointees' stable keys
+  });
+}
+
+}  // namespace fixture

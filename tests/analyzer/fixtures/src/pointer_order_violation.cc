@@ -1,0 +1,41 @@
+// Golden fixture: orders derived from raw pointer values. Addresses
+// differ run to run (ASLR, arena placement), so pointer-keyed containers,
+// pointer hash/less functors, and sort-by-address comparators all make
+// iteration order irreproducible.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Task {
+  int id;
+};
+
+class Scheduler {
+ public:
+  void Track(Task* task) { by_addr_.insert(task); }
+
+ private:
+  std::set<Task*> by_addr_;  // pointer-order-dependence
+};
+
+unsigned long CountDistinct(const std::vector<Task*>& tasks) {
+  std::map<Task*, int> seen;  // pointer-order-dependence
+  for (Task* task : tasks) seen[task] = 1;
+  return seen.size();
+}
+
+unsigned long HashOfPointer(Task* task) {
+  return std::hash<Task*>{}(task);  // pointer-order-dependence
+}
+
+void OrderByAddress(std::vector<Task*>& tasks) {
+  std::sort(tasks.begin(), tasks.end(), [](const Task* a, const Task* b) {
+    return a < b;  // pointer-order-dependence
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Golden fixture (clean): the sanctioned shapes around unordered
+// containers. Iterating to build an order-independent intermediate
+// (counts, a vector that is sorted before any sink) is fine; only loop
+// bodies that reach a model sink directly are order leaks.
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class MapContext {
+ public:
+  void Emit(std::string_view key, std::string_view value);
+};
+
+class Tally {
+ public:
+  // Sort-then-emit: the unordered loop only collects; the sink loop runs
+  // over the sorted vector, so the emitted sequence is canonical.
+  void FlushSorted(MapContext& context) {
+    std::vector<std::string> keys;
+    keys.reserve(counts_.size());
+    for (const auto& entry : counts_) {
+      keys.push_back(entry.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::string& key : keys) {
+      context.Emit(key, "1");
+    }
+  }
+
+  // Commutative reduction: integer += cannot observe iteration order.
+  long Total() const {
+    long total = 0;
+    for (const auto& entry : counts_) {
+      total += entry.second;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::string, long> counts_;
+};
+
+}  // namespace fixture

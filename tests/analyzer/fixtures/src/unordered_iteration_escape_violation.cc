@@ -1,0 +1,56 @@
+// Golden fixture: range-fors over unordered containers whose bodies reach
+// model sinks — the emitted records, wire bytes, and surviving metric
+// value then follow hash-table iteration order instead of key order.
+// Self-contained stubs; expected findings pinned by
+// spcube_analyzer_test.py.
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class ByteWriter {
+ public:
+  void PutVarint(unsigned long v);
+  void PutBytes(std::string_view bytes);
+};
+
+class MapContext {
+ public:
+  void Emit(std::string_view key, std::string_view value);
+};
+
+struct Metrics {
+  double shuffle_seconds = 0.0;
+};
+
+class Tally {
+ public:
+  // (a) Emitted records in hash-table order.
+  void FlushAll(MapContext& context) {
+    for (const auto& entry : counts_) {  // unordered-iteration-escape
+      context.Emit(entry.first, "1");
+    }
+  }
+
+  // (b) Wire bytes in hash-table order; a brace-less body keeps the sink
+  // in the loop-head statement and must still be seen.
+  void SerializeTo(ByteWriter& writer) const {
+    for (const auto& e : counts_) writer.PutBytes(e.first);  // escape
+  }
+
+ private:
+  std::unordered_map<std::string, long> counts_;
+};
+
+// (c) Last-write-wins into a modeled metric: the surviving value is
+// whichever element the hash table happens to iterate last.
+void RecordLast(const std::unordered_set<std::string>& keys,
+                Metrics* metrics) {
+  for (const std::string& key : keys) {  // unordered-iteration-escape
+    metrics->shuffle_seconds = static_cast<double>(key.size());
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Golden fixture: the unordered container arrives as a parameter — its
+// type is only visible in the signature, and the loop body still hands
+// records to the collector in hash-table order.
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fixture {
+
+class OutputCollector {
+ public:
+  void Collect(std::string_view key, std::string_view value);
+};
+
+void DrainToCollector(const std::unordered_map<std::string, long>& groups,
+                      OutputCollector& collector) {
+  for (const auto& entry : groups) {  // unordered-iteration-escape
+    collector.Collect(entry.first, "1");
+  }
+}
+
+}  // namespace fixture

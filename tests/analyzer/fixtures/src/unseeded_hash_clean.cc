@@ -1,0 +1,33 @@
+// Golden fixture (clean): hashing that never escapes the process. A
+// std::hash value used only for transient in-memory routing is fine, and
+// anything persisted should flow through the repo's seeded, stable
+// HashBytes/Mix64 (common/hash.h) — stubbed here.
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+class ByteWriter {
+ public:
+  void PutU64(unsigned long long v);
+};
+
+// Seeded, stable repo hash (common/hash.h stand-in).
+unsigned long long HashBytes(std::string_view bytes, unsigned long long seed);
+
+// Transient routing: the hash value picks an in-memory bucket and dies
+// there; no wire bytes or metrics observe it.
+int RouteToShard(const std::string& key, int num_shards) {
+  unsigned long long digest = std::hash<std::string>{}(key);
+  return static_cast<int>(digest % static_cast<unsigned>(num_shards));
+}
+
+// Persisted digests use the stable hash, which is deterministic across
+// processes and standard libraries.
+void WriteStableDigest(const std::string& key, ByteWriter& writer) {
+  writer.PutU64(HashBytes(key, 0x5eed5eedULL));
+}
+
+}  // namespace fixture

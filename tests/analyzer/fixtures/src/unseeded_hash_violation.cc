@@ -1,0 +1,34 @@
+// Golden fixture: std::hash values escaping into the model. std::hash is
+// unseeded and implementation-defined, so bytes or metrics built from it
+// differ across standard libraries and (for strings, on some platforms)
+// across processes.
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+class ByteWriter {
+ public:
+  void PutU64(unsigned long long v);
+};
+
+class MapContext {
+ public:
+  void Emit(std::string_view key, std::string_view value);
+};
+
+// (a) Hash persisted straight into a wire encoding.
+void WriteKeyDigest(const std::string& key, ByteWriter& writer) {
+  writer.PutU64(std::hash<std::string>{}(key));  // unseeded-hash-in-model
+}
+
+// (b) Hash flows through a local (and one mixing hop) into an emitted
+// record's partition key.
+void EmitByHash(const std::string& key, MapContext& context) {
+  unsigned long long digest = std::hash<std::string>{}(key);
+  unsigned long long mixed = digest ^ 0x9e3779b97f4a7c15ULL;
+  context.Emit(std::to_string(mixed), "1");  // unseeded-hash-in-model
+}
+
+}  // namespace fixture

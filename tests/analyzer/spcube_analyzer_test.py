@@ -74,6 +74,34 @@ EXPECTATIONS = {
         (40, "rng-thread-share"),
     ],
     "src/rng_thread_share_clean.cc": [],
+    # Determinism & model-purity rules (docs/INTERNALS.md §14).
+    "src/unordered_iteration_escape_violation.cc": [
+        (32, "unordered-iteration-escape"),
+        (40, "unordered-iteration-escape"),
+        (51, "unordered-iteration-escape"),
+    ],
+    "src/unordered_iteration_escape_clean.cc": [],
+    "src/unordered_iteration_param_violation.cc": [
+        (17, "unordered-iteration-escape"),
+    ],
+    "src/pointer_order_violation.cc": [
+        (22, "pointer-order-dependence"),
+        (26, "pointer-order-dependence"),
+        (32, "pointer-order-dependence"),
+        (37, "pointer-order-dependence"),
+    ],
+    "src/pointer_order_clean.cc": [],
+    "src/unseeded_hash_violation.cc": [
+        (23, "unseeded-hash-in-model"),
+        (31, "unseeded-hash-in-model"),
+    ],
+    "src/unseeded_hash_clean.cc": [],
+    "src/float_accumulation_violation.cc": [
+        (19, "float-accumulation-order"),
+        (28, "float-accumulation-order"),
+    ],
+    "src/float_accumulation_clean.cc": [],
+    "src/determinism_pragma_allowed.cc": [],
 }
 
 
@@ -144,9 +172,61 @@ def main():
     rules = proc.stdout.split()
     for rule in ("view-escape", "arena-escape", "emit-borrow",
                  "status-flow", "thread-capture-escape", "lock-discipline",
-                 "rng-thread-share"):
+                 "rng-thread-share", "unordered-iteration-escape",
+                 "pointer-order-dependence", "unseeded-hash-in-model",
+                 "float-accumulation-order"):
         if rule not in rules:
             failures.append("--list-rules missing %s" % rule)
+
+    # --rules filters reporting to the named family (the CI determinism
+    # leg runs just the §14 rules this way): the pointer fixture's
+    # findings survive, everything else is dropped, and unknown names are
+    # a usage error (exit 2).
+    proc = subprocess.run(
+        [sys.executable, ANALYZER, "--root", FIXTURES, "--backend=internal",
+         "--rules=unseeded-hash-in-model",
+         os.path.join(FIXTURES, "src", "pointer_order_violation.cc")],
+        capture_output=True, text=True)
+    if proc.returncode != 0 or proc.stdout.strip():
+        failures.append("--rules did not filter out other rules: %s"
+                        % proc.stdout)
+    proc = subprocess.run(
+        [sys.executable, ANALYZER, "--rules=no-such-rule"],
+        capture_output=True, text=True)
+    if proc.returncode != 2:
+        failures.append("--rules with an unknown rule should exit 2, got %d"
+                        % proc.returncode)
+
+    # --emit-sarif writes a SARIF 2.1.0 run whose results mirror the
+    # plain-text findings, rule IDs included.
+    import json
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = os.path.join(tmp, "out.sarif")
+        proc = subprocess.run(
+            [sys.executable, ANALYZER, "--root", FIXTURES,
+             "--backend=internal", "--emit-sarif=%s" % sarif_path,
+             os.path.join(FIXTURES, "src", "pointer_order_violation.cc")],
+            capture_output=True, text=True)
+        with open(sarif_path, "r", encoding="utf-8") as f:
+            sarif = json.load(f)
+        results = sarif["runs"][0]["results"]
+        got = sorted((r["locations"][0]["physicalLocation"]["region"]
+                      ["startLine"], r["ruleId"]) for r in results)
+        if sarif["version"] != "2.1.0" or got != sorted(
+                EXPECTATIONS["src/pointer_order_violation.cc"]):
+            failures.append("SARIF results do not mirror findings: %s"
+                            % got)
+
+    # Exit-2 paths (backend unavailable / bad path) still render the
+    # --summary table so callers that parse it always see one.
+    proc = subprocess.run(
+        [sys.executable, ANALYZER, "--summary", "--root", FIXTURES,
+         os.path.join(FIXTURES, "no", "such", "file.cc")],
+        capture_output=True, text=True)
+    if proc.returncode != 2 or "per-rule summary" not in proc.stderr:
+        failures.append("exit-2 path skipped the --summary table: rc=%d "
+                        "stderr=%s" % (proc.returncode, proc.stderr))
 
     # --fast must behave like the internal backend (clean-tree-only mode
     # for check_all.sh --fast): same findings, no TU parsing.

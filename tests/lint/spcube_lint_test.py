@@ -144,6 +144,27 @@ def main():
         if rule not in rules:
             failures.append("--list-rules missing %s" % rule)
 
+    # --emit-sarif writes a SARIF 2.1.0 run mirroring the plain-text
+    # findings (shared writer with the analyzer; CI uploads both).
+    import json
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = os.path.join(tmp, "out.sarif")
+        proc = subprocess.run(
+            [sys.executable, LINTER, "--root", FIXTURES,
+             "--emit-sarif=%s" % sarif_path,
+             os.path.join(FIXTURES, "src", "guard_violation.h")],
+            capture_output=True, text=True)
+        with open(sarif_path, "r", encoding="utf-8") as f:
+            sarif = json.load(f)
+        run = sarif["runs"][0]
+        got = sorted((r["locations"][0]["physicalLocation"]["region"]
+                      ["startLine"], r["ruleId"]) for r in run["results"])
+        if (sarif["version"] != "2.1.0"
+                or run["tool"]["driver"]["name"] != "spcube-lint"
+                or got != sorted(EXPECTATIONS["src/guard_violation.h"])):
+            failures.append("SARIF results do not mirror findings: %s" % got)
+
     # The repo itself must be clean: the acceptance gate for every PR.
     proc, findings = run_linter([], REPO)
     if proc.returncode != 0:

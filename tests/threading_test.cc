@@ -419,6 +419,76 @@ TEST(ThreadedDeterminismTest, CompressedStorageIsScheduleAndModelInvisible) {
   }
 }
 
+/// Determinism & model-purity probe (docs/INTERNALS.md §14): the dynamic
+/// twin of the analyzer's unordered-iteration-escape family. SP-Cube's
+/// mapper-side skew partials, Hive's map-side hash aggregation, and the
+/// sketch serializer all drain hash tables into emitted records or wire
+/// bytes; §14 requires those drains to run in canonical key order, so any
+/// regression to raw bucket order shows up here as a DFS or metrics
+/// fingerprint mismatch across host-thread counts. The drifting batched
+/// stream keeps the hash tables hot (changing heavy hitters per batch),
+/// and the compression axis checks that DFS blob codecs stay invisible to
+/// both the model and the stored bytes. Every cell of
+/// host_threads x compress_dfs_blobs must be indistinguishable from the
+/// serial uncompressed baseline.
+TEST(ThreadedDeterminismTest, DriftBatchesMatchAcrossThreadsAndCompression) {
+  Config config;
+  config.distribution = 1;
+  config.num_dims = 3;
+  config.workers = 5;
+  config.budget_shift = 1;
+  config.aggregate = 1;  // sum: exercises the skew-partial merge path
+  config.seed = 2026;
+
+  DriftSpec spec;
+  spec.num_batches = 2;
+  spec.num_zipf_dims = 2;
+  spec.num_uniform_dims = 1;
+  spec.domain = 60;
+  spec.start_exponent = 0.7;
+  spec.end_exponent = 1.5;
+
+  SpCubeAlgorithm sp;
+  HiveCubeAlgorithm hive;
+  for (int batch = 0; batch < spec.num_batches; ++batch) {
+    const Relation rel =
+        GenDriftBatch(spec, batch, /*num_rows=*/700, config.seed);
+    for (CubeAlgorithm* algorithm :
+         std::initializer_list<CubeAlgorithm*>{&sp, &hive}) {
+      auto baseline = RunProbe(algorithm, config, rel, /*host_threads=*/0,
+                               /*producers=*/1, /*chaos=*/nullptr,
+                               /*compress_dfs=*/false);
+      ASSERT_TRUE(baseline.ok()) << algorithm->name() << " batch=" << batch
+                                 << ": " << baseline.status();
+      for (int host_threads : {0, 2, 4}) {
+        for (bool compress : {false, true}) {
+          if (host_threads == 0 && !compress) continue;  // the baseline
+          auto probe = RunProbe(algorithm, config, rel, host_threads,
+                                /*producers=*/1, /*chaos=*/nullptr, compress);
+          ASSERT_TRUE(probe.ok())
+              << algorithm->name() << " batch=" << batch << ": "
+              << probe.status();
+          std::string diff;
+          EXPECT_TRUE(CubeResult::ApproxEqual(*baseline->cube, *probe->cube,
+                                              /*tolerance=*/0.0, &diff))
+              << algorithm->name() << " batch=" << batch << " threads="
+              << host_threads << " compress=" << compress
+              << ": cube diverged:\n"
+              << diff;
+          EXPECT_EQ(baseline->dfs_fp, probe->dfs_fp)
+              << algorithm->name() << " batch=" << batch << " threads="
+              << host_threads << " compress=" << compress
+              << ": DFS bytes diverged";
+          EXPECT_EQ(baseline->metrics_fp, probe->metrics_fp)
+              << algorithm->name() << " batch=" << batch << " threads="
+              << host_threads << " compress=" << compress
+              << ": modeled metrics diverged";
+        }
+      }
+    }
+  }
+}
+
 /// Splitting a machine's map task into producers must not change the cube
 /// itself (only the combine/spill schedule): the stolen run's cube still
 /// matches the single-producer serial cube to aggregation tolerance.

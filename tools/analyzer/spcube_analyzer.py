@@ -56,6 +56,46 @@ Concurrency contracts (docs/INTERNALS.md §12) ride on the same machinery:
                 determinism contract. Construct a per-worker Rng inside
                 the lambda from stable coordinates instead.
 
+Determinism & model-purity contracts (docs/INTERNALS.md §14) ride on a
+lightweight source->sink taint layer over the same statement stream.
+Sources are the entropy a C++ process observes but the simulated cluster
+must not: hash-table iteration order, pointer identity, the unseeded
+std::hash, thread-completion order. Sinks are everything the paper's
+figures are built from: records handed to Emit/EmitToPartition/Output/
+Collect, bytes reaching ByteWriter wire encodings (spill runs, DFS blobs,
+the broadcast sketch), and modeled-metric fields (JobMetrics /
+ShuffleCounters, anything feeding sim_total_seconds). Integer counter
+bumps are deliberately not sinks — integer += is commutative, so order
+cannot leak through it.
+
+  unordered-iteration-escape
+                A range-for over a std::unordered_{map,set} (or
+                flat/node_hash_*) whose body reaches a model sink: the
+                emitted/encoded sequence then follows the hash function
+                and insertion history. Sort into a vector first (GroupKey
+                has operator<) and iterate that.
+  pointer-order-dependence
+                Pointer-keyed associative containers, std::hash/less over
+                a pointer type, or a sort comparator ordering by raw
+                pointer value: addresses differ across runs (ASLR, arena
+                placement), so any order derived from them is
+                irreproducible.
+  unseeded-hash-in-model
+                A std::hash value (implementation-defined, unseeded per
+                process on some platforms) persisted into wire bytes or
+                modeled metrics. Route hashing through common/hash.h
+                (HashBytes/Mix64), which is seeded and stable; std::hash
+                is fine for transient in-memory routing that never
+                escapes.
+  float-accumulation-order
+                A floating-point += reduction inside an unordered
+                range-for or a worker-lambda region targeting a double
+                local or a modeled *_seconds field: FP addition is not
+                associative, so the total depends on iteration or
+                completion order. Accumulate in index order, or stage
+                per-partition slots and merge after the join
+                (docs/INTERNALS.md §12's sanctioned shape).
+
 Two backends produce the same findings:
 
   * libclang (python clang.cindex), when importable and a libclang shared
@@ -96,7 +136,9 @@ import sys
 _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.normpath(os.path.join(_HERE, "..", "lint")))
 # The comment/string/raw-literal stripper is shared with the linter so both
-# tools agree on what counts as code.
+# tools agree on what counts as code; the SARIF writer is shared the same
+# way.
+from sarif import write_sarif  # noqa: E402
 from spcube_lint import _strip_comments_and_strings  # noqa: E402
 
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
@@ -110,6 +152,10 @@ RULES = [
     "thread-capture-escape",
     "lock-discipline",
     "rng-thread-share",
+    "unordered-iteration-escape",
+    "pointer-order-dependence",
+    "unseeded-hash-in-model",
+    "float-accumulation-order",
 ]
 
 ALLOW_LINE_RE = re.compile(
@@ -588,6 +634,344 @@ REQUIRES_RE = re.compile(r"\bSPCUBE_REQUIRES\s*\(([^)]*)\)")
 NO_TSA_RE = re.compile(r"\bSPCUBE_NO_THREAD_SAFETY_ANALYSIS\b")
 
 
+# --- determinism & model-purity rules (docs/INTERNALS.md §14) --------------
+# Entropy source: containers whose iteration order follows the hash
+# function and insertion history rather than the key order.
+UNORDERED_TYPE_RE = re.compile(
+    r"\b(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\b|"
+    r"\b(?:flat|node)_hash_(?:map|set)\b")
+# Model sinks. Records handed to the engine:
+MODEL_EMIT_METHODS = EMIT_METHODS | {"Collect"}
+# ... bytes that reach a wire encoding (ByteWriter spill/DFS/sketch
+# framing; Put[A-Z]* matches PutVarint, PutU64, PutBytes, ...):
+WIRE_METHOD_RE = re.compile(r"^(EncodeTo|Put[A-Z]\w*)$")
+# ... and modeled-metric fields (src/mapreduce/metrics.h; \w+_seconds
+# covers every double that feeds sim_total_seconds). A member-access
+# prefix is required so same-named locals stay out of scope. Only plain
+# assignment (last-write-wins) is a sink here: integer += / ++ are
+# commutative, so iteration order cannot leak through them, and FP += is
+# float-accumulation-order's job.
+METRIC_FIELD_NAMES = (
+    r"map_input_records|map_output_records|map_output_bytes|"
+    r"shuffle_records|shuffle_bytes|combine_input_records|"
+    r"combine_output_records|spill_bytes|spill_bytes_uncompressed|"
+    r"shuffle_bytes_compressed|shuffle_bytes_uncompressed|"
+    r"reducer_input_records|reducer_input_bytes|reducer_wire_bytes|"
+    r"reducer_output_records|output_records|task_retries|"
+    r"tasks_reexecuted_after_crash|workers_crashed|"
+    r"tasks_speculatively_reexecuted|shuffle_checksum_mismatches|"
+    r"reduce_partitions_split|recovery_rounds|recovery_bytes_reshuffled|"
+    r"reducer_imbalance_alerts|custom_counters|per_worker_seconds|"
+    r"\w+_seconds")
+METRIC_SINK_RE = re.compile(
+    r"(?:\.|->)\s*(?:%s)\s*(?:\[[^\]]*\])?\s*"
+    r"(?<![-+*/|&^<>=!])=(?!=)" % METRIC_FIELD_NAMES)
+# Pointer-order sources: a container keyed by T*, an ordering/hash functor
+# over T*, and a sort comparator whose parameters are raw pointers.
+PTR_KEYED_CONTAINER_RE = re.compile(
+    r"\b(?:unordered_(?:multi)?(?:map|set)|(?:multi)?(?:map|set)|"
+    r"(?:flat|node)_hash_(?:map|set))\s*"
+    r"<\s*(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^<>]*>)?\s*\*")
+PTR_FUNCTOR_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:hash|less|greater)\s*<[^<>]*\*\s*>")
+SORT_PTR_CMP_RE = re.compile(
+    r"\bsort\s*\([^;]*\[[^\]]*\]\s*\(\s*(?:const\s+)?[A-Za-z_][\w:]*\s*"
+    r"\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*,\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*\)")
+# The unseeded process-local hash. The *instantiation* is the source
+# signal (not the call parens: `std::hash<T>{}(x)`'s braces are statement
+# separators to split_statements, so the call shape never survives into
+# one flattened statement).
+STD_HASH_CALL_RE = re.compile(r"\bstd\s*::\s*hash\s*<")
+FP_LOCAL_TYPE_RE = re.compile(r"^(?:long\s+)?(?:double|float)\b")
+FP_ACCUM_RE = re.compile(
+    r"(?:^|[^\w.])((?:[A-Za-z_]\w*(?:\.|->))*[A-Za-z_]\w*)\s*\+=")
+FP_METRIC_ACCUM_RE = re.compile(
+    r"(?:\.|->)\s*\w+_seconds\s*(?:\[[^\]]*\])?\s*\+=")
+# Deferred-task containers (work-stealing pool batches): lambdas pushed
+# into one run on pool workers, so FP accumulation inside them follows
+# completion order exactly like a std::thread body.
+TASK_CONTAINER_TYPE_RE = re.compile(
+    r"\bvector\s*<\s*(?:std\s*::\s*)?(?:function|packaged_task)\b")
+
+
+def _model_sink_of(text):
+    """(kind, spelling) of the first model sink in this statement text, or
+    None. The kind string is used verbatim in finding messages."""
+    for m in CALL_RE.finditer(text):
+        method = m.group(2)
+        if method in MODEL_EMIT_METHODS:
+            return ("emitted record", method)
+        if WIRE_METHOD_RE.match(method):
+            return ("wire encoding", method)
+    m = METRIC_SINK_RE.search(text)
+    if m:
+        return ("modeled-metric mutation", m.group(0).strip())
+    return None
+
+
+def _range_for_parts(text):
+    """(container_expr, inline_body) when the statement is a range-for
+    head, else None. A brace-less `for (x : c) sink();` keeps its body in
+    the same flattened statement; it is returned as inline_body."""
+    m = re.match(r"^for\s*\(", text)
+    if not m:
+        return None
+    depth = 0
+    colon = -1
+    close = len(text)
+    for j in range(m.end() - 1, len(text)):
+        c = text[j]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                close = j
+                break
+        elif c == ":" and depth == 1 and colon < 0:
+            if text[j - 1] != ":" and text[j + 1:j + 2] != ":":
+                colon = j
+    if colon < 0:
+        return None
+    return (text[colon + 1:close].strip(), text[close + 1:].strip())
+
+
+def _container_base(expr):
+    """Last path component of a plain variable/field expression
+    (`sketch_->skew_index_` -> `skew_index_`); None for anything computed
+    (calls, indexing), which the rules skip precision-first."""
+    expr = expr.replace("->", ".").strip()
+    m = re.match(r"^[&*]*\s*(?:[A-Za-z_]\w*\s*\.\s*)*([A-Za-z_]\w*)\s*$",
+                 expr)
+    return m.group(1) if m else None
+
+
+def _class_of(fn):
+    """Enclosing class: inline methods carry it on the Function; out-of-
+    line definitions spell it in the qualified name."""
+    if "::" in fn.name:
+        return fn.name.split("::")[-2].strip()
+    return fn.class_name
+
+
+def unordered_field_set(irs):
+    """(class, field) of every unordered-container data member across the
+    scan, so a .cc method sees the container type its header declares."""
+    fields = set()
+    for ir in irs:
+        for field in ir.fields:
+            if UNORDERED_TYPE_RE.search(field.type_text):
+                fields.add((field.class_name, field.name))
+    return fields
+
+
+def _unordered_loop_regions(fn, unordered_fields):
+    """[(start_idx, end_idx, inline_body)) of range-fors over unordered
+    containers: fields of the function's class, unordered-typed params,
+    and unordered-typed locals declared earlier in the function."""
+    cls = _class_of(fn)
+    names = {fname for (fcls, fname) in unordered_fields if fcls == cls}
+    names.update(pname for (ptype, pname) in fn.params
+                 if UNORDERED_TYPE_RE.search(ptype))
+    regions = []
+    for idx, stmt in enumerate(fn.stmts):
+        decl = _decl_of(stmt.text)
+        if decl and UNORDERED_TYPE_RE.search(decl[0]):
+            names.add(decl[1])
+        parts = _range_for_parts(stmt.text)
+        if not parts:
+            continue
+        base = _container_base(parts[0])
+        if base is None or base not in names:
+            continue
+        end = idx + 1
+        while end < len(fn.stmts) and fn.stmts[end].depth > stmt.depth:
+            end += 1
+        regions.append((idx, end, parts[1]))
+    return regions
+
+
+def check_unordered_iteration_escape(ir, pragmas, findings,
+                                     unordered_fields):
+    for fn in ir.functions:
+        for start, end, inline_body in _unordered_loop_regions(
+                fn, unordered_fields):
+            head = fn.stmts[start]
+            sink = _model_sink_of(inline_body) if inline_body else None
+            for j in range(start + 1, end):
+                if sink:
+                    break
+                sink = _model_sink_of(fn.stmts[j].text)
+            if sink and not pragmas.allows("unordered-iteration-escape",
+                                           head.line):
+                container = _container_base(
+                    _range_for_parts(head.text)[0])
+                findings.append(Finding(
+                    ir.relpath, head.line, "unordered-iteration-escape",
+                    "iterates unordered container '%s' and the loop body "
+                    "reaches a model sink (%s '%s'); the %s then follows "
+                    "hash-table iteration order — sort keys into a vector "
+                    "first and iterate that" % (container, sink[0],
+                                                sink[1], sink[0])))
+
+
+def check_pointer_order_dependence(ir, pragmas, findings):
+    for field in ir.fields:
+        if PTR_KEYED_CONTAINER_RE.search(field.type_text) or \
+                PTR_FUNCTOR_RE.search(field.type_text):
+            if not pragmas.allows("pointer-order-dependence", field.line):
+                findings.append(Finding(
+                    ir.relpath, field.line, "pointer-order-dependence",
+                    "data member '%s::%s' keys or orders by raw pointer "
+                    "value (%s); addresses differ across runs, so any "
+                    "order derived from them is irreproducible — key by "
+                    "value (GroupKey, index) instead"
+                    % (field.class_name, field.name, field.type_text)))
+    for fn in ir.functions:
+        for idx, stmt in enumerate(fn.stmts):
+            text = stmt.text
+            decl = _decl_of(text)
+            hit = None
+            if decl and (PTR_KEYED_CONTAINER_RE.search(decl[0]) or
+                         PTR_FUNCTOR_RE.search(decl[0])):
+                hit = ("declares '%s' keyed or ordered by raw pointer "
+                       "value (%s)" % (decl[1], decl[0]))
+            elif PTR_FUNCTOR_RE.search(text):
+                hit = ("instantiates a pointer-keyed ordering/hash "
+                       "functor (%s)" % PTR_FUNCTOR_RE.search(text)
+                       .group(0))
+            if hit and not pragmas.allows("pointer-order-dependence",
+                                          stmt.line):
+                findings.append(Finding(
+                    ir.relpath, stmt.line, "pointer-order-dependence",
+                    hit + "; addresses differ across runs — key by value "
+                    "instead"))
+            # Sort comparator ordering by raw pointer value: the lambda
+            # head sits in this statement, its `return a < b` in the
+            # nested region.
+            cm = SORT_PTR_CMP_RE.search(text)
+            if not cm:
+                continue
+            a, b = cm.group(1), cm.group(2)
+            cmp_re = re.compile(
+                r"(?<![\w.>])(?:%s\s*[<>]\s*%s|%s\s*[<>]\s*%s)(?![\w(])"
+                % (re.escape(a), re.escape(b), re.escape(b),
+                   re.escape(a)))
+            j = idx + 1
+            while j < len(fn.stmts) and fn.stmts[j].depth > stmt.depth:
+                if cmp_re.search(fn.stmts[j].text):
+                    if not pragmas.allows("pointer-order-dependence",
+                                          fn.stmts[j].line):
+                        findings.append(Finding(
+                            ir.relpath, fn.stmts[j].line,
+                            "pointer-order-dependence",
+                            "sort comparator orders '%s'/'%s' by raw "
+                            "pointer value; addresses differ across runs "
+                            "— compare the pointees (*%s < *%s) or a "
+                            "stable key instead" % (a, b, a, b)))
+                    break
+                j += 1
+
+
+def check_unseeded_hash_in_model(ir, pragmas, findings):
+    # The assignment target left of the first (compound) assignment; the
+    # declared type may be multi-word (`unsigned long long h = ...`), so
+    # this is keyed on the name adjacent to `=`, not on _decl_of.
+    assign_re = re.compile(r"([A-Za-z_]\w*)\s*(?:[-+|&^]=|=(?!=))")
+    for fn in ir.functions:
+        tainted = set()
+        for stmt in fn.stmts:
+            text = stmt.text
+            sink = _model_sink_of(text)
+            direct = STD_HASH_CALL_RE.search(text) is not None
+            carried = [v for v in sorted(tainted)
+                       if _word_re(v).search(text)]
+            if sink and (direct or carried):
+                if not pragmas.allows("unseeded-hash-in-model",
+                                      stmt.line):
+                    source = "a std::hash value reaches" if direct else \
+                        "'%s' carries a std::hash value into" % carried[0]
+                    findings.append(Finding(
+                        ir.relpath, stmt.line, "unseeded-hash-in-model",
+                        "%s a model sink (%s '%s'); std::hash is "
+                        "unseeded and implementation-defined — hash "
+                        "through common/hash.h (HashBytes/Mix64) for "
+                        "anything that escapes the process"
+                        % (source, sink[0], sink[1])))
+                continue
+            am = assign_re.search(text)
+            if am and (direct or any(_word_re(v).search(text[am.end():])
+                                     for v in tainted)):
+                tainted.add(am.group(1))  # seed or one-hop: x = h ^ salt
+
+
+def _task_container_regions(fn):
+    """Worker regions the float rule adds on top of _spawn_regions:
+    lambdas pushed into a declared std::function/packaged_task container
+    (a pool batch) run on pool workers in completion order."""
+    task_vars = set()
+    regions = []
+    for idx, stmt in enumerate(fn.stmts):
+        decl = _decl_of(stmt.text)
+        if decl and TASK_CONTAINER_TYPE_RE.search(decl[0]):
+            task_vars.add(decl[1])
+        m = CONTAINER_SPAWN_RE.match(stmt.text)
+        if m and m.group(1) in task_vars:
+            end = idx + 1
+            while end < len(fn.stmts) and fn.stmts[end].depth > stmt.depth:
+                end += 1
+            regions.append((idx, end))
+    return regions
+
+
+def check_float_accumulation_order(ir, pragmas, findings,
+                                   unordered_fields):
+    for fn in ir.functions:
+        fp_locals = set()
+        for stmt in fn.stmts:
+            decl = _decl_of(stmt.text)
+            if decl and FP_LOCAL_TYPE_RE.match(decl[0]):
+                fp_locals.add(decl[1])
+        regions = [(s, e, "hash-table iteration order", b)
+                   for s, e, b in _unordered_loop_regions(
+                       fn, unordered_fields)]
+        regions += [(s, e, "thread-completion order", "")
+                    for s, e in _spawn_regions(fn)]
+        regions += [(s, e, "thread-completion order", "")
+                    for s, e in _task_container_regions(fn)]
+        reported = set()
+        for start, end, order, inline_body in regions:
+            texts = [(fn.stmts[start].line, inline_body)] if inline_body \
+                else []
+            texts += [(fn.stmts[j].line, fn.stmts[j].text)
+                      for j in range(start + 1, end)]
+            for line, text in texts:
+                if line in reported:
+                    continue
+                target = None
+                if FP_METRIC_ACCUM_RE.search(text):
+                    target = "a modeled *_seconds metric"
+                else:
+                    am = FP_ACCUM_RE.search(text)
+                    if am:
+                        base = am.group(1).replace("->", ".") \
+                            .split(".")[-1]
+                        if base in fp_locals:
+                            target = "floating-point local '%s'" % base
+                if target and not pragmas.allows(
+                        "float-accumulation-order", line):
+                    reported.add(line)
+                    findings.append(Finding(
+                        ir.relpath, line, "float-accumulation-order",
+                        "+= onto %s inside a region that runs in %s; FP "
+                        "addition is not associative, so the total "
+                        "depends on that order — accumulate in index "
+                        "order or stage per-partition slots and merge "
+                        "after the join (docs/INTERNALS.md §14)"
+                        % (target, order)))
+
+
 def _is_thread_spawn(text, thread_vars):
     """True when this statement constructs a thread (or enqueues onto a
     declared thread container) with an inline lambda."""
@@ -903,9 +1287,11 @@ def check_rng_thread_share(ir, pragmas, findings):
                         break
 
 
-def run_rules(ir, pragmas, findings, guarded=None):
+def run_rules(ir, pragmas, findings, guarded=None, unordered_fields=None):
     if guarded is None:
         guarded = guarded_field_map([ir])
+    if unordered_fields is None:
+        unordered_fields = unordered_field_set([ir])
     check_view_escape(ir, pragmas, findings)
     check_arena_escape(ir, pragmas, findings)
     check_emit_borrow(ir, pragmas, findings)
@@ -913,6 +1299,12 @@ def run_rules(ir, pragmas, findings, guarded=None):
     check_thread_capture_escape(ir, pragmas, findings)
     check_lock_discipline(ir, pragmas, findings, guarded)
     check_rng_thread_share(ir, pragmas, findings)
+    check_unordered_iteration_escape(ir, pragmas, findings,
+                                     unordered_fields)
+    check_pointer_order_dependence(ir, pragmas, findings)
+    check_unseeded_hash_in_model(ir, pragmas, findings)
+    check_float_accumulation_order(ir, pragmas, findings,
+                                   unordered_fields)
 
 
 # ---------------------------------------------------------------------------
@@ -1109,6 +1501,22 @@ def collect_paths(args_paths, root):
     return paths
 
 
+def print_summary(findings, backend_name, selected=None, note=""):
+    """Per-rule finding-count table on stderr. Rendered even when the scan
+    aborted (backend unavailable, bad path) so callers that parse the table
+    — run_static_analysis.sh, check_all.sh — always see one."""
+    rules = selected if selected is not None else RULES
+    counts = {rule: 0 for rule in rules}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    header = "spcube_analyzer[%s] per-rule summary:" % backend_name
+    if note:
+        header += " " + note
+    print(header, file=sys.stderr)
+    for rule in sorted(counts):
+        print("  %-24s %d" % (rule, counts[rule]), file=sys.stderr)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Lifetime & borrow checking for the zero-copy core.")
@@ -1128,6 +1536,13 @@ def main(argv):
                         help="print the rule IDs and exit")
     parser.add_argument("--summary", action="store_true",
                         help="print a per-rule finding-count table to stderr")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule IDs to report (default: "
+                             "all; the CI determinism leg uses this to run "
+                             "just the §14 family)")
+    parser.add_argument("--emit-sarif", default=None, metavar="PATH",
+                        help="also write the findings as SARIF 2.1.0 (for "
+                             "PR annotation)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: src/ under "
                              "--root)")
@@ -1138,15 +1553,30 @@ def main(argv):
             print(rule)
         return 0
 
+    selected = None
+    if args.rules is not None:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in RULES]
+        if unknown:
+            print("spcube_analyzer: unknown rule(s): %s (see --list-rules)"
+                  % ", ".join(unknown), file=sys.stderr)
+            return 2
+
     root = args.root or os.path.normpath(os.path.join(_HERE, "..", ".."))
     compile_commands = args.compile_commands or os.path.join(
         root, "build", "compile_commands.json")
     backend = make_backend("internal" if args.fast else args.backend,
                            compile_commands)
     if backend is None:
+        if args.summary:
+            print_summary([], "unavailable", selected,
+                          note="(scan aborted: backend unavailable)")
         return 2
     paths = collect_paths(args.paths, root)
     if paths is None:
+        if args.summary:
+            print_summary([], backend.name, selected,
+                          note="(scan aborted: path error)")
         return 2
 
     # Two phases so cross-file contracts work: first lower every file to the
@@ -1161,19 +1591,19 @@ def main(argv):
         findings.extend(pragmas.pragma_findings)
         built.append((ir, pragmas))
     guarded = guarded_field_map([ir for ir, _ in built])
+    unordered_fields = unordered_field_set([ir for ir, _ in built])
     for ir, pragmas in built:
-        run_rules(ir, pragmas, findings, guarded)
+        run_rules(ir, pragmas, findings, guarded, unordered_fields)
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     for finding in findings:
         print(finding)
     if args.summary:
-        counts = {rule: 0 for rule in RULES}
-        for finding in findings:
-            counts[finding.rule] = counts.get(finding.rule, 0) + 1
-        print("spcube_analyzer[%s] per-rule summary:" % backend.name,
-              file=sys.stderr)
-        for rule in sorted(counts):
-            print("  %-24s %d" % (rule, counts[rule]), file=sys.stderr)
+        print_summary(findings, backend.name, selected)
+    if args.emit_sarif:
+        write_sarif(args.emit_sarif, "spcube-analyzer",
+                    selected if selected is not None else RULES, findings)
     if findings:
         print("spcube_analyzer[%s]: %d finding(s) in %d file(s) scanned"
               % (backend.name, len(findings), len(paths)), file=sys.stderr)

@@ -58,9 +58,24 @@ build_and_test() {
 # Filled in by bench_json_smoke from the threaded figure-bench run; echoed
 # next to the summary table so the wall-clock effect of the default
 # multicore path is visible in every full run. The compression line does
-# the same for the spill codec (docs/INTERNALS.md §13).
+# the same for the spill codec (docs/INTERNALS.md §13), and the
+# determinism line for the model-purity rule family (§14).
 threading_speedup_line=""
 compression_line=""
+determinism_line=""
+
+# Per-rule finding counts for the determinism & model-purity family
+# (docs/INTERNALS.md §14), echoed in every summary — fast runs included —
+# so a dirty tree is visible even when only the quick gate ran. Uses the
+# dependency-free internal backend; counts come from the --summary table
+# on stderr.
+determinism_rule_counts() {
+  determinism_line="determinism rules (§14): $(python3 \
+    tools/analyzer/spcube_analyzer.py --fast --summary \
+    --rules=unordered-iteration-escape,pointer-order-dependence,unseeded-hash-in-model,float-accumulation-order \
+    2>&1 >/dev/null |
+    awk '/^  /{printf "%s%s=%s", sep, $1, $2; sep=" "}')"
+}
 
 bench_json_smoke() {
   local out="build/bench_smoke.json"
@@ -156,6 +171,8 @@ else
   stage_names+=("sanitizers"); stage_results+=("SKIP (--fast)")
 fi
 
+determinism_rule_counts
+
 echo
 echo "=============================="
 printf '%-18s %s\n' "stage" "result"
@@ -170,6 +187,9 @@ if [[ -n "${threading_speedup_line}" ]]; then
 fi
 if [[ -n "${compression_line}" ]]; then
   echo "${compression_line}"
+fi
+if [[ -n "${determinism_line}" ]]; then
+  echo "${determinism_line}"
 fi
 echo "=============================="
 exit "${failed}"

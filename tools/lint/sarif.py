@@ -1,0 +1,55 @@
+"""Minimal SARIF 2.1.0 writer shared by spcube_lint and spcube_analyzer.
+
+One function, no dependencies: findings (anything with .path/.line/.rule/
+.message) become one `result` each, so CI can upload the file and the
+code-scanning UI annotates the PR inline. Written even for a clean run —
+an empty `results` array is how SARIF spells "scanned and found nothing",
+and uploading it clears stale annotations from earlier pushes.
+"""
+
+import json
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def write_sarif(path, tool_name, rules, findings):
+    """Writes one SARIF run for `tool_name` to `path`. `rules` seeds the
+    driver's rule table; rule IDs that only appear on findings (e.g. the
+    pragma meta-rule allow-without-reason) are added to it so every result
+    resolves."""
+    rule_ids = list(rules)
+    for f in findings:
+        if f.rule not in rule_ids:
+            rule_ids.append(f.rule)
+    results = [{
+        "ruleId": f.rule,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f.path.replace("\\", "/"),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {"startLine": f.line},
+            },
+        }],
+    } for f in findings]
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "rules": [{"id": rid} for rid in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")

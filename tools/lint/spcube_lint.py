@@ -544,6 +544,20 @@ def collect_paths(args_paths, root):
     return paths
 
 
+def print_summary(findings, note=""):
+    """Per-rule finding-count table on stderr. Rendered even when the scan
+    aborted (bad path) so callers that parse the table always see one."""
+    counts = {rule: 0 for rule in RULES}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    header = "spcube_lint per-rule summary:"
+    if note:
+        header += " " + note
+    print(header, file=sys.stderr)
+    for rule in sorted(counts):
+        print("  %-28s %d" % (rule, counts[rule]), file=sys.stderr)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Lint the repo's coding conventions.")
@@ -554,6 +568,9 @@ def main(argv):
                         help="print the rule IDs and exit")
     parser.add_argument("--summary", action="store_true",
                         help="print a per-rule finding-count table to stderr")
+    parser.add_argument("--emit-sarif", default=None, metavar="PATH",
+                        help="also write the findings as SARIF 2.1.0 (for "
+                             "PR annotation)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: src/ tools/ "
                              "bench/ under --root)")
@@ -568,17 +585,17 @@ def main(argv):
         os.path.dirname(os.path.abspath(__file__)), "..", ".."))
     paths = collect_paths(args.paths, root)
     if paths is None:
+        if args.summary:
+            print_summary([], note="(scan aborted: path error)")
         return 2
     findings = lint_files(paths, root)
     for finding in findings:
         print(finding)
     if args.summary:
-        counts = {rule: 0 for rule in RULES}
-        for finding in findings:
-            counts[finding.rule] = counts.get(finding.rule, 0) + 1
-        print("spcube_lint per-rule summary:", file=sys.stderr)
-        for rule in sorted(counts):
-            print("  %-28s %d" % (rule, counts[rule]), file=sys.stderr)
+        print_summary(findings)
+    if args.emit_sarif:
+        from sarif import write_sarif
+        write_sarif(args.emit_sarif, "spcube-lint", RULES, findings)
     if findings:
         print("spcube_lint: %d finding(s) in %d file(s) scanned"
               % (len(findings), len(paths)), file=sys.stderr)

@@ -37,11 +37,21 @@ analyzer_args=()
 if [[ ${fast} -eq 1 ]]; then
   analyzer_args+=(--fast)
 fi
-if python3 tools/analyzer/spcube_analyzer.py --summary "${analyzer_args[@]}"; then
+# The per-rule summary lands on stderr; keep a copy so the determinism
+# family (docs/INTERNALS.md §14) gets its own echoed count line below.
+analyzer_log="$(mktemp)"
+trap 'rm -f "${analyzer_log}"' EXIT
+if python3 tools/analyzer/spcube_analyzer.py --summary "${analyzer_args[@]}" \
+    2> >(tee "${analyzer_log}" >&2); then
   echo "spcube-analyzer: clean"
 else
   failures=$((failures + 1))
 fi
+wait  # let the tee process substitution flush before reading the log
+determinism_counts="$(grep -E \
+  '^\s+(unordered-iteration-escape|pointer-order-dependence|unseeded-hash-in-model|float-accumulation-order)\s' \
+  "${analyzer_log}" | awk '{printf "%s%s=%s", sep, $1, $2; sep=" "}')"
+echo "determinism & model-purity rules (§14): ${determinism_counts:-summary unavailable}"
 
 echo
 echo "=== clang-tidy (.clang-tidy check set) ==="
